@@ -1,0 +1,57 @@
+"""Benches for the ablation experiments (see DESIGN.md section 5).
+
+``abl-matchers`` runs three parameter sweeps and is the slowest item in
+the harness; it runs a single benchmark round by design.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_abl_increments(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-increments", None)
+    record_figure(result)
+    rows = result.tables[0].rows
+    for _n, naive, incremental, gain in rows:
+        assert incremental <= naive + 1e-12
+        assert gain >= -1e-12
+
+
+def test_abl_hsize(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-hsize", None)
+    record_figure(result)
+    true_row = next(r for r in result.tables[0].rows if r[0] == "1.00x")
+    assert true_row[2] == 0.0
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=0.000001, warmup=False)
+def test_abl_matchers(benchmark, warmed_bundle, record_figure):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl-matchers", None), rounds=1, iterations=1
+    )
+    record_figure(result)
+    for table in result.tables:
+        assert all(row[-1] == "yes" for row in table.rows)
+
+
+def test_abl_pooling(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-pooling", None)
+    record_figure(result)
+    judged = [row[2] for row in result.tables[0].rows]
+    assert judged == sorted(judged)
+
+
+def test_abl_noise(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-noise", None)
+    record_figure(result)
+    clean = next(row for row in result.tables[0].rows if row[0] == 0.0)
+    assert clean[3] == 0
+
+
+def test_abl_scaling(benchmark, record_figure):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl-scaling", None), rounds=1, iterations=1
+    )
+    record_figure(result)
+    assert [row[0] for row in result.tables[0].rows] == [10, 100, 1000, 5000]

@@ -1,0 +1,44 @@
+"""Benches for the extended ablations (top-N, estimators, tuning,
+confidence)."""
+
+from repro.experiments import run_experiment
+
+
+def test_abl_topn(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-topn", None)
+    record_figure(result)
+    for table in result.tables:
+        ns = [row[0] for row in table.rows]
+        assert ns == sorted(ns)
+
+
+def test_abl_estimators(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "abl-estimators", None)
+    record_figure(result)
+    assert all(row[4] == "yes" for row in result.tables[0].rows)
+
+
+def test_abl_tuning(benchmark, warmed_bundle, record_figure):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl-tuning", None), rounds=1, iterations=1
+    )
+    record_figure(result)
+    taus = dict(result.tables[1].rows)
+    assert taus["random-curve expectation"] > 0
+
+
+def test_abl_confidence(benchmark, warmed_bundle, record_figure):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl-confidence", None), rounds=1, iterations=1
+    )
+    record_figure(result)
+    for row in result.tables[0].rows:
+        assert row[5] >= 8 / 9 - 1e-9
+
+
+def test_abl_macro(benchmark, warmed_bundle, record_figure):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl-macro", None), rounds=1, iterations=1
+    )
+    record_figure(result)
+    assert any("violations: 0" in note for note in result.notes)

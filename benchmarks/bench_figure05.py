@@ -1,0 +1,16 @@
+"""Bench fig05: measured P/R curve of the exhaustive system S1.
+
+Times the judged-profile + curve construction over the default workload
+and records the regenerated Figure 5 series.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig05_measured_pr_curve(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "fig05", None)
+    record_figure(result)
+    rows = result.tables[0].rows
+    # paper shape: precision falls while recall rises over the sweep
+    assert rows[0][3] >= rows[-1][3]
+    assert rows[0][4] <= rows[-1][4]

@@ -1,0 +1,11 @@
+"""Bench fig06: 11-point interpolated P/R curve of S1."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_interpolated_pr_curve(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "fig06", None)
+    record_figure(result)
+    precisions = [row[1] for row in result.tables[0].rows]
+    assert len(precisions) == 11
+    assert all(a >= b for a, b in zip(precisions, precisions[1:]))

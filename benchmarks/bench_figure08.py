@@ -1,0 +1,16 @@
+"""Bench fig08: the exact incremental worst-case example.
+
+Pure math — the experiment itself asserts the paper's fractions (7/32,
+1/16, 7/48) and raises on any deviation, so a passing bench certifies the
+exact reproduction.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig08_incremental_example(benchmark, record_figure):
+    result = benchmark(run_experiment, "fig08", None)
+    record_figure(result)
+    rendered = result.tables[1].render()
+    assert "7/32" in rendered
+    assert "7/48" in rendered

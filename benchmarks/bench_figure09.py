@@ -1,0 +1,13 @@
+"""Bench fig09: effectiveness band for a fixed answer-size ratio of 0.9."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_fixed_ratio_band(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "fig09", None)
+    record_figure(result)
+    for row in result.tables[0].rows:
+        _d, ratio, _rs1, _ps1, r_worst, p_worst, r_best, p_best = row
+        assert 0.8 <= ratio <= 1.0
+        assert p_worst <= p_best
+        assert r_worst <= r_best

@@ -1,0 +1,20 @@
+"""Bench fig10: answer-size-ratio curves of the two improvements.
+
+Shape expectations from the paper: S2-one (beam) declines smoothly from
+1; S2-two (clustering) is markedly more aggressive while retaining the
+best-scoring answers.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_size_ratio_curves(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "fig10", None)
+    record_figure(result)
+    beam_rows = result.tables[0].rows
+    clustering_rows = result.tables[1].rows
+    # both retain the top of the ranking
+    assert beam_rows[0][3] >= 0.9
+    assert clustering_rows[0][3] >= 0.9
+    # clustering ends up far more aggressive
+    assert clustering_rows[-1][3] < beam_rows[-1][3]

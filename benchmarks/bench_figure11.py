@@ -1,0 +1,18 @@
+"""Bench fig11: best/worst/random bands for S2-one and S2-two.
+
+The reproduction's headline artifact: bounds computed from sizes alone,
+with the oracle-judged truth verified to lie inside each band.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_bounds_two_systems(benchmark, warmed_bundle, record_figure):
+    result = benchmark(run_experiment, "fig11", None)
+    record_figure(result)
+    assert not any("VIOLATED" in note for note in result.notes)
+    for table in result.tables:
+        for row in table.rows:
+            _d, _ratio, p_worst, p_rand, p_actual, p_best = row[:6]
+            assert p_worst - 1e-12 <= p_actual <= p_best + 1e-12
+            assert p_worst - 1e-12 <= p_rand <= p_best + 1e-12

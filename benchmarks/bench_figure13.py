@@ -1,0 +1,14 @@
+"""Bench fig13: sub-increment interpolation boundaries (exact example).
+
+The experiment raises if the highlighted segment deviates from the
+paper's (30/100, 30/54) — (34/100, 34/54).
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_subincrement_boundaries(benchmark, record_figure):
+    result = benchmark(run_experiment, "fig13", None)
+    record_figure(result)
+    rows = result.tables[0].rows
+    assert rows[0][0] == 50 and rows[-1][0] == 70

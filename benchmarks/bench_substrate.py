@@ -1,0 +1,99 @@
+"""Microbenchmarks of the substrate layers.
+
+Not paper figures — these quantify where the wall-clock goes (the paper's
+premise: matching is the expensive part, the bound math is free) and
+guard against performance regressions in the hot paths.
+"""
+
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.matching import BeamMatcher, ClusteringMatcher, ExhaustiveMatcher
+from repro.util import rng as rng_util
+from repro.util.text import jaro_winkler, levenshtein, ngram_similarity
+
+
+def test_bench_levenshtein(benchmark):
+    benchmark(levenshtein, "tracking-number", "traking_numbre")
+
+
+def test_bench_jaro_winkler(benchmark):
+    benchmark(jaro_winkler, "tracking-number", "traking_numbre")
+
+
+def test_bench_ngram_similarity(benchmark):
+    benchmark(ngram_similarity, "tracking-number", "traking_numbre")
+
+
+def test_bench_name_similarity_memoised(benchmark, warmed_bundle):
+    similarity = warmed_bundle.workload.objective.name_similarity
+
+    def run_pairs():
+        total = 0.0
+        for a in ("author", "writer", "policyNumber", "qty"):
+            for b in ("creator", "price", "policy_number", "quantity"):
+                total += similarity.similarity(a, b)
+        return total
+
+    benchmark(run_pairs)
+
+
+def test_bench_exhaustive_single_query(benchmark, warmed_bundle):
+    workload = warmed_bundle.workload
+    matcher = ExhaustiveMatcher(workload.objective)
+    query = workload.suite.scenarios[0].query
+    benchmark(matcher.match, query, workload.repository, 0.3)
+
+
+def test_bench_beam_single_query(benchmark, warmed_bundle):
+    workload = warmed_bundle.workload
+    matcher = BeamMatcher(workload.objective, beam_width=40)
+    query = workload.suite.scenarios[0].query
+    benchmark(matcher.match, query, workload.repository, 0.3)
+
+
+def test_bench_clustering_single_query(benchmark, warmed_bundle):
+    workload = warmed_bundle.workload
+    matcher = ClusteringMatcher(workload.objective, clusters_per_element=3)
+    matcher.prepare(workload.repository)  # clustering cost paid once
+    query = workload.suite.scenarios[0].query
+    benchmark(matcher.match, query, workload.repository, 0.3)
+
+
+def _synthetic_profiles(thresholds: int):
+    generator = rng_util.make_tagged(rng_util.seed_from(17, thresholds))
+    schedule = ThresholdSchedule.linear(0.01, 1.0, thresholds)
+    answers = correct = improved = 0
+    counts = []
+    sizes = []
+    for _ in range(thresholds):
+        grow = generator.randint(1, 40)
+        good = generator.randint(0, grow)
+        answers += grow
+        correct += good
+        improved += generator.randint(0, grow)
+        counts.append((answers, correct))
+        sizes.append(improved)
+    relevant = 2 * correct
+    profile = SystemProfile(
+        schedule, tuple(Counts(a, t, relevant) for a, t in counts)
+    )
+    return profile, SizeProfile(schedule, tuple(sizes))
+
+
+def test_bench_incremental_bounds_1000_thresholds(benchmark):
+    profile, sizes = _synthetic_profiles(1000)
+    benchmark(compute_incremental_bounds, profile, sizes)
+
+
+def test_bench_judging_profile(benchmark, warmed_bundle):
+    workload = warmed_bundle.workload
+    answers = warmed_bundle.original.answers
+    truth = workload.suite.ground_truth.mappings
+    benchmark(
+        SystemProfile.from_answer_set, workload.schedule, answers, truth
+    )

@@ -1,0 +1,93 @@
+"""Tuning a non-exhaustive matcher with bounds instead of judgments.
+
+The paper's motivating use case: "get an impression on the
+efficiency-effectiveness trade-off in an automated way allowing quick
+evaluation of many different parameter settings and matching system
+improvements".  Here we tune the clustering matcher's aggressiveness.
+
+The only human-cost input is ONE judged run of the exhaustive system.
+Every candidate configuration is then evaluated purely from its answer
+sizes: we ask each for its guaranteed worst-case precision at a target
+recall floor and pick the cheapest configuration whose guarantee holds.
+
+Run:  python examples/clustering_tradeoff.py
+"""
+
+from fractions import Fraction
+
+from repro.core.relative import relative_bounds
+from repro.evaluation import build_workload, run_system, validate_improvement
+from repro.evaluation.workloads import small_config
+from repro.matching import ClusteringMatcher, ExhaustiveMatcher
+from repro.util.tables import format_table
+
+#: the guarantee we shop for: recall of at least this, in the worst case
+TARGET_RECALL = 0.10
+
+
+def main() -> None:
+    workload = build_workload(small_config())
+    original = run_system(
+        ExhaustiveMatcher(workload.objective), workload.suite, workload.schedule
+    )
+    print(
+        f"one judged S1 run: {len(original.answers)} answers, "
+        f"|H| = {workload.relevant_size}\n"
+    )
+
+    rows = []
+    winners = []
+    for clusters_per_element in (1, 2, 3, 4, 5):
+        matcher = ClusteringMatcher(
+            workload.objective, clusters_per_element=clusters_per_element
+        )
+        improved = run_system(matcher, workload.suite, workload.schedule)
+        validation = validate_improvement(original, improved)
+
+        guaranteed_p = validation.band.guaranteed_precision_at_recall(
+            TARGET_RECALL
+        )
+        relative = relative_bounds(validation.bounds)[-1]
+        max_loss = relative.max_recall_loss
+        rows.append(
+            (
+                clusters_per_element,
+                len(improved.answers),
+                float(validation.ratio.mean_ratio()),
+                "-" if guaranteed_p is None else f"{float(guaranteed_p):.3f}",
+                "-" if max_loss is None else f"{float(max_loss):.1%}",
+            )
+        )
+        if guaranteed_p is not None and guaranteed_p >= Fraction(1, 2):
+            winners.append((clusters_per_element, len(improved.answers)))
+
+    print(
+        format_table(
+            [
+                "clusters/elem",
+                "|A2| final",
+                "mean ratio",
+                f"guaranteed P @ R>={TARGET_RECALL}",
+                "max |T| loss",
+            ],
+            rows,
+            title="Trade-off table (no judgment of any candidate needed)",
+        )
+    )
+    print()
+    if winners:
+        best = min(winners, key=lambda w: w[1])
+        print(
+            f"cheapest configuration guaranteeing P >= 0.5 at recall "
+            f">= {TARGET_RECALL}: clusters_per_element = {best[0]} "
+            f"({best[1]} answers)"
+        )
+    else:
+        print(
+            f"no configuration guarantees P >= 0.5 at recall >= {TARGET_RECALL}; "
+            "widen the search or relax the target"
+        )
+
+
+if __name__ == "__main__":
+    main()

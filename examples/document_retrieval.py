@@ -1,0 +1,101 @@
+"""The bounds technique outside schema matching: a document retriever.
+
+The paper closes its abstract with "we believe it to be more generically
+applicable in other retrieval systems facing scalability problems", and
+section 2.1 notes search-space elements "can in fact be anything such as
+images, documents, etc.".  This example exercises :mod:`repro.core` with
+no schema substrate at all: a tiny simulated document retrieval engine
+(items are document ids, the score is a dissimilarity) and an early-
+termination "improvement" that stops scanning each posting list after a
+budget.
+
+The flow is identical to the schema case — judged original profile,
+improved sizes, incremental bounds — demonstrating the core layer's
+domain independence.
+
+Run:  python examples/document_retrieval.py
+"""
+
+from repro.core import (
+    AnswerSet,
+    EffectivenessBand,
+    SizeProfile,
+    SystemProfile,
+    ThresholdSchedule,
+    compute_incremental_bounds,
+)
+from repro.core.report import render_band_plot, render_bounds_table
+from repro.util import rng as rng_util
+
+NUM_DOCUMENTS = 4000
+NUM_RELEVANT = 120
+SCAN_BUDGET = 1500  # the improvement stops after this many candidates
+
+
+def build_corpus(seed: int = 42):
+    """Scores for every document; relevant ones score better on average.
+
+    Dissimilarity of relevant documents ~ centred low, irrelevant ~ high;
+    overlap makes the retrieval imperfect, like a real ranking function.
+    """
+    generator = rng_util.make_tagged(seed)
+    scored: list[tuple[str, float]] = []
+    relevant: set[str] = set()
+    for i in range(NUM_DOCUMENTS):
+        doc = f"doc-{i:05d}"
+        if i < NUM_RELEVANT:
+            relevant.add(doc)
+            score = min(1.0, max(0.0, generator.gauss(0.25, 0.15)))
+        else:
+            score = min(1.0, max(0.0, generator.gauss(0.65, 0.18)))
+        scored.append((doc, round(score, 6)))
+    return scored, relevant
+
+
+def main() -> None:
+    scored, relevant = build_corpus()
+    original = AnswerSet.from_pairs(scored)
+
+    # The "improvement": scan documents in storage order, keep what fits
+    # the budget — everything it returns the original also returns, with
+    # the same score (same ranking function), so the subset property holds.
+    generator = rng_util.make_tagged(7)
+    storage_order = list(scored)
+    generator.shuffle(storage_order)
+    improved = AnswerSet.from_pairs(storage_order[:SCAN_BUDGET])
+    improved.check_subset_of(original, "budgeted scan")
+
+    schedule = ThresholdSchedule.linear(0.1, 0.9, 9)
+    profile = SystemProfile.from_answer_set(schedule, original, relevant)
+    sizes = SizeProfile.from_answer_set(schedule, improved)
+    bounds = compute_incremental_bounds(profile, sizes)
+    band = EffectivenessBand(bounds)
+
+    print(
+        f"corpus: {NUM_DOCUMENTS} documents, {NUM_RELEVANT} relevant; "
+        f"improvement scans {SCAN_BUDGET}"
+    )
+    print()
+    print(render_bounds_table(bounds, title="Budgeted-scan retriever"))
+    print()
+    print(render_band_plot(band, title="Document retrieval band"))
+    print()
+    # The budgeted scan picks uniformly at random w.r.t. relevance, so its
+    # true behaviour should hug the random curve — verify with the oracle.
+    actual = SystemProfile.from_answer_set(schedule, improved, relevant)
+    report = band.check_containment(actual)
+    print(report)
+    random_curve = band.random_curve()
+    actual_curve = actual.pr_curve()
+    drift = max(
+        abs(float(r.precision) - float(a.precision))
+        for r, a in zip(random_curve, actual_curve)
+    )
+    print(
+        f"max |P_actual - P_random| = {drift:.4f} (a uniformly random "
+        "subset behaves like the section 3.4 random system, as expected)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Top-N analysis: where the bounds are actually narrow.
+
+The paper closes on a practical note: wide bounds at high recall are
+unavoidable, "but, for schema matching systems as well as information
+retrieval systems in general, the top-N is usually the most interesting
+and for such recall levels, we can give useful, i.e., narrow
+effectiveness bounds."
+
+This example evaluates a beam improvement at top-10/25/50/... cutoffs of
+the exhaustive ranking and prints, per cutoff, the guaranteed precision
+window plus a midpoint estimate with its hard error bar
+(``repro.core.estimators``) — the report a practitioner would actually
+ship.
+
+Run:  python examples/topn_analysis.py
+"""
+
+from fractions import Fraction
+
+from repro.core.estimators import estimate_correct
+from repro.core.topn import topn_bounds
+from repro.evaluation import build_workload, run_system, small_config
+from repro.matching import BeamMatcher, ExhaustiveMatcher
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    workload = build_workload(small_config())
+    original = run_system(
+        ExhaustiveMatcher(workload.objective), workload.suite, workload.schedule
+    )
+    improved = run_system(
+        BeamMatcher(workload.objective, beam_width=40),
+        workload.suite,
+        workload.schedule,
+    )
+    truth = workload.suite.ground_truth.mappings
+
+    bounds = topn_bounds(original.answers, improved.answers, truth)
+    rows = []
+    for entry in bounds:
+        estimate = estimate_correct(entry, "midpoint")
+        precision = estimate.precision
+        error = estimate.precision_error()
+        rows.append(
+            (
+                entry.original.answers,
+                entry.improved_answers,
+                float(entry.size_ratio),
+                float(entry.worst.precision_or(Fraction(0))),
+                float(entry.best.precision_or(Fraction(1))),
+                "-" if precision is None else f"{float(precision):.3f}",
+                "-" if error is None else f"±{float(error):.3f}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "top-N",
+                "|A2|",
+                "ratio",
+                "P worst",
+                "P best",
+                "P estimate",
+                "guaranteed error",
+            ],
+            rows,
+            title="Beam improvement, bounded at top-N cutoffs "
+            "(no S2 judgments used)",
+        )
+    )
+    print(
+        "\nreading: at the top of the ranking the improvement retains almost "
+        "everything, so the window is tight and the estimate carries a small "
+        "hard error bar; deep cutoffs widen as the paper predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

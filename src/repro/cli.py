@@ -1,0 +1,249 @@
+"""Command-line front-end: ``repro-bounds`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment (paper figures + ablations).
+``figure <id>``
+    Run one experiment and print its tables/plots.
+``all``
+    Run every experiment in order.
+``demo``
+    The quickstart: bounds for a beam improvement on a small workload.
+``compare <spec> <spec>``
+    Compare two improvements by their bounds alone — no judgments.  A
+    spec is ``name`` or ``name:param=value[,param=value...]``, e.g.
+    ``beam:beam_width=10`` or ``clustering:clusters_per_element=2``.
+``save-collection <dir>`` / ``show-collection <dir>``
+    Freeze the default workload's test collection to disk / summarise a
+    frozen one.
+
+``--small`` runs on the reduced workload (seconds instead of minutes on
+slow machines); ``--seed`` reseeds workload generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.errors import ReproError
+from repro.evaluation.workloads import WorkloadConfig, small_config
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> WorkloadConfig | None:
+    config = small_config() if args.small else WorkloadConfig()
+    if args.seed is not None:
+        config = replace(
+            config, repository_seed=args.seed, query_seed=args.seed + 16
+        )
+    return config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bounds",
+        description=(
+            "Effectiveness bounds for non-exhaustive schema matching systems "
+            "(ICDE 2006 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the reduced workload (fast demos, CI)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload generation seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments")
+
+    figure = sub.add_parser("figure", help="run one experiment")
+    figure.add_argument("experiment_id", help="e.g. fig11 or abl-matchers")
+
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("demo", help="quickstart bounds demo")
+
+    compare = sub.add_parser(
+        "compare", help="compare two improvements by bounds alone"
+    )
+    compare.add_argument("first", help="e.g. beam:beam_width=10")
+    compare.add_argument("second", help="e.g. clustering:clusters_per_element=2")
+
+    save = sub.add_parser(
+        "save-collection", help="freeze the workload's test collection"
+    )
+    save.add_argument("directory")
+
+    show = sub.add_parser("show-collection", help="summarise a frozen collection")
+    show.add_argument("directory")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import list_experiments
+
+    for experiment_id, title in list_experiments():
+        print(f"{experiment_id:16s} {title}")
+    return 0
+
+
+def _cmd_figure(experiment_id: str, config: WorkloadConfig | None) -> int:
+    from repro.experiments import run_experiment
+
+    print(run_experiment(experiment_id, config).render())
+    return 0
+
+
+def _cmd_all(config: WorkloadConfig | None) -> int:
+    from repro.experiments import list_experiments, run_experiment
+
+    for experiment_id, _title in list_experiments():
+        print(run_experiment(experiment_id, config).render())
+        print()
+    return 0
+
+
+def _cmd_demo(config: WorkloadConfig | None) -> int:
+    from repro.core.report import render_band_plot, summarize_guarantees
+    from repro.evaluation import build_workload, run_system, validate_improvement
+    from repro.matching import BeamMatcher, ExhaustiveMatcher
+
+    workload = build_workload(config)
+    original = run_system(
+        ExhaustiveMatcher(workload.objective), workload.suite, workload.schedule
+    )
+    improved = run_system(
+        BeamMatcher(workload.objective, beam_width=10),
+        workload.suite,
+        workload.schedule,
+    )
+    validation = validate_improvement(original, improved)
+    print(render_band_plot(validation.band, title="Demo: beam improvement band"))
+    print()
+    print(summarize_guarantees(validation.band))
+    print()
+    status = "contained" if validation.sound else "VIOLATED"
+    print(f"actual (oracle-judged) curve: {status} in the band")
+    return 0
+
+
+def _parse_matcher_spec(spec: str) -> tuple[str, dict[str, int | float]]:
+    """Parse ``name[:param=value,...]`` into a registry call."""
+    name, _, params_part = spec.partition(":")
+    params: dict[str, int | float] = {}
+    if params_part:
+        for pair in params_part.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key or not value:
+                raise ReproError(
+                    f"bad matcher spec {spec!r}; expected name:param=value,..."
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                try:
+                    params[key] = float(value)
+                except ValueError:
+                    raise ReproError(
+                        f"parameter {key!r} of {spec!r} must be numeric"
+                    ) from None
+    return name, params
+
+
+def _cmd_compare(
+    first_spec: str, second_spec: str, config: WorkloadConfig | None
+) -> int:
+    from repro.core.comparison import Verdict, compare_bounds, dominates
+    from repro.core.report import render_comparison
+    from repro.evaluation import build_workload, run_system, validate_improvement
+    from repro.matching import ExhaustiveMatcher, make_matcher
+
+    workload = build_workload(config)
+    original = run_system(
+        ExhaustiveMatcher(workload.objective), workload.suite, workload.schedule
+    )
+    validations = []
+    for spec in (first_spec, second_spec):
+        name, params = _parse_matcher_spec(spec)
+        matcher = make_matcher(name, workload.objective, **params)
+        run = run_system(matcher, workload.suite, workload.schedule)
+        validations.append(validate_improvement(original, run))
+    comparisons = compare_bounds(validations[0].bounds, validations[1].bounds)
+    print(render_comparison(comparisons, first_spec, second_spec))
+    print()
+    if dominates(validations[0].bounds, validations[1].bounds):
+        print(f"{first_spec} provably dominates {second_spec} at every threshold")
+    elif dominates(validations[1].bounds, validations[0].bounds):
+        print(f"{second_spec} provably dominates {first_spec} at every threshold")
+    else:
+        undecided = sum(
+            1 for c in comparisons if c.correct_verdict is Verdict.UNDECIDED
+        )
+        print(
+            f"no all-threshold dominance; {undecided}/{len(comparisons)} "
+            "thresholds undecided (judgments would be needed there)"
+        )
+    return 0
+
+
+def _cmd_save_collection(directory: str, config: WorkloadConfig | None) -> int:
+    from repro.evaluation import build_workload, save_collection
+
+    workload = build_workload(config)
+    path = save_collection(workload.suite, directory)
+    print(
+        f"saved {len(workload.repository)} schemas, {len(workload.suite)} "
+        f"queries, |H| = {workload.relevant_size} to {path}"
+    )
+    return 0
+
+
+def _cmd_show_collection(directory: str) -> int:
+    from repro.evaluation import load_collection
+
+    suite = load_collection(directory)
+    stats = suite.repository.stats()
+    print(f"repository : {int(stats['schemas'])} schemas, "
+          f"{int(stats['elements'])} elements")
+    print(f"queries    : {len(suite)}")
+    print(f"|H| pooled : {suite.relevant_size}")
+    for scenario in suite:
+        print(
+            f"  {scenario.query.schema_id}: {len(scenario.query)} elements, "
+            f"|H| = {scenario.relevant_size}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "figure":
+            return _cmd_figure(args.experiment_id, config)
+        if args.command == "all":
+            return _cmd_all(config)
+        if args.command == "demo":
+            return _cmd_demo(config)
+        if args.command == "compare":
+            return _cmd_compare(args.first, args.second, config)
+        if args.command == "save-collection":
+            return _cmd_save_collection(args.directory, config)
+        if args.command == "show-collection":
+            return _cmd_show_collection(args.directory)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

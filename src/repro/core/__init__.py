@@ -1,0 +1,135 @@
+"""The paper's contribution: effectiveness bounds for non-exhaustive
+improvements of retrieval/matching systems.
+
+Typical use::
+
+    from repro.core import (
+        ThresholdSchedule, SystemProfile, SizeProfile,
+        compute_incremental_bounds, EffectivenessBand,
+    )
+
+    schedule = ThresholdSchedule.linear(0.05, 0.25, 9)
+    s1 = SystemProfile.from_answer_set(schedule, exhaustive_answers, ground_truth)
+    s2 = SizeProfile.from_answer_set(schedule, improved_answers)
+    band = EffectivenessBand(compute_incremental_bounds(s1, s2))
+    band.guaranteed_recall_at_precision(0.5)
+
+Module map (paper section in brackets):
+
+* :mod:`~repro.core.answers` — scored answer sets ``A^δ`` [2.1]
+* :mod:`~repro.core.thresholds` — threshold schedules & increments [2.1/3.2]
+* :mod:`~repro.core.measures` — exact precision/recall counts [2.2]
+* :mod:`~repro.core.pr_curve` — measured & interpolated P/R curves [2.4]
+* :mod:`~repro.core.bounds` — Equations 1-6 [3.1]
+* :mod:`~repro.core.increments` — Equations 7-8 [3.2]
+* :mod:`~repro.core.incremental` — the 4-step incremental algorithm [3.2]
+* :mod:`~repro.core.random_baseline` — Equations 9-10 [3.4]
+* :mod:`~repro.core.size_ratio` — Â curves [3.3/Fig 10]
+* :mod:`~repro.core.bands` — P/R bands, guarantees, containment [3.3]
+* :mod:`~repro.core.reconstruction` — interpolated-input handling [4.1]
+* :mod:`~repro.core.subincrement` — interpolation boundaries [4.2]
+* :mod:`~repro.core.relative` — |H|-free relative bounds [extension]
+* :mod:`~repro.core.report` — text/ASCII renderers for all of the above
+"""
+
+from repro.core.answers import Answer, AnswerSet
+from repro.core.bands import ContainmentReport, EffectivenessBand
+from repro.core.comparison import (
+    ThresholdComparison,
+    Verdict,
+    compare_bounds,
+    dominates,
+)
+from repro.core.confidence import RandomDeviation, random_curve_deviation
+from repro.core.estimators import PointEstimate, estimate_correct, estimate_curve
+from repro.core.bounds import (
+    CaseBounds,
+    best_case_correct,
+    best_case_precision,
+    best_case_recall,
+    bound_counts,
+    worst_case_correct,
+    worst_case_precision,
+    worst_case_recall,
+)
+from repro.core.increments import (
+    IncrementPR,
+    combine_increment_pr,
+    increment_precision,
+    increment_recall,
+)
+from repro.core.incremental import (
+    BoundsAtThreshold,
+    IncrementalBounds,
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+    compute_naive_bounds,
+)
+from repro.core.measures import Counts, f_score, measure
+from repro.core.pr_curve import STANDARD_RECALL_LEVELS, PRCurve, PRPoint
+from repro.core.random_baseline import (
+    expected_correct,
+    random_increment_precision,
+    random_increment_recall,
+)
+from repro.core.reconstruction import reconstruct_profile, reconstruction_error
+from repro.core.relative import RelativeBoundsEntry, relative_bounds
+from repro.core.size_ratio import SizeRatioCurve
+from repro.core.subincrement import SubIncrementAnalyzer, SubIncrementSegment
+from repro.core.thresholds import ThresholdSchedule
+from repro.core.topn import cutoffs_to_schedule, default_cutoffs, topn_bounds
+
+__all__ = [
+    "Answer",
+    "AnswerSet",
+    "BoundsAtThreshold",
+    "CaseBounds",
+    "ContainmentReport",
+    "Counts",
+    "EffectivenessBand",
+    "IncrementPR",
+    "IncrementalBounds",
+    "PRCurve",
+    "PRPoint",
+    "PointEstimate",
+    "RandomDeviation",
+    "RelativeBoundsEntry",
+    "STANDARD_RECALL_LEVELS",
+    "SizeProfile",
+    "SizeRatioCurve",
+    "SubIncrementAnalyzer",
+    "SubIncrementSegment",
+    "SystemProfile",
+    "ThresholdComparison",
+    "ThresholdSchedule",
+    "Verdict",
+    "best_case_correct",
+    "best_case_precision",
+    "best_case_recall",
+    "bound_counts",
+    "combine_increment_pr",
+    "compare_bounds",
+    "compute_incremental_bounds",
+    "compute_naive_bounds",
+    "cutoffs_to_schedule",
+    "default_cutoffs",
+    "dominates",
+    "estimate_correct",
+    "estimate_curve",
+    "expected_correct",
+    "f_score",
+    "increment_precision",
+    "increment_recall",
+    "measure",
+    "random_curve_deviation",
+    "random_increment_precision",
+    "random_increment_recall",
+    "reconstruct_profile",
+    "topn_bounds",
+    "reconstruction_error",
+    "relative_bounds",
+    "worst_case_correct",
+    "worst_case_precision",
+    "worst_case_recall",
+]

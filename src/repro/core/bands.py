@@ -1,0 +1,203 @@
+"""Effectiveness bands: the best/worst(/random) P/R envelope (section 3.3).
+
+An :class:`EffectivenessBand` packages the curves demarcating where the
+improved system's true P/R curve must lie, answers the paper's style of
+guarantee queries ("worst-case precision 0.5 is maintained up to recall
+0.15"), and — when a judged run of the improved system *is* available,
+as it is on our synthetic testbed — verifies containment exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.incremental import IncrementalBounds, SystemProfile
+from repro.core.pr_curve import PRCurve
+from repro.errors import BoundsError
+
+__all__ = ["EffectivenessBand", "ContainmentEntry", "ContainmentReport"]
+
+
+@dataclass(frozen=True)
+class ContainmentEntry:
+    """Containment check outcome at one threshold (exact, count-level)."""
+
+    delta: float
+    actual_correct: int
+    worst_correct: int
+    best_correct: int
+
+    @property
+    def contained(self) -> bool:
+        return self.worst_correct <= self.actual_correct <= self.best_correct
+
+
+@dataclass(frozen=True)
+class ContainmentReport:
+    """Per-threshold containment of an actual judged run inside the band."""
+
+    entries: tuple[ContainmentEntry, ...]
+
+    @property
+    def all_contained(self) -> bool:
+        return all(entry.contained for entry in self.entries)
+
+    def violations(self) -> list[ContainmentEntry]:
+        return [entry for entry in self.entries if not entry.contained]
+
+    def __str__(self) -> str:
+        status = "CONTAINED" if self.all_contained else "VIOLATED"
+        return (
+            f"ContainmentReport({status}, {len(self.entries)} thresholds, "
+            f"{len(self.violations())} violations)"
+        )
+
+
+class EffectivenessBand:
+    """Best/worst/random envelope derived from an :class:`IncrementalBounds`."""
+
+    def __init__(self, bounds: IncrementalBounds):
+        self.bounds = bounds
+
+    # -- curves -----------------------------------------------------------
+
+    def original_curve(self) -> PRCurve:
+        return self.bounds.original_curve()
+
+    def best_curve(self) -> PRCurve:
+        return self.bounds.best_curve()
+
+    def worst_curve(self) -> PRCurve:
+        return self.bounds.worst_curve()
+
+    def random_curve(self) -> PRCurve:
+        return self.bounds.random_curve()
+
+    # -- width metrics ------------------------------------------------------
+
+    def precision_widths(self) -> list[Fraction]:
+        """Best-minus-worst precision at each threshold."""
+        out = []
+        for entry in self.bounds:
+            best = entry.best.precision_or(Fraction(1))
+            worst = entry.worst.precision_or(Fraction(0))
+            out.append(best - worst)
+        return out
+
+    def mean_precision_width(self) -> Fraction:
+        widths = self.precision_widths()
+        return sum(widths, Fraction(0)) / len(widths)
+
+    def recall_widths(self) -> list[Fraction]:
+        """Best-minus-worst recall at each threshold (requires ``|H|``)."""
+        relevant = self.bounds.original.relevant
+        if relevant is None:
+            raise BoundsError("recall widths require known |H|")
+        if relevant == 0:
+            return [Fraction(0) for _ in self.bounds]
+        return [
+            Fraction(entry.best.correct - entry.worst.correct, relevant)
+            for entry in self.bounds
+        ]
+
+    # -- guarantee queries (the paper's headline use case) -----------------
+
+    def guaranteed_recall_at_precision(
+        self, min_precision: Fraction | float
+    ) -> Fraction:
+        """Largest guaranteed recall while worst-case precision stays >= p.
+
+        This answers statements like the paper's "for recall levels up to
+        0.15, S2-one guarantees a worst case precision of 0.5": we return
+        the maximum *worst-case* recall over thresholds whose worst-case
+        precision is still at least ``min_precision``.
+        """
+        target = Fraction(min_precision).limit_denominator(10**6) if isinstance(
+            min_precision, float
+        ) else Fraction(min_precision)
+        relevant = self.bounds.original.relevant
+        if relevant is None:
+            raise BoundsError("recall guarantees require known |H|")
+        best_recall = Fraction(0)
+        for entry in self.bounds:
+            worst_precision = entry.worst.precision_or(Fraction(0))
+            if worst_precision >= target:
+                recall = (
+                    Fraction(1)
+                    if relevant == 0
+                    else Fraction(entry.worst.correct, relevant)
+                )
+                best_recall = max(best_recall, recall)
+        return best_recall
+
+    def guaranteed_precision_at_recall(
+        self, min_recall: Fraction | float
+    ) -> Fraction | None:
+        """Best worst-case precision among thresholds guaranteeing recall >= r.
+
+        Returns ``None`` when no threshold guarantees that much recall
+        even in the worst case.
+        """
+        target = Fraction(min_recall).limit_denominator(10**6) if isinstance(
+            min_recall, float
+        ) else Fraction(min_recall)
+        relevant = self.bounds.original.relevant
+        if relevant is None:
+            raise BoundsError("recall guarantees require known |H|")
+        candidates = []
+        for entry in self.bounds:
+            recall = (
+                Fraction(1)
+                if relevant == 0
+                else Fraction(entry.worst.correct, relevant)
+            )
+            if recall >= target:
+                candidates.append(entry.worst.precision_or(Fraction(0)))
+        if not candidates:
+            return None
+        return max(candidates)
+
+    def max_effectiveness_loss(self) -> Fraction:
+        """Worst-case *relative* recall loss at the final threshold.
+
+        The paper's "the trade-off in effectiveness ... is at most x%"
+        claim: ``1 − worst-case |T2| / |T1|`` at the last threshold.
+        Returns 0 when S1 found nothing (no recall to lose).
+        """
+        final = self.bounds[len(self.bounds) - 1]
+        t1 = final.original.correct
+        if t1 == 0:
+            return Fraction(0)
+        return 1 - Fraction(final.worst.correct, t1)
+
+    # -- containment (our synthetic-testbed validation) ---------------------
+
+    def check_containment(self, actual: SystemProfile) -> ContainmentReport:
+        """Exact count-level containment of a judged S2 run in the band.
+
+        ``actual`` must be sampled on the same schedule.  Containment of
+        the correct-answer count implies containment of both precision
+        and recall (same denominator at a fixed threshold).
+        """
+        if actual.schedule != self.bounds.original.schedule:
+            raise BoundsError(
+                "actual profile must be sampled on the band's threshold schedule"
+            )
+        entries = []
+        for entry, actual_counts in zip(self.bounds, actual.counts):
+            if actual_counts.answers != entry.improved_answers:
+                raise BoundsError(
+                    f"actual |A2|={actual_counts.answers} at δ={entry.delta} "
+                    f"differs from the size profile ({entry.improved_answers}) "
+                    "the bounds were computed from"
+                )
+            entries.append(
+                ContainmentEntry(
+                    delta=entry.delta,
+                    actual_correct=actual_counts.correct,
+                    worst_correct=entry.worst.correct,
+                    best_correct=entry.best.correct,
+                )
+            )
+        return ContainmentReport(tuple(entries))

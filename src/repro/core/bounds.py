@@ -1,0 +1,199 @@
+"""Size-based best/worst-case bounds (paper section 3.1, Equations 1-6).
+
+Setting: an exhaustive system S1 with known effectiveness, and a
+non-exhaustive improvement S2 sharing S1's objective function, so
+``A2^δ ⊆ A1^δ``.  Which answers S2 misses is unknown; in the **best case**
+it misses only incorrect ones, in the **worst case** the most correct
+ones.  Both cases are fully determined by three integers — ``|A1|``,
+``|T1|``, ``|A2|`` — or equivalently by S1's precision/recall and the
+answer-size ratio ``Â = |A2|/|A1|``.
+
+Two equivalent formulations are provided and cross-checked by tests:
+
+* **count space** (exact integers; what the rest of the library uses),
+* **ratio space** — the paper's Equations 2, 3, 5, 6 verbatim, on exact
+  rationals.
+
+Empty-answer-set conventions: with ``|A2| = 0`` precision is 0/0; the
+bounds take the vacuous extremes (best 1, worst 0) so that any convention
+a caller chooses still lies inside the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.measures import Counts
+from repro.errors import BoundsError
+from repro.util.fractions_ext import as_fraction
+
+__all__ = [
+    "best_case_correct",
+    "worst_case_correct",
+    "bound_counts",
+    "CaseBounds",
+    "best_case_precision",
+    "best_case_recall",
+    "worst_case_precision",
+    "worst_case_recall",
+]
+
+
+# ---------------------------------------------------------------------------
+# Count space
+# ---------------------------------------------------------------------------
+
+def best_case_correct(original_correct: int, improved_answers: int) -> int:
+    """Equation 1: ``|T2| = min(|T1|, |A2|)`` in the best case.
+
+    Either A2 is small enough to consist purely of true positives
+    (Figure 7(a)), or it already contains all of T1 (Figure 7(b)).
+    """
+    if original_correct < 0 or improved_answers < 0:
+        raise BoundsError("counts must be non-negative")
+    return min(original_correct, improved_answers)
+
+
+def worst_case_correct(
+    original_answers: int, original_correct: int, improved_answers: int
+) -> int:
+    """Equation 4: ``|T2| = max(0, |A2| − (|A1| − |T1|))`` in the worst case.
+
+    Either A2 fits entirely among S1's false positives (Figure 7(c)), or
+    the false positives cannot absorb all of A2 and the remainder must be
+    correct (Figure 7(d)).
+    """
+    if min(original_answers, original_correct, improved_answers) < 0:
+        raise BoundsError("counts must be non-negative")
+    if original_correct > original_answers:
+        raise BoundsError(
+            f"|T1|={original_correct} cannot exceed |A1|={original_answers}"
+        )
+    incorrect = original_answers - original_correct
+    return max(0, improved_answers - incorrect)
+
+
+@dataclass(frozen=True)
+class CaseBounds:
+    """Best/worst-case counts of the improved system at one threshold."""
+
+    original: Counts
+    improved_answers: int
+    best: Counts
+    worst: Counts
+
+    @property
+    def size_ratio(self) -> Fraction:
+        """``Â = |A2| / |A1|`` (0 when S1 produced nothing)."""
+        if self.original.answers == 0:
+            return Fraction(0)
+        return Fraction(self.improved_answers, self.original.answers)
+
+
+def bound_counts(original: Counts, improved_answers: int) -> CaseBounds:
+    """Best/worst-case counts for S2 given S1's counts and ``|A2|``.
+
+    Raises when ``|A2| > |A1|`` — that violates the subset property the
+    whole technique rests on.
+    """
+    if improved_answers < 0:
+        raise BoundsError(f"improved_answers must be >= 0, got {improved_answers}")
+    if improved_answers > original.answers:
+        raise BoundsError(
+            f"improved system cannot produce more answers ({improved_answers}) "
+            f"than the original ({original.answers}); subset property violated"
+        )
+    best = Counts(
+        answers=improved_answers,
+        correct=best_case_correct(original.correct, improved_answers),
+        relevant=original.relevant,
+    )
+    worst = Counts(
+        answers=improved_answers,
+        correct=worst_case_correct(
+            original.answers, original.correct, improved_answers
+        ),
+        relevant=original.relevant,
+    )
+    return CaseBounds(
+        original=original,
+        improved_answers=improved_answers,
+        best=best,
+        worst=worst,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ratio space — the paper's equations verbatim
+# ---------------------------------------------------------------------------
+
+def _check_ratio(size_ratio: Fraction) -> Fraction:
+    ratio = as_fraction(size_ratio)
+    if not 0 <= ratio <= 1:
+        raise BoundsError(
+            f"size ratio Â must lie in [0, 1] (subset property), got {ratio}"
+        )
+    return ratio
+
+
+def best_case_precision(
+    original_precision: Fraction | float, size_ratio: Fraction | float
+) -> Fraction:
+    """Equation 2: ``P2 = P1 · min(1/Â, 1/P1) = min(P1/Â, 1)``.
+
+    ``Â = 0`` returns the vacuous 1 (empty answer set: nothing wrong).
+    """
+    p1 = as_fraction(original_precision)
+    ratio = _check_ratio(as_fraction(size_ratio))
+    if ratio == 0:
+        return Fraction(1)
+    return min(p1 / ratio, Fraction(1))
+
+
+def best_case_recall(
+    original_recall: Fraction | float,
+    original_precision: Fraction | float,
+    size_ratio: Fraction | float,
+) -> Fraction:
+    """Equation 3: ``R2 = R1 · min(1, Â/P1)``.
+
+    ``P1 = 0`` implies ``T1 = ∅`` and therefore ``R1 = R2 = 0``.
+    """
+    r1 = as_fraction(original_recall)
+    p1 = as_fraction(original_precision)
+    ratio = _check_ratio(as_fraction(size_ratio))
+    if p1 == 0:
+        return Fraction(0)
+    return r1 * min(Fraction(1), ratio / p1)
+
+
+def worst_case_precision(
+    original_precision: Fraction | float, size_ratio: Fraction | float
+) -> Fraction:
+    """Equation 5: ``P2 = max(0, 1 − (1 − P1)/Â)``.
+
+    ``Â = 0`` returns 0 (empty answer set, conservative extreme).
+    """
+    p1 = as_fraction(original_precision)
+    ratio = _check_ratio(as_fraction(size_ratio))
+    if ratio == 0:
+        return Fraction(0)
+    return max(Fraction(0), 1 - (1 - p1) / ratio)
+
+
+def worst_case_recall(
+    original_recall: Fraction | float,
+    original_precision: Fraction | float,
+    size_ratio: Fraction | float,
+) -> Fraction:
+    """Equation 6: ``R2 = max(0, R1 · ((Â − 1)/P1 + 1))``.
+
+    ``P1 = 0`` again forces ``R2 = 0``.
+    """
+    r1 = as_fraction(original_recall)
+    p1 = as_fraction(original_precision)
+    ratio = _check_ratio(as_fraction(size_ratio))
+    if p1 == 0:
+        return Fraction(0)
+    return max(Fraction(0), r1 * ((ratio - 1) / p1 + 1))

@@ -1,0 +1,116 @@
+"""Comparing improvements by their bands (paper use case 2).
+
+The introduction lists "get an impression on the efficiency-effectiveness
+trade-off in an automated way allowing quick evaluation of many different
+parameter settings and matching system improvements" among the technique's
+applications.  Comparing two candidate improvements by their *bands* gives
+three possible verdicts at each threshold:
+
+* ``A`` **provably better** — A's worst case is at least B's best case;
+* ``B`` **provably better** — symmetric;
+* **undecided** — the bands overlap; judgments would be needed to decide.
+
+The verdicts are sound (never contradicted by the hidden truth — property
+tested), which is what makes band-based screening of candidates safe: a
+provably-dominated configuration can be discarded with zero judging
+effort, and only overlapping candidates need a closer look.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.incremental import IncrementalBounds
+from repro.errors import BoundsError
+
+__all__ = ["Verdict", "ThresholdComparison", "compare_bounds", "dominates"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a band comparison at one threshold."""
+
+    FIRST_BETTER = "first"
+    SECOND_BETTER = "second"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class ThresholdComparison:
+    """Verdicts at one threshold, for correct counts and for precision."""
+
+    delta: float
+    correct_verdict: Verdict
+    precision_verdict: Verdict
+
+
+def _verdict(first_worst, first_best, second_worst, second_best) -> Verdict:
+    if first_worst >= second_best:
+        return Verdict.FIRST_BETTER
+    if second_worst >= first_best:
+        return Verdict.SECOND_BETTER
+    return Verdict.UNDECIDED
+
+
+def compare_bounds(
+    first: IncrementalBounds, second: IncrementalBounds
+) -> list[ThresholdComparison]:
+    """Per-threshold verdicts for two improvements of the same original.
+
+    Both bounds must come from the same original profile on the same
+    schedule (otherwise the comparison is meaningless and is refused).
+
+    Strict-dominance note: equal-width zero bands (e.g. both at ratio 1)
+    compare as FIRST_BETTER only through '>=', so two identical systems
+    yield FIRST_BETTER on correct counts; callers comparing for strict
+    superiority should use :func:`dominates` on both orders.
+    """
+    if first.original.schedule != second.original.schedule:
+        raise BoundsError("comparisons require a shared threshold schedule")
+    if first.original.counts != second.original.counts:
+        raise BoundsError(
+            "comparisons require the same original-system profile"
+        )
+    out = []
+    for first_entry, second_entry in zip(first, second):
+        correct = _verdict(
+            first_entry.worst.correct,
+            first_entry.best.correct,
+            second_entry.worst.correct,
+            second_entry.best.correct,
+        )
+        precision = _verdict(
+            first_entry.worst.precision_or(Fraction(0)),
+            first_entry.best.precision_or(Fraction(1)),
+            second_entry.worst.precision_or(Fraction(0)),
+            second_entry.best.precision_or(Fraction(1)),
+        )
+        out.append(
+            ThresholdComparison(
+                delta=first_entry.delta,
+                correct_verdict=correct,
+                precision_verdict=precision,
+            )
+        )
+    return out
+
+
+def dominates(
+    first: IncrementalBounds, second: IncrementalBounds, margin: int = 1
+) -> bool:
+    """Whether ``first`` provably finds more correct answers everywhere.
+
+    True when at every threshold ``first``'s worst-case correct count
+    exceeds ``second``'s best case by at least ``margin`` (default 1, i.e.
+    strictly better).  A dominated candidate can be discarded without any
+    human judgment — no feasible world ranks it higher.
+    """
+    if margin < 0:
+        raise BoundsError(f"margin must be >= 0, got {margin}")
+    comparisons_input = compare_bounds(first, second)  # validates pairing
+    del comparisons_input
+    for first_entry, second_entry in zip(first, second):
+        if first_entry.worst.correct < second_entry.best.correct + margin:
+            return False
+    return True

@@ -1,0 +1,176 @@
+"""Increment-level precision and recall (paper section 3.2, Equations 7-8).
+
+An *increment* ``δ1 − δ2`` contains the answers ranked strictly worse
+than δ1 and at least as well as δ2: ``Â^{δ1−δ2}_S = A^{δ2}_S \\ A^{δ1}_S``.
+Increments have their own precision and recall, derivable either from the
+counts directly or — Equations 7 and 8 — from the threshold-level P/R
+values alone:
+
+    P̂ = (R2 − R1) / (R2/P2 − R1/P1)        (Eq. 7; independent of |H|)
+    R̂ = R2 − R1                            (Eq. 8)
+
+The recombination (the inverse direction: threshold P/R from increment
+P/R) is what step 4 of the incremental algorithm uses.
+
+Count space is primary in this library; the P/R-space forms exist because
+they are what one can compute from *published* figures, and tests verify
+the two agree.  Note the P/R-space forms need ``R/P = |A|/|H|`` to be
+well-defined: a threshold with answers but zero correct ones (P = R = 0)
+hides ``|A|``, and these functions raise in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+from repro.util.fractions_ext import as_fraction
+
+__all__ = [
+    "IncrementPR",
+    "increment_recall",
+    "increment_precision",
+    "combine_increment_pr",
+    "increments_of_profile",
+    "recombine_profile",
+]
+
+
+@dataclass(frozen=True)
+class IncrementPR:
+    """Precision and recall of one increment (both exact rationals).
+
+    ``precision`` is ``None`` for an empty increment (0/0).
+    """
+
+    recall: Fraction
+    precision: Fraction | None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.recall <= 1:
+            raise BoundsError(f"increment recall must be in [0,1], got {self.recall}")
+        if self.precision is not None and not 0 <= self.precision <= 1:
+            raise BoundsError(
+                f"increment precision must be in [0,1], got {self.precision}"
+            )
+
+
+def increment_recall(
+    recall_low: Fraction | float, recall_high: Fraction | float
+) -> Fraction:
+    """Equation 8: ``R̂^{δ1−δ2} = R^{δ2} − R^{δ1}``."""
+    r_low = as_fraction(recall_low)
+    r_high = as_fraction(recall_high)
+    if r_high < r_low:
+        raise BoundsError(
+            f"recall must not decrease with the threshold: {r_high} < {r_low}"
+        )
+    return r_high - r_low
+
+
+def _answers_over_h(recall: Fraction, precision: Fraction) -> Fraction:
+    """``|A|/|H| = R/P`` — derivable from a P/R point only when P > 0."""
+    if precision == 0:
+        if recall != 0:
+            raise BoundsError("inconsistent P/R point: P = 0 but R > 0")
+        raise BoundsError(
+            "cannot derive |A|/|H| from a point with P = R = 0; "
+            "the answer-set size is hidden (use count-space inputs)"
+        )
+    return recall / precision
+
+
+def increment_precision(
+    recall_low: Fraction | float,
+    precision_low: Fraction | float,
+    recall_high: Fraction | float,
+    precision_high: Fraction | float,
+) -> Fraction | None:
+    """Equation 7: increment precision from two threshold-level P/R points.
+
+    Returns ``None`` when the increment is empty (identical ``|A|/|H|`` at
+    both ends).  The result is independent of ``|H|``, as the paper notes.
+
+    The low endpoint ``(0, anything)`` denotes the start of the scale
+    (empty answer set): ``|A|/|H| = 0`` there, so pass ``precision_low=1``.
+    """
+    r_low, p_low = as_fraction(recall_low), as_fraction(precision_low)
+    r_high, p_high = as_fraction(recall_high), as_fraction(precision_high)
+    a_low = Fraction(0) if r_low == 0 and p_low > 0 else _answers_over_h(r_low, p_low)
+    a_high = _answers_over_h(r_high, p_high) if not (r_high == 0 and p_high > 0) else Fraction(0)
+    denom = a_high - a_low
+    if denom < 0:
+        raise BoundsError(
+            "answer sets must grow with the threshold "
+            f"(|A|/|H| fell from {a_low} to {a_high})"
+        )
+    if denom == 0:
+        return None
+    return (r_high - r_low) / denom
+
+
+def combine_increment_pr(
+    recall_low: Fraction | float,
+    precision_low: Fraction | float,
+    increment: IncrementPR,
+) -> tuple[Fraction, Fraction]:
+    """Step-4 recombination: P/R at δ2 from P/R at δ1 plus the increment.
+
+    Inverts Equations 7/8: ``R2 = R1 + R̂`` and
+    ``R2/P2 = R1/P1 + R̂/P̂`` (sizes add).  An increment with no correct
+    answers (P̂ = 0 with R̂ = 0) cannot use Eq. 7 directly — the paper's
+    special case — and is handled via the size identity with the
+    increment's ``|Â|/|H|`` encoded as ``precision=None`` being rejected:
+    callers with empty increments simply keep the previous point.
+    """
+    r_low, p_low = as_fraction(recall_low), as_fraction(precision_low)
+    if increment.precision is None:
+        raise BoundsError(
+            "cannot recombine an empty increment; keep the previous point instead"
+        )
+    r_high = r_low + increment.recall
+    a_low = Fraction(0) if r_low == 0 else r_low / p_low
+    if increment.precision == 0:
+        if increment.recall != 0:
+            raise BoundsError("increment with P̂=0 must have R̂=0")
+        raise BoundsError(
+            "increment with zero precision hides its size; recombine in count "
+            "space (paper section 3.2, step 4 special case)"
+        )
+    a_high = a_low + increment.recall / increment.precision
+    if a_high == 0:
+        return r_high, Fraction(1)
+    p_high = r_high / a_high
+    return r_high, p_high
+
+
+def increments_of_profile(
+    schedule: ThresholdSchedule, counts: list[Counts]
+) -> list[Counts]:
+    """Per-increment counts from per-threshold counts (count space).
+
+    Entry i covers the increment ending at ``schedule[i]``; the first
+    entry covers the paper's ``0 − δ1`` increment.
+    """
+    ThresholdSchedule.validate_alignment(schedule, counts, "counts")
+    previous = Counts(0, 0, counts[0].relevant)
+    out = []
+    for count in counts:
+        out.append(count.subtract(previous))
+        previous = count
+    return out
+
+
+def recombine_profile(increment_counts: list[Counts]) -> list[Counts]:
+    """Inverse of :func:`increments_of_profile`: cumulative sums."""
+    if not increment_counts:
+        return []
+    total = Counts(0, 0, increment_counts[0].relevant)
+    out = []
+    for inc in increment_counts:
+        total = total.add(inc)
+        out.append(total)
+    return out

@@ -1,0 +1,148 @@
+"""Precision and recall (paper section 2.2, Figure 2).
+
+Counts are kept as exact integers and the derived measures as exact
+:class:`fractions.Fraction` values: the bounds technique is advertised as
+"an analytical and exact result", and exactness is what lets the test
+suite assert the paper's worked examples to the digit (7/32, 7/48, ...).
+
+Precision of an empty answer set is undefined (0/0); :class:`Counts`
+exposes it as ``None`` and callers choose a convention explicitly where
+needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.answers import AnswerSet
+from repro.errors import BoundsError
+
+__all__ = ["Counts", "measure", "f_score"]
+
+
+@dataclass(frozen=True)
+class Counts:
+    """The size triple behind a P/R point: ``|A|``, ``|T|``, ``|H|``.
+
+    ``answers``  — answers produced (``|A^δ_S|``)
+    ``correct``  — true positives (``|T^δ_S| = |H ∩ A^δ_S|``)
+    ``relevant`` — size of the human ground truth (``|H|``); ``None`` when
+    unknown, which is the paper's large-scale situation — precision is
+    still available, recall is not.
+    """
+
+    answers: int
+    correct: int
+    relevant: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.answers < 0:
+            raise BoundsError(f"answers must be >= 0, got {self.answers}")
+        if self.correct < 0:
+            raise BoundsError(f"correct must be >= 0, got {self.correct}")
+        if self.correct > self.answers:
+            raise BoundsError(
+                f"correct ({self.correct}) cannot exceed answers ({self.answers})"
+            )
+        if self.relevant is not None:
+            if self.relevant < 0:
+                raise BoundsError(f"relevant must be >= 0, got {self.relevant}")
+            if self.correct > self.relevant:
+                raise BoundsError(
+                    f"correct ({self.correct}) cannot exceed relevant "
+                    f"({self.relevant})"
+                )
+
+    @property
+    def incorrect(self) -> int:
+        """False positives: ``|A| − |T|``."""
+        return self.answers - self.correct
+
+    @property
+    def precision(self) -> Fraction | None:
+        """``|T| / |A|``, or ``None`` for an empty answer set."""
+        if self.answers == 0:
+            return None
+        return Fraction(self.correct, self.answers)
+
+    @property
+    def recall(self) -> Fraction | None:
+        """``|T| / |H|``, or ``None`` when ``|H|`` is unknown.
+
+        A ground truth of size 0 makes every system trivially complete;
+        recall is defined as 1 in that degenerate case.
+        """
+        if self.relevant is None:
+            return None
+        if self.relevant == 0:
+            return Fraction(1)
+        return Fraction(self.correct, self.relevant)
+
+    def precision_or(self, default: Fraction) -> Fraction:
+        """Precision with an explicit empty-set convention."""
+        value = self.precision
+        return default if value is None else value
+
+    def with_relevant(self, relevant: int) -> "Counts":
+        """The same counts with ``|H|`` filled in."""
+        return Counts(self.answers, self.correct, relevant)
+
+    def subtract(self, earlier: "Counts") -> "Counts":
+        """Increment counts between an earlier (lower) threshold and this one.
+
+        ``|Â^{δ1−δ2}| = |A^{δ2}| − |A^{δ1}|`` and likewise for correct
+        answers (paper section 3.2).
+        """
+        if earlier.relevant != self.relevant:
+            raise BoundsError("increment endpoints disagree on |H|")
+        if earlier.answers > self.answers or earlier.correct > self.correct:
+            raise BoundsError(
+                "threshold counts must be monotone: "
+                f"{earlier} does not precede {self}"
+            )
+        return Counts(
+            self.answers - earlier.answers,
+            self.correct - earlier.correct,
+            self.relevant,
+        )
+
+    def add(self, other: "Counts") -> "Counts":
+        """Union of two disjoint increments."""
+        if other.relevant != self.relevant:
+            raise BoundsError("cannot add counts that disagree on |H|")
+        return Counts(
+            self.answers + other.answers,
+            self.correct + other.correct,
+            self.relevant,
+        )
+
+    def __str__(self) -> str:
+        h = "?" if self.relevant is None else str(self.relevant)
+        return f"Counts(|A|={self.answers}, |T|={self.correct}, |H|={h})"
+
+
+def measure(
+    answer_set: AnswerSet, ground_truth: Iterable[Hashable]
+) -> Counts:
+    """Count true positives of an answer set against a ground truth ``H``."""
+    truth = frozenset(ground_truth)
+    correct = sum(1 for answer in answer_set if answer.item in truth)
+    return Counts(answers=len(answer_set), correct=correct, relevant=len(truth))
+
+
+def f_score(counts: Counts, beta: float = 1.0) -> Fraction | None:
+    """F-measure from counts; ``None`` when precision or recall is undefined.
+
+    Not used by the paper's technique itself but standard in matching
+    evaluations (Do/Melnik/Rahm), and handy in the ablation reports.
+    """
+    precision = counts.precision
+    recall = counts.recall
+    if precision is None or recall is None:
+        return None
+    if precision == 0 and recall == 0:
+        return Fraction(0)
+    beta_sq = Fraction(beta).limit_denominator(10**6) ** 2
+    return (1 + beta_sq) * precision * recall / (beta_sq * precision + recall)

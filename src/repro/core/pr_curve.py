@@ -1,0 +1,230 @@
+"""P/R curves: measured and interpolated (paper section 2.4).
+
+Two flavours appear in the paper:
+
+* a **measured** curve — precision/recall at a sequence of thresholds
+  (Figure 5), each point backed by concrete counts;
+* an **interpolated** 11-point curve — precision at the fixed recall
+  levels 0, 0.1, ..., 1 (Figure 6), the form effectiveness results are
+  usually published in.  The standard interpolation rule is used:
+  interpolated precision at recall level r is the maximum precision
+  attained at any measured recall >= r.
+
+Both are :class:`PRCurve` instances; measured curves carry thresholds and
+:class:`~repro.core.measures.Counts`, interpolated ones carry only
+(recall, precision) pairs — the very information loss section 4.1 of the
+paper is about.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import CurveError
+from repro.util.fractions_ext import as_fraction
+
+__all__ = ["PRPoint", "PRCurve", "STANDARD_RECALL_LEVELS"]
+
+STANDARD_RECALL_LEVELS: tuple[Fraction, ...] = tuple(
+    Fraction(i, 10) for i in range(11)
+)
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One point of a P/R curve.
+
+    ``threshold`` is ``None`` on interpolated curves (that information is
+    exactly what interpolation discards); ``counts`` is ``None`` when the
+    point does not come from a concrete measurement.
+    """
+
+    recall: Fraction
+    precision: Fraction
+    threshold: float | None = None
+    counts: Counts | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.recall <= 1:
+            raise CurveError(f"recall must be in [0, 1], got {self.recall}")
+        if not 0 <= self.precision <= 1:
+            raise CurveError(f"precision must be in [0, 1], got {self.precision}")
+
+    @property
+    def recall_float(self) -> float:
+        return float(self.recall)
+
+    @property
+    def precision_float(self) -> float:
+        return float(self.precision)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """(recall, precision) floats, ready for plotting."""
+        return (float(self.recall), float(self.precision))
+
+
+class PRCurve:
+    """An ordered sequence of P/R points.
+
+    Measured curves are ordered by threshold; recall is validated to be
+    non-decreasing along the curve (more answers can only find more of
+    ``H`` — Figure 1's monotonicity).  Precision may go up or down; the
+    paper remarks (section 4.2) that rising precision along a P/R curve
+    is possible and was already observed at TREC-1.
+    """
+
+    def __init__(self, points: Iterable[PRPoint]):
+        self._points: tuple[PRPoint, ...] = tuple(points)
+        if not self._points:
+            raise CurveError("a P/R curve needs at least one point")
+        for left, right in zip(self._points, self._points[1:]):
+            if right.recall < left.recall:
+                raise CurveError(
+                    "recall must be non-decreasing along a P/R curve; "
+                    f"{float(right.recall):.4f} follows {float(left.recall):.4f}"
+                )
+            if (
+                left.threshold is not None
+                and right.threshold is not None
+                and right.threshold <= left.threshold
+            ):
+                raise CurveError(
+                    "thresholds must be strictly increasing along a measured curve"
+                )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_profile(
+        cls, schedule: ThresholdSchedule, counts: Sequence[Counts]
+    ) -> "PRCurve":
+        """Measured curve from per-threshold counts (needs known ``|H|``).
+
+        Points with an empty answer set get precision 1 by convention
+        (no answers, none of them wrong) so the curve remains plottable.
+        """
+        ThresholdSchedule.validate_alignment(schedule, counts, "counts")
+        points = []
+        for delta, count in zip(schedule, counts):
+            recall = count.recall
+            if recall is None:
+                raise CurveError(
+                    "measured P/R curve requires counts with known |H|; "
+                    "use precision-only reports otherwise"
+                )
+            points.append(
+                PRPoint(
+                    recall=recall,
+                    precision=count.precision_or(Fraction(1)),
+                    threshold=delta,
+                    counts=count,
+                )
+            )
+        return cls(points)
+
+    @classmethod
+    def from_values(
+        cls, pairs: Iterable[tuple[float | Fraction, float | Fraction]]
+    ) -> "PRCurve":
+        """Curve from bare (recall, precision) values, e.g. from a paper.
+
+        Floats are snapped to small rationals (denominator <= 10^6) so
+        values like 0.1 behave exactly.
+        """
+        points = [
+            PRPoint(
+                recall=as_fraction(recall, max_denominator=10**6),
+                precision=as_fraction(precision, max_denominator=10**6),
+            )
+            for recall, precision in pairs
+        ]
+        return cls(points)
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> PRPoint:
+        return self._points[index]
+
+    @property
+    def points(self) -> tuple[PRPoint, ...]:
+        return self._points
+
+    def recalls(self) -> list[float]:
+        return [float(p.recall) for p in self._points]
+
+    def precisions(self) -> list[float]:
+        return [float(p.precision) for p in self._points]
+
+    def thresholds(self) -> list[float | None]:
+        return [p.threshold for p in self._points]
+
+    def is_measured(self) -> bool:
+        """True when every point carries a threshold (and usually counts)."""
+        return all(p.threshold is not None for p in self._points)
+
+    def schedule(self) -> ThresholdSchedule:
+        """The threshold schedule of a measured curve."""
+        if not self.is_measured():
+            raise CurveError("curve has no thresholds (it is interpolated)")
+        return ThresholdSchedule(p.threshold for p in self._points)  # type: ignore[arg-type]
+
+    def counts_profile(self) -> list[Counts]:
+        """Per-threshold counts of a measured curve."""
+        profile = []
+        for point in self._points:
+            if point.counts is None:
+                raise CurveError("curve point lacks counts; not a measured curve")
+            profile.append(point.counts)
+        return profile
+
+    # -- interpolation (Figure 6) ------------------------------------------
+
+    def precision_at_recall(self, recall_level: Fraction | float) -> Fraction:
+        """Interpolated precision at a recall level: max precision at recall >= level.
+
+        Returns 0 when no measured point reaches the level (the system
+        never attains that recall).
+        """
+        level = as_fraction(recall_level, max_denominator=10**6)
+        candidates = [p.precision for p in self._points if p.recall >= level]
+        if not candidates:
+            return Fraction(0)
+        return max(candidates)
+
+    def interpolate(
+        self, levels: Sequence[Fraction | float] = STANDARD_RECALL_LEVELS
+    ) -> "PRCurve":
+        """The interpolated curve at the given recall levels (11-point default)."""
+        points = []
+        for level in levels:
+            level_frac = as_fraction(level, max_denominator=10**6)
+            points.append(
+                PRPoint(recall=level_frac, precision=self.precision_at_recall(level_frac))
+            )
+        return PRCurve(points)
+
+    # -- reporting ----------------------------------------------------------
+
+    def as_rows(self) -> list[tuple[object, float, float]]:
+        """(threshold, recall, precision) rows for table rendering."""
+        return [
+            (p.threshold, float(p.recall), float(p.precision)) for p in self._points
+        ]
+
+    def as_xy(self) -> list[tuple[float, float]]:
+        """(recall, precision) float pairs for plotting."""
+        return [p.as_tuple() for p in self._points]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "measured" if self.is_measured() else "interpolated"
+        return f"PRCurve({kind}, {len(self._points)} points)"

@@ -1,0 +1,78 @@
+"""The hypothetical random system (paper section 3.4, Equations 9-10).
+
+``S_random`` executes S1 and, per increment, keeps a uniformly random
+subset of the answers, sized to match the improvement S2 under study
+(same answer-size-ratio curve).  Random selection preserves the
+correct/incorrect mix in expectation, so per increment:
+
+    P̂_random = P̂_S1                               (Eq. 9)
+    R̂_random = R̂_S1 · (|Â_random| / |Â_S1|)        (Eq. 10)
+
+Any *realistic* improvement should beat random selection, which makes the
+random curve a practically tighter lower bound than the adversarial worst
+case (the paper's Figure 11 discussion).
+
+Count space: the expected number of correct answers kept from an
+increment with ``t1`` correct among ``a1``, when ``a2`` are kept, is
+``t1 · a2 / a1`` — an exact rational, kept as :class:`~fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import BoundsError
+from repro.util.fractions_ext import as_fraction
+
+__all__ = [
+    "random_increment_precision",
+    "random_increment_recall",
+    "expected_correct",
+]
+
+
+def random_increment_precision(
+    original_increment_precision: Fraction | float,
+) -> Fraction:
+    """Equation 9: the random system's increment precision equals S1's."""
+    p = as_fraction(original_increment_precision)
+    if not 0 <= p <= 1:
+        raise BoundsError(f"precision must be in [0,1], got {p}")
+    return p
+
+
+def random_increment_recall(
+    original_increment_recall: Fraction | float,
+    size_ratio: Fraction | float,
+) -> Fraction:
+    """Equation 10: recall shrinks proportionally to the kept fraction."""
+    r = as_fraction(original_increment_recall)
+    ratio = as_fraction(size_ratio)
+    if not 0 <= r <= 1:
+        raise BoundsError(f"recall must be in [0,1], got {r}")
+    if not 0 <= ratio <= 1:
+        raise BoundsError(f"size ratio must be in [0,1], got {ratio}")
+    return r * ratio
+
+
+def expected_correct(
+    original_answers: int, original_correct: int, kept_answers: int
+) -> Fraction:
+    """Expected correct answers among ``kept_answers`` random picks.
+
+    Hypergeometric expectation: ``t1 · a2 / a1``.  An empty source
+    increment yields 0.
+    """
+    if min(original_answers, original_correct, kept_answers) < 0:
+        raise BoundsError("counts must be non-negative")
+    if original_correct > original_answers:
+        raise BoundsError(
+            f"|T|={original_correct} cannot exceed |A|={original_answers}"
+        )
+    if kept_answers > original_answers:
+        raise BoundsError(
+            f"cannot keep {kept_answers} answers from {original_answers}"
+        )
+    if original_answers == 0:
+        return Fraction(0)
+    return Fraction(original_correct * kept_answers, original_answers)

@@ -1,0 +1,131 @@
+"""Reconstructing a measured profile from an interpolated curve (section 4.1).
+
+A published 11-point P/R curve lacks "one kind of information: the
+specific threshold points" — equivalently, the underlying counts.  Given
+a guess of ``|H|`` the counts can be recovered from
+``|T| = R·|H|`` and ``|A| = R·|H| / P``, turning the interpolated curve
+back into a *measured-style* profile that the incremental bound machinery
+accepts.  The paper's observation, reproduced by the fig12 experiment, is
+that bounds computed this way are only "a little bit less accurate", and
+a rough ``|H|`` estimate suffices.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.incremental import SystemProfile
+from repro.core.measures import Counts
+from repro.core.pr_curve import PRCurve
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError, CurveError
+
+__all__ = ["reconstruct_profile", "reconstructed_sizes"]
+
+
+def reconstructed_sizes(
+    curve: PRCurve, relevant_guess: int
+) -> list[tuple[int, int]]:
+    """``(|A|, |T|)`` per curve point under the given ``|H|`` guess.
+
+    Points with zero precision *and* zero recall would hide their answer
+    count entirely and are rejected; a trailing stretch of zero-precision
+    points on an 11-point curve (recall levels the system never reached)
+    should be trimmed by the caller — :func:`reconstruct_profile` does so.
+
+    Counts are rounded to the nearest integer and forced monotone, since
+    fractional answers cannot exist; the rounding error is the price of
+    the lost information the section analyses.
+    """
+    if relevant_guess <= 0:
+        raise BoundsError(f"|H| guess must be positive, got {relevant_guess}")
+    sizes: list[tuple[int, int]] = []
+    prev_answers = 0
+    prev_correct = 0
+    for point in curve:
+        correct_exact = point.recall * relevant_guess
+        if point.precision == 0:
+            if point.recall != 0:
+                raise CurveError("invalid curve point: P = 0 with R > 0")
+            raise CurveError(
+                "cannot reconstruct counts for a point with P = R = 0; trim "
+                "unreached recall levels first"
+            )
+        answers_exact = correct_exact / point.precision
+        correct = max(prev_correct, round(correct_exact))
+        answers = max(prev_answers, round(answers_exact), correct)
+        sizes.append((answers, correct))
+        prev_answers, prev_correct = answers, correct
+    return sizes
+
+
+def reconstruct_profile(
+    curve: PRCurve,
+    relevant_guess: int,
+    schedule: ThresholdSchedule | None = None,
+) -> SystemProfile:
+    """Turn an interpolated P/R curve into a measured-style profile.
+
+    Parameters
+    ----------
+    curve:
+        The published curve (recall non-decreasing).  Trailing points the
+        system never reached (precision 0 at high recall) are trimmed.
+    relevant_guess:
+        The guessed ``|H|``.  With the *true* value and exact fractions on
+        the curve the reconstruction is lossless at the measured points
+        (a property the test suite asserts).
+    schedule:
+        Synthetic thresholds to attach; defaults to 1, 2, 3, ... since the
+        real δ values are precisely what an interpolated curve has lost.
+    """
+    points = list(curve)
+    while points and points[-1].precision == 0 and points[-1].recall == 0:
+        points.pop()
+    # A leading (recall 0, precision 0) point carries no information either.
+    while points and points[0].precision == 0 and points[0].recall == 0:
+        points.pop(0)
+    if not points:
+        raise CurveError("curve has no reconstructible points")
+    trimmed = PRCurve(
+        type(points[0])(recall=p.recall, precision=p.precision) for p in points
+    )
+    sizes = reconstructed_sizes(trimmed, relevant_guess)
+    if schedule is None:
+        schedule = ThresholdSchedule(float(i + 1) for i in range(len(sizes)))
+    else:
+        ThresholdSchedule.validate_alignment(schedule, sizes, "reconstructed sizes")
+    counts = tuple(
+        Counts(answers=a, correct=t, relevant=relevant_guess) for a, t in sizes
+    )
+    return SystemProfile(schedule, counts)
+
+
+def reconstruction_error(
+    true_profile: SystemProfile, relevant_guess: int
+) -> list[tuple[float, Fraction, Fraction]]:
+    """Per-threshold (δ, |ΔP|, |ΔR|) between a true profile and its
+    round-trip through interpolation + reconstruction with a guessed |H|.
+
+    Quantifies section 4.1's "a little bit less accurate" claim: the
+    fig12 ablation sweeps ``relevant_guess`` and reports these errors.
+    """
+    curve = true_profile.pr_curve()
+    bare = PRCurve.from_values(
+        [(p.recall, p.precision) for p in curve]
+    )
+    rebuilt = reconstruct_profile(
+        bare, relevant_guess, schedule=true_profile.schedule
+    )
+    rows = []
+    for delta, true_counts, rebuilt_counts in zip(
+        true_profile.schedule, true_profile.counts, rebuilt.counts
+    ):
+        true_p = true_counts.precision_or(Fraction(1))
+        rebuilt_p = rebuilt_counts.precision_or(Fraction(1))
+        true_r = true_counts.recall
+        rebuilt_r = rebuilt_counts.recall
+        if true_r is None or rebuilt_r is None:
+            raise BoundsError("reconstruction error needs known |H| on both sides")
+        rows.append((delta, abs(true_p - rebuilt_p), abs(true_r - rebuilt_r)))
+    return rows

@@ -1,0 +1,69 @@
+"""|H|-free relative bounds (library extension beyond the paper).
+
+The paper's large-scale setting leaves ``|H|`` unknown, which blocks
+absolute recall.  Precision bounds never needed ``|H|``; and *relative*
+recall — the fraction of S1's true positives that S2 retains,
+``|T2^δ| / |T1^δ|`` — doesn't either, because the unknown ``|H|``
+cancels: ``R2/R1 = |T2|/|T1|``.  Relative recall is exactly the quantity
+behind the paper's conclusion-section claim "the trade-off in
+effectiveness for an efficiency improvement is at most x%", so we expose
+it as a first-class result usable when no ground-truth size estimate
+exists at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.incremental import IncrementalBounds
+from repro.errors import BoundsError
+
+__all__ = ["RelativeBoundsEntry", "relative_bounds"]
+
+
+@dataclass(frozen=True)
+class RelativeBoundsEntry:
+    """Relative-recall bounds at one threshold.
+
+    ``None`` bounds mean S1 had no true positives yet (0/0: S2 has lost
+    nothing because there was nothing to lose).
+    """
+
+    delta: float
+    worst_relative_recall: Fraction | None
+    best_relative_recall: Fraction | None
+    worst_precision: Fraction
+    best_precision: Fraction
+
+    @property
+    def max_recall_loss(self) -> Fraction | None:
+        """Worst-case fraction of S1's true positives lost: ``1 − worst``."""
+        if self.worst_relative_recall is None:
+            return None
+        return 1 - self.worst_relative_recall
+
+
+def relative_bounds(bounds: IncrementalBounds) -> list[RelativeBoundsEntry]:
+    """Relative-recall and precision bounds per threshold, no ``|H|`` needed."""
+    entries = []
+    for entry in bounds:
+        t1 = entry.original.correct
+        if t1 == 0:
+            worst_rel: Fraction | None = None
+            best_rel: Fraction | None = None
+        else:
+            worst_rel = Fraction(entry.worst.correct, t1)
+            best_rel = Fraction(entry.best.correct, t1)
+            if worst_rel > best_rel:  # impossible by construction; assert-grade
+                raise BoundsError("internal error: worst bound exceeds best bound")
+        entries.append(
+            RelativeBoundsEntry(
+                delta=entry.delta,
+                worst_relative_recall=worst_rel,
+                best_relative_recall=best_rel,
+                worst_precision=entry.worst.precision_or(Fraction(0)),
+                best_precision=entry.best.precision_or(Fraction(1)),
+            )
+        )
+    return entries

@@ -1,0 +1,195 @@
+"""Textual reports over bound computations.
+
+Renders the analysis artifacts — bound tables, P/R bands, ratio curves —
+as aligned text and ASCII plots.  Everything the paper shows as a figure
+has a renderer here; benches and the CLI call these, so the printed
+output of an experiment *is* its figure.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.bands import ContainmentReport, EffectivenessBand
+from repro.core.comparison import ThresholdComparison, Verdict
+from repro.core.incremental import IncrementalBounds
+from repro.core.pr_curve import PRCurve
+from repro.core.relative import relative_bounds
+from repro.core.size_ratio import SizeRatioCurve
+from repro.util.asciiplot import AsciiPlot, Series
+from repro.util.fractions_ext import format_fraction
+from repro.util.tables import format_table
+
+__all__ = [
+    "render_pr_curve",
+    "render_bounds_table",
+    "render_band_plot",
+    "render_ratio_curve",
+    "render_relative_bounds",
+    "render_containment",
+    "render_comparison",
+    "summarize_guarantees",
+]
+
+
+def render_pr_curve(curve: PRCurve, title: str = "P/R curve") -> str:
+    """Table of a single P/R curve."""
+    return format_table(
+        ["threshold", "recall", "precision"],
+        curve.as_rows(),
+        title=title,
+    )
+
+
+def render_bounds_table(bounds: IncrementalBounds, title: str = "Bounds") -> str:
+    """Per-threshold bound table (the |H|-free part, always available)."""
+    rows = []
+    for entry in bounds:
+        rows.append(
+            (
+                entry.delta,
+                entry.original.answers,
+                entry.original.correct,
+                entry.improved_answers,
+                float(entry.size_ratio),
+                float(entry.worst.precision_or(Fraction(0))),
+                float(entry.best.precision_or(Fraction(1))),
+            )
+        )
+    return format_table(
+        ["delta", "|A1|", "|T1|", "|A2|", "ratio", "P worst", "P best"],
+        rows,
+        title=f"{title} ({bounds.method})",
+    )
+
+
+def render_band_plot(
+    band: EffectivenessBand,
+    title: str = "Best/worst case P/R band",
+    width: int = 64,
+    height: int = 20,
+    include_random: bool = True,
+) -> str:
+    """ASCII rendition of the paper's Figure 9/11-style band plot."""
+    plot = AsciiPlot(
+        width=width,
+        height=height,
+        title=title,
+        x_label="recall",
+        y_label="precision",
+        x_range=(0.0, 1.0),
+        y_range=(0.0, 1.0),
+    )
+    plot.add(Series("S1 measured", band.original_curve().as_xy(), marker="o"))
+    plot.add(Series("S2 best", band.best_curve().as_xy(), marker="+"))
+    plot.add(Series("S2 worst", band.worst_curve().as_xy(), marker="x"))
+    if include_random:
+        plot.add(Series("S2 random", band.random_curve().as_xy(), marker="~"))
+    return plot.render()
+
+
+def render_ratio_curve(
+    ratio: SizeRatioCurve, title: str = "Answer size ratio"
+) -> str:
+    """Figure 10-style ratio table."""
+    return format_table(
+        ["delta", "|A1|", "|A2|", "ratio", "increment ratio"],
+        ratio.rows(),
+        title=title,
+    )
+
+
+def render_relative_bounds(
+    bounds: IncrementalBounds, title: str = "Relative (|H|-free) bounds"
+) -> str:
+    """Relative-recall bound table; the 'at most x% loss' guarantee."""
+    rows = []
+    for entry in relative_bounds(bounds):
+        rows.append(
+            (
+                entry.delta,
+                float(entry.worst_precision),
+                float(entry.best_precision),
+                None
+                if entry.worst_relative_recall is None
+                else float(entry.worst_relative_recall),
+                None
+                if entry.max_recall_loss is None
+                else float(entry.max_recall_loss),
+            )
+        )
+    return format_table(
+        ["delta", "P worst", "P best", "rel recall worst", "max loss"],
+        rows,
+        title=title,
+    )
+
+
+def render_containment(report: ContainmentReport) -> str:
+    """Containment-check table (synthetic-testbed validation)."""
+    rows = [
+        (
+            entry.delta,
+            entry.worst_correct,
+            entry.actual_correct,
+            entry.best_correct,
+            "ok" if entry.contained else "VIOLATION",
+        )
+        for entry in report.entries
+    ]
+    header = (
+        "Containment: actual |T2| within [worst, best] -- "
+        + ("ALL CONTAINED" if report.all_contained else "VIOLATIONS FOUND")
+    )
+    return format_table(
+        ["delta", "worst |T2|", "actual |T2|", "best |T2|", "status"],
+        rows,
+        title=header,
+    )
+
+
+def render_comparison(
+    comparisons: list[ThresholdComparison],
+    first_name: str = "A",
+    second_name: str = "B",
+) -> str:
+    """Verdict table for a band comparison of two improvements.
+
+    Verdicts are judgment-free and sound: a 'provably better' line holds
+    in every world consistent with the observed answer sizes.
+    """
+    verdict_text = {
+        Verdict.FIRST_BETTER: f"{first_name} provably better",
+        Verdict.SECOND_BETTER: f"{second_name} provably better",
+        Verdict.UNDECIDED: "undecided (bands overlap)",
+    }
+    rows = [
+        (
+            comparison.delta,
+            verdict_text[comparison.correct_verdict],
+            verdict_text[comparison.precision_verdict],
+        )
+        for comparison in comparisons
+    ]
+    return format_table(
+        ["delta", "correct answers", "precision"],
+        rows,
+        title=f"Band comparison: {first_name} vs {second_name}",
+    )
+
+
+def summarize_guarantees(band: EffectivenessBand) -> str:
+    """Headline guarantees in prose, e.g. worst-case precision at recall levels."""
+    lines = ["Guarantees (worst case, no human judgment of S2 needed):"]
+    for precision_level in (Fraction(3, 4), Fraction(1, 2), Fraction(1, 4)):
+        recall = band.guaranteed_recall_at_precision(precision_level)
+        lines.append(
+            f"  precision >= {format_fraction(precision_level)} is guaranteed "
+            f"up to recall {format_fraction(recall)}"
+        )
+    loss = band.max_effectiveness_loss()
+    lines.append(
+        f"  at the final threshold, at most {float(loss):.1%} of the original "
+        "system's true positives can have been lost"
+    )
+    return "\n".join(lines)

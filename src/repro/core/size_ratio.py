@@ -1,0 +1,104 @@
+"""Answer-size-ratio curves ``Â^δ = |A2^δ| / |A1^δ|`` (paper Figure 10).
+
+The whole technique is "ultimately based on answer sizes, more concretely
+on Â" (section 3.3): the ratio curve of an improvement is its complete
+fingerprint as far as the bounds are concerned.  This module holds that
+curve as a first-class object, both per threshold and per increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.incremental import SizeProfile, SystemProfile
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+__all__ = ["SizeRatioCurve"]
+
+
+@dataclass(frozen=True)
+class SizeRatioCurve:
+    """Per-threshold and per-increment size ratios of S2 against S1."""
+
+    schedule: ThresholdSchedule
+    original_sizes: tuple[int, ...]
+    improved_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ThresholdSchedule.validate_alignment(
+            self.schedule, self.original_sizes, "original_sizes"
+        )
+        ThresholdSchedule.validate_alignment(
+            self.schedule, self.improved_sizes, "improved_sizes"
+        )
+        for delta, a1, a2 in zip(
+            self.schedule, self.original_sizes, self.improved_sizes
+        ):
+            if a2 > a1:
+                raise BoundsError(
+                    f"|A2|={a2} exceeds |A1|={a1} at δ={delta}; subset property"
+                    " violated"
+                )
+
+    @classmethod
+    def from_profiles(
+        cls, original: SystemProfile | SizeProfile, improved: SizeProfile
+    ) -> "SizeRatioCurve":
+        if isinstance(original, SystemProfile):
+            original_sizes = tuple(original.answer_sizes())
+            schedule = original.schedule
+        else:
+            original_sizes = tuple(original.sizes)
+            schedule = original.schedule
+        if schedule != improved.schedule:
+            raise BoundsError("ratio curve requires a shared threshold schedule")
+        return cls(schedule, original_sizes, tuple(improved.sizes))
+
+    def ratio_at(self, index: int) -> Fraction:
+        """``Â`` at the index-th threshold (0 when S1 is empty there)."""
+        a1 = self.original_sizes[index]
+        a2 = self.improved_sizes[index]
+        if a1 == 0:
+            return Fraction(0)
+        return Fraction(a2, a1)
+
+    def ratios(self) -> list[Fraction]:
+        return [self.ratio_at(i) for i in range(len(self.schedule))]
+
+    def increment_ratios(self) -> list[Fraction]:
+        """``Â`` per increment (0 for empty original increments)."""
+        out = []
+        prev_a1 = prev_a2 = 0
+        for a1, a2 in zip(self.original_sizes, self.improved_sizes):
+            inc1, inc2 = a1 - prev_a1, a2 - prev_a2
+            out.append(Fraction(inc2, inc1) if inc1 > 0 else Fraction(0))
+            prev_a1, prev_a2 = a1, a2
+        return out
+
+    def as_xy(self) -> list[tuple[float, float]]:
+        """(threshold, ratio) pairs — the paper's Figure 10 axes."""
+        return [
+            (delta, float(self.ratio_at(i)))
+            for i, delta in enumerate(self.schedule)
+        ]
+
+    def rows(self) -> list[tuple[float, int, int, float, float]]:
+        """(δ, |A1|, |A2|, Â, Â per increment) report rows."""
+        increment = self.increment_ratios()
+        return [
+            (
+                delta,
+                self.original_sizes[i],
+                self.improved_sizes[i],
+                float(self.ratio_at(i)),
+                float(increment[i]),
+            )
+            for i, delta in enumerate(self.schedule)
+        ]
+
+    def mean_ratio(self) -> Fraction:
+        """Unweighted mean of the per-threshold ratios (summary statistic)."""
+        ratios = self.ratios()
+        return sum(ratios, Fraction(0)) / len(ratios)

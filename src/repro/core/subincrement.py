@@ -1,0 +1,129 @@
+"""Sub-increment interpolation bounds (paper section 4.2, Figure 13).
+
+Between two judged thresholds δ1 and δ2, a rebuilt system may be probed
+at intermediate thresholds δ′ where no quality measurement exists.  With
+``n`` answers at δ′ (``a1 ≤ n ≤ a2``), the ``n − a1`` new answers contain
+between ``max(0, (n−a1) − incorrectₓ)`` and ``min(n−a1, correctₓ)`` true
+positives, where correctₓ/incorrectₓ are the increment's totals.  Each
+``n`` therefore pins the unknown P/R point onto a *line segment*; the
+family of segments over ``n`` demarcates where interpolation between the
+two measured points may legally land, and the paper observes that the
+midpoints of those segments are the safest interpolation choice.
+
+The worked example (|H| = 100, 30/50 at δ1, 36/70 at δ2, δ′ with 54
+answers ⇒ segment from (30/100, 30/54) to (34/100, 34/54)) is asserted
+exactly by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.measures import Counts
+from repro.core.pr_curve import PRPoint
+from repro.errors import BoundsError
+
+__all__ = ["SubIncrementSegment", "SubIncrementAnalyzer"]
+
+
+@dataclass(frozen=True)
+class SubIncrementSegment:
+    """The admissible P/R segment at one intermediate answer count ``n``."""
+
+    answers: int
+    worst: PRPoint
+    best: PRPoint
+
+    def midpoint(self) -> PRPoint:
+        """The segment midpoint — the paper's safest interpolation choice."""
+        return PRPoint(
+            recall=(self.worst.recall + self.best.recall) / 2,
+            precision=(self.worst.precision + self.best.precision) / 2,
+        )
+
+    def contains(self, correct: int, relevant: int) -> bool:
+        """Whether a true positive count ``correct`` lies on the segment."""
+        if relevant <= 0:
+            raise BoundsError("relevant must be positive")
+        recall = Fraction(correct, relevant)
+        return self.worst.recall <= recall <= self.best.recall
+
+
+class SubIncrementAnalyzer:
+    """Bounds for thresholds between two judged measurement points."""
+
+    def __init__(self, low: Counts, high: Counts):
+        if low.relevant is None or high.relevant is None:
+            raise BoundsError("sub-increment analysis requires known |H|")
+        if low.relevant != high.relevant:
+            raise BoundsError("both endpoints must agree on |H|")
+        if high.answers < low.answers or high.correct < low.correct:
+            raise BoundsError(
+                f"endpoints must be ordered by threshold: {low} -> {high}"
+            )
+        self.low = low
+        self.high = high
+        self.relevant: int = low.relevant
+
+    @property
+    def increment_correct(self) -> int:
+        return self.high.correct - self.low.correct
+
+    @property
+    def increment_incorrect(self) -> int:
+        return (self.high.answers - self.low.answers) - self.increment_correct
+
+    def correct_range(self, answers: int) -> tuple[int, int]:
+        """(worst, best) true-positive counts at an intermediate size.
+
+        ``answers`` is the rebuilt system's output size at δ′ and must lie
+        within [|A(δ1)|, |A(δ2)|].
+        """
+        if not self.low.answers <= answers <= self.high.answers:
+            raise BoundsError(
+                f"intermediate answer count {answers} outside "
+                f"[{self.low.answers}, {self.high.answers}]"
+            )
+        extra = answers - self.low.answers
+        worst = self.low.correct + max(0, extra - self.increment_incorrect)
+        best = self.low.correct + min(extra, self.increment_correct)
+        return worst, best
+
+    def _point(self, correct: int, answers: int) -> PRPoint:
+        precision = (
+            Fraction(1) if answers == 0 else Fraction(correct, answers)
+        )
+        recall = (
+            Fraction(1)
+            if self.relevant == 0
+            else Fraction(correct, self.relevant)
+        )
+        return PRPoint(recall=recall, precision=precision)
+
+    def segment(self, answers: int) -> SubIncrementSegment:
+        """The admissible segment for an intermediate answer count."""
+        worst_correct, best_correct = self.correct_range(answers)
+        return SubIncrementSegment(
+            answers=answers,
+            worst=self._point(worst_correct, answers),
+            best=self._point(best_correct, answers),
+        )
+
+    def boundary(self, step: int = 1) -> list[SubIncrementSegment]:
+        """Segments for every intermediate size (Figure 13's thick lines).
+
+        ``step`` thins the family for plotting; the two endpoint sizes
+        are always included, where the segment degenerates to the
+        measured point.
+        """
+        if step < 1:
+            raise BoundsError(f"step must be >= 1, got {step}")
+        sizes = list(range(self.low.answers, self.high.answers + 1, step))
+        if sizes[-1] != self.high.answers:
+            sizes.append(self.high.answers)
+        return [self.segment(n) for n in sizes]
+
+    def midpoint_locus(self, step: int = 1) -> list[PRPoint]:
+        """The safest-interpolation polyline (Figure 13's small dots)."""
+        return [segment.midpoint() for segment in self.boundary(step)]

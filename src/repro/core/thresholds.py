@@ -1,0 +1,145 @@
+"""Threshold schedules and increments (paper sections 2.1 and 3.2).
+
+A measured P/R curve is produced "by varying the threshold"; the
+incremental bound computation then works increment-by-increment, an
+increment being the answers strictly above one threshold and at most the
+next (``δ_i < Δ(a) <= δ_{i+1}``).  :class:`ThresholdSchedule` is the
+strictly-increasing list of thresholds shared by every curve and bound in
+one analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.answers import AnswerSet
+from repro.errors import ThresholdError
+
+__all__ = ["ThresholdSchedule"]
+
+
+class ThresholdSchedule:
+    """A strictly increasing, non-empty sequence of thresholds.
+
+    The implicit zeroth increment runs from *below all scores* up to the
+    first threshold, matching the paper's ``0 − δ1`` increment.
+    """
+
+    def __init__(self, deltas: Iterable[float]):
+        values = [float(d) for d in deltas]
+        if not values:
+            raise ThresholdError("a threshold schedule must not be empty")
+        for left, right in zip(values, values[1:]):
+            if not right > left:
+                raise ThresholdError(
+                    f"thresholds must be strictly increasing; {right!r} follows {left!r}"
+                )
+        self._deltas: tuple[float, ...] = tuple(values)
+
+    @classmethod
+    def linear(cls, start: float, stop: float, count: int) -> "ThresholdSchedule":
+        """``count`` evenly spaced thresholds from ``start`` to ``stop``."""
+        if count < 1:
+            raise ThresholdError(f"count must be >= 1, got {count!r}")
+        if count == 1:
+            return cls([stop])
+        step = (stop - start) / (count - 1)
+        return cls([start + i * step for i in range(count)])
+
+    @classmethod
+    def from_answer_scores(
+        cls, answer_set: AnswerSet, count: int
+    ) -> "ThresholdSchedule":
+        """Quantile-based schedule: thresholds at evenly spaced score ranks.
+
+        This is how a practitioner picks thresholds from a pilot run of
+        the exhaustive system so every increment holds a comparable number
+        of answers.
+        """
+        scores = answer_set.scores()
+        if not scores:
+            raise ThresholdError("cannot derive thresholds from an empty answer set")
+        if count < 1:
+            raise ThresholdError(f"count must be >= 1, got {count!r}")
+        distinct = sorted(set(scores))
+        if count >= len(distinct):
+            return cls(distinct)
+        picked = []
+        for i in range(1, count + 1):
+            idx = round(i * (len(distinct) - 1) / count)
+            picked.append(distinct[idx])
+        return cls(sorted(set(picked)))
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._deltas)
+
+    def __getitem__(self, index: int) -> float:
+        return self._deltas[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThresholdSchedule):
+            return NotImplemented
+        return self._deltas == other._deltas
+
+    def __hash__(self) -> int:
+        return hash(self._deltas)
+
+    @property
+    def deltas(self) -> tuple[float, ...]:
+        return self._deltas
+
+    @property
+    def final(self) -> float:
+        """The largest threshold (the δ the whole analysis runs up to)."""
+        return self._deltas[-1]
+
+    def increments(self) -> list[tuple[float | None, float]]:
+        """``(δ_low, δ_high)`` pairs; the first pair has ``δ_low=None``.
+
+        ``None`` encodes the paper's start-of-scale (all scores above it),
+        so the increments partition ``A^{δ_n}`` exactly.
+        """
+        pairs: list[tuple[float | None, float]] = [(None, self._deltas[0])]
+        pairs.extend(zip(self._deltas, self._deltas[1:]))
+        return pairs
+
+    def prefix(self, count: int) -> "ThresholdSchedule":
+        """Schedule of the first ``count`` thresholds."""
+        if not 1 <= count <= len(self._deltas):
+            raise ThresholdError(
+                f"prefix length must be in 1..{len(self._deltas)}, got {count!r}"
+            )
+        return ThresholdSchedule(self._deltas[:count])
+
+    def coarsen(self, keep_every: int) -> "ThresholdSchedule":
+        """Keep every k-th threshold (always keeping the last).
+
+        Used by the ablation that studies bound tightness versus schedule
+        granularity.
+        """
+        if keep_every < 1:
+            raise ThresholdError(f"keep_every must be >= 1, got {keep_every!r}")
+        kept = list(self._deltas[keep_every - 1 :: keep_every])
+        if not kept or kept[-1] != self._deltas[-1]:
+            kept.append(self._deltas[-1])
+        return ThresholdSchedule(kept)
+
+    @staticmethod
+    def validate_alignment(
+        schedule: "ThresholdSchedule", values: Sequence[object], what: str
+    ) -> None:
+        """Check a per-threshold value sequence matches the schedule length."""
+        if len(values) != len(schedule):
+            raise ThresholdError(
+                f"{what} has {len(values)} entries but the schedule has "
+                f"{len(schedule)} thresholds"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThresholdSchedule({len(self._deltas)} deltas, "
+            f"{self._deltas[0]:.4f}..{self._deltas[-1]:.4f})"
+        )

@@ -1,0 +1,86 @@
+"""Top-N effectiveness bounds (the paper's closing observation).
+
+"For schema matching systems as well as information retrieval systems in
+general, the top-N is usually the most interesting and for such recall
+levels, we can give useful, i.e., narrow effectiveness bounds."
+
+The threshold machinery carries over directly: the top-N cutoff of a
+ranked answer set corresponds to the score of its N-th answer (ties can
+pull in a few more answers — the paper's "indecisive" systems — which
+this module handles by converting rank cutoffs to *score* thresholds and
+reporting the effective sizes).  :func:`topn_bounds` packages the whole
+flow: pick cutoffs, derive the shared threshold schedule, and run the
+incremental bound computation on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.core.answers import AnswerSet
+from repro.core.incremental import (
+    IncrementalBounds,
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+__all__ = ["cutoffs_to_schedule", "topn_bounds", "default_cutoffs"]
+
+
+def default_cutoffs(total: int) -> list[int]:
+    """A sensible top-N ladder for an answer set of the given size."""
+    ladder = [10, 25, 50, 100, 250, 500, 1000, 2500]
+    out = [n for n in ladder if n < total]
+    if total > 0:
+        out.append(total)
+    return out
+
+
+def cutoffs_to_schedule(
+    answers: AnswerSet, cutoffs: Sequence[int]
+) -> ThresholdSchedule:
+    """Score thresholds realising the given rank cutoffs on a ranked run.
+
+    The threshold for cutoff N is the score of the N-th best answer, so
+    ``A^δ`` contains at least N answers (more only on score ties).
+    Cutoffs beyond the answer set or duplicated by ties collapse into one
+    threshold.
+    """
+    if not cutoffs:
+        raise BoundsError("at least one top-N cutoff is required")
+    if len(answers) == 0:
+        raise BoundsError("cannot derive top-N thresholds from an empty run")
+    scores = answers.scores()
+    deltas: list[float] = []
+    for cutoff in cutoffs:
+        if cutoff < 1:
+            raise BoundsError(f"top-N cutoff must be >= 1, got {cutoff}")
+        index = min(cutoff, len(scores)) - 1
+        deltas.append(scores[index])
+    unique = sorted(set(deltas))
+    return ThresholdSchedule(unique)
+
+
+def topn_bounds(
+    original: AnswerSet,
+    improved: AnswerSet,
+    ground_truth: Iterable[Hashable],
+    cutoffs: Sequence[int] | None = None,
+) -> IncrementalBounds:
+    """Incremental bounds evaluated at top-N cutoffs of the original run.
+
+    ``original`` must be the exhaustive system's ranked answers (judged
+    against ``ground_truth``); ``improved`` contributes sizes only.  The
+    cutoffs default to :func:`default_cutoffs` of the original's size.
+    """
+    improved.check_subset_of(original, "improved")
+    improved.check_scores_match(original)
+    if cutoffs is None:
+        cutoffs = default_cutoffs(len(original))
+    schedule = cutoffs_to_schedule(original, cutoffs)
+    profile = SystemProfile.from_answer_set(schedule, original, ground_truth)
+    sizes = SizeProfile.from_answer_set(schedule, improved)
+    return compute_incremental_bounds(profile, sizes)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema tree is malformed (duplicate ids, cycles, bad labels...)."""
+
+
+class SchemaParseError(SchemaError):
+    """The textual schema format could not be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number at which parsing failed, or ``None`` when the
+        failure is not attributable to a single line.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MatchingError(ReproError):
+    """A matcher was configured or invoked incorrectly."""
+
+
+class ObjectiveMismatchError(MatchingError):
+    """Two systems that must share an objective function do not.
+
+    The bounds technique of the paper is only sound when the improved
+    system ranks answers with the *same* objective function as the original
+    system (paper section 2.3).  This error signals a violated precondition.
+    """
+
+
+class AnswerSetError(ReproError):
+    """An answer set violates its invariants (e.g. subset property)."""
+
+
+class NotASubsetError(AnswerSetError):
+    """The improved system produced answers outside the original answer set.
+
+    The paper's analysis assumes ``A2 ⊆ A1`` for every threshold; when the
+    assumption is violated the bounds are meaningless, so the library
+    refuses to compute them.
+    """
+
+
+class BoundsError(ReproError):
+    """Effectiveness-bound computation received inconsistent inputs."""
+
+
+class ThresholdError(BoundsError):
+    """A threshold schedule is not strictly increasing or is empty."""
+
+
+class CurveError(ReproError):
+    """A P/R curve is malformed (non-monotone recall, out-of-range values...)."""
+
+
+class GroundTruthError(ReproError):
+    """Ground-truth construction or lookup failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown figure id, bad config...)."""

@@ -1,0 +1,63 @@
+"""Evaluation substrate: ground truth, judges, scenarios, pooling,
+collections, and end-to-end bounds validation.
+
+This package provides what the paper says is unaffordable at scale — a
+fully judged ground truth — by construction (concept provenance), which
+is what lets the reproduction *verify* the bounds rather than merely
+compute them.
+"""
+
+from repro.evaluation.collection import load_collection, save_collection
+from repro.evaluation.ground_truth import GroundTruth, enumerate_ground_truth
+from repro.evaluation.judge import NoisyJudge, OracleJudge
+from repro.evaluation.macro import (
+    macro_bound_rows,
+    macro_pr_rows,
+    per_query_bounds,
+    per_query_runs,
+)
+from repro.evaluation.pooling import build_pool, pooled_counts, pooled_relevant_size
+from repro.evaluation.scenario import (
+    MatchingScenario,
+    ScenarioSuite,
+    build_scenarios,
+)
+from repro.evaluation.validation import (
+    BoundsValidation,
+    SystemRun,
+    run_system,
+    validate_improvement,
+)
+from repro.evaluation.workloads import (
+    Workload,
+    WorkloadConfig,
+    build_workload,
+    small_config,
+)
+
+__all__ = [
+    "BoundsValidation",
+    "GroundTruth",
+    "MatchingScenario",
+    "NoisyJudge",
+    "OracleJudge",
+    "ScenarioSuite",
+    "SystemRun",
+    "Workload",
+    "WorkloadConfig",
+    "build_pool",
+    "build_scenarios",
+    "build_workload",
+    "enumerate_ground_truth",
+    "load_collection",
+    "macro_bound_rows",
+    "macro_pr_rows",
+    "per_query_bounds",
+    "per_query_runs",
+    "pooled_counts",
+    "pooled_relevant_size",
+    "run_system",
+    "save_collection",
+    "small_config",
+    "validate_improvement",
+]

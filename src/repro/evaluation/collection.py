@@ -1,0 +1,115 @@
+"""Persistent test collections: save/load a workload to a directory.
+
+The paper stresses that "the availability of large and properly
+constructed test collections is rather limited in the schema matching
+domain".  This module lets a built workload be frozen to disk — schemas
+in the textual format, queries likewise, ground truth as mapping keys in
+JSON — so experiments can be shared, diffed and re-run bit-identically
+without re-generating.
+
+Layout::
+
+    <root>/
+      meta.json           collection id + counts
+      repository/<id>.schema
+      queries/<id>.schema
+      ground_truth.json   {query_id: [[schema_id, [element ids...]], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GroundTruthError, SchemaError
+from repro.evaluation.ground_truth import GroundTruth
+from repro.evaluation.scenario import MatchingScenario, ScenarioSuite
+from repro.matching.mapping import Mapping
+from repro.schema.parser import parse_schema, serialize_schema
+from repro.schema.repository import ElementHandle, SchemaRepository
+
+__all__ = ["save_collection", "load_collection"]
+
+_META_NAME = "meta.json"
+_TRUTH_NAME = "ground_truth.json"
+
+
+def save_collection(suite: ScenarioSuite, root: str | Path) -> Path:
+    """Write a scenario suite to ``root`` (created if missing)."""
+    root = Path(root)
+    (root / "repository").mkdir(parents=True, exist_ok=True)
+    (root / "queries").mkdir(parents=True, exist_ok=True)
+
+    for schema in suite.repository:
+        path = root / "repository" / f"{schema.schema_id}.schema"
+        path.write_text(serialize_schema(schema), encoding="utf-8")
+
+    truth_payload: dict[str, list] = {}
+    for scenario in suite:
+        path = root / "queries" / f"{scenario.query.schema_id}.schema"
+        path.write_text(serialize_schema(scenario.query), encoding="utf-8")
+        truth_payload[scenario.query.schema_id] = [
+            [mapping.target_schema.schema_id, list(mapping.target_ids)]
+            for mapping in sorted(scenario.ground_truth, key=lambda m: m.key)
+        ]
+    (root / _TRUTH_NAME).write_text(
+        json.dumps(truth_payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    meta = {
+        "repository_id": suite.repository.repository_id,
+        "schemas": len(suite.repository),
+        "queries": len(suite),
+        "relevant": suite.relevant_size,
+        "format": 1,
+    }
+    (root / _META_NAME).write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return root
+
+
+def load_collection(root: str | Path) -> ScenarioSuite:
+    """Load a suite saved by :func:`save_collection`."""
+    root = Path(root)
+    meta_path = root / _META_NAME
+    if not meta_path.exists():
+        raise GroundTruthError(f"{root} is not a test collection (no {_META_NAME})")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format") != 1:
+        raise GroundTruthError(f"unsupported collection format {meta.get('format')!r}")
+
+    schemas = []
+    for path in sorted((root / "repository").glob("*.schema")):
+        schemas.append(parse_schema(path.read_text(encoding="utf-8"), path.stem))
+    if not schemas:
+        raise GroundTruthError(f"collection {root} has no repository schemas")
+    repository = SchemaRepository(meta.get("repository_id", "loaded"), schemas)
+
+    truth_payload = json.loads((root / _TRUTH_NAME).read_text(encoding="utf-8"))
+    scenarios = []
+    for path in sorted((root / "queries").glob("*.schema")):
+        query = parse_schema(path.read_text(encoding="utf-8"), path.stem)
+        entries = truth_payload.get(query.schema_id)
+        if entries is None:
+            raise GroundTruthError(
+                f"query {query.schema_id!r} has no ground truth in {_TRUTH_NAME}"
+            )
+        mappings = set()
+        for schema_id, element_ids in entries:
+            try:
+                schema = repository.schema(schema_id)
+                targets = tuple(
+                    ElementHandle(schema, element_id) for element_id in element_ids
+                )
+            except SchemaError as exc:
+                raise GroundTruthError(
+                    f"ground truth of {query.schema_id!r} references invalid "
+                    f"target: {exc}"
+                ) from exc
+            mappings.add(Mapping(query.schema_id, targets))
+        scenarios.append(
+            MatchingScenario(
+                query=query,
+                ground_truth=GroundTruth(query.schema_id, frozenset(mappings)),
+                source_schema_id="(loaded)",
+            )
+        )
+    return ScenarioSuite(repository, scenarios)

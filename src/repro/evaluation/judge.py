@@ -1,0 +1,103 @@
+"""Simulated human evaluators.
+
+:class:`OracleJudge` answers from the concept-provenance ground truth —
+the perfect evaluator the paper assumes behind its P/R figures.
+:class:`NoisyJudge` flips a seeded fraction of verdicts, modelling the
+"subjective human decisions" the paper says test collections try to even
+out by employing many evaluators; the robustness ablation uses it to ask
+how wrong the *input* P/R curve may be before the bounds mislead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.answers import AnswerSet
+from repro.core.measures import Counts
+from repro.errors import GroundTruthError
+from repro.evaluation.ground_truth import GroundTruth
+from repro.util import rng as rng_util
+from repro.util.checks import check_probability
+
+__all__ = ["OracleJudge", "NoisyJudge"]
+
+
+class OracleJudge:
+    """Perfect judgments straight from the ground truth."""
+
+    def __init__(self, ground_truth: GroundTruth):
+        self.ground_truth = ground_truth
+
+    def is_correct(self, item: Hashable) -> bool:
+        return item in self.ground_truth
+
+    def relevant_size(self) -> int:
+        """``|H|`` — what the paper calls the insurmountable number."""
+        return len(self.ground_truth)
+
+    def judge_answer_set(self, answers: AnswerSet) -> Counts:
+        correct = sum(1 for a in answers if self.is_correct(a.item))
+        return Counts(len(answers), correct, self.relevant_size())
+
+    def judged_items(self, answers: AnswerSet) -> frozenset:
+        """The true positives within an answer set."""
+        return frozenset(a.item for a in answers if self.is_correct(a.item))
+
+
+class NoisyJudge:
+    """An imperfect evaluator flipping a seeded fraction of verdicts.
+
+    Verdicts are deterministic per item (the same judge always answers
+    the same about the same mapping), so judged counts remain consistent
+    across thresholds.
+    """
+
+    def __init__(self, ground_truth: GroundTruth, flip_probability: float, seed: int):
+        check_probability(flip_probability, "flip_probability")
+        self.ground_truth = ground_truth
+        self.flip_probability = flip_probability
+        self._seed = seed
+
+    def _flips(self, item: Hashable) -> bool:
+        generator = rng_util.make(rng_util.seed_from(self._seed, repr(item)))
+        return generator.random() < self.flip_probability
+
+    def is_correct(self, item: Hashable) -> bool:
+        truth = item in self.ground_truth
+        return (not truth) if self._flips(item) else truth
+
+    def judge_answer_set(self, answers: AnswerSet) -> Counts:
+        """Counts under noisy judgment.
+
+        ``relevant`` is *estimated* as the noisy judge would see it: the
+        true |H| corrected by flips over H itself (we cannot flip the
+        infinite complement, so false positives outside the answer sets
+        are not counted — consistent with pooling practice, where only
+        inspected mappings are judged).
+        """
+        correct = sum(1 for a in answers if self.is_correct(a.item))
+        relevant = sum(1 for item in self.ground_truth if not self._flips(item))
+        # Items judged correct but outside true H enlarge the perceived H.
+        extra = sum(
+            1
+            for a in answers
+            if a.item not in self.ground_truth and self._flips(a.item)
+        )
+        return Counts(len(answers), correct, relevant + extra)
+
+
+def judge_profile(
+    judge: OracleJudge | NoisyJudge,
+    answers: AnswerSet,
+    thresholds: Iterable[float],
+) -> list[Counts]:
+    """Counts at each threshold under the given judge."""
+    out = []
+    previous = -1
+    for delta in thresholds:
+        counts = judge.judge_answer_set(answers.at_threshold(delta))
+        if counts.answers < previous:
+            raise GroundTruthError("thresholds must be ordered ascending")
+        previous = counts.answers
+        out.append(counts)
+    return out

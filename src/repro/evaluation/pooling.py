@@ -1,0 +1,59 @@
+"""TREC-style pooling (Harman; paper's related work).
+
+"For each keyword query, the top 100 documents produced by each
+participating system were merged and only these were evaluated by a
+human."  Pooling is the classic low-effort alternative to full
+judgments; the abl-pooling experiment compares its *estimates* against
+the paper's *guaranteed bounds* on identical runs.
+
+Pooled evaluation judges only pooled items; everything outside the pool
+counts as incorrect (so pooled recall is measured against the judged
+relevant set, which may undercount H — Zobel's reliability question).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.answers import AnswerSet
+from repro.core.measures import Counts
+from repro.errors import GroundTruthError
+
+__all__ = ["build_pool", "pooled_counts", "pooled_relevant_size"]
+
+
+def build_pool(answer_sets: Iterable[AnswerSet], depth: int = 100) -> frozenset:
+    """Union of the top-``depth`` answers of each participating system."""
+    if depth < 1:
+        raise GroundTruthError(f"pool depth must be >= 1, got {depth!r}")
+    pooled: set[Hashable] = set()
+    for answers in answer_sets:
+        pooled.update(a.item for a in answers.top_n(depth))
+    return frozenset(pooled)
+
+
+def pooled_relevant_size(pool: frozenset, ground_truth: Iterable[Hashable]) -> int:
+    """The judged relevant count: ``|H ∩ pool|`` (the pooled |H| estimate)."""
+    truth = frozenset(ground_truth)
+    return len(pool & truth)
+
+
+def pooled_counts(
+    answers: AnswerSet, pool: frozenset, ground_truth: Iterable[Hashable]
+) -> Counts:
+    """Counts under pooling: only pooled answers can be judged correct.
+
+    The relevant size is the pooled estimate of |H|, so pooled recall is
+    ≥ true recall whenever the pool misses relevant mappings — the
+    characteristic optimism of pooling that the paper's exact bounds
+    avoid.
+    """
+    truth = frozenset(ground_truth)
+    judged_correct = sum(
+        1 for a in answers if a.item in pool and a.item in truth
+    )
+    return Counts(
+        answers=len(answers),
+        correct=judged_correct,
+        relevant=pooled_relevant_size(pool, truth),
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness: every paper figure and ablation as a runnable unit.
+
+Use :func:`~repro.experiments.harness.run_experiment` with an id from
+:func:`~repro.experiments.harness.list_experiments`::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig11").render())
+
+Figure experiments (``fig05`` ... ``fig13``) regenerate the paper's
+evaluation artifacts; ``abl-*`` experiments are this reproduction's
+ablations.  See DESIGN.md for the per-experiment index.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentTable,
+    RunBundle,
+    base_runs,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentTable",
+    "RunBundle",
+    "base_runs",
+    "list_experiments",
+    "run_experiment",
+]

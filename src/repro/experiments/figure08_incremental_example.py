@@ -1,0 +1,110 @@
+"""Figure 8: the incremental worst-case estimation example.
+
+The paper's fully-specified numeric example: S1 has stable precision 3/8
+and produces 40/72 answers at δ1/δ2; the improvement produces 32/48.
+Treating each threshold independently gives worst-case precisions 7/32
+and 1/16 — but the 1/16 is inconsistent with the 7 correct answers
+already guaranteed at δ1, and the increment-by-increment computation
+tightens it to 7/48.  This experiment replays the example with the
+library's naive and incremental engines and checks every value against
+the paper's fractions (it raises if any deviates — this figure is exact,
+not statistical).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.incremental import compute_incremental_bounds, compute_naive_bounds
+from repro.errors import ExperimentError
+from repro.evaluation.workloads import WorkloadConfig
+from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.paper_data import (
+    FIGURE8_EXPECTED,
+    figure8_improved_sizes,
+    figure8_original_profile,
+)
+from repro.util.fractions_ext import format_fraction
+
+
+@register("fig08", "Incremental worst-case estimation example (exact)")
+def run(config: WorkloadConfig | None = None) -> ExperimentResult:
+    original = figure8_original_profile()
+    improved = figure8_improved_sizes()
+    naive = compute_naive_bounds(original, improved)
+    incremental = compute_incremental_bounds(original, improved)
+
+    naive_p = [e.worst.precision_or(Fraction(0)) for e in naive]
+    incremental_p = [e.worst.precision_or(Fraction(0)) for e in incremental]
+
+    checks = {
+        "worst P(δ1)": (naive_p[0], FIGURE8_EXPECTED["worst_precision_delta1"]),
+        "worst P(δ1) incremental": (
+            incremental_p[0],
+            FIGURE8_EXPECTED["worst_precision_delta1"],
+        ),
+        "worst P(δ2) naive": (
+            naive_p[1],
+            FIGURE8_EXPECTED["worst_precision_delta2_naive"],
+        ),
+        "worst P(δ2) incremental": (
+            incremental_p[1],
+            FIGURE8_EXPECTED["worst_precision_delta2_incremental"],
+        ),
+    }
+    for label, (got, expected) in checks.items():
+        if got != expected:
+            raise ExperimentError(
+                f"figure 8 reproduction failed: {label} = {got}, "
+                f"paper says {expected}"
+            )
+
+    result = ExperimentResult(
+        "fig08", "Incremental worst-case estimation (paper's exact numbers)"
+    )
+    result.add_table(
+        "Inputs (Figure 8 left: S1, right: S2)",
+        ["threshold", "|A1|", "|T1|", "|A1 incorrect|", "|A2|", "ratio"],
+        [
+            (
+                "δ1",
+                original.counts[0].answers,
+                original.counts[0].correct,
+                original.counts[0].incorrect,
+                improved.sizes[0],
+                float(FIGURE8_EXPECTED["size_ratio_delta1"]),
+            ),
+            (
+                "δ2",
+                original.counts[1].answers,
+                original.counts[1].correct,
+                original.counts[1].incorrect,
+                improved.sizes[1],
+                float(FIGURE8_EXPECTED["size_ratio_delta2"]),
+            ),
+        ],
+    )
+    result.add_table(
+        "Worst-case precision of S2 (all values match the paper exactly)",
+        ["threshold", "naive (per-threshold)", "incremental", "paper"],
+        [
+            (
+                "δ1",
+                format_fraction(naive_p[0]),
+                format_fraction(incremental_p[0]),
+                "7/32 (21.9%)",
+            ),
+            (
+                "δ2",
+                format_fraction(naive_p[1]),
+                format_fraction(incremental_p[1]),
+                "1/16 naive, 7/48 (14.6%) incremental",
+            ),
+        ],
+    )
+    result.notes.append(
+        "the naive δ2 bound (1/16) contradicts the 7 correct answers already "
+        "guaranteed among the first 32; computing increment-by-increment "
+        "repairs this to 7/48 — the gain in accuracy of section 3.2"
+    )
+    return result

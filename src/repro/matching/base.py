@@ -1,0 +1,81 @@
+"""Matcher base class: a matching *system* in the paper's sense.
+
+A matcher takes a matching problem (personal schema + repository +
+threshold δ) and returns an :class:`~repro.core.answers.AnswerSet` of
+scored :class:`~repro.matching.mapping.Mapping` objects.  All concrete
+matchers score through the same :class:`ObjectiveFunction` instance they
+are constructed with — sharing one objective across an original system
+and its improvements is the precondition of the bounds technique, and
+:func:`Matcher.check_compatible` enforces it.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+from repro.core.answers import AnswerSet
+from repro.errors import MatchingError
+from repro.matching.mapping import Mapping
+from repro.matching.objective import ObjectiveFunction
+from repro.schema.model import Schema
+from repro.schema.repository import ElementHandle, SchemaRepository
+
+__all__ = ["Matcher"]
+
+
+class Matcher(abc.ABC):
+    """Abstract matching system."""
+
+    #: short system name used in reports and the registry
+    name: str = "abstract"
+
+    def __init__(self, objective: ObjectiveFunction, max_answers: int = 500_000):
+        self.objective = objective
+        self.max_answers = max_answers
+
+    @abc.abstractmethod
+    def _match_schema(
+        self, query: Schema, schema: Schema, delta_max: float
+    ) -> Iterable[tuple[tuple[int, ...], float]]:
+        """Yield ``(target_ids, score)`` for one repository schema."""
+
+    def prepare(self, repository: SchemaRepository) -> None:
+        """Optional repository-level precomputation hook (e.g. clustering).
+
+        Called once per repository before matching; the default does
+        nothing.
+        """
+
+    def match(
+        self, query: Schema, repository: SchemaRepository, delta_max: float
+    ) -> AnswerSet:
+        """Answer set ``A^δmax`` for the query over the whole repository."""
+        if delta_max < 0:
+            raise MatchingError(f"delta_max must be >= 0, got {delta_max!r}")
+        self.prepare(repository)
+        pairs: list[tuple[Mapping, float]] = []
+        for schema in repository:
+            for target_ids, score in self._match_schema(query, schema, delta_max):
+                handles = tuple(
+                    ElementHandle(schema, target_id) for target_id in target_ids
+                )
+                pairs.append((Mapping(query.schema_id, handles), score))
+                if len(pairs) > self.max_answers:
+                    raise MatchingError(
+                        f"matcher {self.name!r} exceeded max_answers="
+                        f"{self.max_answers} at δ={delta_max}; lower the "
+                        "threshold or raise the limit"
+                    )
+        return AnswerSet.from_pairs(pairs)
+
+    def check_compatible(self, other: "Matcher") -> None:
+        """Verify this matcher shares the objective function with another."""
+        self.objective.check_same_as(other.objective)
+
+    def describe(self) -> dict[str, object]:
+        """System description for experiment records."""
+        return {"system": self.name, "objective": self.objective.fingerprint()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

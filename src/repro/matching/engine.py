@@ -1,0 +1,246 @@
+"""Per-schema mapping search: exact branch-and-bound and beam search.
+
+All matchers funnel through this engine so that every system scores a
+given mapping identically — the paper's single assumption.  The engine
+enumerates injective assignments of query elements (in pre-order, so a
+parent is always assigned before its children) to elements of one
+repository schema.
+
+Branch-and-bound is **exact with respect to the threshold**: the lower
+bound is admissible (see below), so every mapping with Δ ≤ δmax is
+emitted.  The exhaustive system S1 is this engine with no candidate
+restriction; the non-exhaustive improvements restrict candidates
+(clustering, top-k) or the frontier (beam) and thereby become subsets.
+
+Admissible bound: with structure weight ``sw``, query size ``k`` and
+``p`` query edges,
+
+    Δ = (1−sw)·(Σ element costs)/k + sw·(violations)/p
+
+For a partial assignment, replacing unassigned elements' costs by their
+per-element minimum over the still-allowed candidates and counting only
+already-decided edge violations can never overestimate the final score.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import MatchingError
+from repro.matching.objective import ObjectiveFunction
+from repro.schema.model import Schema
+
+__all__ = ["SchemaSearch", "count_assignments"]
+
+_EPSILON = 1e-9
+
+
+def count_assignments(query_size: int, schema_size: int) -> int:
+    """Number of injective assignments: the falling factorial m!/(m−k)!.
+
+    The size of the per-schema search space; the paper's "exhaustive
+    search of schema mappings needs exponential time" in concrete form.
+    """
+    if query_size < 0 or schema_size < 0:
+        raise MatchingError("sizes must be non-negative")
+    total = 1
+    for i in range(query_size):
+        total *= max(0, schema_size - i)
+    return total
+
+
+@dataclass
+class _SearchContext:
+    """Precomputed per-(query, schema) state shared by both strategies."""
+
+    query: Schema
+    schema: Schema
+    costs: list[list[float]]  # element cost matrix, query x target
+    candidates: list[list[int]]  # per query element, target ids sorted by cost
+    min_rest: list[float]  # min_rest[i] = sum of per-element min costs for i..k-1
+    parents: list[int | None]
+    num_edges: int
+    element_share: float  # (1 - sw) / k
+    structure_share: float  # sw / p  (0 when p == 0)
+
+
+class SchemaSearch:
+    """Mapping search over one repository schema for one query."""
+
+    def __init__(
+        self,
+        query: Schema,
+        schema: Schema,
+        objective: ObjectiveFunction,
+        allowed: Sequence[Sequence[int]] | None = None,
+    ):
+        """``allowed[i]``, when given, restricts query element i's targets.
+
+        ``None`` (or a ``None`` entry) means all elements of the schema
+        are candidates.
+        """
+        self.query = query
+        self.schema = schema
+        self.objective = objective
+        self._context = self._prepare(allowed)
+
+    def _prepare(
+        self, allowed: Sequence[Sequence[int]] | None
+    ) -> _SearchContext | None:
+        query, schema = self.query, self.schema
+        k, m = len(query), len(schema)
+        if m < k:
+            return None  # injectivity impossible; no mappings exist
+        costs = self.objective.cost_matrix(query, schema)
+        candidates: list[list[int]] = []
+        for i in range(k):
+            if allowed is not None and allowed[i] is not None:
+                ids = [j for j in allowed[i] if 0 <= j < m]
+            else:
+                ids = list(range(m))
+            if not ids:
+                return None  # some element has no candidate at all
+            ids.sort(key=lambda j: (costs[i][j], j))
+            candidates.append(ids)
+        min_rest = [0.0] * (k + 1)
+        for i in range(k - 1, -1, -1):
+            best = min(costs[i][j] for j in candidates[i])
+            min_rest[i] = min_rest[i + 1] + best
+        parents = [query.parent_id(i) for i in range(k)]
+        num_edges = sum(1 for p in parents if p is not None)
+        sw = self.objective.weights.structure
+        return _SearchContext(
+            query=query,
+            schema=schema,
+            costs=costs,
+            candidates=candidates,
+            min_rest=min_rest,
+            parents=parents,
+            num_edges=num_edges,
+            element_share=(1.0 - sw) / k,
+            structure_share=(sw / num_edges) if num_edges else 0.0,
+        )
+
+    # -- exact enumeration --------------------------------------------------
+
+    def exhaustive(self, delta_max: float) -> Iterator[tuple[tuple[int, ...], float]]:
+        """All injective assignments with Δ ≤ δmax, via branch-and-bound."""
+        ctx = self._context
+        if ctx is None:
+            return
+        cutoff = delta_max + _EPSILON
+        k = len(ctx.query)
+        assignment: list[int | None] = [None] * k
+        used: set[int] = set()
+
+        def recurse(
+            depth: int, cost_sum: float, violations: int
+        ) -> Iterator[tuple[tuple[int, ...], float]]:
+            if depth == k:
+                score = self.objective.combine(
+                    cost_sum,
+                    k,
+                    (violations / ctx.num_edges) if ctx.num_edges else 0.0,
+                )
+                if score <= delta_max + _EPSILON:
+                    yield tuple(assignment), score  # type: ignore[arg-type]
+                return
+            parent = ctx.parents[depth]
+            parent_target = assignment[parent] if parent is not None else None
+            structure_so_far = ctx.structure_share * violations
+            for target in ctx.candidates[depth]:
+                if target in used:
+                    continue
+                cost = ctx.costs[depth][target]
+                base_bound = (
+                    ctx.element_share
+                    * (cost_sum + cost + ctx.min_rest[depth + 1])
+                    + structure_so_far
+                )
+                if base_bound > cutoff:
+                    break  # candidates are cost-sorted; the rest only worse
+                new_violations = violations
+                if parent_target is not None and not ctx.schema.is_ancestor(
+                    parent_target, target
+                ):
+                    new_violations += 1
+                    if base_bound + ctx.structure_share > cutoff:
+                        continue  # violation pushed this one out; others may fit
+                assignment[depth] = target
+                used.add(target)
+                yield from recurse(depth + 1, cost_sum + cost, new_violations)
+                used.discard(target)
+                assignment[depth] = None
+
+        yield from recurse(0, 0.0, 0)
+
+    # -- beam search ---------------------------------------------------------
+
+    def beam(
+        self, delta_max: float, beam_width: int
+    ) -> Iterator[tuple[tuple[int, ...], float]]:
+        """iMAP-style beam search: keep the ``beam_width`` most promising
+        partial assignments per query element.
+
+        Returned mappings score with the shared objective, so the result
+        is always a subset of :meth:`exhaustive` at the same threshold.
+        """
+        if beam_width < 1:
+            raise MatchingError(f"beam width must be >= 1, got {beam_width}")
+        ctx = self._context
+        if ctx is None:
+            return
+        cutoff = delta_max + _EPSILON
+        k = len(ctx.query)
+        # state: (bound, assignment tuple, used frozenset, cost_sum, violations)
+        states: list[tuple[float, tuple[int, ...], frozenset[int], float, int]] = [
+            (ctx.element_share * ctx.min_rest[0], (), frozenset(), 0.0, 0)
+        ]
+        for depth in range(k):
+            expansions: list[
+                tuple[float, tuple[int, ...], frozenset[int], float, int]
+            ] = []
+            parent = ctx.parents[depth]
+            for bound, assignment, used, cost_sum, violations in states:
+                parent_target = assignment[parent] if parent is not None else None
+                structure_so_far = ctx.structure_share * violations
+                for target in ctx.candidates[depth]:
+                    if target in used:
+                        continue
+                    cost = ctx.costs[depth][target]
+                    base_bound = (
+                        ctx.element_share
+                        * (cost_sum + cost + ctx.min_rest[depth + 1])
+                        + structure_so_far
+                    )
+                    if base_bound > cutoff:
+                        break
+                    new_violations = violations
+                    new_bound = base_bound
+                    if parent_target is not None and not ctx.schema.is_ancestor(
+                        parent_target, target
+                    ):
+                        new_violations += 1
+                        new_bound += ctx.structure_share
+                        if new_bound > cutoff:
+                            continue
+                    expansions.append(
+                        (
+                            new_bound,
+                            assignment + (target,),
+                            used | {target},
+                            cost_sum + cost,
+                            new_violations,
+                        )
+                    )
+            if not expansions:
+                return
+            states = heapq.nsmallest(beam_width, expansions, key=lambda s: s[0])
+        for _bound, assignment, _used, cost_sum, violations in states:
+            score = self.objective.combine(
+                cost_sum, k, (violations / ctx.num_edges) if ctx.num_edges else 0.0
+            )
+            if score <= delta_max + _EPSILON:
+                yield assignment, score

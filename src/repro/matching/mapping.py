@@ -1,0 +1,102 @@
+"""Schema mappings: the elements of the search space (paper section 2.1).
+
+"A schema mapping maps each element of a user-defined schema onto one
+element in the repository."  Here a :class:`Mapping` assigns every
+element of the personal (query) schema to a distinct element of a single
+repository schema — the personal-schema-querying setting of the authors'
+DEXA'05 formalisation, where a query is answered from one source schema
+at a time.
+
+Mappings are hashable values; their identity is the pair (query schema
+id, tuple of target element keys), which is what makes answer sets of
+different systems comparable (the subset property checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MatchingError
+from repro.schema.model import Schema
+from repro.schema.repository import ElementHandle
+
+__all__ = ["Mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """An assignment of all query elements to elements of one repo schema.
+
+    ``targets[i]`` is the image of the query element with pre-order id
+    ``i``.  All targets live in the same repository schema and are
+    pairwise distinct (injectivity), both enforced at construction.
+    """
+
+    query_schema_id: str
+    targets: tuple[ElementHandle, ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise MatchingError("a mapping needs at least one target")
+        schema_ids = {t.schema.schema_id for t in self.targets}
+        if len(schema_ids) != 1:
+            raise MatchingError(
+                f"mapping spans repository schemas {sorted(schema_ids)}; "
+                "a mapping must stay within one schema"
+            )
+        ids = [t.element_id for t in self.targets]
+        if len(set(ids)) != len(ids):
+            raise MatchingError(
+                "mapping assigns two query elements to the same target "
+                f"(element ids {ids})"
+            )
+
+    @property
+    def target_schema(self) -> Schema:
+        return self.targets[0].schema
+
+    @property
+    def target_ids(self) -> tuple[int, ...]:
+        return tuple(t.element_id for t in self.targets)
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity used across systems."""
+        return (
+            self.query_schema_id,
+            self.target_schema.schema_id,
+            self.target_ids,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self.key == other.key
+
+    def describe(self, query: Schema) -> str:
+        """Human-readable pairing, one query element per line."""
+        if query.schema_id != self.query_schema_id:
+            raise MatchingError(
+                f"mapping belongs to query {self.query_schema_id!r}, "
+                f"not {query.schema_id!r}"
+            )
+        if len(query) != len(self.targets):
+            raise MatchingError(
+                f"mapping has {len(self.targets)} targets but the query has "
+                f"{len(query)} elements"
+            )
+        lines = []
+        for element_id in range(len(query)):
+            source = query.path_string(element_id)
+            target = self.targets[element_id]
+            lines.append(f"  {source}  ->  {target.path_string()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mapping({self.query_schema_id!r} -> "
+            f"{self.target_schema.schema_id!r}:{self.target_ids})"
+        )

@@ -1,0 +1,154 @@
+"""The objective function Δ (paper section 2.1).
+
+Δ "computes how different two schemas are": lower is better, and the
+answer set at threshold δ is everything scoring at most δ.  The cost of a
+mapping combines
+
+* per-element cost — name dissimilarity blended with a datatype penalty,
+  averaged over the query elements, and
+* structure cost — the fraction of query parent/child edges whose
+  ancestry the mapping does not preserve,
+
+yielding a score in [0, 1].  Everything the bounds technique assumes
+hangs on S1 and S2 sharing this function, so :class:`ObjectiveFunction`
+carries a configuration fingerprint and an equality check that matchers
+use to refuse mixed-objective analyses
+(:class:`~repro.errors.ObjectiveMismatchError`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import MatchingError, ObjectiveMismatchError
+from repro.matching.mapping import Mapping
+from repro.matching.similarity.datatype import datatype_penalty
+from repro.matching.similarity.name import NameSimilarity
+from repro.matching.similarity.structure import ancestry_violations, query_edges
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.repository import ElementHandle
+
+__all__ = ["ObjectiveWeights", "ObjectiveFunction"]
+
+# Scores are rounded so that algebraically identical costs computed along
+# different code paths (exhaustive vs beam vs clustering) compare equal.
+_SCORE_DECIMALS = 9
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Relative weights of the objective's components.
+
+    ``name`` and ``datatype`` weigh the two parts of the per-element
+    cost (normalised internally); ``structure`` in [0, 1) is the share of
+    the total cost charged to ancestry violations.
+    """
+
+    name: float = 0.8
+    datatype: float = 0.2
+    structure: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.name < 0 or self.datatype < 0:
+            raise MatchingError("component weights must be non-negative")
+        if self.name + self.datatype <= 0:
+            raise MatchingError("name + datatype weight must be positive")
+        if not 0 <= self.structure < 1:
+            raise MatchingError(
+                f"structure weight must be in [0, 1), got {self.structure!r}"
+            )
+
+
+class ObjectiveFunction:
+    """Δ: mapping -> [0, 1]; shared by the original system and improvements."""
+
+    def __init__(
+        self,
+        name_similarity: NameSimilarity,
+        weights: ObjectiveWeights | None = None,
+    ):
+        self.name_similarity = name_similarity
+        self.weights = weights or ObjectiveWeights()
+        total = self.weights.name + self.weights.datatype
+        self._name_share = self.weights.name / total
+        self._datatype_share = self.weights.datatype / total
+
+    def fingerprint(self) -> str:
+        """Configuration identity string.
+
+        Two matchers share an objective function exactly when their
+        fingerprints are equal; the bounds pipeline enforces this.
+        """
+        return (
+            f"delta(name={self._name_share:.4f},dt={self._datatype_share:.4f},"
+            f"struct={self.weights.structure:.4f};"
+            f"{self.name_similarity.fingerprint()})"
+        )
+
+    def check_same_as(self, other: "ObjectiveFunction") -> None:
+        """Raise :class:`ObjectiveMismatchError` unless configured identically."""
+        if self.fingerprint() != other.fingerprint():
+            raise ObjectiveMismatchError(
+                "systems do not share an objective function:\n"
+                f"  {self.fingerprint()}\n  {other.fingerprint()}"
+            )
+
+    # -- element level -----------------------------------------------------
+
+    def element_cost(self, query_element: SchemaElement, target: ElementHandle) -> float:
+        """Cost in [0, 1] of mapping one query element onto one target."""
+        name_cost = 1.0 - self.name_similarity.similarity(
+            query_element.name, target.name
+        )
+        type_cost = datatype_penalty(query_element.datatype, target.datatype)
+        return self._name_share * name_cost + self._datatype_share * type_cost
+
+    def cost_matrix(self, query: Schema, target_schema: Schema) -> list[list[float]]:
+        """``matrix[i][j]`` = element cost of query element i on target j."""
+        elements = query.elements()
+        targets = [
+            ElementHandle(target_schema, j) for j in range(len(target_schema))
+        ]
+        return [
+            [self.element_cost(element, target) for target in targets]
+            for element in elements
+        ]
+
+    # -- mapping level -------------------------------------------------------
+
+    def structure_cost(
+        self, query: Schema, target_schema: Schema, target_ids: Sequence[int]
+    ) -> float:
+        """Fraction of query edges violated by a full assignment."""
+        edges = query_edges(query)
+        if not edges:
+            return 0.0
+        violations, decided = ancestry_violations(query, target_schema, target_ids)
+        if decided != len(edges):
+            raise MatchingError("structure cost of a full mapping needs all targets")
+        return violations / len(edges)
+
+    def combine(
+        self, element_cost_sum: float, query_size: int, structure_cost: float
+    ) -> float:
+        """Total Δ from the two aggregated components (shared by all matchers)."""
+        sw = self.weights.structure
+        average = element_cost_sum / query_size
+        return round((1.0 - sw) * average + sw * structure_cost, _SCORE_DECIMALS)
+
+    def mapping_cost(self, query: Schema, mapping: Mapping) -> float:
+        """Δ of a complete mapping (the canonical scoring entry point)."""
+        if len(mapping.targets) != len(query):
+            raise MatchingError(
+                f"mapping has {len(mapping.targets)} targets for a query of "
+                f"size {len(query)}"
+            )
+        element_sum = sum(
+            self.element_cost(query.element(i), mapping.targets[i])
+            for i in range(len(query))
+        )
+        structure = self.structure_cost(
+            query, mapping.target_schema, mapping.target_ids
+        )
+        return self.combine(element_sum, len(query), structure)

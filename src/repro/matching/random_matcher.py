@@ -1,0 +1,104 @@
+"""Concrete random-subset systems (section 3.4 made executable).
+
+The paper's ``S_random`` is hypothetical — it exists to *compute* a
+curve, not to run.  On the synthetic testbed we can actually run it:
+:func:`random_subset_like` draws, per increment, a uniform subset of the
+original system's answers of exactly the size the studied improvement
+produced.  Judging such runs validates Equations 9-10 empirically (the
+measured P/R of random subsets concentrates around the computed random
+curve) and supplies adversary-free test material for the containment
+property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.answers import AnswerSet
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+from repro.util import rng as rng_util
+
+__all__ = ["random_subset_like", "worst_case_subset", "best_case_subset"]
+
+
+def _increment_targets(
+    original: AnswerSet, schedule: ThresholdSchedule, target_sizes: Sequence[int]
+) -> list[tuple[AnswerSet, int]]:
+    ThresholdSchedule.validate_alignment(schedule, target_sizes, "target_sizes")
+    out = []
+    previous_size = 0
+    for (low, high), size in zip(schedule.increments(), target_sizes):
+        increment = original.increment(low, high)
+        keep = size - previous_size
+        if keep < 0:
+            raise BoundsError("target sizes must be non-decreasing")
+        if keep > len(increment):
+            raise BoundsError(
+                f"cannot keep {keep} answers from an increment of "
+                f"{len(increment)}"
+            )
+        out.append((increment, keep))
+        previous_size = size
+    return out
+
+
+def random_subset_like(
+    original: AnswerSet,
+    schedule: ThresholdSchedule,
+    target_sizes: Sequence[int],
+    seed: int,
+) -> AnswerSet:
+    """A run of ``S_random``: per-increment uniform subsets of S1's answers.
+
+    ``target_sizes[i]`` is the cumulative answer count the subset must
+    reach at ``schedule[i]`` — i.e. the size profile of the improvement
+    the random system is being matched against.
+    """
+    generator = rng_util.make_tagged(seed)
+    kept = []
+    for index, (increment, keep) in enumerate(
+        _increment_targets(original, schedule, target_sizes)
+    ):
+        child = rng_util.derive(generator, "increment", index)
+        kept.extend(child.sample(list(increment.answers()), keep))
+    return AnswerSet(kept)
+
+
+def worst_case_subset(
+    original: AnswerSet,
+    schedule: ThresholdSchedule,
+    target_sizes: Sequence[int],
+    ground_truth: frozenset,
+) -> AnswerSet:
+    """The adversarial subset: per increment, drop correct answers first.
+
+    Realises the paper's worst case exactly (an oracle adversary), so the
+    measured P/R of this subset must coincide with the worst-case bound —
+    the tightness half of the soundness tests.
+    """
+    kept = []
+    for increment, keep in _increment_targets(original, schedule, target_sizes):
+        answers = sorted(
+            increment.answers(),
+            key=lambda a: (a.item in ground_truth, a.score),
+        )
+        kept.extend(answers[:keep])
+    return AnswerSet(kept)
+
+
+def best_case_subset(
+    original: AnswerSet,
+    schedule: ThresholdSchedule,
+    target_sizes: Sequence[int],
+    ground_truth: frozenset,
+) -> AnswerSet:
+    """The benevolent subset: per increment, keep correct answers first."""
+    kept = []
+    for increment, keep in _increment_targets(original, schedule, target_sizes):
+        answers = sorted(
+            increment.answers(),
+            key=lambda a: (a.item not in ground_truth, a.score),
+        )
+        kept.extend(answers[:keep])
+    return AnswerSet(kept)

@@ -1,0 +1,51 @@
+"""Matcher registry: build systems by name.
+
+Central place mapping system names to constructors, used by the CLI and
+the experiment configs so that a run is fully described by plain data
+(name + parameter dict).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import MatchingError
+from repro.matching.base import Matcher
+from repro.matching.beam import BeamMatcher
+from repro.matching.clustering import ClusteringMatcher
+from repro.matching.exhaustive import ExhaustiveMatcher
+from repro.matching.hybrid import HybridMatcher
+from repro.matching.objective import ObjectiveFunction
+from repro.matching.topk import TopKCandidateMatcher
+
+__all__ = ["available_matchers", "make_matcher"]
+
+_FACTORIES: dict[str, Callable[..., Matcher]] = {
+    "exhaustive": ExhaustiveMatcher,
+    "beam": BeamMatcher,
+    "clustering": ClusteringMatcher,
+    "topk": TopKCandidateMatcher,
+    "hybrid": HybridMatcher,
+}
+
+
+def available_matchers() -> list[str]:
+    """Names accepted by :func:`make_matcher`."""
+    return sorted(_FACTORIES)
+
+
+def make_matcher(
+    name: str, objective: ObjectiveFunction, **params: object
+) -> Matcher:
+    """Instantiate a matcher by name with keyword parameters.
+
+    All matchers built against the *same* ``objective`` instance satisfy
+    the shared-objective precondition by construction.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise MatchingError(
+            f"unknown matcher {name!r}; available: {', '.join(available_matchers())}"
+        ) from None
+    return factory(objective, **params)

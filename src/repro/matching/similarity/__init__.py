@@ -1,0 +1,23 @@
+"""Element-level similarity heuristics feeding the objective function.
+
+Split by evidence source, mirroring the layering of the matchers the
+paper builds on (Cupid, COMA, iMAP):
+
+* :mod:`~repro.matching.similarity.name` — lexical + thesaurus name
+  similarity;
+* :mod:`~repro.matching.similarity.datatype` — datatype compatibility
+  penalties;
+* :mod:`~repro.matching.similarity.structure` — ancestry preservation of
+  whole mappings.
+"""
+
+from repro.matching.similarity.datatype import datatype_penalty
+from repro.matching.similarity.name import NameSimilarity, Thesaurus
+from repro.matching.similarity.structure import ancestry_violations
+
+__all__ = [
+    "NameSimilarity",
+    "Thesaurus",
+    "ancestry_violations",
+    "datatype_penalty",
+]

@@ -1,0 +1,49 @@
+"""Datatype compatibility penalties.
+
+A small symmetric penalty matrix over the coarse
+:class:`~repro.schema.model.Datatype` set: identical types cost nothing,
+related families little, leaf-vs-container a lot.  The numbers follow the
+usual matcher intuition (COMA's datatype similarity tables) rather than
+any formal semantics — their only role is to make the objective function
+prefer type-plausible mappings.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import Datatype
+
+__all__ = ["datatype_penalty"]
+
+_NUMERIC = frozenset({Datatype.INTEGER, Datatype.DECIMAL})
+_TEXTUAL = frozenset({Datatype.STRING, Datatype.IDENTIFIER})
+
+# Asymmetric cases are listed once; lookup symmetrises.
+_SPECIAL: dict[frozenset[Datatype], float] = {
+    frozenset({Datatype.INTEGER, Datatype.DECIMAL}): 0.10,
+    frozenset({Datatype.STRING, Datatype.IDENTIFIER}): 0.20,
+    frozenset({Datatype.STRING, Datatype.DATE}): 0.35,
+    frozenset({Datatype.IDENTIFIER, Datatype.INTEGER}): 0.30,
+    frozenset({Datatype.STRING, Datatype.INTEGER}): 0.40,
+    frozenset({Datatype.STRING, Datatype.DECIMAL}): 0.40,
+    frozenset({Datatype.STRING, Datatype.BOOLEAN}): 0.45,
+}
+
+_CONTAINER_LEAF_PENALTY = 0.80
+_DEFAULT_PENALTY = 0.50
+
+
+def datatype_penalty(a: Datatype, b: Datatype) -> float:
+    """Penalty in [0, 1] for mapping an element of type ``a`` onto ``b``.
+
+    0 means fully compatible; 1 would mean impossible (never returned —
+    matchers stay soft, the objective threshold does the cutting).
+    """
+    if a is b:
+        return 0.0
+    pair = frozenset({a, b})
+    special = _SPECIAL.get(pair)
+    if special is not None:
+        return special
+    if Datatype.COMPLEX in pair:
+        return _CONTAINER_LEAF_PENALTY
+    return _DEFAULT_PENALTY

@@ -1,0 +1,57 @@
+"""Structural similarity of mappings: ancestry preservation.
+
+The authors' constraint-optimisation formulation treats a personal schema
+as a tree pattern to be embedded in a repository schema.  The soft
+structural criterion used here: for every parent/child edge of the query
+schema, the target of the parent should be a *proper ancestor* of the
+target of the child (intermediate elements are allowed, as in tree
+embedding).  The objective charges the fraction of violated edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import MatchingError
+from repro.schema.model import Schema
+
+__all__ = ["query_edges", "ancestry_violations"]
+
+
+def query_edges(query: Schema) -> list[tuple[int, int]]:
+    """(parent_id, child_id) pairs of the query schema, in pre-order."""
+    edges = []
+    for element_id in range(len(query)):
+        parent = query.parent_id(element_id)
+        if parent is not None:
+            edges.append((parent, element_id))
+    return edges
+
+
+def ancestry_violations(
+    query: Schema, target_schema: Schema, target_ids: Sequence[int]
+) -> tuple[int, int]:
+    """Count violated query edges under a (possibly partial) assignment.
+
+    ``target_ids[i]`` is the target of query element ``i`` or ``None``
+    for still-unassigned elements (partial mappings during search).
+    Returns ``(violations, decided_edges)`` where only edges with both
+    endpoints assigned are decided — the basis of the admissible
+    branch-and-bound lower bound (violations can only grow).
+    """
+    if len(target_ids) != len(query):
+        raise MatchingError(
+            f"assignment has {len(target_ids)} entries for a query of size "
+            f"{len(query)}"
+        )
+    violations = 0
+    decided = 0
+    for parent_id, child_id in query_edges(query):
+        target_parent = target_ids[parent_id]
+        target_child = target_ids[child_id]
+        if target_parent is None or target_child is None:
+            continue
+        decided += 1
+        if not target_schema.is_ancestor(target_parent, target_child):
+            violations += 1
+    return violations, decided

@@ -1,0 +1,52 @@
+"""XML-schema substrate: tree-structured schemas, a textual format, a
+synthetic repository generator and mutation operators.
+
+The paper's experiments match a small *personal schema* against a large
+repository of XML schemas.  Neither the authors' repository nor a public
+equivalent is available offline, so this subpackage provides a synthetic
+but realistic substitute:
+
+* :mod:`repro.schema.model` — the schema tree (:class:`SchemaElement`,
+  :class:`Schema`) with *concept provenance*: every element remembers the
+  domain concept it denotes, which later powers the simulated human judge.
+* :mod:`repro.schema.parser` — a small indentation-based text format so
+  schemas can be written by hand, stored and diffed.
+* :mod:`repro.schema.vocabulary` — domain vocabularies (bibliography,
+  commerce, medical, university) with synonym/abbreviation surface forms.
+* :mod:`repro.schema.generator` — seeded generator producing repositories
+  of schemas over those vocabularies.
+* :mod:`repro.schema.mutations` — name/structure mutation operators used
+  to derive personal schemas from repository subtrees (the "synthetic
+  scenarios" idea of Sayyadian et al. that the paper cites).
+* :mod:`repro.schema.repository` — a queryable collection of schemas.
+"""
+
+from repro.schema.model import Datatype, Schema, SchemaElement
+from repro.schema.parser import parse_schema, serialize_schema
+from repro.schema.repository import SchemaRepository
+from repro.schema.stats import describe_repository, lexical_stats
+from repro.schema.vocabulary import (
+    Concept,
+    Vocabulary,
+    all_domains,
+    builtin_domains,
+    extended_domains,
+    get_domain,
+)
+
+__all__ = [
+    "Datatype",
+    "Schema",
+    "SchemaElement",
+    "SchemaRepository",
+    "Concept",
+    "Vocabulary",
+    "all_domains",
+    "builtin_domains",
+    "describe_repository",
+    "extended_domains",
+    "get_domain",
+    "lexical_stats",
+    "parse_schema",
+    "serialize_schema",
+]

@@ -1,0 +1,192 @@
+"""Seeded synthetic schema-repository generator.
+
+Builds repositories of tree-structured schemas over the built-in domain
+vocabularies.  Two properties matter for the reproduction:
+
+* **Lexical variety** — the same concept appears under different surface
+  forms/styles in different schemas, so name matching is genuinely hard
+  (this is what makes the exhaustive matcher's P/R curve fall below 1).
+* **Concept provenance** — every generated element records its concept,
+  so the simulated judge can later decide correctness of any mapping.
+
+Everything is driven by an explicit seed; the same
+:class:`GeneratorConfig` always produces the identical repository.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.mutations import MutationConfig, NameStyler, mutate_name
+from repro.schema.repository import SchemaRepository
+from repro.schema.vocabulary import Concept, Vocabulary, builtin_domains, get_domain
+from repro.util import rng as rng_util
+
+__all__ = ["GeneratorConfig", "SchemaGenerator", "generate_repository"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of repository generation.
+
+    Parameters
+    ----------
+    num_schemas:
+        Number of schemas in the repository.
+    min_size / max_size:
+        Soft bounds on the element count: the size target is drawn from
+        this range, but a tree may stop early when its concepts run out
+        of children, and containers always complete one mandatory child
+        (plus possible noise leaves) past an exhausted budget.
+    domains:
+        Domain names to draw from; schemas are assigned domains
+        round-robin so every domain is represented.
+    child_probability:
+        Chance that an eligible child concept of a container is included.
+    repeat_probability:
+        Chance that an included child container is instantiated twice
+        (models repeated elements such as several ``author``s).
+    noise_probability:
+        Chance of injecting a cross-domain noise leaf into a container,
+        which creates plausible-but-wrong lexical matches.
+    seed:
+        Root seed; all randomness derives from it.
+    """
+
+    num_schemas: int = 40
+    min_size: int = 12
+    max_size: int = 40
+    domains: tuple[str, ...] = ("bibliography", "commerce", "medical", "university")
+    child_probability: float = 0.8
+    repeat_probability: float = 0.12
+    noise_probability: float = 0.06
+    max_depth: int = 6
+    mutation: MutationConfig = field(default_factory=MutationConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_schemas < 1:
+            raise SchemaError("num_schemas must be >= 1")
+        if not 1 <= self.min_size <= self.max_size:
+            raise SchemaError(
+                f"need 1 <= min_size <= max_size, got {self.min_size}..{self.max_size}"
+            )
+        if not self.domains:
+            raise SchemaError("at least one domain is required")
+        for name in self.domains:
+            get_domain(name)  # validates
+
+
+class SchemaGenerator:
+    """Generates individual schemas and whole repositories."""
+
+    def __init__(self, config: GeneratorConfig | None = None):
+        self.config = config or GeneratorConfig()
+        self._domains = {name: get_domain(name) for name in self.config.domains}
+
+    def generate_schema(self, schema_id: str, domain: str, seed: int) -> Schema:
+        """Generate one schema of the given domain from an explicit seed."""
+        vocabulary = self._domains.get(domain) or get_domain(domain)
+        generator = rng_util.make_tagged(seed)
+        size_target = generator.randint(self.config.min_size, self.config.max_size)
+        styler = NameStyler.random(generator)
+        root_concept = vocabulary.concept(generator.choice(vocabulary.roots))
+        budget = [size_target]
+        root = self._build_element(
+            generator, vocabulary, root_concept, styler, budget, depth=0
+        )
+        return Schema(schema_id, root)
+
+    def _build_element(
+        self,
+        generator: random.Random,
+        vocabulary: Vocabulary,
+        concept: Concept,
+        styler: NameStyler,
+        budget: list[int],
+        depth: int,
+    ) -> SchemaElement:
+        budget[0] -= 1
+        name = mutate_name(
+            generator,
+            concept.surface_forms[0],
+            concept.name,
+            vocabulary,
+            self.config.mutation,
+            styler,
+        )
+        element = SchemaElement(
+            name=name, datatype=concept.datatype, concept=concept.name
+        )
+        if depth >= self.config.max_depth or not concept.children:
+            return element
+
+        child_names = list(concept.children)
+        generator.shuffle(child_names)
+        included: list[Concept] = []
+        for child_name in child_names:
+            child = vocabulary.concept(child_name)
+            if generator.random() < self.config.child_probability:
+                included.append(child)
+                if (
+                    child.is_container
+                    and generator.random() < self.config.repeat_probability
+                ):
+                    included.append(child)
+        if not included:  # a container must contain something
+            included.append(vocabulary.concept(generator.choice(child_names)))
+
+        for child in included:
+            if budget[0] <= 0:
+                break
+            element.add_child(
+                self._build_element(
+                    generator, vocabulary, child, styler, budget, depth + 1
+                )
+            )
+        if not element.children:
+            # Budget exhausted before any child was added; keep the tree
+            # well-formed by adding the first mandatory child anyway.
+            element.add_child(
+                self._build_element(
+                    generator, vocabulary, included[0], styler, budget, depth + 1
+                )
+            )
+        if generator.random() < self.config.noise_probability:
+            element.add_child(self._noise_leaf(generator))
+        return element
+
+    def _noise_leaf(self, generator: random.Random) -> SchemaElement:
+        """A leaf borrowed from a different domain (no concept recorded).
+
+        Noise elements have ``concept=None`` so the judge never counts a
+        mapping onto them as correct, yet their names can fool a lexical
+        matcher — precisely the false-positive source real schemas have.
+        """
+        other_domains = [
+            v for name, v in builtin_domains().items() if name not in self._domains
+        ] or list(self._domains.values())
+        vocabulary = generator.choice(other_domains)
+        concept = generator.choice(vocabulary.leaves())
+        name = generator.choice(concept.all_forms())
+        return SchemaElement(name=name, datatype=concept.datatype, concept=None)
+
+    def generate_repository(self, repository_id: str = "synthetic") -> SchemaRepository:
+        """Generate the full repository described by the config."""
+        schemas: list[Schema] = []
+        domains = list(self.config.domains)
+        for i in range(self.config.num_schemas):
+            domain = domains[i % len(domains)]
+            seed = rng_util.seed_from(self.config.seed, "schema", i, domain)
+            schemas.append(self.generate_schema(f"{domain}-{i:03d}", domain, seed))
+        return SchemaRepository(repository_id, schemas)
+
+
+def generate_repository(
+    config: GeneratorConfig | None = None, repository_id: str = "synthetic"
+) -> SchemaRepository:
+    """Convenience wrapper: ``SchemaGenerator(config).generate_repository()``."""
+    return SchemaGenerator(config).generate_repository(repository_id)

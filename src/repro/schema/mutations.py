@@ -1,0 +1,256 @@
+"""Mutation operators over schema names and trees.
+
+These operators serve two roles:
+
+1. **Repository realism** — the generator renders each concept through a
+   :class:`NameStyler` so the same concept appears as ``lastName``,
+   ``last_name`` or ``SURNAME`` in different schemas.
+2. **Synthetic scenarios** — personal schemas are derived from repository
+   subtrees by semantic-preserving mutations (synonym swap, abbreviation,
+   typo, subtree drop, flattening), following the synthetic-scenario idea
+   of Sayyadian et al. (VLDB'05) that the paper cites as the standard way
+   to obtain ground truth without human judges: because mutations preserve
+   the ``concept`` provenance, every derived element's correct targets are
+   known by construction.
+
+All operators are pure: they return new elements/trees and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.vocabulary import Vocabulary
+from repro.util import rng as rng_util
+from repro.util.text import tokenize_label
+
+__all__ = [
+    "NameStyler",
+    "apply_typo",
+    "abbreviate_tokens",
+    "MutationConfig",
+    "mutate_name",
+    "mutate_subtree",
+    "extract_personal_schema",
+]
+
+_STYLES = ("camel", "snake", "kebab", "plain", "upper")
+
+
+@dataclass(frozen=True)
+class NameStyler:
+    """Renders a token list in one of the usual schema naming styles."""
+
+    style: str = "kebab"
+
+    def __post_init__(self) -> None:
+        if self.style not in _STYLES:
+            raise SchemaError(
+                f"unknown naming style {self.style!r}; expected one of {_STYLES}"
+            )
+
+    @classmethod
+    def random(cls, generator: random.Random) -> "NameStyler":
+        return cls(generator.choice(_STYLES))
+
+    def render(self, label: str) -> str:
+        """Re-render a (possibly multi-word) label in this style."""
+        tokens = tokenize_label(label)
+        if not tokens:
+            return label
+        if self.style == "camel":
+            return tokens[0] + "".join(t.capitalize() for t in tokens[1:])
+        if self.style == "snake":
+            return "_".join(tokens)
+        if self.style == "kebab":
+            return "-".join(tokens)
+        if self.style == "upper":
+            return "_".join(t.upper() for t in tokens)
+        return "".join(tokens)  # plain concatenation
+
+
+def apply_typo(generator: random.Random, name: str) -> str:
+    """Introduce a single realistic typo (swap, drop or double a letter).
+
+    Names of length < 4 are returned unchanged — a typo in a very short
+    name produces a different word, not a misspelling.
+    """
+    if len(name) < 4:
+        return name
+    kind = generator.choice(("swap", "drop", "double"))
+    pos = generator.randrange(1, len(name) - 1)
+    if kind == "swap":
+        chars = list(name)
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+        return "".join(chars)
+    if kind == "drop":
+        return name[:pos] + name[pos + 1 :]
+    return name[:pos] + name[pos] + name[pos:]
+
+
+def abbreviate_tokens(label: str, keep: int = 4) -> str:
+    """Crude consonant-biased abbreviation of each token (``quantity``→``qnty``)."""
+    tokens = tokenize_label(label)
+    out = []
+    for token in tokens:
+        if len(token) <= keep:
+            out.append(token)
+            continue
+        head, rest = token[0], token[1:]
+        consonants = [ch for ch in rest if ch not in "aeiou"]
+        short = (head + "".join(consonants))[:keep]
+        out.append(short if len(short) >= 2 else token[:keep])
+    return " ".join(out)
+
+
+@dataclass(frozen=True)
+class MutationConfig:
+    """Probabilities for the individual name-mutation operators.
+
+    The defaults are tuned so that derived names stay recognisable to a
+    lexical matcher most of the time but are renamed beyond lexical reach
+    (synonym from the vocabulary) often enough to make matching imperfect.
+    """
+
+    synonym_probability: float = 0.45
+    abbreviation_probability: float = 0.15
+    typo_probability: float = 0.08
+    restyle_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "synonym_probability",
+            "abbreviation_probability",
+            "typo_probability",
+            "restyle_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise SchemaError(f"{field_name} must be in [0, 1], got {value!r}")
+
+
+def mutate_name(
+    generator: random.Random,
+    name: str,
+    concept: str | None,
+    vocabulary: Vocabulary | None,
+    config: MutationConfig = MutationConfig(),
+    styler: NameStyler | None = None,
+) -> str:
+    """Produce a mutated surface form for an element.
+
+    Mutations are applied independently: synonym replacement (needs the
+    concept + vocabulary), abbreviation, typo, and re-styling.
+    """
+    if (
+        vocabulary is not None
+        and concept is not None
+        and concept in vocabulary
+        and generator.random() < config.synonym_probability
+    ):
+        name = generator.choice(vocabulary.synonyms_of(concept))
+    if generator.random() < config.abbreviation_probability:
+        name = abbreviate_tokens(name)
+    if generator.random() < config.typo_probability:
+        name = apply_typo(generator, name)
+    if styler is None and generator.random() < config.restyle_probability:
+        styler = NameStyler.random(generator)
+    if styler is not None:
+        name = styler.render(name)
+    return name
+
+
+def mutate_subtree(
+    generator: random.Random,
+    element: SchemaElement,
+    vocabulary: Vocabulary | None,
+    config: MutationConfig = MutationConfig(),
+    drop_probability: float = 0.2,
+    min_children_kept: int = 1,
+    styler: NameStyler | None = None,
+) -> SchemaElement:
+    """Copy a subtree while mutating names and randomly dropping children.
+
+    Dropping never removes the subtree root and keeps at least
+    ``min_children_kept`` children of any node that had children (an empty
+    personal schema is useless as a query).
+    """
+    new_name = mutate_name(
+        generator, element.name, element.concept, vocabulary, config, styler
+    )
+    root = SchemaElement(
+        name=new_name, datatype=element.datatype, concept=element.concept
+    )
+    children = list(element.children)
+    if children:
+        # Track children by identity: dataclass equality would conflate
+        # equal duplicate siblings (e.g. two identical 'author' leaves)
+        # and scramble their order.
+        position = {id(child): i for i, child in enumerate(children)}
+        kept = [c for c in children if generator.random() >= drop_probability]
+        while len(kept) < min(min_children_kept, len(children)):
+            kept_ids = {id(c) for c in kept}
+            candidates = [c for c in children if id(c) not in kept_ids]
+            kept.append(generator.choice(candidates))
+        kept.sort(key=lambda c: position[id(c)])
+        for child in kept:
+            root.add_child(
+                mutate_subtree(
+                    generator,
+                    child,
+                    vocabulary,
+                    config,
+                    drop_probability,
+                    min_children_kept,
+                    styler,
+                )
+            )
+    return root
+
+
+def extract_personal_schema(
+    generator: random.Random,
+    source: Schema,
+    vocabulary: Vocabulary | None,
+    target_size: int = 4,
+    config: MutationConfig = MutationConfig(),
+    schema_id: str | None = None,
+) -> Schema:
+    """Derive a small personal schema from a repository schema.
+
+    Picks a subtree whose size is close to ``target_size``, then mutates it
+    (synonyms/abbreviations/typos/drops) while preserving concept
+    provenance.  The result is the "user-defined schema" of the paper's
+    matching problems; its correct mappings are recoverable because the
+    concepts survive mutation.
+    """
+    if target_size < 1:
+        raise SchemaError(f"target_size must be >= 1, got {target_size!r}")
+    candidates = [
+        element
+        for element in source
+        if 1 <= element.subtree_size() <= max(target_size * 2, 3)
+    ]
+    if not candidates:
+        candidates = list(source.elements())
+    # Prefer subtrees whose size is closest to the target.
+    best_distance = min(abs(c.subtree_size() - target_size) for c in candidates)
+    closest = [
+        c for c in candidates if abs(c.subtree_size() - target_size) == best_distance
+    ]
+    seed_element = generator.choice(closest)
+    child = rng_util.derive(generator, "personal", source.schema_id)
+    styler = NameStyler.random(child)
+    mutated = mutate_subtree(
+        child,
+        seed_element,
+        vocabulary,
+        config=config,
+        drop_probability=0.15 if seed_element.subtree_size() > target_size else 0.0,
+        styler=styler,
+    )
+    return Schema(schema_id or f"personal-from-{source.schema_id}", mutated)

@@ -1,0 +1,136 @@
+"""Textual schema format: parse and serialize.
+
+The format is indentation-based (two spaces per level), one element per
+line::
+
+    book
+      title : string
+      author : complex @ bib:author
+        first-name : string
+        last-name : string
+      year : integer
+
+Each line is ``name [: datatype] [@ concept]``.  Missing datatypes default
+to ``complex`` for elements with children and ``string`` for leaves.
+The format exists so test fixtures and examples can define schemas
+legibly; the synthetic generator builds :class:`~repro.schema.model.Schema`
+objects directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaParseError
+from repro.schema.model import Datatype, Schema, SchemaElement
+
+__all__ = ["parse_schema", "serialize_schema"]
+
+_INDENT = "  "
+
+
+def parse_schema(text: str, schema_id: str = "schema") -> Schema:
+    """Parse the textual format into a :class:`Schema`.
+
+    Raises :class:`~repro.errors.SchemaParseError` with a line number on
+    malformed input (bad indentation, multiple roots, empty input...).
+    """
+    entries: list[tuple[int, int, str]] = []  # (line_no, depth, body)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip() or raw.lstrip().startswith("#"):
+            continue
+        stripped = raw.lstrip(" ")
+        indent = len(raw) - len(stripped)
+        if "\t" in raw[: indent + 1]:
+            raise SchemaParseError("tabs are not allowed in indentation", line_no)
+        if indent % len(_INDENT) != 0:
+            raise SchemaParseError(
+                f"indentation must be a multiple of {len(_INDENT)} spaces", line_no
+            )
+        entries.append((line_no, indent // len(_INDENT), stripped.rstrip()))
+
+    if not entries:
+        raise SchemaParseError("schema text contains no elements")
+
+    first_line, first_depth, _ = entries[0]
+    if first_depth != 0:
+        raise SchemaParseError("the first element must not be indented", first_line)
+
+    root: SchemaElement | None = None
+    stack: list[SchemaElement] = []
+    explicit_type: dict[int, bool] = {}
+
+    for line_no, depth, body in entries:
+        element, had_type = _parse_line(body, line_no)
+        explicit_type[id(element)] = had_type
+        if depth == 0:
+            if root is not None:
+                raise SchemaParseError(
+                    "multiple root elements; a schema has exactly one root", line_no
+                )
+            root = element
+            stack = [element]
+            continue
+        if depth > len(stack):
+            raise SchemaParseError(
+                f"indentation jumped from depth {len(stack) - 1} to {depth}", line_no
+            )
+        del stack[depth:]
+        stack[-1].add_child(element)
+        stack.append(element)
+
+    assert root is not None  # guaranteed by the entries check above
+    _apply_default_datatypes(root, explicit_type)
+    return Schema(schema_id, root)
+
+
+def _parse_line(body: str, line_no: int) -> tuple[SchemaElement, bool]:
+    concept: str | None = None
+    if "@" in body:
+        body, _, concept_part = body.partition("@")
+        concept = concept_part.strip()
+        if not concept:
+            raise SchemaParseError("'@' must be followed by a concept name", line_no)
+    datatype = Datatype.STRING
+    had_type = False
+    if ":" in body:
+        name_part, _, type_part = body.partition(":")
+        type_token = type_part.strip()
+        if not type_token:
+            raise SchemaParseError("':' must be followed by a datatype", line_no)
+        try:
+            datatype = Datatype.parse(type_token)
+        except Exception as exc:
+            raise SchemaParseError(str(exc), line_no) from None
+        had_type = True
+    else:
+        name_part = body
+    name = name_part.strip()
+    if not name:
+        raise SchemaParseError("element name is empty", line_no)
+    return SchemaElement(name=name, datatype=datatype, concept=concept), had_type
+
+
+def _apply_default_datatypes(
+    root: SchemaElement, explicit_type: dict[int, bool]
+) -> None:
+    for element in root.walk():
+        if not explicit_type.get(id(element), False) and element.children:
+            element.datatype = Datatype.COMPLEX
+
+
+def serialize_schema(schema: Schema) -> str:
+    """Serialize to the textual format; inverse of :func:`parse_schema`."""
+    lines: list[str] = []
+
+    def emit(element: SchemaElement, depth: int) -> None:
+        body = element.name
+        default = Datatype.COMPLEX if element.children else Datatype.STRING
+        if element.datatype is not default:
+            body += f" : {element.datatype.value}"
+        if element.concept is not None:
+            body += f" @ {element.concept}"
+        lines.append(_INDENT * depth + body)
+        for child in element.children:
+            emit(child, depth + 1)
+
+    emit(schema.root, 0)
+    return "\n".join(lines) + "\n"

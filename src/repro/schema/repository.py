@@ -1,0 +1,137 @@
+"""Schema repository: the searchable collection the matchers run against.
+
+A :class:`SchemaRepository` is an immutable, indexed set of
+:class:`~repro.schema.model.Schema` objects.  Matchers address elements
+through :class:`ElementHandle` values — a (schema, element-id) pair with
+convenience accessors — which are hashable and cheap, so answer sets and
+mappings can be compared across systems.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.schema.model import Datatype, Schema, SchemaElement
+
+__all__ = ["ElementHandle", "SchemaRepository"]
+
+
+@dataclass(frozen=True)
+class ElementHandle:
+    """A stable reference to one element of one repository schema."""
+
+    schema: Schema
+    element_id: int
+
+    def __post_init__(self) -> None:
+        self.schema.element(self.element_id)  # bounds check
+
+    @property
+    def element(self) -> SchemaElement:
+        return self.schema.element(self.element_id)
+
+    @property
+    def name(self) -> str:
+        return self.element.name
+
+    @property
+    def datatype(self) -> Datatype:
+        return self.element.datatype
+
+    @property
+    def concept(self) -> str | None:
+        return self.element.concept
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Hashable identity ``(schema_id, element_id)``."""
+        return (self.schema.schema_id, self.element_id)
+
+    def path_string(self) -> str:
+        return f"{self.schema.schema_id}:{self.schema.path_string(self.element_id)}"
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ElementHandle):
+            return NotImplemented
+        return self.key == other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ElementHandle({self.schema.schema_id}:{self.element_id} {self.name!r})"
+
+
+class SchemaRepository:
+    """An immutable collection of schemas with element-level access."""
+
+    def __init__(self, repository_id: str, schemas: list[Schema]):
+        if not repository_id:
+            raise SchemaError("repository_id must be non-empty")
+        if not schemas:
+            raise SchemaError("a repository needs at least one schema")
+        self.repository_id = repository_id
+        self._schemas: dict[str, Schema] = {}
+        for schema in schemas:
+            if schema.schema_id in self._schemas:
+                raise SchemaError(
+                    f"duplicate schema id {schema.schema_id!r} in repository"
+                )
+            self._schemas[schema.schema_id] = schema
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __iter__(self) -> Iterator[Schema]:
+        return iter(self._schemas.values())
+
+    def __contains__(self, schema_id: str) -> bool:
+        return schema_id in self._schemas
+
+    def schema(self, schema_id: str) -> Schema:
+        try:
+            return self._schemas[schema_id]
+        except KeyError:
+            raise SchemaError(
+                f"repository {self.repository_id!r} has no schema {schema_id!r}"
+            ) from None
+
+    def schemas(self) -> list[Schema]:
+        return list(self._schemas.values())
+
+    def handle(self, schema_id: str, element_id: int) -> ElementHandle:
+        return ElementHandle(self.schema(schema_id), element_id)
+
+    def all_elements(self) -> Iterator[ElementHandle]:
+        """Every element of every schema, as handles."""
+        for schema in self._schemas.values():
+            for element_id in range(len(schema)):
+                yield ElementHandle(schema, element_id)
+
+    def element_count(self) -> int:
+        """Total number of elements across all schemas."""
+        return sum(len(schema) for schema in self._schemas.values())
+
+    def concept_index(self) -> dict[str, list[ElementHandle]]:
+        """Concept -> handles of all elements denoting it (oracle support)."""
+        index: dict[str, list[ElementHandle]] = {}
+        for handle in self.all_elements():
+            if handle.concept is not None:
+                index.setdefault(handle.concept, []).append(handle)
+        return index
+
+    def stats(self) -> dict[str, float]:
+        """Basic shape statistics (used in reports and tests)."""
+        sizes = [len(schema) for schema in self._schemas.values()]
+        leaves = sum(len(schema.leaves()) for schema in self._schemas.values())
+        return {
+            "schemas": float(len(sizes)),
+            "elements": float(sum(sizes)),
+            "min_size": float(min(sizes)),
+            "max_size": float(max(sizes)),
+            "mean_size": sum(sizes) / len(sizes),
+            "leaf_fraction": leaves / max(1, sum(sizes)),
+            "distinct_concepts": float(len(self.concept_index())),
+        }

@@ -1,0 +1,88 @@
+"""Repository statistics and lexical-diversity reports.
+
+Experiment write-ups need to characterise the synthetic collection the
+way the paper characterises its schema repositories: sizes, depth, how
+many distinct surface forms each concept appears under (the lexical
+spread that makes matching hard), and how many cross-domain homonyms
+exist (the false-friend source).  These functions compute those numbers;
+the workload documentation in EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.schema.repository import SchemaRepository
+from repro.util.text import normalise_label
+
+__all__ = ["LexicalStats", "lexical_stats", "depth_histogram", "describe_repository"]
+
+
+@dataclass(frozen=True)
+class LexicalStats:
+    """Lexical diversity of a repository's concept naming."""
+
+    distinct_concepts: int
+    mean_surface_forms_per_concept: float
+    max_surface_forms_per_concept: int
+    homonym_labels: int  # normalised labels used by more than one concept
+    unlabelled_elements: int  # noise elements without provenance
+
+
+def lexical_stats(repository: SchemaRepository) -> LexicalStats:
+    """Compute surface-form spread and homonymy over a repository."""
+    forms_per_concept: dict[str, set[str]] = {}
+    concepts_per_label: dict[str, set[str]] = {}
+    unlabelled = 0
+    for handle in repository.all_elements():
+        label = normalise_label(handle.name)
+        if handle.concept is None:
+            unlabelled += 1
+            continue
+        forms_per_concept.setdefault(handle.concept, set()).add(label)
+        concepts_per_label.setdefault(label, set()).add(handle.concept)
+    if not forms_per_concept:
+        return LexicalStats(0, 0.0, 0, 0, unlabelled)
+    counts = [len(forms) for forms in forms_per_concept.values()]
+    homonyms = sum(1 for concepts in concepts_per_label.values() if len(concepts) > 1)
+    return LexicalStats(
+        distinct_concepts=len(forms_per_concept),
+        mean_surface_forms_per_concept=sum(counts) / len(counts),
+        max_surface_forms_per_concept=max(counts),
+        homonym_labels=homonyms,
+        unlabelled_elements=unlabelled,
+    )
+
+
+def depth_histogram(repository: SchemaRepository) -> Counter:
+    """Element count per tree depth across the repository."""
+    histogram: Counter = Counter()
+    for schema in repository:
+        for element_id in range(len(schema)):
+            histogram[schema.depth(element_id)] += 1
+    return histogram
+
+
+def describe_repository(repository: SchemaRepository) -> str:
+    """A human-readable characterisation block (for reports)."""
+    base = repository.stats()
+    lexical = lexical_stats(repository)
+    depths = depth_histogram(repository)
+    max_depth = max(depths) if depths else 0
+    lines = [
+        f"repository {repository.repository_id!r}:",
+        f"  schemas             : {int(base['schemas'])}",
+        f"  elements            : {int(base['elements'])}"
+        f" (sizes {int(base['min_size'])}..{int(base['max_size'])},"
+        f" mean {base['mean_size']:.1f})",
+        f"  max depth           : {max_depth}",
+        f"  leaf fraction       : {base['leaf_fraction']:.2f}",
+        f"  distinct concepts   : {lexical.distinct_concepts}",
+        "  surface forms/conc. : "
+        f"mean {lexical.mean_surface_forms_per_concept:.2f},"
+        f" max {lexical.max_surface_forms_per_concept}",
+        f"  homonym labels      : {lexical.homonym_labels}",
+        f"  noise elements      : {lexical.unlabelled_elements}",
+    ]
+    return "\n".join(lines)

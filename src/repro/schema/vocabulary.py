@@ -1,0 +1,466 @@
+"""Domain vocabularies for synthetic schema generation.
+
+A :class:`Vocabulary` describes one application domain as a set of
+:class:`Concept` records.  Each concept knows:
+
+* its qualified name (``"bib:author"``) — the hidden semantic identity
+  that mutation operators preserve and the simulated judge compares;
+* surface forms — the names real schemas use for it (synonyms);
+* abbreviations — short forms (``"qty"`` for quantity);
+* a datatype for leaves;
+* which concepts may appear as its children (for containers).
+
+Four built-in domains (bibliography, commerce, medical, university) give
+the generator enough lexical and structural variety that name matching is
+non-trivial: different schemas over the same domain use different surface
+forms, which is exactly the situation schema matchers exist for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.model import Datatype
+
+__all__ = [
+    "Concept",
+    "Vocabulary",
+    "builtin_domains",
+    "extended_domains",
+    "all_domains",
+    "get_domain",
+]
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One domain concept with its surface vocabulary."""
+
+    name: str
+    surface_forms: tuple[str, ...]
+    datatype: Datatype = Datatype.STRING
+    abbreviations: tuple[str, ...] = ()
+    children: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.surface_forms:
+            raise SchemaError(f"concept {self.name!r} needs at least one surface form")
+
+    @property
+    def is_container(self) -> bool:
+        return bool(self.children)
+
+    def all_forms(self) -> tuple[str, ...]:
+        """Every name this concept may appear under."""
+        return self.surface_forms + self.abbreviations
+
+
+class Vocabulary:
+    """A named set of concepts with container/child structure."""
+
+    def __init__(self, domain: str, concepts: list[Concept], roots: list[str]):
+        self.domain = domain
+        self._concepts: dict[str, Concept] = {}
+        for concept in concepts:
+            if concept.name in self._concepts:
+                raise SchemaError(
+                    f"duplicate concept {concept.name!r} in domain {domain!r}"
+                )
+            self._concepts[concept.name] = concept
+        for concept in concepts:
+            for child in concept.children:
+                if child not in self._concepts:
+                    raise SchemaError(
+                        f"concept {concept.name!r} references unknown child {child!r}"
+                    )
+        self.roots = list(roots)
+        for root in self.roots:
+            if root not in self._concepts:
+                raise SchemaError(f"unknown root concept {root!r}")
+        if not self.roots:
+            raise SchemaError(f"domain {domain!r} needs at least one root concept")
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._concepts
+
+    def concept(self, name: str) -> Concept:
+        try:
+            return self._concepts[name]
+        except KeyError:
+            raise SchemaError(
+                f"domain {self.domain!r} has no concept {name!r}"
+            ) from None
+
+    def concepts(self) -> list[Concept]:
+        return list(self._concepts.values())
+
+    def containers(self) -> list[Concept]:
+        return [c for c in self._concepts.values() if c.is_container]
+
+    def leaves(self) -> list[Concept]:
+        return [c for c in self._concepts.values() if not c.is_container]
+
+    def synonyms_of(self, name: str) -> tuple[str, ...]:
+        """All surface forms + abbreviations of a concept."""
+        return self.concept(name).all_forms()
+
+
+def _c(
+    name: str,
+    forms: str,
+    datatype: Datatype = Datatype.STRING,
+    abbrev: str = "",
+    children: tuple[str, ...] = (),
+) -> Concept:
+    """Terse concept constructor: forms/abbrevs are comma-separated."""
+    return Concept(
+        name=name,
+        surface_forms=tuple(f.strip() for f in forms.split(",") if f.strip()),
+        datatype=Datatype.COMPLEX if children else datatype,
+        abbreviations=tuple(a.strip() for a in abbrev.split(",") if a.strip()),
+        children=children,
+    )
+
+
+def _bibliography() -> Vocabulary:
+    concepts = [
+        _c("bib:library", "library, collection, catalog, archive",
+           children=("bib:book", "bib:article", "bib:journal")),
+        _c("bib:book", "book, monograph, volume",
+           children=("bib:title", "bib:author", "bib:editor", "bib:year",
+                     "bib:publisher", "bib:isbn", "bib:price", "bib:chapter",
+                     "bib:keywords")),
+        _c("bib:article", "article, paper, publication",
+           children=("bib:title", "bib:author", "bib:year", "bib:journal-ref",
+                     "bib:pages", "bib:doi", "bib:abstract", "bib:keywords")),
+        _c("bib:journal", "journal, periodical, magazine",
+           children=("bib:title", "bib:issn", "bib:volume-no", "bib:issue",
+                     "bib:publisher")),
+        _c("bib:chapter", "chapter, section",
+           children=("bib:title", "bib:pages")),
+        _c("bib:author", "author, writer, creator",
+           children=("bib:first-name", "bib:last-name", "bib:affiliation",
+                     "bib:email")),
+        _c("bib:editor", "editor, reviser",
+           children=("bib:first-name", "bib:last-name", "bib:affiliation")),
+        _c("bib:title", "title, name, heading", abbrev="ttl"),
+        _c("bib:first-name", "first-name, given-name, forename", abbrev="fname, fn"),
+        _c("bib:last-name", "last-name, surname, family-name", abbrev="lname, ln"),
+        _c("bib:affiliation", "affiliation, institution, organization", abbrev="org"),
+        _c("bib:email", "email, e-mail, mail-address", abbrev="eml"),
+        _c("bib:year", "year, publication-year, date-published",
+           Datatype.INTEGER, abbrev="yr"),
+        _c("bib:publisher", "publisher, publishing-house, press", abbrev="pub"),
+        _c("bib:isbn", "isbn, book-number", Datatype.IDENTIFIER),
+        _c("bib:issn", "issn, serial-number", Datatype.IDENTIFIER),
+        _c("bib:doi", "doi, digital-object-identifier", Datatype.IDENTIFIER),
+        _c("bib:price", "price, cost, list-price", Datatype.DECIMAL, abbrev="prc"),
+        _c("bib:pages", "pages, page-range, page-numbers", abbrev="pp, pgs"),
+        _c("bib:abstract", "abstract, summary, synopsis", abbrev="abstr"),
+        _c("bib:keywords", "keywords, subject-terms, topics", abbrev="kw"),
+        _c("bib:journal-ref", "journal, venue, published-in", abbrev="jnl"),
+        _c("bib:volume-no", "volume, volume-number", Datatype.INTEGER, abbrev="vol"),
+        _c("bib:issue", "issue, number", Datatype.INTEGER, abbrev="no"),
+    ]
+    return Vocabulary("bibliography", concepts, roots=["bib:library", "bib:book",
+                                                       "bib:article"])
+
+
+def _commerce() -> Vocabulary:
+    concepts = [
+        _c("com:store", "store, shop, marketplace, catalog",
+           children=("com:product", "com:order", "com:customer", "com:supplier")),
+        _c("com:order", "order, purchase, sale, transaction",
+           children=("com:order-id", "com:order-date", "com:customer",
+                     "com:line-item", "com:total", "com:shipping", "com:status")),
+        _c("com:line-item", "line-item, item, order-line, position",
+           children=("com:product", "com:quantity", "com:unit-price",
+                     "com:discount")),
+        _c("com:product", "product, article, item, goods",
+           children=("com:sku", "com:product-name", "com:description",
+                     "com:price", "com:category", "com:stock", "com:weight")),
+        _c("com:customer", "customer, client, buyer, account-holder",
+           children=("com:customer-id", "com:full-name", "com:email",
+                     "com:phone", "com:address")),
+        _c("com:supplier", "supplier, vendor, distributor",
+           children=("com:supplier-id", "com:company-name", "com:address",
+                     "com:phone")),
+        _c("com:address", "address, location, residence",
+           children=("com:street", "com:city", "com:postal-code", "com:country")),
+        _c("com:shipping", "shipping, delivery, shipment",
+           children=("com:address", "com:carrier", "com:tracking-number")),
+        _c("com:order-id", "order-id, order-number, reference",
+           Datatype.IDENTIFIER, abbrev="ord-no"),
+        _c("com:order-date", "order-date, purchase-date, date",
+           Datatype.DATE, abbrev="dt"),
+        _c("com:total", "total, amount, grand-total, sum",
+           Datatype.DECIMAL, abbrev="tot"),
+        _c("com:status", "status, state, order-status", abbrev="st"),
+        _c("com:quantity", "quantity, count, amount-ordered",
+           Datatype.INTEGER, abbrev="qty"),
+        _c("com:unit-price", "unit-price, price-per-unit, rate",
+           Datatype.DECIMAL, abbrev="uprice"),
+        _c("com:discount", "discount, rebate, reduction",
+           Datatype.DECIMAL, abbrev="disc"),
+        _c("com:sku", "sku, product-code, article-number", Datatype.IDENTIFIER),
+        _c("com:product-name", "name, product-name, label, designation"),
+        _c("com:description", "description, details, long-text", abbrev="descr"),
+        _c("com:price", "price, cost, list-price", Datatype.DECIMAL, abbrev="prc"),
+        _c("com:category", "category, product-group, class", abbrev="cat"),
+        _c("com:stock", "stock, inventory, on-hand", Datatype.INTEGER, abbrev="inv"),
+        _c("com:weight", "weight, mass", Datatype.DECIMAL, abbrev="wt"),
+        _c("com:customer-id", "customer-id, client-number, account-id",
+           Datatype.IDENTIFIER, abbrev="cust-no"),
+        _c("com:full-name", "name, full-name, customer-name"),
+        _c("com:email", "email, e-mail, mail", abbrev="eml"),
+        _c("com:phone", "phone, telephone, phone-number", abbrev="tel"),
+        _c("com:street", "street, street-address, address-line"),
+        _c("com:city", "city, town, municipality"),
+        _c("com:postal-code", "postal-code, zip, zip-code", Datatype.IDENTIFIER),
+        _c("com:country", "country, nation, country-code"),
+        _c("com:carrier", "carrier, shipper, courier"),
+        _c("com:tracking-number", "tracking-number, shipment-id, trace-code",
+           Datatype.IDENTIFIER, abbrev="trk"),
+        _c("com:supplier-id", "supplier-id, vendor-number",
+           Datatype.IDENTIFIER),
+        _c("com:company-name", "company, company-name, firm, business-name"),
+    ]
+    return Vocabulary("commerce", concepts, roots=["com:store", "com:order",
+                                                   "com:product"])
+
+
+def _medical() -> Vocabulary:
+    concepts = [
+        _c("med:hospital", "hospital, clinic, medical-center",
+           children=("med:patient", "med:physician", "med:ward")),
+        _c("med:patient", "patient, case, subject",
+           children=("med:patient-id", "med:person-name", "med:birth-date",
+                     "med:gender", "med:admission", "med:diagnosis",
+                     "med:medication", "med:insurance")),
+        _c("med:admission", "admission, hospitalization, stay",
+           children=("med:admit-date", "med:discharge-date", "med:ward",
+                     "med:reason")),
+        _c("med:diagnosis", "diagnosis, condition, finding",
+           children=("med:icd-code", "med:diagnosis-name", "med:severity",
+                     "med:diagnosed-on")),
+        _c("med:medication", "medication, drug, prescription, treatment",
+           children=("med:drug-name", "med:dosage", "med:frequency",
+                     "med:start-date", "med:end-date")),
+        _c("med:physician", "physician, doctor, practitioner, clinician",
+           children=("med:person-name", "med:specialty", "med:license-number")),
+        _c("med:ward", "ward, department, unit",
+           children=("med:ward-name", "med:bed-count")),
+        _c("med:insurance", "insurance, coverage, health-plan",
+           children=("med:policy-number", "med:provider")),
+        _c("med:patient-id", "patient-id, medical-record-number, case-number",
+           Datatype.IDENTIFIER, abbrev="mrn, pid"),
+        _c("med:person-name", "name, full-name, person-name"),
+        _c("med:birth-date", "birth-date, date-of-birth, born-on",
+           Datatype.DATE, abbrev="dob"),
+        _c("med:gender", "gender, sex"),
+        _c("med:admit-date", "admission-date, admitted-on, start-of-stay",
+           Datatype.DATE),
+        _c("med:discharge-date", "discharge-date, released-on, end-of-stay",
+           Datatype.DATE),
+        _c("med:reason", "reason, cause, chief-complaint"),
+        _c("med:icd-code", "icd-code, diagnosis-code, code", Datatype.IDENTIFIER),
+        _c("med:diagnosis-name", "name, diagnosis-name, condition-name"),
+        _c("med:severity", "severity, grade, stage"),
+        _c("med:diagnosed-on", "diagnosed-on, diagnosis-date, found-on",
+           Datatype.DATE),
+        _c("med:drug-name", "drug, drug-name, medication-name, substance"),
+        _c("med:dosage", "dosage, dose, strength", abbrev="dos"),
+        _c("med:frequency", "frequency, schedule, times-per-day", abbrev="freq"),
+        _c("med:start-date", "start-date, from, begin", Datatype.DATE),
+        _c("med:end-date", "end-date, until, stop", Datatype.DATE),
+        _c("med:specialty", "specialty, field, discipline"),
+        _c("med:license-number", "license-number, registration-id",
+           Datatype.IDENTIFIER),
+        _c("med:ward-name", "name, ward-name, department-name"),
+        _c("med:bed-count", "beds, bed-count, capacity", Datatype.INTEGER),
+        _c("med:policy-number", "policy-number, contract-id",
+           Datatype.IDENTIFIER),
+        _c("med:provider", "provider, insurer, company"),
+    ]
+    return Vocabulary("medical", concepts, roots=["med:hospital", "med:patient"])
+
+
+def _university() -> Vocabulary:
+    concepts = [
+        _c("uni:university", "university, college, institute",
+           children=("uni:department", "uni:student", "uni:course")),
+        _c("uni:department", "department, faculty, school",
+           children=("uni:dept-name", "uni:chair", "uni:course",
+                     "uni:lecturer")),
+        _c("uni:course", "course, class, module, subject",
+           children=("uni:course-code", "uni:course-title", "uni:credits",
+                     "uni:lecturer", "uni:semester", "uni:enrollment")),
+        _c("uni:student", "student, learner, enrollee",
+           children=("uni:student-id", "uni:person-name", "uni:email",
+                     "uni:major", "uni:gpa", "uni:enrollment")),
+        _c("uni:lecturer", "lecturer, professor, instructor, teacher",
+           children=("uni:person-name", "uni:email", "uni:office", "uni:rank")),
+        _c("uni:enrollment", "enrollment, registration, participation",
+           children=("uni:enroll-date", "uni:grade", "uni:status")),
+        _c("uni:dept-name", "name, department-name, faculty-name"),
+        _c("uni:chair", "chair, head, dean"),
+        _c("uni:course-code", "code, course-code, course-number",
+           Datatype.IDENTIFIER, abbrev="cno"),
+        _c("uni:course-title", "title, course-title, name", abbrev="ttl"),
+        _c("uni:credits", "credits, credit-points, ects", Datatype.INTEGER,
+           abbrev="cp"),
+        _c("uni:semester", "semester, term, session"),
+        _c("uni:student-id", "student-id, matriculation-number, student-number",
+           Datatype.IDENTIFIER, abbrev="sid"),
+        _c("uni:person-name", "name, full-name, person-name"),
+        _c("uni:email", "email, e-mail, mail-address", abbrev="eml"),
+        _c("uni:major", "major, field-of-study, programme"),
+        _c("uni:gpa", "gpa, grade-average, mean-grade", Datatype.DECIMAL),
+        _c("uni:office", "office, room, office-number"),
+        _c("uni:rank", "rank, position, academic-rank"),
+        _c("uni:enroll-date", "enroll-date, registered-on, date", Datatype.DATE),
+        _c("uni:grade", "grade, mark, score", Datatype.DECIMAL),
+        _c("uni:status", "status, state", abbrev="st"),
+    ]
+    return Vocabulary("university", concepts, roots=["uni:university",
+                                                     "uni:department",
+                                                     "uni:course",
+                                                     "uni:student"])
+
+
+def _finance() -> Vocabulary:
+    concepts = [
+        _c("fin:bank", "bank, institution, financial-institution",
+           children=("fin:account", "fin:customer", "fin:branch")),
+        _c("fin:account", "account, bank-account, deposit-account",
+           children=("fin:account-number", "fin:balance", "fin:currency",
+                     "fin:owner", "fin:transaction", "fin:opened-on")),
+        _c("fin:transaction", "transaction, booking, movement, entry",
+           children=("fin:transaction-id", "fin:amount", "fin:value-date",
+                     "fin:counterparty", "fin:purpose")),
+        _c("fin:customer", "customer, client, account-holder",
+           children=("fin:customer-id", "fin:holder-name", "fin:tax-id")),
+        _c("fin:branch", "branch, office, subsidiary",
+           children=("fin:branch-code", "fin:branch-name")),
+        _c("fin:owner", "owner, holder, proprietor",
+           children=("fin:holder-name", "fin:tax-id")),
+        _c("fin:counterparty", "counterparty, beneficiary, payee",
+           children=("fin:holder-name", "fin:iban")),
+        _c("fin:account-number", "account-number, iban, account-id",
+           Datatype.IDENTIFIER, abbrev="acct-no"),
+        _c("fin:balance", "balance, current-balance, funds",
+           Datatype.DECIMAL, abbrev="bal"),
+        _c("fin:currency", "currency, currency-code, denomination",
+           abbrev="ccy"),
+        _c("fin:opened-on", "opened-on, opening-date, since", Datatype.DATE),
+        _c("fin:transaction-id", "transaction-id, reference, booking-number",
+           Datatype.IDENTIFIER, abbrev="txn"),
+        _c("fin:amount", "amount, sum, value", Datatype.DECIMAL, abbrev="amt"),
+        _c("fin:value-date", "value-date, booking-date, date", Datatype.DATE),
+        _c("fin:purpose", "purpose, description, memo, reference-text"),
+        _c("fin:customer-id", "customer-id, client-number",
+           Datatype.IDENTIFIER),
+        _c("fin:holder-name", "name, full-name, account-name"),
+        _c("fin:tax-id", "tax-id, tax-number, fiscal-code",
+           Datatype.IDENTIFIER, abbrev="tin"),
+        _c("fin:branch-code", "branch-code, sort-code, routing-number",
+           Datatype.IDENTIFIER),
+        _c("fin:branch-name", "name, branch-name, office-name"),
+        _c("fin:iban", "iban, account-number", Datatype.IDENTIFIER),
+    ]
+    return Vocabulary("finance", concepts, roots=["fin:bank", "fin:account"])
+
+
+def _travel() -> Vocabulary:
+    concepts = [
+        _c("trv:agency", "agency, travel-agency, operator",
+           children=("trv:trip", "trv:traveller", "trv:booking")),
+        _c("trv:trip", "trip, journey, tour, itinerary",
+           children=("trv:destination", "trv:departure-date",
+                     "trv:return-date", "trv:price", "trv:flight",
+                     "trv:hotel")),
+        _c("trv:booking", "booking, reservation, order",
+           children=("trv:booking-code", "trv:traveller", "trv:trip",
+                     "trv:status")),
+        _c("trv:flight", "flight, air-segment, connection",
+           children=("trv:flight-number", "trv:origin", "trv:destination",
+                     "trv:departure-time")),
+        _c("trv:hotel", "hotel, accommodation, lodging",
+           children=("trv:hotel-name", "trv:stars", "trv:check-in")),
+        _c("trv:traveller", "traveller, passenger, guest, tourist",
+           children=("trv:passenger-name", "trv:passport-number",
+                     "trv:birth-date")),
+        _c("trv:destination", "destination, to, arrival-city"),
+        _c("trv:origin", "origin, from, departure-city"),
+        _c("trv:departure-date", "departure-date, start-date, from-date",
+           Datatype.DATE, abbrev="dep"),
+        _c("trv:return-date", "return-date, end-date, until", Datatype.DATE),
+        _c("trv:price", "price, cost, fare, rate", Datatype.DECIMAL),
+        _c("trv:booking-code", "booking-code, confirmation-number, pnr",
+           Datatype.IDENTIFIER),
+        _c("trv:status", "status, state, booking-status"),
+        _c("trv:flight-number", "flight-number, flight-code",
+           Datatype.IDENTIFIER),
+        _c("trv:departure-time", "departure-time, takeoff, leaves-at",
+           Datatype.DATE),
+        _c("trv:hotel-name", "name, hotel-name, property-name"),
+        _c("trv:stars", "stars, category, rating", Datatype.INTEGER),
+        _c("trv:check-in", "check-in, arrival, check-in-date", Datatype.DATE),
+        _c("trv:passenger-name", "name, full-name, passenger-name"),
+        _c("trv:passport-number", "passport-number, document-number, travel-id",
+           Datatype.IDENTIFIER),
+        _c("trv:birth-date", "birth-date, date-of-birth, born-on",
+           Datatype.DATE, abbrev="dob"),
+    ]
+    return Vocabulary("travel", concepts, roots=["trv:agency", "trv:trip",
+                                                 "trv:booking"])
+
+
+_DOMAINS: dict[str, Vocabulary] | None = None
+_EXTENDED: dict[str, Vocabulary] | None = None
+
+
+def builtin_domains() -> dict[str, Vocabulary]:
+    """The four default domain vocabularies, keyed by domain name.
+
+    These are the domains the standard experiment workloads draw from;
+    the set is stable so that seeded experiment numbers stay reproducible.
+    """
+    global _DOMAINS
+    if _DOMAINS is None:
+        vocabularies = [_bibliography(), _commerce(), _medical(), _university()]
+        _DOMAINS = {v.domain: v for v in vocabularies}
+    return dict(_DOMAINS)
+
+
+def extended_domains() -> dict[str, Vocabulary]:
+    """Opt-in extra domains (finance, travel).
+
+    Not part of the default workloads — adding domains would change every
+    seeded experiment — but available to user workloads via
+    ``GeneratorConfig(domains=("finance", ...))``.
+    """
+    global _EXTENDED
+    if _EXTENDED is None:
+        vocabularies = [_finance(), _travel()]
+        _EXTENDED = {v.domain: v for v in vocabularies}
+    return dict(_EXTENDED)
+
+
+def all_domains() -> dict[str, Vocabulary]:
+    """Built-in plus extended domains."""
+    return {**builtin_domains(), **extended_domains()}
+
+
+def get_domain(name: str) -> Vocabulary:
+    """Look up any known domain (built-in or extended) by name."""
+    domains = all_domains()
+    try:
+        return domains[name]
+    except KeyError:
+        known = ", ".join(sorted(domains))
+        raise SchemaError(f"unknown domain {name!r}; available: {known}") from None

@@ -1,0 +1,27 @@
+"""Shared low-level utilities (no domain knowledge lives here).
+
+Submodules
+----------
+``rng``
+    Deterministic random-number-generator helpers; every stochastic
+    component in the library takes an explicit seed and derives
+    sub-generators through :func:`repro.util.rng.derive`.
+``text``
+    From-scratch string similarity/distance functions used by the
+    matching objective (Levenshtein, Jaro-Winkler, n-gram overlap,
+    token-set similarity).
+``fractions_ext``
+    Helpers around :class:`fractions.Fraction`; the bound mathematics is
+    carried out exactly in count space.
+``tables``
+    Plain-text table rendering used by the experiment harness.
+``asciiplot``
+    Dependency-free ASCII line/scatter plots for reproducing the paper's
+    figures in a terminal.
+``checks``
+    Tiny argument-validation helpers shared across the package.
+"""
+
+from repro.util import asciiplot, checks, fractions_ext, rng, stats, tables, text
+
+__all__ = ["asciiplot", "checks", "fractions_ext", "rng", "stats", "tables", "text"]

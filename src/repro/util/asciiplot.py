@@ -1,0 +1,112 @@
+"""Dependency-free ASCII plots.
+
+Reproduces the paper's figures in a terminal: multiple named series are
+drawn on a shared canvas with one marker character per series.  The plots
+are deliberately simple — experiments also emit the raw series, which is
+what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "AsciiPlot"]
+
+
+@dataclass
+class Series:
+    """A named point series to draw on an :class:`AsciiPlot`."""
+
+    name: str
+    points: Sequence[tuple[float, float]]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.marker) != 1:
+            raise ValueError(f"marker must be a single character, got {self.marker!r}")
+
+
+@dataclass
+class AsciiPlot:
+    """A fixed-size character canvas holding multiple series.
+
+    Example
+    -------
+    >>> plot = AsciiPlot(width=20, height=8, title="demo")
+    >>> plot.add(Series("line", [(0, 0), (1, 1)], marker="o"))
+    >>> print(plot.render())  # doctest: +SKIP
+    """
+
+    width: int = 60
+    height: int = 20
+    title: str = ""
+    x_label: str = "x"
+    y_label: str = "y"
+    x_range: tuple[float, float] | None = None
+    y_range: tuple[float, float] | None = None
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, series: Series) -> "AsciiPlot":
+        """Add a series; returns self for chaining."""
+        self.series.append(series)
+        return self
+
+    def _ranges(self) -> tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if self.x_range is not None:
+            x_lo, x_hi = self.x_range
+        else:
+            x_lo, x_hi = (min(xs), max(xs)) if xs else (0.0, 1.0)
+        if self.y_range is not None:
+            y_lo, y_hi = self.y_range
+        else:
+            y_lo, y_hi = (min(ys), max(ys)) if ys else (0.0, 1.0)
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        """Render the canvas with axes, legend and title."""
+        if self.width < 10 or self.height < 4:
+            raise ValueError("plot must be at least 10x4 characters")
+        x_lo, x_hi, y_lo, y_hi = self._ranges()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def to_cell(x: float, y: float) -> tuple[int, int] | None:
+            if not (x_lo <= x <= x_hi and y_lo <= y <= y_hi):
+                return None
+            col = round((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+            return self.height - 1 - row, col
+
+        for series in self.series:
+            for x, y in series.points:
+                cell = to_cell(x, y)
+                if cell is None:
+                    continue
+                row, col = cell
+                grid[row][col] = series.marker
+
+        left_pad = max(len(f"{y_hi:.2f}"), len(f"{y_lo:.2f}"))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = f"{y_hi:.2f}"
+            elif i == self.height - 1:
+                label = f"{y_lo:.2f}"
+            else:
+                label = ""
+            lines.append(f"{label.rjust(left_pad)} |{''.join(row)}")
+        lines.append(" " * left_pad + " +" + "-" * self.width)
+        x_axis = f"{x_lo:.2f}".ljust(self.width - 6) + f"{x_hi:.2f}"
+        lines.append(" " * left_pad + "  " + x_axis)
+        legend = "   ".join(f"[{s.marker}] {s.name}" for s in self.series)
+        if legend:
+            lines.append(legend)
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Tiny argument-validation helpers.
+
+These keep validation one-liners readable at call sites and make error
+messages uniform across the package.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = [
+    "require",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_strictly_increasing",
+]
+
+
+def require(condition: bool, message: str, error: type[Exception] = ValueError) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_strictly_increasing(values: Iterable[float], name: str) -> list[float]:
+    """Validate that ``values`` is non-empty and strictly increasing."""
+    out = list(values)
+    if not out:
+        raise ValueError(f"{name} must not be empty")
+    for left, right in zip(out, out[1:]):
+        if not right > left:
+            raise ValueError(
+                f"{name} must be strictly increasing, "
+                f"but {right!r} follows {left!r}"
+            )
+    return out

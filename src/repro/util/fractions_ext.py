@@ -1,0 +1,84 @@
+"""Helpers around :class:`fractions.Fraction`.
+
+The paper emphasises that its bounds are "an analytical and exact result,
+not an estimate".  To honour that, the count-space bound computations in
+:mod:`repro.core` are carried out on exact rationals; these helpers cover
+the small amount of plumbing that needs (safe ratios, clamping, pretty
+printing and float conversion at the API boundary).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+
+__all__ = [
+    "as_fraction",
+    "safe_ratio",
+    "clamp01",
+    "frac_min",
+    "frac_max",
+    "format_fraction",
+]
+
+Number = int | float | Fraction
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def as_fraction(value: Number, max_denominator: int | None = None) -> Fraction:
+    """Convert ints/floats/Fractions to an exact :class:`Fraction`.
+
+    Floats are converted exactly by default (every float *is* a rational);
+    pass ``max_denominator`` to snap measured floats like ``0.1`` to the
+    nearby small rational instead of the exact binary expansion.
+    """
+    if isinstance(value, Rational):
+        result = Fraction(value)
+    elif isinstance(value, float):
+        result = Fraction(value)
+    else:
+        raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
+    if max_denominator is not None:
+        result = result.limit_denominator(max_denominator)
+    return result
+
+
+def safe_ratio(numerator: Number, denominator: Number, default: Fraction = ZERO) -> Fraction:
+    """``numerator / denominator`` as a Fraction, or ``default`` when dividing by 0.
+
+    Precision of an empty answer set is conventionally treated as the
+    ``default`` (the library uses 1 for "no answers, none wrong" in some
+    displays and 0 in conservative contexts — callers choose explicitly).
+    """
+    denominator = as_fraction(denominator)
+    if denominator == 0:
+        return default
+    return as_fraction(numerator) / denominator
+
+
+def clamp01(value: Fraction) -> Fraction:
+    """Clamp a fraction to the closed interval [0, 1]."""
+    if value < ZERO:
+        return ZERO
+    if value > ONE:
+        return ONE
+    return value
+
+
+def frac_min(*values: Number) -> Fraction:
+    """Exact minimum of mixed int/float/Fraction values."""
+    return min(as_fraction(v) for v in values)
+
+
+def frac_max(*values: Number) -> Fraction:
+    """Exact maximum of mixed int/float/Fraction values."""
+    return max(as_fraction(v) for v in values)
+
+
+def format_fraction(value: Fraction, digits: int = 4) -> str:
+    """Render ``value`` as ``p/q (0.dddd)`` for human-readable reports."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator} ({float(value):.{digits}f})"

@@ -1,0 +1,114 @@
+"""Deterministic randomness helpers.
+
+All stochastic behaviour in the library flows through explicitly seeded
+:class:`random.Random` instances.  Components never touch the global
+``random`` module, so any experiment is reproducible from its seed alone.
+
+The central idiom is *derivation*: a component holding a generator spawns
+an independent child generator for each named sub-task::
+
+    root = rng.make(42)
+    gen_schemas = rng.derive(root, "schemas")
+    gen_queries = rng.derive(root, "queries")
+
+Derivation is order-independent — the child for ``"queries"`` is the same
+whether or not ``"schemas"`` was derived first — which keeps experiments
+stable when code paths are reordered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["make", "derive", "seed_from", "choice_weighted", "sample_fraction"]
+
+
+def make(seed: int | None) -> random.Random:
+    """Create a fresh generator from an integer seed.
+
+    ``None`` is accepted for interactive convenience and maps to an
+    OS-entropy seed, but library code always passes an int.
+    """
+    return random.Random(seed)
+
+
+def seed_from(base_seed: int, *labels: str | int) -> int:
+    """Compute a stable derived seed from a base seed and label path.
+
+    The derivation hashes the labels with the base seed, so distinct label
+    paths give (with overwhelming probability) independent streams while
+    identical paths always give identical streams.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(base_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive(generator: random.Random, *labels: str | int) -> random.Random:
+    """Spawn an independent child generator identified by a label path.
+
+    The child depends only on the parent's *initial* seed material, never
+    on how much of the parent stream has been consumed.  The parent must
+    have been created by :func:`make` or :func:`derive` (we recover its
+    identity via a dedicated, stable side-channel attribute).
+    """
+    base = getattr(generator, "_repro_seed", None)
+    if base is None:
+        # Fall back to drawing one value; still deterministic for seeded
+        # generators, just order-sensitive.
+        base = generator.randrange(2**63)
+    child_seed = seed_from(base, *labels)
+    child = random.Random(child_seed)
+    child._repro_seed = child_seed  # type: ignore[attr-defined]
+    return child
+
+
+def _tag(generator: random.Random, seed: int) -> random.Random:
+    generator._repro_seed = seed  # type: ignore[attr-defined]
+    return generator
+
+
+def make_tagged(seed: int) -> random.Random:
+    """Create a generator that supports order-independent :func:`derive`."""
+    return _tag(random.Random(seed), seed)
+
+
+def choice_weighted(
+    generator: random.Random, items: Sequence[T], weights: Sequence[float]
+) -> T:
+    """Pick one item with the given positive weights."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    pick = generator.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if pick < acc:
+            return item
+    return items[-1]
+
+
+def sample_fraction(
+    generator: random.Random, items: Sequence[T], fraction: float
+) -> list[T]:
+    """Sample ``round(fraction * len(items))`` items without replacement.
+
+    The sample preserves no particular order.  ``fraction`` is clamped to
+    [0, 1] so callers can pass ratios straight from measurements.
+    """
+    fraction = min(1.0, max(0.0, fraction))
+    count = round(fraction * len(items))
+    return generator.sample(list(items), count)

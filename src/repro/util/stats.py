@@ -1,0 +1,64 @@
+"""Small statistics helpers, implemented from scratch.
+
+Used by the ablations: rank correlation for "does tuning by bounds agree
+with tuning by truth" (Kendall's tau) and simple summaries.  No numpy —
+inputs are short experiment tables, clarity beats vectorisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+__all__ = ["mean", "median", "variance", "kendall_tau"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; rejects empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of the middle pair for even lengths)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance."""
+    if not values:
+        raise ValueError("variance of empty sequence")
+    centre = mean(values)
+    return sum((v - centre) ** 2 for v in values) / len(values)
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> Fraction:
+    """Kendall's tau-a rank correlation of two paired samples.
+
+    ``(concordant − discordant) / (n·(n−1)/2)``; ties count as neither.
+    Returns an exact rational in [−1, 1].  Needs at least two pairs.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    n = len(a)
+    if n < 2:
+        raise ValueError("kendall_tau needs at least 2 pairs")
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            da = (a[i] > a[j]) - (a[i] < a[j])
+            db = (b[i] > b[j]) - (b[i] < b[j])
+            product = da * db
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    return Fraction(concordant - discordant, n * (n - 1) // 2)

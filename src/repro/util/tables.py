@@ -1,0 +1,94 @@
+"""Plain-text table rendering for experiment reports.
+
+The offline environment has no plotting stack, so every experiment emits
+its figure data as aligned text tables (plus ASCII plots).  This module
+renders those tables; it knows nothing about the experiments themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "format_csv"]
+
+
+def _render_cell(value: object, float_digits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are right-aligned, text left-aligned; floats are formatted
+    with ``float_digits`` decimals; ``None`` renders as ``-``.
+    """
+    rendered_rows = [
+        [_render_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [True] * len(headers)
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if cell != "-" and not _looks_numeric(cell):
+                numeric[i] = False
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell.replace("%", ""))
+    except ValueError:
+        return "/" in cell and all(
+            part.strip().lstrip("-").isdigit() for part in cell.split("/", 1)
+        )
+    return True
+
+
+def format_kv(pairs: Iterable[tuple[str, object]], indent: str = "  ") -> str:
+    """Render key/value pairs as aligned ``key : value`` lines."""
+    items = [(str(k), _render_cell(v, 4)) for k, v in pairs]
+    if not items:
+        return ""
+    width = max(len(k) for k, _ in items)
+    return "\n".join(f"{indent}{k.ljust(width)} : {v}" for k, v in items)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a minimal CSV (no quoting; callers keep cells simple)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_render_cell(c, 6) for c in row))
+    return "\n".join(lines)

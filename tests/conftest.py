@@ -1,0 +1,71 @@
+"""Shared fixtures: one small workload and its system runs per session.
+
+Matching runs are the expensive part of the suite; everything that can
+share them does, through session-scoped fixtures.  All fixtures are
+deterministic (seeded), so test outcomes are stable run to run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_workload, run_system, small_config
+from repro.matching import (
+    BeamMatcher,
+    ClusteringMatcher,
+    ExhaustiveMatcher,
+    TopKCandidateMatcher,
+)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """The reduced deterministic workload (10 schemas, 4 queries)."""
+    return build_workload(small_config())
+
+
+@pytest.fixture(scope="session")
+def original_run(small_workload):
+    """Judged run of the exhaustive system S1 on the small workload."""
+    return run_system(
+        ExhaustiveMatcher(small_workload.objective),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+
+
+@pytest.fixture(scope="session")
+def beam_run(small_workload):
+    return run_system(
+        BeamMatcher(small_workload.objective, beam_width=8),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+
+
+@pytest.fixture(scope="session")
+def clustering_run(small_workload):
+    return run_system(
+        ClusteringMatcher(small_workload.objective, clusters_per_element=2),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+
+
+@pytest.fixture(scope="session")
+def topk_run(small_workload):
+    return run_system(
+        TopKCandidateMatcher(small_workload.objective, candidates_per_element=4),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+
+
+@pytest.fixture(scope="session")
+def improvement_runs(beam_run, clustering_run, topk_run):
+    """All improvements, keyed by name."""
+    return {
+        "beam": beam_run,
+        "clustering": clustering_run,
+        "topk": topk_run,
+    }

@@ -1,0 +1,159 @@
+"""Unit tests for effectiveness bands, guarantees and containment."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bands import EffectivenessBand
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+def make_band(relevant: int | None = 60) -> EffectivenessBand:
+    schedule = ThresholdSchedule([0.1, 0.2, 0.3])
+    original = SystemProfile(
+        schedule,
+        (
+            Counts(20, 16, relevant),
+            Counts(50, 30, relevant),
+            Counts(120, 40, relevant),
+        ),
+    )
+    improved = SizeProfile(schedule, (18, 35, 60))
+    return EffectivenessBand(compute_incremental_bounds(original, improved))
+
+
+class TestWidths:
+    def test_precision_width_nonnegative(self):
+        for width in make_band().precision_widths():
+            assert width >= 0
+
+    def test_mean_precision_width(self):
+        band = make_band()
+        widths = band.precision_widths()
+        assert band.mean_precision_width() == sum(widths, Fraction(0)) / len(widths)
+
+    def test_recall_widths_require_relevant(self):
+        with pytest.raises(BoundsError):
+            make_band(relevant=None).recall_widths()
+
+    def test_recall_widths_values(self):
+        band = make_band()
+        for width, entry in zip(band.recall_widths(), band.bounds):
+            assert width == Fraction(entry.best.correct - entry.worst.correct, 60)
+
+
+class TestGuarantees:
+    def test_guaranteed_recall_at_precision(self):
+        band = make_band()
+        recall = band.guaranteed_recall_at_precision(Fraction(1, 2))
+        # thresholds with worst precision >= 1/2 contribute their worst recall
+        candidates = [
+            Fraction(e.worst.correct, 60)
+            for e in band.bounds
+            if e.worst.precision_or(Fraction(0)) >= Fraction(1, 2)
+        ]
+        assert recall == max(candidates)
+
+    def test_guaranteed_recall_impossible_precision(self):
+        assert make_band().guaranteed_recall_at_precision(Fraction(999, 1000)) >= 0
+
+    def test_guaranteed_precision_at_recall(self):
+        band = make_band()
+        precision = band.guaranteed_precision_at_recall(Fraction(1, 10))
+        assert precision is not None and precision > 0
+
+    def test_guaranteed_precision_unreachable_recall(self):
+        assert make_band().guaranteed_precision_at_recall(Fraction(99, 100)) is None
+
+    def test_float_levels_accepted(self):
+        band = make_band()
+        assert band.guaranteed_recall_at_precision(0.5) == (
+            band.guaranteed_recall_at_precision(Fraction(1, 2))
+        )
+
+    def test_max_effectiveness_loss(self):
+        band = make_band()
+        final = band.bounds[len(band.bounds) - 1]
+        expected = 1 - Fraction(final.worst.correct, final.original.correct)
+        assert band.max_effectiveness_loss() == expected
+
+    def test_max_loss_zero_when_no_truth(self):
+        schedule = ThresholdSchedule([0.1])
+        original = SystemProfile(schedule, (Counts(5, 0, 10),))
+        improved = SizeProfile(schedule, (3,))
+        band = EffectivenessBand(compute_incremental_bounds(original, improved))
+        assert band.max_effectiveness_loss() == 0
+
+
+class TestContainment:
+    def test_contained_profile_passes(self):
+        band = make_band()
+        schedule = band.bounds.original.schedule
+        actual = SystemProfile(
+            schedule,
+            (Counts(18, 15, 60), Counts(35, 24, 60), Counts(60, 30, 60)),
+        )
+        report = band.check_containment(actual)
+        assert report.all_contained
+        assert report.violations() == []
+
+    def test_violating_profile_detected(self):
+        band = make_band()
+        schedule = band.bounds.original.schedule
+        actual = SystemProfile(
+            schedule,
+            (Counts(18, 0, 60), Counts(35, 0, 60), Counts(60, 0, 60)),
+        )
+        report = band.check_containment(actual)
+        assert not report.all_contained
+        assert "VIOLATED" in str(report)
+
+    def test_size_mismatch_rejected(self):
+        band = make_band()
+        schedule = band.bounds.original.schedule
+        actual = SystemProfile(
+            schedule,
+            (Counts(17, 15, 60), Counts(35, 24, 60), Counts(60, 30, 60)),
+        )
+        with pytest.raises(BoundsError, match="differs from the size profile"):
+            band.check_containment(actual)
+
+    def test_schedule_mismatch_rejected(self):
+        band = make_band()
+        actual = SystemProfile(
+            ThresholdSchedule([0.5]), (Counts(60, 30, 60),)
+        )
+        with pytest.raises(BoundsError, match="schedule"):
+            band.check_containment(actual)
+
+
+class TestCurves:
+    def test_four_curves_render(self):
+        band = make_band()
+        for curve in (
+            band.original_curve(),
+            band.best_curve(),
+            band.worst_curve(),
+            band.random_curve(),
+        ):
+            assert len(curve) == 3
+
+    def test_worst_below_best_everywhere(self):
+        band = make_band()
+        for worst, best in zip(band.worst_curve(), band.best_curve()):
+            assert worst.precision <= best.precision
+            assert worst.recall <= best.recall
+
+    def test_random_between_bounds(self):
+        band = make_band()
+        for worst, rand, best in zip(
+            band.worst_curve(), band.random_curve(), band.best_curve()
+        ):
+            assert worst.recall <= rand.recall <= best.recall

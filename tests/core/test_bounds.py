@@ -1,0 +1,167 @@
+"""Unit tests for Equations 1-6 (paper section 3.1).
+
+Count-space and ratio-space forms are tested individually and against
+each other; the paper's Figure 7 case analysis drives the scenarios.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import (
+    best_case_correct,
+    best_case_precision,
+    best_case_recall,
+    bound_counts,
+    worst_case_correct,
+    worst_case_precision,
+    worst_case_recall,
+)
+from repro.core.measures import Counts
+from repro.errors import BoundsError
+
+
+class TestCountSpace:
+    def test_best_case_small_a2_fig7a(self):
+        # |A2| <= |T1|: everything S2 kept may be correct
+        assert best_case_correct(original_correct=15, improved_answers=10) == 10
+
+    def test_best_case_large_a2_fig7b(self):
+        # |A2| > |T1|: at best all of T1 survives
+        assert best_case_correct(original_correct=15, improved_answers=30) == 15
+
+    def test_worst_case_detached_fig7c(self):
+        # A2 fits among S1's false positives: zero correct
+        assert worst_case_correct(40, 15, improved_answers=20) == 0
+
+    def test_worst_case_overlap_fig7d(self):
+        # false positives (25) cannot absorb 32 answers: 7 must be correct
+        assert worst_case_correct(40, 15, improved_answers=32) == 7
+
+    def test_worst_never_negative(self):
+        assert worst_case_correct(100, 0, improved_answers=50) == 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(BoundsError):
+            best_case_correct(-1, 5)
+        with pytest.raises(BoundsError):
+            worst_case_correct(5, -1, 2)
+
+    def test_inconsistent_t1_rejected(self):
+        with pytest.raises(BoundsError):
+            worst_case_correct(5, 9, 2)
+
+
+class TestBoundCounts:
+    def test_figure8_delta1(self):
+        bounds = bound_counts(Counts(40, 15), improved_answers=32)
+        assert bounds.worst.correct == 7
+        assert bounds.best.correct == 15
+        assert bounds.worst.precision == Fraction(7, 32)
+        assert bounds.size_ratio == Fraction(4, 5)
+
+    def test_subset_violation_rejected(self):
+        with pytest.raises(BoundsError, match="subset property"):
+            bound_counts(Counts(10, 5), improved_answers=11)
+
+    def test_negative_improved_rejected(self):
+        with pytest.raises(BoundsError):
+            bound_counts(Counts(10, 5), improved_answers=-1)
+
+    def test_relevant_carried_through(self):
+        bounds = bound_counts(Counts(40, 15, 100), improved_answers=32)
+        assert bounds.best.relevant == 100
+        assert bounds.worst.relevant == 100
+
+    def test_zero_original_answers(self):
+        bounds = bound_counts(Counts(0, 0), improved_answers=0)
+        assert bounds.size_ratio == Fraction(0)
+        assert bounds.best.correct == 0
+
+    def test_ordering_invariant(self):
+        for a1, t1, a2 in [(40, 15, 32), (72, 27, 48), (9, 9, 3), (5, 0, 5)]:
+            bounds = bound_counts(Counts(a1, t1), improved_answers=a2)
+            assert bounds.worst.correct <= bounds.best.correct
+
+
+class TestRatioSpace:
+    def test_eq2_best_precision(self):
+        # P2 = min(P1/ratio, 1)
+        assert best_case_precision(Fraction(3, 8), Fraction(4, 5)) == Fraction(15, 32)
+        assert best_case_precision(Fraction(3, 4), Fraction(1, 2)) == Fraction(1)
+
+    def test_eq3_best_recall(self):
+        # R2 = R1 * min(1, ratio/P1)
+        assert best_case_recall(
+            Fraction(1, 2), Fraction(3, 8), Fraction(4, 5)
+        ) == Fraction(1, 2)
+        assert best_case_recall(
+            Fraction(1, 2), Fraction(1, 2), Fraction(1, 4)
+        ) == Fraction(1, 4)
+
+    def test_eq5_worst_precision_figure8(self):
+        assert worst_case_precision(Fraction(3, 8), Fraction(4, 5)) == Fraction(7, 32)
+        assert worst_case_precision(Fraction(3, 8), Fraction(2, 3)) == Fraction(1, 16)
+
+    def test_eq5_clamps_at_zero(self):
+        assert worst_case_precision(Fraction(1, 10), Fraction(1, 2)) == 0
+
+    def test_eq6_worst_recall(self):
+        # R2 = max(0, R1 ((ratio - 1)/P1 + 1))
+        value = worst_case_recall(Fraction(1, 2), Fraction(1, 2), Fraction(3, 4))
+        assert value == Fraction(1, 4)
+
+    def test_eq6_clamps_at_zero(self):
+        assert worst_case_recall(Fraction(1, 2), Fraction(1, 10), Fraction(1, 2)) == 0
+
+    def test_zero_precision_original(self):
+        # P1 = 0 => T1 empty => R bounds are 0
+        assert best_case_recall(0, 0, Fraction(1, 2)) == 0
+        assert worst_case_recall(0, 0, Fraction(1, 2)) == 0
+
+    def test_zero_ratio_conventions(self):
+        assert best_case_precision(Fraction(1, 2), 0) == Fraction(1)
+        assert worst_case_precision(Fraction(1, 2), 0) == Fraction(0)
+
+    def test_ratio_above_one_rejected(self):
+        with pytest.raises(BoundsError, match="subset"):
+            worst_case_precision(Fraction(1, 2), Fraction(3, 2))
+
+    def test_ratio_one_collapses_to_original(self):
+        # paper 3.3: with ratio 1 the bounds equal the original P/R exactly
+        p1, r1 = Fraction(3, 8), Fraction(2, 5)
+        assert best_case_precision(p1, 1) == p1
+        assert worst_case_precision(p1, 1) == p1
+        assert best_case_recall(r1, p1, 1) == r1
+        assert worst_case_recall(r1, p1, 1) == r1
+
+
+class TestCountRatioAgreement:
+    """Equations 2/3/5/6 must agree with the count formulas exactly."""
+
+    @pytest.mark.parametrize(
+        "a1,t1,a2,h",
+        [
+            (40, 15, 32, 100),
+            (72, 27, 48, 100),
+            (10, 10, 3, 50),
+            (10, 0, 10, 50),
+            (100, 1, 99, 400),
+            (7, 3, 7, 21),
+            (5, 5, 5, 5),
+        ],
+    )
+    def test_agreement(self, a1, t1, a2, h):
+        original = Counts(a1, t1, h)
+        bounds = bound_counts(original, a2)
+        ratio = Fraction(a2, a1)
+        p1 = original.precision
+        r1 = original.recall
+        assert bounds.best.precision_or(Fraction(1)) == best_case_precision(
+            p1, ratio
+        ) or a2 == 0
+        assert bounds.worst.precision_or(Fraction(0)) == worst_case_precision(
+            p1, ratio
+        ) or a2 == 0
+        assert bounds.best.recall == best_case_recall(r1, p1, ratio)
+        assert bounds.worst.recall == worst_case_recall(r1, p1, ratio)

@@ -1,0 +1,109 @@
+"""Unit tests for band-based comparison of improvements."""
+
+import pytest
+
+from repro.core.comparison import (
+    ThresholdComparison,
+    Verdict,
+    compare_bounds,
+    dominates,
+)
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+def original() -> SystemProfile:
+    schedule = ThresholdSchedule([0.1, 0.2])
+    return SystemProfile(schedule, (Counts(20, 18, 50), Counts(60, 40, 50)))
+
+
+def bounds_for(sizes: tuple[int, int]):
+    return compute_incremental_bounds(
+        original(), SizeProfile(original().schedule, sizes)
+    )
+
+
+class TestCompareBounds:
+    def test_full_retention_beats_heavy_pruning(self):
+        full = bounds_for((20, 60))  # ratio 1: band collapses onto truth
+        tiny = bounds_for((1, 2))
+        comparisons = compare_bounds(full, tiny)
+        assert all(
+            c.correct_verdict is Verdict.FIRST_BETTER for c in comparisons
+        )
+
+    def test_symmetric_verdict(self):
+        full = bounds_for((20, 60))
+        tiny = bounds_for((1, 2))
+        comparisons = compare_bounds(tiny, full)
+        assert all(
+            c.correct_verdict is Verdict.SECOND_BETTER for c in comparisons
+        )
+
+    def test_overlapping_bands_undecided(self):
+        a = bounds_for((10, 30))
+        b = bounds_for((12, 28))
+        comparisons = compare_bounds(a, b)
+        assert any(
+            c.correct_verdict is Verdict.UNDECIDED for c in comparisons
+        )
+
+    def test_schedule_mismatch_rejected(self):
+        other_schedule = ThresholdSchedule([0.5])
+        other = compute_incremental_bounds(
+            SystemProfile(other_schedule, (Counts(60, 40, 50),)),
+            SizeProfile(other_schedule, (30,)),
+        )
+        with pytest.raises(BoundsError, match="shared"):
+            compare_bounds(bounds_for((10, 30)), other)
+
+    def test_original_mismatch_rejected(self):
+        schedule = original().schedule
+        other_original = SystemProfile(
+            schedule, (Counts(20, 10, 50), Counts(60, 30, 50))
+        )
+        other = compute_incremental_bounds(
+            other_original, SizeProfile(schedule, (10, 30))
+        )
+        with pytest.raises(BoundsError, match="same original"):
+            compare_bounds(bounds_for((10, 30)), other)
+
+    def test_result_shape(self):
+        comparisons = compare_bounds(bounds_for((10, 30)), bounds_for((5, 15)))
+        assert len(comparisons) == 2
+        assert isinstance(comparisons[0], ThresholdComparison)
+        assert comparisons[0].delta == 0.1
+
+
+class TestDominates:
+    def test_dominance_detected(self):
+        assert dominates(bounds_for((20, 60)), bounds_for((1, 2)))
+
+    def test_no_dominance_on_overlap(self):
+        assert not dominates(bounds_for((10, 30)), bounds_for((12, 28)))
+
+    def test_self_dominance_needs_zero_margin(self):
+        full = bounds_for((20, 60))
+        assert not dominates(full, full)  # margin 1: strict
+        assert dominates(full, full, margin=0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(BoundsError):
+            dominates(bounds_for((20, 60)), bounds_for((1, 2)), margin=-1)
+
+
+class TestVerdictSoundness:
+    def test_verdict_never_contradicted_by_feasible_truth(self):
+        """If A is declared better, no feasible world has B find more."""
+        a = bounds_for((15, 45))
+        b = bounds_for((2, 4))
+        for comparison, a_entry, b_entry in zip(compare_bounds(a, b), a, b):
+            if comparison.correct_verdict is Verdict.FIRST_BETTER:
+                # every feasible truth for A >= every feasible truth for B
+                assert a_entry.worst.correct >= b_entry.best.correct

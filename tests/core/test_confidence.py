@@ -1,0 +1,111 @@
+"""Unit tests for random-curve concentration bounds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.confidence import _increment_variance, random_curve_deviation
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+def bounds():
+    schedule = ThresholdSchedule([0.1, 0.2])
+    original = SystemProfile(
+        schedule, (Counts(40, 15, 100), Counts(72, 27, 100))
+    )
+    improved = SizeProfile(schedule, (32, 48))
+    return compute_incremental_bounds(original, improved)
+
+
+class TestIncrementVariance:
+    def test_hypergeometric_formula(self):
+        # a1=40, t1=15, a2=32: 32 * 3/8 * 5/8 * 8/39
+        assert _increment_variance(40, 15, 32) == Fraction(32 * 3 * 5 * 8, 8 * 8 * 39)
+
+    def test_degenerate_cases_zero(self):
+        assert _increment_variance(1, 1, 1) == 0  # a1 <= 1
+        assert _increment_variance(10, 0, 5) == 0  # no correct
+        assert _increment_variance(10, 10, 5) == 0  # all correct
+        assert _increment_variance(10, 4, 0) == 0  # nothing kept
+
+    def test_keep_all_has_zero_variance(self):
+        assert _increment_variance(10, 4, 10) == 0
+
+
+class TestRandomCurveDeviation:
+    def test_expected_matches_bounds_random(self):
+        b = bounds()
+        deviations = random_curve_deviation(b)
+        for entry, deviation in zip(b, deviations):
+            assert deviation.expected == entry.random_correct
+
+    def test_variance_accumulates(self):
+        deviations = random_curve_deviation(bounds())
+        assert deviations[1].variance >= deviations[0].variance
+
+    def test_interval_ordering(self):
+        for deviation in random_curve_deviation(bounds()):
+            assert deviation.lower <= float(deviation.expected) <= deviation.upper
+
+    def test_lower_clamped_at_zero(self):
+        schedule = ThresholdSchedule([0.1])
+        original = SystemProfile(schedule, (Counts(4, 1, 10),))
+        improved = SizeProfile(schedule, (2,))
+        deviations = random_curve_deviation(
+            compute_incremental_bounds(original, improved), k=100.0
+        )
+        assert deviations[0].lower == 0.0
+
+    def test_confidence_level(self):
+        deviations = random_curve_deviation(bounds(), k=3.0)
+        assert deviations[0].confidence == pytest.approx(8 / 9)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(BoundsError):
+            random_curve_deviation(bounds(), k=0)
+
+    def test_contains(self):
+        deviation = random_curve_deviation(bounds(), k=3.0)[1]
+        assert deviation.contains(float(deviation.expected))
+        assert not deviation.contains(deviation.upper + 1.0)
+
+    def test_wider_k_wider_interval(self):
+        narrow = random_curve_deviation(bounds(), k=1.0)[1]
+        wide = random_curve_deviation(bounds(), k=4.0)[1]
+        assert wide.radius >= narrow.radius
+
+    def test_empirical_coverage_exceeds_guarantee(self):
+        """Simulate many random subsets; Chebyshev must hold comfortably."""
+        from repro.core.answers import AnswerSet
+        from repro.matching.random_matcher import random_subset_like
+
+        pairs = []
+        truth = set()
+        for i in range(120):
+            item = f"i{i:03d}"
+            pairs.append((item, i / 120))
+            if i % 3 == 0:
+                truth.add(item)
+        answers = AnswerSet.from_pairs(pairs)
+        schedule = ThresholdSchedule([0.4, 0.99])
+        original = SystemProfile.from_answer_set(schedule, answers, truth)
+        sizes = SizeProfile(schedule, (20, 60))
+        b = compute_incremental_bounds(original, sizes)
+        deviations = random_curve_deviation(b, k=3.0)
+        trials = 40
+        hits = 0
+        for seed in range(trials):
+            subset = random_subset_like(answers, schedule, [20, 60], seed)
+            final = SystemProfile.from_answer_set(
+                schedule, subset, truth
+            ).final_counts()
+            if deviations[-1].contains(final.correct):
+                hits += 1
+        assert hits / trials >= 8 / 9

@@ -1,0 +1,95 @@
+"""Unit tests for guaranteed-error point estimators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.estimators import estimate_correct, estimate_curve
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+def bounds():
+    schedule = ThresholdSchedule([0.1, 0.2])
+    original = SystemProfile(
+        schedule, (Counts(40, 15, 100), Counts(72, 27, 100))
+    )
+    improved = SizeProfile(schedule, (32, 48))
+    return compute_incremental_bounds(original, improved)
+
+
+class TestEstimateCorrect:
+    def test_midpoint_value_and_error(self):
+        entry = bounds()[0]  # worst 7, best 15
+        estimate = estimate_correct(entry, "midpoint")
+        assert estimate.correct == Fraction(11)
+        assert estimate.max_error == Fraction(4)
+
+    def test_random_strategy_uses_expectation(self):
+        entry = bounds()[0]  # E = 15*32/40 = 12
+        estimate = estimate_correct(entry, "random")
+        assert estimate.correct == Fraction(12)
+        assert estimate.max_error == Fraction(5)  # distance to worst end (7)
+
+    def test_pessimistic_and_optimistic(self):
+        entry = bounds()[0]
+        assert estimate_correct(entry, "pessimistic").correct == Fraction(7)
+        assert estimate_correct(entry, "optimistic").correct == Fraction(15)
+        assert estimate_correct(entry, "pessimistic").max_error == Fraction(8)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(BoundsError, match="unknown estimation"):
+            estimate_correct(bounds()[0], "psychic")
+
+    def test_precision_and_error(self):
+        estimate = estimate_correct(bounds()[0], "midpoint")
+        assert estimate.precision == Fraction(11, 32)
+        assert estimate.precision_error() == Fraction(4, 32)
+
+    def test_precision_none_for_empty(self):
+        schedule = ThresholdSchedule([0.1])
+        original = SystemProfile(schedule, (Counts(5, 2, 10),))
+        improved = SizeProfile(schedule, (0,))
+        entry = compute_incremental_bounds(original, improved)[0]
+        estimate = estimate_correct(entry, "midpoint")
+        assert estimate.precision is None
+        assert estimate.precision_error() is None
+
+    def test_recall_estimate(self):
+        estimate = estimate_correct(bounds()[0], "midpoint")
+        assert estimate.recall(100) == Fraction(11, 100)
+
+    def test_recall_requires_positive_relevant(self):
+        with pytest.raises(BoundsError):
+            estimate_correct(bounds()[0], "midpoint").recall(0)
+
+
+class TestEstimateCurve:
+    def test_one_estimate_per_threshold(self):
+        estimates = estimate_curve(bounds(), "midpoint")
+        assert [e.delta for e in estimates] == [0.1, 0.2]
+
+    def test_every_feasible_truth_within_guarantee(self):
+        """Exhaustively check the guarantee over all feasible worlds."""
+        b = bounds()
+        for strategy in ("midpoint", "random", "pessimistic", "optimistic"):
+            estimates = estimate_curve(b, strategy)
+            for entry, estimate in zip(b, estimates):
+                for truth in range(entry.worst.correct, entry.best.correct + 1):
+                    assert abs(Fraction(truth) - estimate.correct) <= (
+                        estimate.max_error
+                    )
+
+    def test_midpoint_has_smallest_guaranteed_error(self):
+        b = bounds()
+        midpoint = estimate_curve(b, "midpoint")
+        for strategy in ("random", "pessimistic", "optimistic"):
+            other = estimate_curve(b, strategy)
+            for m, o in zip(midpoint, other):
+                assert m.max_error <= o.max_error

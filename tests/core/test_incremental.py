@@ -1,0 +1,246 @@
+"""Unit tests for the incremental bound algorithm (paper section 3.2).
+
+The paper's Figure 8 example is asserted to the exact fraction, and the
+structural invariants (incremental tighter than naive, ratio-1 collapse)
+are exercised on concrete profiles.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+    compute_naive_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+from repro.experiments.paper_data import (
+    figure8_improved_sizes,
+    figure8_original_profile,
+)
+
+
+class TestSystemProfile:
+    def test_monotone_answers_required(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(BoundsError, match="non-decreasing"):
+            SystemProfile(schedule, (Counts(10, 2), Counts(5, 2)))
+
+    def test_monotone_correct_required(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(BoundsError, match="correct counts"):
+            SystemProfile(schedule, (Counts(10, 5), Counts(20, 2)))
+
+    def test_relevant_consistency_required(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(BoundsError, match="agree on"):
+            SystemProfile(schedule, (Counts(1, 0, 10), Counts(2, 0, 20)))
+
+    def test_alignment_required(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(Exception):
+            SystemProfile(schedule, (Counts(1, 0),))
+
+    def test_from_answer_set(self):
+        schedule = ThresholdSchedule([0.15, 0.35])
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.2), ("c", 0.3)])
+        profile = SystemProfile.from_answer_set(schedule, answers, {"a", "c"})
+        assert profile.answer_sizes() == [1, 3]
+        assert profile.correct_counts() == [1, 2]
+        assert profile.relevant == 2
+
+    def test_increments(self):
+        profile = figure8_original_profile()
+        increments = profile.increments()
+        assert increments[0] == Counts(40, 15)
+        assert increments[1] == Counts(32, 12)
+
+    def test_pr_curve_round_trip(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        profile = SystemProfile(schedule, (Counts(10, 5, 20), Counts(20, 8, 20)))
+        assert SystemProfile.from_pr_curve(profile.pr_curve()).counts == (
+            profile.counts
+        )
+
+    def test_final_counts(self):
+        assert figure8_original_profile().final_counts() == Counts(72, 27)
+
+
+class TestSizeProfile:
+    def test_monotone_required(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(BoundsError, match="non-decreasing"):
+            SizeProfile(schedule, (5, 4))
+
+    def test_negative_rejected(self):
+        schedule = ThresholdSchedule([0.1])
+        with pytest.raises(BoundsError, match="negative"):
+            SizeProfile(schedule, (-1,))
+
+    def test_from_answer_set(self):
+        schedule = ThresholdSchedule([0.15, 0.35])
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.3)])
+        assert SizeProfile.from_answer_set(schedule, answers).sizes == (1, 2)
+
+    def test_increment_sizes(self):
+        assert figure8_improved_sizes().increment_sizes() == [32, 16]
+
+
+class TestFigure8:
+    """The paper's worked example, exact to the fraction."""
+
+    def test_naive_worst_case(self):
+        bounds = compute_naive_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        assert bounds[0].worst.precision == Fraction(7, 32)
+        assert bounds[1].worst.precision == Fraction(1, 16)
+
+    def test_incremental_worst_case(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        assert bounds[0].worst.precision == Fraction(7, 32)
+        assert bounds[1].worst.precision == Fraction(7, 48)
+
+    def test_incremental_worst_counts(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        # second increment: 16 of 32 answers kept, 20 incorrect available
+        # -> worst case keeps 0 correct; cumulative stays at 7
+        assert bounds[1].worst.correct == 7
+
+    def test_best_case(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        # best: all 15 correct kept at d1 (32 >= 15); increment 2 keeps
+        # min(12, 16) = 12 more
+        assert bounds[0].best.correct == 15
+        assert bounds[1].best.correct == 27
+
+    def test_size_ratios(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        assert bounds[0].size_ratio == Fraction(4, 5)
+        assert bounds[1].size_ratio == Fraction(2, 3)
+
+    def test_random_expectation(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        # E[T] = 15*32/40 + 12*16/32 = 12 + 6 = 18
+        assert bounds[1].random_correct == Fraction(18)
+
+    def test_at_delta_lookup(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        assert bounds.at_delta(2.0).improved_answers == 48
+        with pytest.raises(BoundsError):
+            bounds.at_delta(9.9)
+
+
+class TestInvariants:
+    def profile(self) -> SystemProfile:
+        schedule = ThresholdSchedule([0.1, 0.2, 0.3, 0.4])
+        counts = (
+            Counts(20, 15, 60),
+            Counts(50, 30, 60),
+            Counts(90, 40, 60),
+            Counts(150, 45, 60),
+        )
+        return SystemProfile(schedule, counts)
+
+    def test_incremental_never_looser_than_naive(self):
+        original = self.profile()
+        improved = SizeProfile(original.schedule, (15, 35, 60, 100))
+        naive = compute_naive_bounds(original, improved)
+        incremental = compute_incremental_bounds(original, improved)
+        for n, i in zip(naive, incremental):
+            assert i.worst.correct >= n.worst.correct
+            assert i.best.correct <= n.best.correct
+
+    def test_ratio_one_collapses_to_original(self):
+        original = self.profile()
+        improved = SizeProfile(
+            original.schedule, tuple(original.answer_sizes())
+        )
+        bounds = compute_incremental_bounds(original, improved)
+        for entry, counts in zip(bounds, original.counts):
+            assert entry.best.correct == counts.correct
+            assert entry.worst.correct == counts.correct
+            assert entry.random_correct == counts.correct
+
+    def test_worst_leq_random_leq_best(self):
+        original = self.profile()
+        improved = SizeProfile(original.schedule, (10, 25, 50, 80))
+        bounds = compute_incremental_bounds(original, improved)
+        for entry in bounds:
+            assert entry.worst.correct <= entry.random_correct <= entry.best.correct
+
+    def test_empty_improvement(self):
+        original = self.profile()
+        improved = SizeProfile(original.schedule, (0, 0, 0, 0))
+        bounds = compute_incremental_bounds(original, improved)
+        final = bounds[3]
+        assert final.best.correct == 0
+        assert final.worst.correct == 0
+
+    def test_schedule_mismatch_rejected(self):
+        original = self.profile()
+        other = SizeProfile(ThresholdSchedule([0.1, 0.2]), (5, 10))
+        with pytest.raises(BoundsError, match="same"):
+            compute_incremental_bounds(original, other)
+
+    def test_threshold_subset_violation_rejected(self):
+        original = self.profile()
+        improved = SizeProfile(original.schedule, (25, 35, 60, 100))
+        with pytest.raises(BoundsError, match="subset"):
+            compute_incremental_bounds(original, improved)
+
+    def test_increment_subset_violation_rejected(self):
+        original = self.profile()  # increments: 20, 30, 40, 60
+        # threshold sizes fine (<= A1) but second increment keeps 35 > 30
+        improved = SizeProfile(original.schedule, (5, 40, 60, 100))
+        with pytest.raises(BoundsError, match="per-increment"):
+            compute_incremental_bounds(original, improved)
+
+
+class TestCurveOutputs:
+    def test_curves_require_relevant(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        with pytest.raises(BoundsError, match="\\|H\\|"):
+            bounds.best_curve()
+
+    def test_curves_with_relevant(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        original = SystemProfile(
+            schedule, (Counts(40, 15, 100), Counts(72, 27, 100))
+        )
+        improved = SizeProfile(schedule, (32, 48))
+        bounds = compute_incremental_bounds(original, improved)
+        best = bounds.best_curve()
+        worst = bounds.worst_curve()
+        random_curve = bounds.random_curve()
+        assert best[1].recall == Fraction(27, 100)
+        assert worst[1].recall == Fraction(7, 100)
+        assert random_curve[1].recall == Fraction(18, 100)
+        assert bounds.original_curve()[1].precision == Fraction(3, 8)
+
+    def test_rows_shape(self):
+        bounds = compute_incremental_bounds(
+            figure8_original_profile(), figure8_improved_sizes()
+        )
+        rows = bounds.rows()
+        assert len(rows) == 2
+        assert rows[0][1] == 40  # |A1|

@@ -1,0 +1,123 @@
+"""Unit tests for increment-level P/R (Equations 7-8, paper section 3.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.increments import (
+    IncrementPR,
+    combine_increment_pr,
+    increment_precision,
+    increment_recall,
+    increments_of_profile,
+    recombine_profile,
+)
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+class TestIncrementRecall:
+    def test_eq8(self):
+        assert increment_recall(Fraction(3, 10), Fraction(9, 25)) == Fraction(3, 50)
+
+    def test_decreasing_recall_rejected(self):
+        with pytest.raises(BoundsError):
+            increment_recall(Fraction(1, 2), Fraction(1, 4))
+
+
+class TestIncrementPrecision:
+    def test_eq7_figure8_values(self):
+        # S1 of Figure 8 with |H|=100: R=15/100 P=3/8 then R=27/100 P=3/8
+        value = increment_precision(
+            Fraction(15, 100), Fraction(3, 8), Fraction(27, 100), Fraction(3, 8)
+        )
+        assert value == Fraction(3, 8)  # stable precision => increment matches
+
+    def test_eq7_independent_of_h(self):
+        # same counts under two |H| values give the same increment precision
+        for h in (100, 1000):
+            value = increment_precision(
+                Fraction(15, h), Fraction(3, 8), Fraction(27, h), Fraction(3, 8)
+            )
+            assert value == Fraction(3, 8)
+
+    def test_empty_increment_returns_none(self):
+        value = increment_precision(
+            Fraction(1, 10), Fraction(1, 2), Fraction(1, 10), Fraction(1, 2)
+        )
+        assert value is None
+
+    def test_start_of_scale_low_point(self):
+        # R=0 with positive precision denotes the empty answer set
+        value = increment_precision(0, 1, Fraction(3, 10), Fraction(3, 5))
+        assert value == Fraction(3, 5)
+
+    def test_zero_precision_with_recall_inconsistent(self):
+        with pytest.raises(BoundsError, match="inconsistent"):
+            increment_precision(Fraction(1, 10), 0, Fraction(2, 10), Fraction(1, 2))
+
+    def test_zero_precision_zero_recall_hides_size(self):
+        with pytest.raises(BoundsError, match="hidden"):
+            increment_precision(0, 0, Fraction(2, 10), Fraction(1, 2))
+
+    def test_shrinking_answer_set_rejected(self):
+        with pytest.raises(BoundsError, match="grow"):
+            increment_precision(
+                Fraction(5, 10), Fraction(1, 2), Fraction(5, 10), Fraction(9, 10)
+            )
+
+
+class TestCombine:
+    def test_step4_recombination_round_trips(self):
+        # counts: (50 answers, 30 correct) -> (70, 36), |H| = 100
+        r_low, p_low = Fraction(30, 100), Fraction(30, 50)
+        r_high, p_high = Fraction(36, 100), Fraction(36, 70)
+        increment = IncrementPR(
+            recall=increment_recall(r_low, r_high),
+            precision=increment_precision(r_low, p_low, r_high, p_high),
+        )
+        combined = combine_increment_pr(r_low, p_low, increment)
+        assert combined == (r_high, p_high)
+
+    def test_from_start_of_scale(self):
+        increment = IncrementPR(recall=Fraction(3, 10), precision=Fraction(3, 5))
+        recall, precision = combine_increment_pr(0, 1, increment)
+        assert (recall, precision) == (Fraction(3, 10), Fraction(3, 5))
+
+    def test_empty_increment_rejected(self):
+        with pytest.raises(BoundsError, match="empty"):
+            combine_increment_pr(0, 1, IncrementPR(Fraction(0), None))
+
+    def test_zero_precision_increment_rejected(self):
+        with pytest.raises(BoundsError, match="count space"):
+            combine_increment_pr(
+                Fraction(1, 10), Fraction(1, 2), IncrementPR(Fraction(0), Fraction(0))
+            )
+
+
+class TestIncrementPRValidation:
+    def test_recall_range(self):
+        with pytest.raises(BoundsError):
+            IncrementPR(Fraction(3, 2), Fraction(1, 2))
+
+    def test_precision_range(self):
+        with pytest.raises(BoundsError):
+            IncrementPR(Fraction(1, 2), Fraction(3, 2))
+
+    def test_none_precision_allowed(self):
+        assert IncrementPR(Fraction(0), None).precision is None
+
+
+class TestProfileDecomposition:
+    def test_increments_and_recombine_round_trip(self):
+        schedule = ThresholdSchedule([0.1, 0.2, 0.3])
+        counts = [Counts(10, 4, 50), Counts(25, 9, 50), Counts(60, 12, 50)]
+        increments = increments_of_profile(schedule, counts)
+        assert increments[0] == Counts(10, 4, 50)
+        assert increments[1] == Counts(15, 5, 50)
+        assert increments[2] == Counts(35, 3, 50)
+        assert recombine_profile(increments) == counts
+
+    def test_recombine_empty(self):
+        assert recombine_profile([]) == []

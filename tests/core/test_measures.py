@@ -1,0 +1,112 @@
+"""Unit tests for exact precision/recall counts (paper Figure 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.measures import Counts, f_score, measure
+from repro.errors import BoundsError
+
+
+class TestCountsValidation:
+    def test_negative_answers_rejected(self):
+        with pytest.raises(BoundsError):
+            Counts(-1, 0)
+
+    def test_correct_beyond_answers_rejected(self):
+        with pytest.raises(BoundsError):
+            Counts(2, 3)
+
+    def test_correct_beyond_relevant_rejected(self):
+        with pytest.raises(BoundsError):
+            Counts(10, 5, relevant=4)
+
+    def test_negative_relevant_rejected(self):
+        with pytest.raises(BoundsError):
+            Counts(0, 0, relevant=-1)
+
+
+class TestMeasures:
+    def test_precision_exact_fraction(self):
+        assert Counts(8, 3).precision == Fraction(3, 8)
+
+    def test_precision_empty_is_none(self):
+        assert Counts(0, 0).precision is None
+
+    def test_precision_or_convention(self):
+        assert Counts(0, 0).precision_or(Fraction(1)) == Fraction(1)
+
+    def test_recall_exact_fraction(self):
+        assert Counts(8, 3, relevant=12).recall == Fraction(1, 4)
+
+    def test_recall_unknown_h(self):
+        assert Counts(8, 3).recall is None
+
+    def test_recall_empty_ground_truth_is_one(self):
+        assert Counts(5, 0, relevant=0).recall == Fraction(1)
+
+    def test_incorrect(self):
+        assert Counts(8, 3).incorrect == 5
+
+    def test_with_relevant(self):
+        assert Counts(8, 3).with_relevant(12).recall == Fraction(1, 4)
+
+
+class TestIncrementArithmetic:
+    def test_subtract(self):
+        increment = Counts(72, 27, 100).subtract(Counts(40, 15, 100))
+        assert increment == Counts(32, 12, 100)
+
+    def test_subtract_requires_monotone(self):
+        with pytest.raises(BoundsError, match="monotone"):
+            Counts(40, 15, 100).subtract(Counts(72, 27, 100))
+
+    def test_subtract_requires_same_relevant(self):
+        with pytest.raises(BoundsError, match="|H|"):
+            Counts(40, 15, 100).subtract(Counts(10, 5, 99))
+
+    def test_add(self):
+        total = Counts(40, 15, 100).add(Counts(32, 12, 100))
+        assert total == Counts(72, 27, 100)
+
+    def test_add_requires_same_relevant(self):
+        with pytest.raises(BoundsError):
+            Counts(1, 0, 10).add(Counts(1, 0, 20))
+
+    def test_add_subtract_round_trip(self):
+        low = Counts(40, 15, 200)
+        high = Counts(72, 27, 200)
+        assert low.add(high.subtract(low)) == high
+
+
+class TestMeasureFunction:
+    def test_counts_against_ground_truth(self):
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.2), ("c", 0.3)])
+        counts = measure(answers, {"b", "c", "z"})
+        assert counts == Counts(3, 2, 3)
+
+    def test_empty_answers(self):
+        counts = measure(AnswerSet.empty(), {"x"})
+        assert counts.answers == 0 and counts.relevant == 1
+
+
+class TestFScore:
+    def test_balanced(self):
+        counts = Counts(10, 5, relevant=10)  # P=1/2, R=1/2
+        assert f_score(counts) == Fraction(1, 2)
+
+    def test_zero_when_nothing_correct(self):
+        assert f_score(Counts(10, 0, relevant=10)) == Fraction(0)
+
+    def test_none_without_relevant(self):
+        assert f_score(Counts(10, 5)) is None
+
+    def test_none_on_empty_answers(self):
+        assert f_score(Counts(0, 0, relevant=10)) is None
+
+    def test_beta_weights_recall(self):
+        counts = Counts(4, 2, relevant=20)  # P=1/2, R=1/10
+        f1 = f_score(counts, beta=1.0)
+        f2 = f_score(counts, beta=2.0)
+        assert f2 < f1  # recall-heavy beta punishes the low recall

@@ -1,0 +1,129 @@
+"""Unit tests for P/R curves and 11-point interpolation (paper section 2.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.measures import Counts
+from repro.core.pr_curve import STANDARD_RECALL_LEVELS, PRCurve, PRPoint
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import CurveError
+
+
+def measured_curve() -> PRCurve:
+    schedule = ThresholdSchedule([0.1, 0.2, 0.3])
+    counts = [Counts(10, 9, 30), Counts(40, 18, 30), Counts(100, 24, 30)]
+    return PRCurve.from_profile(schedule, counts)
+
+
+class TestPRPoint:
+    def test_range_validation(self):
+        with pytest.raises(CurveError):
+            PRPoint(recall=Fraction(2), precision=Fraction(1, 2))
+        with pytest.raises(CurveError):
+            PRPoint(recall=Fraction(1, 2), precision=Fraction(-1))
+
+    def test_as_tuple(self):
+        point = PRPoint(recall=Fraction(1, 4), precision=Fraction(1, 2))
+        assert point.as_tuple() == (0.25, 0.5)
+
+
+class TestCurveConstruction:
+    def test_needs_points(self):
+        with pytest.raises(CurveError):
+            PRCurve([])
+
+    def test_recall_must_not_decrease(self):
+        with pytest.raises(CurveError, match="non-decreasing"):
+            PRCurve.from_values([(0.5, 0.5), (0.4, 0.6)])
+
+    def test_thresholds_must_increase(self):
+        points = [
+            PRPoint(Fraction(1, 10), Fraction(1), threshold=0.2),
+            PRPoint(Fraction(2, 10), Fraction(1), threshold=0.2),
+        ]
+        with pytest.raises(CurveError, match="strictly increasing"):
+            PRCurve(points)
+
+    def test_from_profile_carries_counts(self):
+        curve = measured_curve()
+        assert curve[1].counts == Counts(40, 18, 30)
+        assert curve[1].threshold == 0.2
+
+    def test_from_profile_needs_relevant(self):
+        schedule = ThresholdSchedule([0.1])
+        with pytest.raises(CurveError, match="known \\|H\\|"):
+            PRCurve.from_profile(schedule, [Counts(5, 2)])
+
+    def test_from_profile_empty_answer_precision_one(self):
+        schedule = ThresholdSchedule([0.1])
+        curve = PRCurve.from_profile(schedule, [Counts(0, 0, 10)])
+        assert curve[0].precision == Fraction(1)
+
+    def test_from_values_snaps_floats(self):
+        curve = PRCurve.from_values([(0.1, 0.9)])
+        assert curve[0].recall == Fraction(1, 10)
+        assert curve[0].precision == Fraction(9, 10)
+
+
+class TestAccessors:
+    def test_is_measured(self):
+        assert measured_curve().is_measured()
+        assert not PRCurve.from_values([(0.1, 0.9)]).is_measured()
+
+    def test_schedule_round_trip(self):
+        assert list(measured_curve().schedule()) == [0.1, 0.2, 0.3]
+
+    def test_schedule_of_interpolated_rejected(self):
+        with pytest.raises(CurveError):
+            PRCurve.from_values([(0.1, 0.9)]).schedule()
+
+    def test_counts_profile(self):
+        assert measured_curve().counts_profile()[0] == Counts(10, 9, 30)
+
+    def test_counts_profile_missing_counts_rejected(self):
+        with pytest.raises(CurveError):
+            PRCurve.from_values([(0.1, 0.9)]).counts_profile()
+
+    def test_recalls_precisions(self):
+        curve = measured_curve()
+        assert curve.recalls() == pytest.approx([0.3, 0.6, 0.8])
+        assert curve.precisions() == pytest.approx([0.9, 0.45, 0.24])
+
+    def test_as_rows(self):
+        rows = measured_curve().as_rows()
+        assert rows[0] == (0.1, 0.3, 0.9)
+
+
+class TestInterpolation:
+    def test_standard_levels(self):
+        assert len(STANDARD_RECALL_LEVELS) == 11
+        assert STANDARD_RECALL_LEVELS[0] == 0
+        assert STANDARD_RECALL_LEVELS[-1] == 1
+
+    def test_precision_at_recall_is_max_at_or_above(self):
+        curve = measured_curve()  # points (0.3,0.9) (0.6,0.45) (0.8,0.24)
+        assert curve.precision_at_recall(Fraction(1, 2)) == Fraction(45, 100)
+        assert curve.precision_at_recall(Fraction(0)) == Fraction(9, 10)
+
+    def test_precision_beyond_max_recall_is_zero(self):
+        assert measured_curve().precision_at_recall(Fraction(9, 10)) == 0
+
+    def test_interpolated_curve_monotone_non_increasing(self):
+        interpolated = measured_curve().interpolate()
+        precisions = interpolated.precisions()
+        assert all(a >= b for a, b in zip(precisions, precisions[1:]))
+
+    def test_interpolated_has_no_thresholds(self):
+        interpolated = measured_curve().interpolate()
+        assert not interpolated.is_measured()
+
+    def test_interpolation_handles_rising_precision(self):
+        # precision may rise along a measured curve (paper section 4.2);
+        # interpolation must take the max over the tail
+        curve = PRCurve.from_values([(0.2, 0.4), (0.4, 0.6), (0.6, 0.3)])
+        assert curve.precision_at_recall(Fraction(1, 10)) == Fraction(3, 5)
+
+    def test_custom_levels(self):
+        out = measured_curve().interpolate([Fraction(1, 4), Fraction(3, 4)])
+        assert len(out) == 2

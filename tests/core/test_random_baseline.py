@@ -1,0 +1,77 @@
+"""Unit tests for the random-system baseline (Equations 9-10)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.random_baseline import (
+    expected_correct,
+    random_increment_precision,
+    random_increment_recall,
+)
+from repro.errors import BoundsError
+
+
+class TestEq9:
+    def test_precision_unchanged(self):
+        assert random_increment_precision(Fraction(3, 8)) == Fraction(3, 8)
+
+    def test_range_validated(self):
+        with pytest.raises(BoundsError):
+            random_increment_precision(Fraction(9, 8))
+
+
+class TestEq10:
+    def test_recall_scales_with_ratio(self):
+        value = random_increment_recall(Fraction(1, 5), Fraction(1, 2))
+        assert value == Fraction(1, 10)
+
+    def test_full_ratio_keeps_recall(self):
+        assert random_increment_recall(Fraction(1, 5), 1) == Fraction(1, 5)
+
+    def test_zero_ratio_zero_recall(self):
+        assert random_increment_recall(Fraction(1, 5), 0) == 0
+
+    def test_ranges_validated(self):
+        with pytest.raises(BoundsError):
+            random_increment_recall(Fraction(6, 5), Fraction(1, 2))
+        with pytest.raises(BoundsError):
+            random_increment_recall(Fraction(1, 5), Fraction(3, 2))
+
+
+class TestExpectedCorrect:
+    def test_hypergeometric_mean(self):
+        assert expected_correct(40, 15, 32) == Fraction(12)
+
+    def test_fractional_result_kept_exact(self):
+        assert expected_correct(3, 2, 1) == Fraction(2, 3)
+
+    def test_empty_increment(self):
+        assert expected_correct(0, 0, 0) == Fraction(0)
+
+    def test_keep_all(self):
+        assert expected_correct(10, 4, 10) == Fraction(4)
+
+    def test_keep_more_than_available_rejected(self):
+        with pytest.raises(BoundsError):
+            expected_correct(5, 2, 6)
+
+    def test_correct_beyond_answers_rejected(self):
+        with pytest.raises(BoundsError):
+            expected_correct(5, 6, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundsError):
+            expected_correct(5, -1, 2)
+
+    def test_monotone_in_kept(self):
+        values = [expected_correct(40, 15, k) for k in range(41)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_best_and_worst(self):
+        from repro.core.bounds import best_case_correct, worst_case_correct
+
+        for a1, t1, a2 in [(40, 15, 32), (10, 3, 4), (8, 8, 5), (6, 0, 4)]:
+            expected = expected_correct(a1, t1, a2)
+            assert worst_case_correct(a1, t1, a2) <= expected
+            assert expected <= best_case_correct(t1, a2)

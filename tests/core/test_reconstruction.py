@@ -1,0 +1,111 @@
+"""Unit tests for section 4.1: interpolated curve -> measured profile."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.incremental import SystemProfile
+from repro.core.measures import Counts
+from repro.core.pr_curve import PRCurve, PRPoint
+from repro.core.reconstruction import (
+    reconstruct_profile,
+    reconstructed_sizes,
+    reconstruction_error,
+)
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError, CurveError
+
+
+def profile() -> SystemProfile:
+    schedule = ThresholdSchedule([0.1, 0.2, 0.3])
+    counts = (Counts(10, 8, 40), Counts(30, 16, 40), Counts(80, 24, 40))
+    return SystemProfile(schedule, counts)
+
+
+def bare_curve() -> PRCurve:
+    return PRCurve.from_values(
+        [(p.recall, p.precision) for p in profile().pr_curve()]
+    )
+
+
+class TestReconstructedSizes:
+    def test_lossless_with_true_relevant(self):
+        sizes = reconstructed_sizes(bare_curve(), 40)
+        assert sizes == [(10, 8), (30, 16), (80, 24)]
+
+    def test_counts_scale_with_guess(self):
+        sizes = reconstructed_sizes(bare_curve(), 80)
+        assert sizes == [(20, 16), (60, 32), (160, 48)]
+
+    def test_rounding_keeps_monotonicity(self):
+        curve = PRCurve.from_values([(0.11, 0.9), (0.12, 0.95)])
+        sizes = reconstructed_sizes(curve, 7)  # fractional counts everywhere
+        assert sizes[1][0] >= sizes[0][0]
+        assert sizes[1][1] >= sizes[0][1]
+
+    def test_zero_precision_point_rejected(self):
+        curve = PRCurve([PRPoint(Fraction(0), Fraction(0))])
+        with pytest.raises(CurveError, match="P = R = 0"):
+            reconstructed_sizes(curve, 10)
+
+    def test_relevant_guess_positive(self):
+        with pytest.raises(BoundsError):
+            reconstructed_sizes(bare_curve(), 0)
+
+
+class TestReconstructProfile:
+    def test_round_trip_with_true_relevant(self):
+        rebuilt = reconstruct_profile(bare_curve(), 40, schedule=profile().schedule)
+        assert rebuilt.counts == profile().counts
+
+    def test_default_synthetic_schedule(self):
+        rebuilt = reconstruct_profile(bare_curve(), 40)
+        assert list(rebuilt.schedule) == [1.0, 2.0, 3.0]
+
+    def test_trailing_zero_points_trimmed(self):
+        curve = PRCurve(
+            [
+                PRPoint(Fraction(1, 10), Fraction(1, 2)),
+                PRPoint(Fraction(2, 10), Fraction(1, 4)),
+            ]
+        )
+        eleven = PRCurve(
+            list(curve)
+            + [PRPoint(Fraction(3, 10), Fraction(0))] * 0  # no trailing here
+        )
+        rebuilt = reconstruct_profile(eleven, 10)
+        assert len(rebuilt.counts) == 2
+
+    def test_interpolated_11pt_curve_reconstructible(self):
+        interpolated = profile().pr_curve().interpolate()
+        kept = PRCurve(
+            [p for p in interpolated if not (p.precision == 0 and p.recall > 0)]
+        )
+        rebuilt = reconstruct_profile(kept, 40)
+        # recall never exceeds the max measured recall
+        final = rebuilt.counts[-1]
+        assert final.recall <= Fraction(24, 40)
+
+    def test_all_zero_curve_rejected(self):
+        curve = PRCurve([PRPoint(Fraction(0), Fraction(0))])
+        with pytest.raises(CurveError, match="no reconstructible"):
+            reconstruct_profile(curve, 10)
+
+
+class TestReconstructionError:
+    def test_zero_error_with_true_relevant(self):
+        rows = reconstruction_error(profile(), 40)
+        for _delta, dp, dr in rows:
+            assert dp == 0
+            assert dr == 0
+
+    def test_error_grows_with_bad_guess(self):
+        # a tiny |H| guess forces coarse rounding -> some precision error
+        rows_small = reconstruction_error(profile(), 3)
+        max_small = max(dp for _d, dp, _dr in rows_small)
+        rows_true = reconstruction_error(profile(), 40)
+        max_true = max(dp for _d, dp, _dr in rows_true)
+        assert max_small >= max_true
+
+    def test_row_per_threshold(self):
+        assert len(reconstruction_error(profile(), 40)) == 3

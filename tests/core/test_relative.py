@@ -1,0 +1,67 @@
+"""Unit tests for |H|-free relative bounds."""
+
+from fractions import Fraction
+
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.relative import relative_bounds
+from repro.core.thresholds import ThresholdSchedule
+from repro.experiments.paper_data import (
+    figure8_improved_sizes,
+    figure8_original_profile,
+)
+
+
+def figure8_bounds():
+    return compute_incremental_bounds(
+        figure8_original_profile(), figure8_improved_sizes()
+    )
+
+
+class TestRelativeBounds:
+    def test_no_relevant_needed(self):
+        # Figure 8 has no |H|; relative bounds still work
+        entries = relative_bounds(figure8_bounds())
+        assert len(entries) == 2
+
+    def test_figure8_values(self):
+        entries = relative_bounds(figure8_bounds())
+        # at d2: worst 7 of 27 kept; best 27 of 27
+        assert entries[1].worst_relative_recall == Fraction(7, 27)
+        assert entries[1].best_relative_recall == Fraction(1)
+
+    def test_max_recall_loss(self):
+        entries = relative_bounds(figure8_bounds())
+        assert entries[1].max_recall_loss == Fraction(20, 27)
+
+    def test_precision_bounds_passthrough(self):
+        entries = relative_bounds(figure8_bounds())
+        assert entries[0].worst_precision == Fraction(7, 32)
+        assert entries[1].worst_precision == Fraction(7, 48)
+
+    def test_no_truth_yet_yields_none(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        original = SystemProfile(schedule, (Counts(5, 0), Counts(10, 4)))
+        improved = SizeProfile(schedule, (3, 7))
+        entries = relative_bounds(compute_incremental_bounds(original, improved))
+        assert entries[0].worst_relative_recall is None
+        assert entries[0].max_recall_loss is None
+        assert entries[1].worst_relative_recall is not None
+
+    def test_equals_absolute_recall_ratio_when_h_known(self):
+        # relative recall must equal R2/R1 whenever |H| is known
+        schedule = ThresholdSchedule([0.1, 0.2])
+        original = SystemProfile(
+            schedule, (Counts(40, 15, 100), Counts(72, 27, 100))
+        )
+        improved = SizeProfile(schedule, (32, 48))
+        bounds = compute_incremental_bounds(original, improved)
+        entries = relative_bounds(bounds)
+        for entry, bound in zip(entries, bounds):
+            r1 = bound.original.recall
+            worst_r2 = Fraction(bound.worst.correct, 100)
+            assert entry.worst_relative_recall == worst_r2 / r1

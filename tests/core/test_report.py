@@ -1,0 +1,103 @@
+"""Unit tests for the text/ASCII report renderers."""
+
+from repro.core.bands import EffectivenessBand
+from repro.core.incremental import (
+    SizeProfile,
+    SystemProfile,
+    compute_incremental_bounds,
+)
+from repro.core.measures import Counts
+from repro.core.report import (
+    render_band_plot,
+    render_bounds_table,
+    render_containment,
+    render_pr_curve,
+    render_ratio_curve,
+    render_relative_bounds,
+    summarize_guarantees,
+)
+from repro.core.size_ratio import SizeRatioCurve
+from repro.core.thresholds import ThresholdSchedule
+
+
+def fixtures():
+    schedule = ThresholdSchedule([0.1, 0.2])
+    original = SystemProfile(
+        schedule, (Counts(20, 15, 50), Counts(60, 30, 50))
+    )
+    improved = SizeProfile(schedule, (15, 40))
+    bounds = compute_incremental_bounds(original, improved)
+    return original, improved, bounds
+
+
+class TestRenderers:
+    def test_pr_curve_table(self):
+        original, _improved, _bounds = fixtures()
+        out = render_pr_curve(original.pr_curve(), title="curve")
+        assert "curve" in out and "recall" in out
+
+    def test_bounds_table_mentions_method(self):
+        _o, _i, bounds = fixtures()
+        out = render_bounds_table(bounds)
+        assert "(incremental)" in out
+        assert "P worst" in out
+
+    def test_band_plot_has_legend(self):
+        _o, _i, bounds = fixtures()
+        out = render_band_plot(EffectivenessBand(bounds))
+        assert "[o] S1 measured" in out
+        assert "[~] S2 random" in out
+
+    def test_band_plot_without_random(self):
+        _o, _i, bounds = fixtures()
+        out = render_band_plot(EffectivenessBand(bounds), include_random=False)
+        assert "random" not in out
+
+    def test_ratio_curve_table(self):
+        original, improved, _bounds = fixtures()
+        ratio = SizeRatioCurve.from_profiles(original, improved)
+        out = render_ratio_curve(ratio)
+        assert "increment ratio" in out
+
+    def test_relative_bounds_table(self):
+        _o, _i, bounds = fixtures()
+        out = render_relative_bounds(bounds)
+        assert "max loss" in out
+
+    def test_containment_table_ok(self):
+        original, improved, bounds = fixtures()
+        band = EffectivenessBand(bounds)
+        actual = SystemProfile(
+            original.schedule, (Counts(15, 12, 50), Counts(40, 22, 50))
+        )
+        out = render_containment(band.check_containment(actual))
+        assert "ALL CONTAINED" in out
+
+    def test_containment_table_violation(self):
+        original, improved, bounds = fixtures()
+        band = EffectivenessBand(bounds)
+        actual = SystemProfile(
+            original.schedule, (Counts(15, 0, 50), Counts(40, 5, 50))
+        )
+        out = render_containment(band.check_containment(actual))
+        assert "VIOLATION" in out
+
+    def test_summarize_guarantees_mentions_loss(self):
+        _o, _i, bounds = fixtures()
+        out = summarize_guarantees(EffectivenessBand(bounds))
+        assert "true positives" in out
+        assert "precision >=" in out
+
+    def test_render_comparison_names_systems(self):
+        from repro.core.comparison import compare_bounds
+        from repro.core.report import render_comparison
+
+        original, _improved, bounds = fixtures()
+        other = compute_incremental_bounds(
+            original, SizeProfile(original.schedule, (2, 5))
+        )
+        out = render_comparison(
+            compare_bounds(bounds, other), "wide", "narrow"
+        )
+        assert "Band comparison: wide vs narrow" in out
+        assert "provably better" in out or "undecided" in out

@@ -1,0 +1,79 @@
+"""Unit tests for answer-size-ratio curves (paper Figure 10)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.incremental import SizeProfile, SystemProfile
+from repro.core.measures import Counts
+from repro.core.size_ratio import SizeRatioCurve
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+
+
+def schedule3():
+    return ThresholdSchedule([0.1, 0.2, 0.3])
+
+
+def curve() -> SizeRatioCurve:
+    return SizeRatioCurve(schedule3(), (10, 40, 100), (10, 30, 50))
+
+
+class TestConstruction:
+    def test_subset_violation_rejected(self):
+        with pytest.raises(BoundsError, match="subset"):
+            SizeRatioCurve(schedule3(), (10, 40, 100), (11, 30, 50))
+
+    def test_alignment_enforced(self):
+        with pytest.raises(Exception):
+            SizeRatioCurve(schedule3(), (10, 40), (10, 30, 50))
+
+    def test_from_profiles_system(self):
+        original = SystemProfile(
+            schedule3(), (Counts(10, 5, 9), Counts(40, 8, 9), Counts(100, 9, 9))
+        )
+        improved = SizeProfile(schedule3(), (10, 30, 50))
+        ratio = SizeRatioCurve.from_profiles(original, improved)
+        assert ratio.original_sizes == (10, 40, 100)
+
+    def test_from_profiles_sizes(self):
+        original = SizeProfile(schedule3(), (10, 40, 100))
+        improved = SizeProfile(schedule3(), (5, 30, 50))
+        assert SizeRatioCurve.from_profiles(original, improved).ratio_at(0) == (
+            Fraction(1, 2)
+        )
+
+    def test_from_profiles_schedule_mismatch(self):
+        original = SizeProfile(schedule3(), (10, 40, 100))
+        improved = SizeProfile(ThresholdSchedule([0.1]), (5,))
+        with pytest.raises(BoundsError, match="shared"):
+            SizeRatioCurve.from_profiles(original, improved)
+
+
+class TestRatios:
+    def test_per_threshold(self):
+        assert curve().ratios() == [Fraction(1), Fraction(3, 4), Fraction(1, 2)]
+
+    def test_zero_original_gives_zero(self):
+        ratio = SizeRatioCurve(schedule3(), (0, 4, 8), (0, 2, 4))
+        assert ratio.ratio_at(0) == Fraction(0)
+
+    def test_increment_ratios(self):
+        # increments: original 10,30,60; improved 10,20,20
+        assert curve().increment_ratios() == [
+            Fraction(1),
+            Fraction(2, 3),
+            Fraction(1, 3),
+        ]
+
+    def test_mean_ratio(self):
+        assert curve().mean_ratio() == Fraction(3, 4)
+
+    def test_as_xy_axes(self):
+        xy = curve().as_xy()
+        assert xy[0] == (0.1, 1.0)
+        assert xy[2] == (0.3, 0.5)
+
+    def test_rows_contain_increment_column(self):
+        rows = curve().rows()
+        assert rows[1][4] == pytest.approx(2 / 3)

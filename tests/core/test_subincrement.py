@@ -1,0 +1,141 @@
+"""Unit tests for sub-increment bounds (paper section 4.2, Figure 13)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.measures import Counts
+from repro.core.subincrement import SubIncrementAnalyzer
+from repro.errors import BoundsError
+from repro.experiments.paper_data import (
+    FIGURE13_EXPECTED,
+    figure13_high,
+    figure13_low,
+)
+
+
+def analyzer() -> SubIncrementAnalyzer:
+    return SubIncrementAnalyzer(figure13_low(), figure13_high())
+
+
+class TestConstruction:
+    def test_requires_relevant(self):
+        with pytest.raises(BoundsError, match="\\|H\\|"):
+            SubIncrementAnalyzer(Counts(50, 30), Counts(70, 36))
+
+    def test_relevant_must_agree(self):
+        with pytest.raises(BoundsError, match="agree"):
+            SubIncrementAnalyzer(Counts(50, 30, 100), Counts(70, 36, 200))
+
+    def test_ordering_required(self):
+        with pytest.raises(BoundsError, match="ordered"):
+            SubIncrementAnalyzer(Counts(70, 36, 100), Counts(50, 30, 100))
+
+    def test_increment_composition(self):
+        a = analyzer()
+        assert a.increment_correct == 6
+        assert a.increment_incorrect == 14
+
+
+class TestFigure13Exact:
+    def test_paper_segment(self):
+        segment = analyzer().segment(FIGURE13_EXPECTED["intermediate_answers"])
+        assert segment.worst.recall == FIGURE13_EXPECTED["worst_recall"]
+        assert segment.worst.precision == FIGURE13_EXPECTED["worst_precision"]
+        assert segment.best.recall == FIGURE13_EXPECTED["best_recall"]
+        assert segment.best.precision == FIGURE13_EXPECTED["best_precision"]
+
+    def test_endpoints_degenerate_to_measured_points(self):
+        a = analyzer()
+        low_segment = a.segment(50)
+        assert low_segment.worst.recall == low_segment.best.recall == Fraction(30, 100)
+        high_segment = a.segment(70)
+        assert high_segment.worst.recall == high_segment.best.recall == (
+            Fraction(36, 100)
+        )
+        assert high_segment.worst.precision == Fraction(36, 70)
+
+
+class TestCorrectRange:
+    def test_worst_kicks_in_beyond_incorrect_budget(self):
+        a = analyzer()  # 14 incorrect available in the increment
+        worst, best = a.correct_range(66)  # 16 extra answers
+        assert worst == 30 + 2  # 16 - 14 must be correct
+        assert best == 36
+
+    def test_best_capped_by_increment_correct(self):
+        worst, best = analyzer().correct_range(60)  # 10 extra
+        assert best == 36  # 6 correct available, 30 + min(10, 6)
+        assert worst == 30
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(BoundsError, match="outside"):
+            analyzer().correct_range(49)
+        with pytest.raises(BoundsError, match="outside"):
+            analyzer().correct_range(71)
+
+
+class TestBoundary:
+    def test_covers_all_sizes(self):
+        segments = analyzer().boundary(step=1)
+        assert [s.answers for s in segments] == list(range(50, 71))
+
+    def test_step_includes_last(self):
+        segments = analyzer().boundary(step=4)
+        assert segments[-1].answers == 70
+
+    def test_invalid_step(self):
+        with pytest.raises(BoundsError):
+            analyzer().boundary(step=0)
+
+    def test_midpoints_between_ends(self):
+        for segment in analyzer().boundary():
+            mid = segment.midpoint()
+            assert segment.worst.recall <= mid.recall <= segment.best.recall
+            lo = min(segment.worst.precision, segment.best.precision)
+            hi = max(segment.worst.precision, segment.best.precision)
+            assert lo <= mid.precision <= hi
+
+    def test_midpoint_locus_is_not_linear_interpolation(self):
+        # paper: "taking the point halfway ... is not the same as linear
+        # interpolation between d1 and d2"
+        a = analyzer()
+        locus = a.midpoint_locus()
+        low, high = locus[0], locus[-1]
+
+        def linear(recall: Fraction) -> Fraction:
+            t = (recall - low.recall) / (high.recall - low.recall)
+            return low.precision + t * (high.precision - low.precision)
+
+        deviations = [
+            abs(point.precision - linear(point.recall))
+            for point in locus[1:-1]
+            if high.recall != low.recall
+        ]
+        assert max(deviations) > 0
+
+    def test_segment_contains_check(self):
+        segment = analyzer().segment(54)
+        assert segment.contains(correct=32, relevant=100)
+        assert not segment.contains(correct=36, relevant=100)
+
+    def test_contains_validates_relevant(self):
+        with pytest.raises(BoundsError):
+            analyzer().segment(54).contains(1, 0)
+
+
+class TestTruthInsideSegments:
+    def test_any_feasible_split_lies_on_its_segment(self):
+        # enumerate every way the 6 correct / 14 incorrect increment can
+        # be ordered; for each intermediate size the true count must fall
+        # within [worst, best]
+        a = analyzer()
+        for extra_correct in range(0, 7):
+            for n in range(50, 71):
+                extra = n - 50
+                true_correct = 30 + min(extra_correct, extra)
+                # only feasible if the remaining extras fit among incorrect
+                if extra - min(extra_correct, extra) > 14:
+                    continue
+                worst, best = a.correct_range(n)
+                assert worst <= true_correct <= best

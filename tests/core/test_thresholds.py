@@ -1,0 +1,95 @@
+"""Unit tests for threshold schedules."""
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import ThresholdError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ThresholdError, match="empty"):
+            ThresholdSchedule([])
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ThresholdError, match="strictly increasing"):
+            ThresholdSchedule([0.1, 0.1])
+
+    def test_linear(self):
+        schedule = ThresholdSchedule.linear(0.0, 1.0, 5)
+        assert list(schedule) == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_linear_single_point(self):
+        assert list(ThresholdSchedule.linear(0.0, 0.7, 1)) == [0.7]
+
+    def test_linear_invalid_count(self):
+        with pytest.raises(ThresholdError):
+            ThresholdSchedule.linear(0, 1, 0)
+
+    def test_from_answer_scores_quantiles(self):
+        answers = AnswerSet.from_pairs((f"i{i}", i / 100) for i in range(100))
+        schedule = ThresholdSchedule.from_answer_scores(answers, 4)
+        assert len(schedule) == 4
+        assert schedule.final == pytest.approx(0.99)
+
+    def test_from_answer_scores_few_distinct(self):
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.1), ("c", 0.5)])
+        schedule = ThresholdSchedule.from_answer_scores(answers, 10)
+        assert list(schedule) == [0.1, 0.5]
+
+    def test_from_empty_answers_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdSchedule.from_answer_scores(AnswerSet.empty(), 3)
+
+
+class TestAccess:
+    def test_final(self):
+        assert ThresholdSchedule([0.1, 0.2]).final == 0.2
+
+    def test_indexing(self):
+        assert ThresholdSchedule([0.1, 0.2])[1] == 0.2
+
+    def test_equality_and_hash(self):
+        a = ThresholdSchedule([0.1, 0.2])
+        b = ThresholdSchedule([0.1, 0.2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ThresholdSchedule([0.1])
+
+    def test_increments_start_with_none(self):
+        schedule = ThresholdSchedule([0.1, 0.2, 0.4])
+        assert schedule.increments() == [(None, 0.1), (0.1, 0.2), (0.2, 0.4)]
+
+
+class TestTransforms:
+    def test_prefix(self):
+        schedule = ThresholdSchedule([0.1, 0.2, 0.3])
+        assert list(schedule.prefix(2)) == [0.1, 0.2]
+
+    def test_prefix_invalid(self):
+        with pytest.raises(ThresholdError):
+            ThresholdSchedule([0.1]).prefix(2)
+
+    def test_coarsen_keeps_final(self):
+        schedule = ThresholdSchedule.linear(0.1, 1.0, 10)
+        coarse = schedule.coarsen(4)
+        assert coarse.final == schedule.final
+        assert len(coarse) < len(schedule)
+
+    def test_coarsen_identity(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        assert schedule.coarsen(1) == schedule
+
+    def test_coarsen_to_single(self):
+        schedule = ThresholdSchedule.linear(0.1, 1.0, 5)
+        assert list(schedule.coarsen(100)) == [1.0]
+
+    def test_coarsen_invalid(self):
+        with pytest.raises(ThresholdError):
+            ThresholdSchedule([0.1]).coarsen(0)
+
+    def test_validate_alignment(self):
+        schedule = ThresholdSchedule([0.1, 0.2])
+        with pytest.raises(ThresholdError, match="2 thresholds"):
+            ThresholdSchedule.validate_alignment(schedule, [1], "values")

@@ -1,0 +1,114 @@
+"""Unit tests for top-N bounds (the paper's conclusion claim)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.topn import cutoffs_to_schedule, default_cutoffs, topn_bounds
+from repro.errors import BoundsError
+
+
+def ranked_answers(n: int = 100) -> AnswerSet:
+    return AnswerSet.from_pairs((f"item-{i:03d}", i / 100) for i in range(n))
+
+
+class TestDefaultCutoffs:
+    def test_ladder_capped_at_total(self):
+        assert default_cutoffs(60) == [10, 25, 50, 60]
+
+    def test_small_total(self):
+        assert default_cutoffs(5) == [5]
+
+    def test_zero_total(self):
+        assert default_cutoffs(0) == []
+
+
+class TestCutoffsToSchedule:
+    def test_thresholds_are_nth_scores(self):
+        answers = ranked_answers()
+        schedule = cutoffs_to_schedule(answers, [10, 50])
+        assert list(schedule) == [0.09, 0.49]
+
+    def test_cutoff_beyond_size_clamped(self):
+        answers = ranked_answers(20)
+        schedule = cutoffs_to_schedule(answers, [10, 500])
+        assert schedule.final == pytest.approx(0.19)
+
+    def test_duplicate_cutoffs_collapse(self):
+        answers = ranked_answers(20)
+        schedule = cutoffs_to_schedule(answers, [5, 5, 10])
+        assert len(schedule) == 2
+
+    def test_ties_collapse_thresholds(self):
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.1), ("c", 0.2)])
+        schedule = cutoffs_to_schedule(answers, [1, 2, 3])
+        assert list(schedule) == [0.1, 0.2]
+
+    def test_empty_cutoffs_rejected(self):
+        with pytest.raises(BoundsError):
+            cutoffs_to_schedule(ranked_answers(), [])
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(BoundsError):
+            cutoffs_to_schedule(AnswerSet.empty(), [10])
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(BoundsError):
+            cutoffs_to_schedule(ranked_answers(), [0])
+
+
+class TestTopNBounds:
+    def test_effective_sizes_cover_cutoffs(self):
+        original = ranked_answers()
+        improved = AnswerSet.from_pairs(
+            (f"item-{i:03d}", i / 100) for i in range(0, 100, 2)
+        )
+        truth = {f"item-{i:03d}" for i in range(30)}
+        bounds = topn_bounds(original, improved, truth, cutoffs=[10, 50, 100])
+        assert [e.original.answers for e in bounds] == [10, 50, 100]
+
+    def test_bounds_bracket_truth_at_each_cutoff(self):
+        original = ranked_answers()
+        improved = AnswerSet.from_pairs(
+            (f"item-{i:03d}", i / 100) for i in range(0, 100, 3)
+        )
+        truth = frozenset(f"item-{i:03d}" for i in range(0, 100, 7))
+        bounds = topn_bounds(original, improved, truth, cutoffs=[10, 40, 100])
+        for entry in bounds:
+            actual = sum(
+                1
+                for a in improved.at_threshold(entry.delta)
+                if a.item in truth
+            )
+            assert entry.worst.correct <= actual <= entry.best.correct
+
+    def test_subset_violation_rejected(self):
+        original = ranked_answers(10)
+        rogue = AnswerSet.from_pairs([("foreign", 0.05)])
+        with pytest.raises(Exception):
+            topn_bounds(original, rogue, set(), cutoffs=[5])
+
+    def test_default_cutoffs_used(self):
+        original = ranked_answers(60)
+        improved = original.top_n(30)
+        bounds = topn_bounds(original, improved, {"item-000"})
+        assert len(bounds) == len(cutoffs_to_schedule(original, default_cutoffs(60)))
+
+    def test_band_narrow_at_top_when_improvement_keeps_top(self):
+        """The paper's claim in miniature: full retention at the top
+        collapses the band there while deep cutoffs stay loose."""
+        original = ranked_answers()
+        improved = original.top_n(40)  # keeps the whole top-25, half overall
+        truth = frozenset(f"item-{i:03d}" for i in range(0, 100, 4))
+        bounds = topn_bounds(original, improved, truth, cutoffs=[25, 100])
+        top = bounds[0]
+        deep = bounds[1]
+        top_width = top.best.precision_or(Fraction(1)) - top.worst.precision_or(
+            Fraction(0)
+        )
+        deep_width = deep.best.precision_or(Fraction(1)) - deep.worst.precision_or(
+            Fraction(0)
+        )
+        assert top_width == 0
+        assert deep_width > 0

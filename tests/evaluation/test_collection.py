@@ -1,0 +1,81 @@
+"""Unit tests for saving/loading test collections."""
+
+import json
+
+import pytest
+
+from repro.errors import GroundTruthError
+from repro.evaluation.collection import load_collection, save_collection
+
+
+class TestRoundTrip:
+    def test_save_creates_layout(self, small_workload, tmp_path):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        assert (root / "meta.json").exists()
+        assert (root / "ground_truth.json").exists()
+        assert list((root / "repository").glob("*.schema"))
+        assert list((root / "queries").glob("*.schema"))
+
+    def test_round_trip_preserves_counts(self, small_workload, tmp_path):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        loaded = load_collection(root)
+        assert len(loaded.repository) == len(small_workload.repository)
+        assert len(loaded) == len(small_workload.suite)
+        assert loaded.relevant_size == small_workload.relevant_size
+
+    def test_round_trip_preserves_ground_truth_keys(
+        self, small_workload, tmp_path
+    ):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        loaded = load_collection(root)
+        original_keys = {
+            m.key for m in small_workload.suite.ground_truth.mappings
+        }
+        loaded_keys = {m.key for m in loaded.ground_truth.mappings}
+        assert loaded_keys == original_keys
+
+    def test_loaded_collection_is_matchable(self, small_workload, tmp_path):
+        from repro.core.measures import measure
+        from repro.matching import ExhaustiveMatcher
+
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        loaded = load_collection(root)
+        matcher = ExhaustiveMatcher(small_workload.objective)
+        scenario = loaded.scenarios[0]
+        answers = matcher.match(scenario.query, loaded.repository, 0.2)
+        counts = measure(answers, scenario.ground_truth.mappings)
+        assert counts.answers == len(answers)
+
+
+class TestErrors:
+    def test_missing_meta_rejected(self, tmp_path):
+        with pytest.raises(GroundTruthError, match="not a test collection"):
+            load_collection(tmp_path)
+
+    def test_unsupported_format_rejected(self, small_workload, tmp_path):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        meta = json.loads((root / "meta.json").read_text())
+        meta["format"] = 99
+        (root / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(GroundTruthError, match="unsupported"):
+            load_collection(root)
+
+    def test_missing_ground_truth_entry_rejected(
+        self, small_workload, tmp_path
+    ):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        truth = json.loads((root / "ground_truth.json").read_text())
+        first_key = sorted(truth)[0]
+        del truth[first_key]
+        (root / "ground_truth.json").write_text(json.dumps(truth))
+        with pytest.raises(GroundTruthError, match="no ground truth"):
+            load_collection(root)
+
+    def test_invalid_target_rejected(self, small_workload, tmp_path):
+        root = save_collection(small_workload.suite, tmp_path / "col")
+        truth = json.loads((root / "ground_truth.json").read_text())
+        first_key = sorted(truth)[0]
+        truth[first_key][0][1] = [99999]
+        (root / "ground_truth.json").write_text(json.dumps(truth))
+        with pytest.raises(GroundTruthError, match="invalid"):
+            load_collection(root)

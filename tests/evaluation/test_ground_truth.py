@@ -1,0 +1,99 @@
+"""Unit tests for the concept-provenance ground truth oracle."""
+
+import pytest
+
+from repro.errors import GroundTruthError
+from repro.evaluation.ground_truth import GroundTruth, enumerate_ground_truth
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.repository import SchemaRepository
+
+
+def schema_with(concepts: dict[str, str], schema_id: str) -> Schema:
+    root = SchemaElement("root", concept="c:root")
+    for name, concept in concepts.items():
+        root.add_child(SchemaElement(name, concept=concept))
+    return Schema(schema_id, root)
+
+
+def query_single(concept: str) -> Schema:
+    return Schema("q", SchemaElement("anything", concept=concept))
+
+
+class TestEnumerateGroundTruth:
+    def test_single_element_query(self):
+        repo = SchemaRepository(
+            "r",
+            [
+                schema_with({"a": "c:x", "b": "c:y"}, "s1"),
+                schema_with({"c": "c:x"}, "s2"),
+            ],
+        )
+        truth = enumerate_ground_truth(query_single("c:x"), repo)
+        assert len(truth) == 2  # one in each schema
+
+    def test_concept_absent_from_repository(self):
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        truth = enumerate_ground_truth(query_single("c:none"), repo)
+        assert len(truth) == 0
+
+    def test_multi_element_cartesian(self):
+        repo = SchemaRepository(
+            "r", [schema_with({"a": "c:x", "b": "c:x", "c": "c:y"}, "s1")]
+        )
+        root = SchemaElement("q", concept="c:root")
+        root.add_child(SchemaElement("one", concept="c:x"))
+        root.add_child(SchemaElement("two", concept="c:y"))
+        query = Schema("q", root)
+        truth = enumerate_ground_truth(query, repo)
+        # root -> root (1 way), one -> {a,b}, two -> {c} => 2 mappings
+        assert len(truth) == 2
+
+    def test_injectivity_enforced(self):
+        # both query elements need c:x but the schema has only one
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        root = SchemaElement("q", concept="c:x")
+        root.add_child(SchemaElement("one", concept="c:x"))
+        query = Schema("q", root)
+        # root needs c:x too; only one c:x exists besides... 'a' is c:x and
+        # root of s1 is c:root => no injective full assignment
+        assert len(enumerate_ground_truth(query, repo)) == 0
+
+    def test_missing_provenance_rejected(self):
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        query = Schema("q", SchemaElement("unlabelled"))
+        with pytest.raises(GroundTruthError, match="provenance"):
+            enumerate_ground_truth(query, repo)
+
+    def test_mappings_reference_matching_concepts(self):
+        repo = SchemaRepository(
+            "r", [schema_with({"a": "c:x", "b": "c:x"}, "s1")]
+        )
+        truth = enumerate_ground_truth(query_single("c:x"), repo)
+        for mapping in truth:
+            assert all(t.concept == "c:x" for t in mapping.targets)
+
+
+class TestGroundTruthContainer:
+    def test_membership(self):
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        truth = enumerate_ground_truth(query_single("c:x"), repo)
+        mapping = next(iter(truth))
+        assert mapping in truth
+
+    def test_union_disjoint(self):
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        truth1 = enumerate_ground_truth(query_single("c:x"), repo)
+        query2 = Schema("q2", SchemaElement("z", concept="c:x"))
+        truth2 = enumerate_ground_truth(query2, repo)
+        union = truth1.union(truth2)
+        assert len(union) == 2
+
+    def test_union_overlap_rejected(self):
+        repo = SchemaRepository("r", [schema_with({"a": "c:x"}, "s1")])
+        truth = enumerate_ground_truth(query_single("c:x"), repo)
+        with pytest.raises(GroundTruthError, match="overlap"):
+            truth.union(truth)
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(GroundTruthError):
+            GroundTruth.union_all([])

@@ -1,0 +1,97 @@
+"""Unit tests for oracle and noisy judges."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.evaluation.ground_truth import GroundTruth
+from repro.evaluation.judge import NoisyJudge, OracleJudge
+
+
+def truth(items) -> GroundTruth:
+    return GroundTruth("q", frozenset(items))
+
+
+class TestOracleJudge:
+    def test_is_correct(self):
+        judge = OracleJudge(truth({"a", "b"}))
+        assert judge.is_correct("a")
+        assert not judge.is_correct("z")
+
+    def test_relevant_size(self):
+        assert OracleJudge(truth({"a", "b"})).relevant_size() == 2
+
+    def test_judge_answer_set(self):
+        judge = OracleJudge(truth({"a", "b", "c"}))
+        answers = AnswerSet.from_pairs([("a", 0.1), ("z", 0.2)])
+        counts = judge.judge_answer_set(answers)
+        assert counts.answers == 2
+        assert counts.correct == 1
+        assert counts.relevant == 3
+        assert counts.precision == Fraction(1, 2)
+
+    def test_judged_items(self):
+        judge = OracleJudge(truth({"a"}))
+        answers = AnswerSet.from_pairs([("a", 0.1), ("z", 0.2)])
+        assert judge.judged_items(answers) == frozenset({"a"})
+
+
+class TestNoisyJudge:
+    def test_zero_flip_equals_oracle(self):
+        ground = truth({"a", "b"})
+        noisy = NoisyJudge(ground, flip_probability=0.0, seed=1)
+        oracle = OracleJudge(ground)
+        answers = AnswerSet.from_pairs([("a", 0.1), ("z", 0.2)])
+        assert (
+            noisy.judge_answer_set(answers).correct
+            == oracle.judge_answer_set(answers).correct
+        )
+
+    def test_full_flip_inverts(self):
+        ground = truth({"a"})
+        noisy = NoisyJudge(ground, flip_probability=1.0, seed=1)
+        assert not noisy.is_correct("a")
+        assert noisy.is_correct("z")
+
+    def test_verdict_deterministic_per_item(self):
+        noisy = NoisyJudge(truth({"a"}), flip_probability=0.5, seed=9)
+        first = [noisy.is_correct(f"item{i}") for i in range(20)]
+        second = [noisy.is_correct(f"item{i}") for i in range(20)]
+        assert first == second
+
+    def test_flip_rate_approximate(self):
+        ground = truth({f"g{i}" for i in range(200)})
+        noisy = NoisyJudge(ground, flip_probability=0.3, seed=3)
+        flipped = sum(1 for item in ground if not noisy.is_correct(item))
+        assert 0.15 <= flipped / 200 <= 0.45
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NoisyJudge(truth({"a"}), flip_probability=1.2, seed=1)
+
+    def test_judged_relevant_tracks_flips(self):
+        ground = truth({f"g{i}" for i in range(50)})
+        noisy = NoisyJudge(ground, flip_probability=0.5, seed=7)
+        counts = noisy.judge_answer_set(AnswerSet.empty())
+        assert counts.relevant < 50  # flipped-away members shrink judged H
+
+
+class TestJudgeProfile:
+    def test_counts_per_threshold(self):
+        from repro.evaluation.judge import judge_profile
+
+        judge = OracleJudge(truth({"a", "c"}))
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.2), ("c", 0.3)])
+        counts = judge_profile(judge, answers, [0.15, 0.35])
+        assert [c.answers for c in counts] == [1, 3]
+        assert [c.correct for c in counts] == [1, 2]
+
+    def test_descending_thresholds_rejected(self):
+        from repro.errors import GroundTruthError
+        from repro.evaluation.judge import judge_profile
+
+        judge = OracleJudge(truth({"a"}))
+        answers = AnswerSet.from_pairs([("a", 0.1), ("b", 0.2)])
+        with pytest.raises(GroundTruthError, match="ascending"):
+            judge_profile(judge, answers, [0.3, 0.1])

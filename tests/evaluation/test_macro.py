@@ -1,0 +1,112 @@
+"""Unit tests for per-query (macro) evaluation and bounds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import BoundsError
+from repro.evaluation.macro import (
+    macro_bound_rows,
+    macro_pr_rows,
+    per_query_bounds,
+    per_query_runs,
+)
+from repro.matching import BeamMatcher, ExhaustiveMatcher
+
+
+@pytest.fixture(scope="module")
+def macro_setup(small_workload):
+    original = per_query_runs(
+        ExhaustiveMatcher(small_workload.objective),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+    improved = per_query_runs(
+        BeamMatcher(small_workload.objective, beam_width=8),
+        small_workload.suite,
+        small_workload.schedule,
+    )
+    return original, improved
+
+
+class TestPerQueryRuns:
+    def test_one_run_per_query(self, small_workload, macro_setup):
+        original, _ = macro_setup
+        assert len(original) == len(small_workload.suite)
+
+    def test_per_query_relevant_sums_to_pooled(self, small_workload, macro_setup):
+        original, _ = macro_setup
+        assert (
+            sum(run.profile.relevant for run in original)
+            == small_workload.relevant_size
+        )
+
+    def test_per_query_sizes_sum_to_micro(
+        self, small_workload, macro_setup, original_run
+    ):
+        original, _ = macro_setup
+        for index in range(len(small_workload.schedule)):
+            per_query_total = sum(
+                run.profile.counts[index].answers for run in original
+            )
+            assert per_query_total == original_run.profile.counts[index].answers
+
+
+class TestPerQueryBounds:
+    def test_bounds_contain_per_query_truth(self, macro_setup):
+        original, improved = macro_setup
+        bounds = per_query_bounds(original, improved)
+        for (query_id, query_bounds), improved_run in zip(bounds, improved):
+            for entry, actual in zip(query_bounds, improved_run.profile.counts):
+                assert (
+                    entry.worst.correct <= actual.correct <= entry.best.correct
+                ), query_id
+
+    def test_misaligned_runs_rejected(self, macro_setup):
+        original, improved = macro_setup
+        with pytest.raises(BoundsError, match="not aligned"):
+            per_query_bounds(original, improved[:-1])
+
+    def test_query_mismatch_rejected(self, macro_setup):
+        original, improved = macro_setup
+        reordered = list(reversed(improved))
+        with pytest.raises(BoundsError, match="query mismatch"):
+            per_query_bounds(original, reordered)
+
+
+class TestMacroRows:
+    def test_macro_pr_rows_shape(self, small_workload, macro_setup):
+        original, _ = macro_setup
+        rows = macro_pr_rows(original)
+        assert len(rows) == len(small_workload.schedule)
+        for _delta, precision, recall in rows:
+            assert 0 <= precision <= 1
+            assert 0 <= recall <= 1
+
+    def test_macro_differs_from_micro_in_general(
+        self, macro_setup, original_run
+    ):
+        original, _ = macro_setup
+        macro = macro_pr_rows(original)
+        micro_final = original_run.profile.counts[-1]
+        micro_precision = float(micro_final.precision_or(Fraction(1)))
+        # not a theorem, but on this heterogeneous workload they differ
+        assert abs(macro[-1][1] - micro_precision) > 1e-6
+
+    def test_macro_bounds_bracket_macro_truth(self, macro_setup):
+        original, improved = macro_setup
+        bounds = per_query_bounds(original, improved)
+        bound_rows = macro_bound_rows(bounds)
+        truth_rows = macro_pr_rows(improved)
+        for (d1, p_worst, p_best, r_worst, r_best), (d2, p, r) in zip(
+            bound_rows, truth_rows
+        ):
+            assert d1 == d2
+            assert p_worst - 1e-9 <= p <= p_best + 1e-9
+            assert r_worst - 1e-9 <= r <= r_best + 1e-9
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(BoundsError):
+            macro_pr_rows([])
+        with pytest.raises(BoundsError):
+            macro_bound_rows([])

@@ -1,0 +1,60 @@
+"""Unit tests for TREC-style pooling."""
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.errors import GroundTruthError
+from repro.evaluation.pooling import build_pool, pooled_counts, pooled_relevant_size
+
+
+def answers_a():
+    return AnswerSet.from_pairs([(f"a{i}", i / 10) for i in range(10)])
+
+
+def answers_b():
+    pairs = [(f"a{i}", i / 10) for i in range(5)]  # overlaps with system A
+    pairs += [(f"b{i}", (i + 0.5) / 10) for i in range(5)]
+    return AnswerSet.from_pairs(pairs)
+
+
+class TestBuildPool:
+    def test_union_of_tops(self):
+        pool = build_pool([answers_a(), answers_b()], depth=3)
+        assert pool == {"a0", "a1", "a2", "b0"}
+
+    def test_depth_larger_than_sets(self):
+        pool = build_pool([answers_a()], depth=100)
+        assert len(pool) == 10
+
+    def test_invalid_depth(self):
+        with pytest.raises(GroundTruthError):
+            build_pool([answers_a()], depth=0)
+
+
+class TestPooledJudging:
+    def test_relevant_size_counts_pool_truth_overlap(self):
+        pool = frozenset({"a0", "a1", "b0"})
+        assert pooled_relevant_size(pool, {"a1", "b0", "hidden"}) == 2
+
+    def test_unpooled_answers_count_incorrect(self):
+        pool = frozenset({"a0"})
+        counts = pooled_counts(answers_a(), pool, {"a0", "a5"})
+        # a5 is relevant but unpooled -> not judged correct
+        assert counts.correct == 1
+        assert counts.answers == 10
+
+    def test_pooled_relevant_used_as_h(self):
+        pool = frozenset({"a0", "a1"})
+        counts = pooled_counts(answers_a(), pool, {"a0", "a5"})
+        assert counts.relevant == 1  # only a0 is pooled-and-relevant
+
+    def test_pooling_overestimates_recall(self):
+        """The characteristic bias: pooled recall >= true recall."""
+        from fractions import Fraction
+
+        truth = {"a0", "a5", "zz-never-retrieved"}
+        pool = build_pool([answers_a()], depth=6)
+        counts = pooled_counts(answers_a(), pool, truth)
+        pooled_recall = counts.recall
+        true_recall = Fraction(2, 3)  # a0, a5 of 3 relevant
+        assert pooled_recall is not None and pooled_recall >= true_recall

@@ -1,0 +1,76 @@
+"""Unit tests for scenario construction and suites."""
+
+import pytest
+
+from repro.errors import GroundTruthError
+from repro.evaluation.scenario import ScenarioSuite, build_scenarios
+from repro.matching import ExhaustiveMatcher
+from repro.schema.generator import GeneratorConfig, generate_repository
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return generate_repository(GeneratorConfig(num_schemas=8, seed=77))
+
+
+@pytest.fixture(scope="module")
+def suite(repository):
+    return build_scenarios(repository, num_queries=3, query_size=3, seed=5)
+
+
+class TestBuildScenarios:
+    def test_count(self, suite):
+        assert len(suite) == 3
+
+    def test_unique_query_ids(self, suite):
+        ids = [s.query.schema_id for s in suite]
+        assert len(set(ids)) == 3
+
+    def test_ground_truth_nonempty(self, suite):
+        for scenario in suite:
+            assert scenario.relevant_size >= 1
+
+    def test_queries_carry_provenance(self, suite):
+        for scenario in suite:
+            assert all(e.concept is not None for e in scenario.query)
+
+    def test_deterministic(self, repository):
+        a = build_scenarios(repository, num_queries=2, seed=9)
+        b = build_scenarios(repository, num_queries=2, seed=9)
+        assert [s.query.schema_id for s in a] == [s.query.schema_id for s in b]
+        assert a.relevant_size == b.relevant_size
+
+    def test_invalid_num_queries(self, repository):
+        with pytest.raises(GroundTruthError):
+            build_scenarios(repository, num_queries=0)
+
+    def test_unreachable_min_relevant(self, repository):
+        with pytest.raises(GroundTruthError, match="could not build"):
+            build_scenarios(
+                repository, num_queries=2, seed=5, min_relevant=10_000
+            )
+
+
+class TestScenarioSuite:
+    def test_pooled_relevant_is_sum(self, suite):
+        assert suite.relevant_size == sum(s.relevant_size for s in suite)
+
+    def test_duplicate_query_ids_rejected(self, suite, repository):
+        scenario = suite.scenarios[0]
+        with pytest.raises(GroundTruthError, match="unique"):
+            ScenarioSuite(repository, [scenario, scenario])
+
+    def test_empty_suite_rejected(self, repository):
+        with pytest.raises(GroundTruthError):
+            ScenarioSuite(repository, [])
+
+    def test_run_pools_answers_across_queries(self, suite, repository):
+        from repro.matching.objective import ObjectiveFunction
+        from repro.matching.similarity.name import NameSimilarity
+
+        matcher = ExhaustiveMatcher(ObjectiveFunction(NameSimilarity()))
+        pooled = suite.run(matcher, 0.25)
+        per_query_total = 0
+        for scenario in suite:
+            per_query_total += len(matcher.match(scenario.query, repository, 0.25))
+        assert len(pooled) == per_query_total

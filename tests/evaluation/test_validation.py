@@ -1,0 +1,92 @@
+"""Unit tests for system runs and end-to-end bounds validation."""
+
+import pytest
+
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError, NotASubsetError
+from repro.evaluation.validation import run_system, validate_improvement
+from repro.matching import BeamMatcher, ExhaustiveMatcher
+from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
+from repro.matching.similarity.name import NameSimilarity
+
+
+class TestRunSystem:
+    def test_profile_and_sizes_consistent(self, small_workload, original_run):
+        assert original_run.name == "exhaustive"
+        assert original_run.profile.answer_sizes() == list(
+            original_run.sizes.sizes
+        )
+
+    def test_relevant_matches_suite(self, small_workload, original_run):
+        assert original_run.profile.relevant == small_workload.relevant_size
+
+    def test_counts_monotone(self, original_run):
+        sizes = original_run.profile.answer_sizes()
+        assert sizes == sorted(sizes)
+
+
+class TestValidateImprovement:
+    def test_beam_validation_sound(self, original_run, beam_run):
+        validation = validate_improvement(original_run, beam_run)
+        assert validation.sound
+        assert validation.containment.all_contained
+
+    def test_all_improvements_contained(self, original_run, improvement_runs):
+        for name, run in improvement_runs.items():
+            validation = validate_improvement(original_run, run)
+            assert validation.sound, f"{name} escaped its band"
+
+    def test_ratio_curve_monotone_relationship(self, original_run, beam_run):
+        validation = validate_improvement(original_run, beam_run)
+        for ratio in validation.ratio.ratios():
+            assert 0 <= ratio <= 1
+
+    def test_bounds_bracket_actual_counts(self, original_run, improvement_runs):
+        for run in improvement_runs.values():
+            validation = validate_improvement(original_run, run)
+            for entry, actual in zip(
+                validation.bounds, run.profile.counts
+            ):
+                assert entry.worst.correct <= actual.correct <= entry.best.correct
+
+    def test_random_curve_between_bounds(self, original_run, beam_run):
+        validation = validate_improvement(original_run, beam_run)
+        for entry in validation.bounds:
+            assert (
+                entry.worst.correct
+                <= entry.random_correct
+                <= entry.best.correct
+            )
+
+    def test_schedule_mismatch_rejected(self, small_workload, original_run):
+        other_schedule = ThresholdSchedule([0.1])
+        improved = run_system(
+            BeamMatcher(small_workload.objective, beam_width=4),
+            small_workload.suite,
+            other_schedule,
+        )
+        with pytest.raises(BoundsError, match="schedule"):
+            validate_improvement(original_run, improved)
+
+    def test_different_objective_rejected(self, small_workload, original_run):
+        # a matcher with different weights produces different scores; the
+        # subset/score check must catch it
+        rogue_objective = ObjectiveFunction(
+            NameSimilarity(small_workload.thesaurus),
+            ObjectiveWeights(structure=0.5),
+        )
+        rogue = run_system(
+            ExhaustiveMatcher(rogue_objective),
+            small_workload.suite,
+            small_workload.schedule,
+        )
+        with pytest.raises(NotASubsetError):
+            validate_improvement(original_run, rogue)
+
+    def test_exhaustive_vs_itself_collapses(self, original_run):
+        validation = validate_improvement(original_run, original_run)
+        for entry, counts in zip(
+            validation.bounds, original_run.profile.counts
+        ):
+            assert entry.best.correct == counts.correct
+            assert entry.worst.correct == counts.correct

@@ -1,0 +1,62 @@
+"""Unit tests for workload construction."""
+
+from dataclasses import replace
+
+from repro.evaluation.workloads import (
+    WorkloadConfig,
+    build_workload,
+    small_config,
+)
+
+
+class TestWorkloadConfig:
+    def test_schedule_derived_from_deltas(self):
+        config = WorkloadConfig(delta_start=0.1, delta_stop=0.3, delta_count=3)
+        assert list(config.schedule()) == [0.1, 0.2, 0.3]
+
+    def test_scaled_down(self):
+        scaled = WorkloadConfig().scaled(0.25)
+        assert scaled.num_schemas == 10
+        assert scaled.num_queries == 3
+
+    def test_scaled_floor(self):
+        scaled = WorkloadConfig().scaled(0.0)
+        assert scaled.num_schemas >= 2
+        assert scaled.num_queries >= 1
+
+    def test_small_config_is_smaller(self):
+        assert small_config().num_schemas < WorkloadConfig().num_schemas
+
+    def test_hashable_for_caching(self):
+        assert hash(WorkloadConfig()) == hash(WorkloadConfig())
+
+
+class TestBuildWorkload:
+    def test_deterministic(self, small_workload):
+        again = build_workload(small_config())
+        assert again.relevant_size == small_workload.relevant_size
+        assert [s.schema_id for s in again.repository] == [
+            s.schema_id for s in small_workload.repository
+        ]
+
+    def test_components_wired(self, small_workload):
+        assert small_workload.objective.name_similarity.thesaurus is (
+            small_workload.thesaurus
+        )
+        assert small_workload.schedule == small_workload.config.schedule()
+
+    def test_different_seed_different_workload(self, small_workload):
+        other = build_workload(
+            replace(small_config(), repository_seed=999, query_seed=1000)
+        )
+        assert (
+            other.suite.ground_truth.mappings
+            != small_workload.suite.ground_truth.mappings
+        )
+
+    def test_default_config_used_when_none(self):
+        # just checks the call path; the default workload itself is heavy
+        # and exercised by the experiment tests
+        config = small_config()
+        workload = build_workload(config)
+        assert workload.config == config

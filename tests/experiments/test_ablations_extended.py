@@ -1,0 +1,85 @@
+"""Behavioural tests for the extended ablations (small workload)."""
+
+import pytest
+
+from repro.evaluation.workloads import small_config
+from repro.experiments.harness import run_experiment
+
+CONFIG = small_config()
+
+
+class TestAblTopN:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-topn", CONFIG)
+
+    def test_two_systems_reported(self, result):
+        assert len(result.tables) == 2
+
+    def test_effective_n_monotone(self, result):
+        for table in result.tables:
+            ns = [row[0] for row in table.rows]
+            assert ns == sorted(ns)
+
+    def test_top_is_narrower_than_deep_on_average(self, result):
+        for table in result.tables:
+            widths = [row[5] for row in table.rows]
+            half = max(1, len(widths) // 2)
+            top_mean = sum(widths[:half]) / half
+            deep_mean = sum(widths[half:]) / max(1, len(widths) - half)
+            assert top_mean <= deep_mean + 0.25
+
+
+class TestAblEstimators:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-estimators", CONFIG)
+
+    def test_all_strategies_within_guarantee(self, result):
+        for row in result.tables[0].rows:
+            assert row[4] == "yes"
+
+    def test_observed_error_below_guaranteed(self, result):
+        for row in result.tables[0].rows:
+            _s, mean_err, max_err, mean_guarantee, _ok = row
+            assert mean_err <= max_err + 1e-12
+
+    def test_four_strategies(self, result):
+        assert len(result.tables[0].rows) == 4
+
+
+class TestAblTuning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-tuning", CONFIG)
+
+    def test_all_configurations_scored(self, result):
+        assert len(result.tables[0].rows) == 8
+
+    def test_truth_within_bounds_per_config(self, result):
+        for row in result.tables[0].rows:
+            _name, _a2, worst, _rand, true, best = row
+            assert worst <= true <= best
+
+    def test_tau_values_in_range(self, result):
+        for _basis, tau in result.tables[1].rows:
+            assert -1 <= tau <= 1
+
+    def test_random_basis_positively_correlated(self, result):
+        taus = dict(result.tables[1].rows)
+        assert taus["random-curve expectation"] > 0
+
+
+class TestAblConfidence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-confidence", CONFIG)
+
+    def test_coverage_meets_chebyshev_guarantee(self, result):
+        for row in result.tables[0].rows:
+            assert row[5] >= 8 / 9 - 1e-9
+
+    def test_intervals_ordered(self, result):
+        for row in result.tables[0].rows:
+            _d, expected, _radius, lower, upper, _cov = row
+            assert lower <= expected <= upper

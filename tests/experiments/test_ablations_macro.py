@@ -1,0 +1,36 @@
+"""Behavioural tests for the micro-vs-macro ablation."""
+
+import pytest
+
+from repro.evaluation.workloads import small_config
+from repro.experiments.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("abl-macro", small_config())
+
+
+class TestAblMacro:
+    def test_two_tables(self, result):
+        assert len(result.tables) == 2
+
+    def test_zero_macro_violations(self, result):
+        assert any("violations: 0" in note for note in result.notes)
+
+    def test_macro_bounds_bracket_macro_truth(self, result):
+        for row in result.tables[1].rows:
+            _d, p_worst, p_actual, p_best, r_worst, r_actual, r_best = row
+            assert p_worst - 1e-9 <= p_actual <= p_best + 1e-9
+            assert r_worst - 1e-9 <= r_actual <= r_best + 1e-9
+
+    def test_micro_macro_views_aligned(self, result):
+        micro = [row[0] for row in result.tables[0].rows]
+        macro = [row[0] for row in result.tables[1].rows]
+        assert micro == macro
+
+    def test_values_in_unit_interval(self, result):
+        for table in result.tables:
+            for row in table.rows:
+                for value in row[1:]:
+                    assert 0 <= value <= 1

@@ -1,0 +1,62 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_command(self):
+        args = build_parser().parse_args(["--small", "figure", "fig08"])
+        assert args.experiment_id == "fig08"
+        assert args.small
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "9", "demo"])
+        assert args.seed == 9
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "abl-pooling" in out
+
+    def test_figure_exact(self, capsys):
+        assert main(["figure", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "7/48" in out
+
+    def test_figure_unknown_returns_error(self, capsys):
+        assert main(["figure", "fig99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_figure_small_workload(self, capsys):
+        assert main(["--small", "figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "S2-two" in out
+
+    def test_save_and_show_collection(self, capsys, tmp_path):
+        target = str(tmp_path / "col")
+        assert main(["--small", "save-collection", target]) == 0
+        assert main(["show-collection", target]) == 0
+        out = capsys.readouterr().out
+        assert "|H| pooled" in out
+
+    def test_show_collection_missing(self, capsys, tmp_path):
+        assert main(["show-collection", str(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_demo_prints_guarantees(self, capsys):
+        assert main(["--small", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Guarantees" in out
+        assert "contained" in out

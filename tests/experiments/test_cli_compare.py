@@ -1,0 +1,62 @@
+"""Unit tests for the CLI compare subcommand and spec parsing."""
+
+import pytest
+
+from repro.cli import _parse_matcher_spec, main
+from repro.errors import ReproError
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert _parse_matcher_spec("beam") == ("beam", {})
+
+    def test_single_int_param(self):
+        assert _parse_matcher_spec("beam:beam_width=10") == (
+            "beam",
+            {"beam_width": 10},
+        )
+
+    def test_multiple_params(self):
+        name, params = _parse_matcher_spec(
+            "hybrid:beam_width=4,clusters_per_element=2"
+        )
+        assert name == "hybrid"
+        assert params == {"beam_width": 4, "clusters_per_element": 2}
+
+    def test_float_param(self):
+        _name, params = _parse_matcher_spec("clustering:join_threshold=0.6")
+        assert params == {"join_threshold": 0.6}
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ReproError, match="bad matcher spec"):
+            _parse_matcher_spec("beam:beam_width")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ReproError, match="must be numeric"):
+            _parse_matcher_spec("beam:beam_width=wide")
+
+
+class TestCompareCommand:
+    def test_compare_prints_verdicts(self, capsys):
+        code = main(
+            [
+                "--small",
+                "compare",
+                "beam:beam_width=40",
+                "clustering:clusters_per_element=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Band comparison" in out
+        assert "provably" in out or "undecided" in out
+
+    def test_compare_unknown_matcher_fails_cleanly(self, capsys):
+        code = main(["--small", "compare", "beam", "oracle-matcher"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_bad_spec_fails_cleanly(self, capsys):
+        code = main(["--small", "compare", "beam:beam_width", "clustering"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Behavioural tests for every figure experiment on the small workload.
+
+Each test checks the *shape* claims the paper makes for that figure, not
+absolute numbers (the substrate is synthetic).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.evaluation.workloads import small_config
+from repro.experiments.harness import base_runs, run_experiment
+
+CONFIG = small_config()
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return base_runs(CONFIG)
+
+
+class TestFig05:
+    def test_runs_and_reports(self, bundle):
+        result = run_experiment("fig05", CONFIG)
+        assert result.tables
+        assert result.plots
+
+    def test_precision_falls_as_recall_rises(self, bundle):
+        curve = bundle.original.profile.pr_curve()
+        assert curve.precisions()[0] >= curve.precisions()[-1]
+        assert curve.recalls()[0] <= curve.recalls()[-1]
+
+    def test_rows_match_profile(self, bundle):
+        result = run_experiment("fig05", CONFIG)
+        rows = result.tables[0].rows
+        assert len(rows) == len(bundle.original.profile.schedule)
+
+
+class TestFig06:
+    def test_eleven_levels(self):
+        result = run_experiment("fig06", CONFIG)
+        assert len(result.tables[0].rows) == 11
+
+    def test_interpolated_precision_non_increasing(self):
+        result = run_experiment("fig06", CONFIG)
+        precisions = [row[1] for row in result.tables[0].rows]
+        assert all(a >= b for a, b in zip(precisions, precisions[1:]))
+
+
+class TestFig08:
+    def test_exact_reproduction(self):
+        # the experiment itself raises if any value deviates from the paper
+        result = run_experiment("fig08", CONFIG)
+        assert "7/48" in result.tables[1].render()
+
+
+class TestFig09:
+    def test_band_is_narrow_for_ratio_09(self, bundle):
+        result = run_experiment("fig09", CONFIG)
+        widths = [row[7] - row[5] for row in result.tables[0].rows]  # Pbest-Pworst
+        assert max(widths) < 0.35
+
+    def test_ratios_near_09(self):
+        result = run_experiment("fig09", CONFIG)
+        for row in result.tables[0].rows:
+            assert 0.75 <= row[1] <= 1.0  # rounding on small increments
+
+
+class TestFig10:
+    def test_two_ratio_tables(self):
+        result = run_experiment("fig10", CONFIG)
+        assert len(result.tables) == 2
+
+    def test_clustering_more_aggressive_than_beam(self, bundle):
+        result = run_experiment("fig10", CONFIG)
+        beam_final = result.tables[0].rows[-1][3]
+        clustering_final = result.tables[1].rows[-1][3]
+        assert clustering_final <= beam_final
+
+    def test_ratios_start_near_one(self):
+        result = run_experiment("fig10", CONFIG)
+        for table in result.tables:
+            assert table.rows[0][3] >= 0.8  # best answers mostly retained
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig11", CONFIG)
+
+    def test_containment_reported(self, result):
+        containment_notes = [n for n in result.notes if "contained" in n]
+        assert len(containment_notes) >= 2
+        assert not any("VIOLATED" in n for n in result.notes)
+
+    def test_band_ordering_in_rows(self, result):
+        for table in result.tables:
+            for row in table.rows:
+                _d, _ratio, p_worst, _p_rand, p_actual, p_best = row[:6]
+                assert p_worst <= p_actual + 1e-12
+                assert p_actual <= p_best + 1e-12
+
+    def test_random_within_band(self, result):
+        for table in result.tables:
+            for row in table.rows:
+                _d, _ratio, p_worst, p_rand, _pa, p_best = row[:6]
+                assert p_worst - 1e-12 <= p_rand <= p_best + 1e-12
+
+    def test_guarantee_notes_present(self, result):
+        assert any("worst-case precision" in n for n in result.notes)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig12", CONFIG)
+
+    def test_three_guesses_plus_summary(self, result):
+        assert len(result.tables) == 4
+
+    def test_true_guess_nearly_violation_free(self, result):
+        # even the true |H| cannot fully undo the 11-point interpolation's
+        # information loss (max-interpolation distorts counts), but the
+        # violations must stay rare compared to the schedule length
+        summary = result.tables[-1].rows
+        true_row = next(row for row in summary if row[0] == "1.00x")
+        thresholds = len(result.tables[1].rows)
+        assert true_row[3] <= max(2, thresholds // 4)
+
+    def test_wrong_guesses_no_better_than_truth(self, result):
+        summary = {row[0]: row[3] for row in result.tables[-1].rows}
+        assert summary["1.00x"] <= max(summary["0.50x"], summary["2.00x"])
+
+    def test_summary_reports_widths(self, result):
+        for row in result.tables[-1].rows:
+            assert 0 <= row[2] <= 1
+
+
+class TestFig13:
+    def test_exact_reproduction(self):
+        result = run_experiment("fig13", CONFIG)
+        assert result.tables[0].rows[0][0] == 50
+        assert result.tables[0].rows[-1][0] == 70
+
+    def test_monotone_recall_along_boundary(self):
+        result = run_experiment("fig13", CONFIG)
+        worst_recalls = [row[1] for row in result.tables[0].rows]
+        assert worst_recalls == sorted(worst_recalls)

@@ -1,0 +1,79 @@
+"""Unit tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.evaluation.workloads import small_config
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentTable,
+    base_runs,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        ids = {eid for eid, _ in list_experiments()}
+        expected_figures = {
+            "fig05",
+            "fig06",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+        }
+        assert expected_figures <= ids
+
+    def test_all_ablations_registered(self):
+        ids = {eid for eid, _ in list_experiments()}
+        expected = {
+            "abl-increments",
+            "abl-hsize",
+            "abl-matchers",
+            "abl-pooling",
+            "abl-noise",
+            "abl-scaling",
+        }
+        assert expected <= ids
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(ExperimentError, match="known:"):
+            run_experiment("fig99")
+
+
+class TestBaseRuns:
+    def test_cached_per_config(self):
+        first = base_runs(small_config())
+        second = base_runs(small_config())
+        assert first is second
+
+    def test_bundle_runs_share_schedule(self):
+        bundle = base_runs(small_config())
+        for run in bundle.improvements().values():
+            assert run.schedule == bundle.original.schedule
+
+    def test_improvements_are_subsets(self):
+        bundle = base_runs(small_config())
+        for name, run in bundle.improvements().items():
+            run.answers.check_subset_of(bundle.original.answers, name)
+
+
+class TestResultRendering:
+    def test_render_contains_tables_and_notes(self):
+        result = ExperimentResult("x", "Title")
+        result.notes.append("a note")
+        result.add_table("T", ["a"], [(1,)])
+        result.plots.append("PLOT")
+        out = result.render()
+        assert "== x: Title ==" in out
+        assert "note: a note" in out
+        assert "T" in out
+        assert "PLOT" in out
+
+    def test_table_render_uses_digits(self):
+        table = ExperimentTable("T", ["x"], [(0.123456,)])
+        assert "0.123" in table.render(float_digits=3)

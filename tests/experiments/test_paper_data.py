@@ -1,0 +1,53 @@
+"""Unit tests for the paper's verbatim example constants."""
+
+from fractions import Fraction
+
+from repro.experiments.paper_data import (
+    FIGURE8_EXPECTED,
+    FIGURE13_EXPECTED,
+    figure8_improved_sizes,
+    figure8_original_profile,
+    figure13_high,
+    figure13_low,
+)
+
+
+class TestFigure8Data:
+    def test_original_counts(self):
+        profile = figure8_original_profile()
+        assert profile.answer_sizes() == [40, 72]
+        assert profile.correct_counts() == [15, 27]
+
+    def test_stable_precision_three_eighths(self):
+        profile = figure8_original_profile()
+        for counts in profile.counts:
+            assert counts.precision == FIGURE8_EXPECTED["original_precision"]
+
+    def test_improved_sizes(self):
+        assert figure8_improved_sizes().sizes == (32, 48)
+
+    def test_relevant_unknown(self):
+        assert figure8_original_profile().relevant is None
+
+    def test_expected_ratios(self):
+        assert FIGURE8_EXPECTED["size_ratio_delta1"] == Fraction(32, 40)
+        assert FIGURE8_EXPECTED["size_ratio_delta2"] == Fraction(48, 72)
+
+
+class TestFigure13Data:
+    def test_measurement_points(self):
+        assert figure13_low().answers == 50
+        assert figure13_low().correct == 30
+        assert figure13_high().answers == 70
+        assert figure13_high().correct == 36
+        assert figure13_low().relevant == 100
+
+    def test_published_pr_values(self):
+        assert figure13_low().precision == Fraction(30, 50)
+        assert figure13_low().recall == Fraction(30, 100)
+        assert figure13_high().precision == Fraction(36, 70)
+        assert figure13_high().recall == Fraction(36, 100)
+
+    def test_expected_segment(self):
+        assert FIGURE13_EXPECTED["worst_precision"] == Fraction(30, 54)
+        assert FIGURE13_EXPECTED["best_precision"] == Fraction(34, 54)

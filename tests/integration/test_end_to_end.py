@@ -1,0 +1,116 @@
+"""End-to-end integration: the full paper pipeline on the small workload.
+
+Covers the complete flow the paper describes — generate, match, derive
+bounds, validate — plus the random-system empirical check of section 3.4.
+"""
+
+from fractions import Fraction
+
+from repro.core.bands import EffectivenessBand
+from repro.core.incremental import SystemProfile, compute_incremental_bounds
+from repro.evaluation.validation import validate_improvement
+from repro.matching.random_matcher import (
+    best_case_subset,
+    random_subset_like,
+    worst_case_subset,
+)
+
+
+class TestFullPipeline:
+    def test_improvements_contained(self, original_run, improvement_runs):
+        for name, run in improvement_runs.items():
+            validation = validate_improvement(original_run, run)
+            assert validation.sound, name
+
+    def test_guarantees_are_honest(
+        self, original_run, improvement_runs, small_workload
+    ):
+        """Any guarantee the band issues must hold for the true system."""
+        relevant = small_workload.relevant_size
+        for run in improvement_runs.values():
+            validation = validate_improvement(original_run, run)
+            guaranteed = validation.band.guaranteed_recall_at_precision(
+                Fraction(1, 2)
+            )
+            # thresholds backing the guarantee must satisfy it in truth
+            for entry, actual in zip(validation.bounds, run.profile.counts):
+                worst_p = entry.worst.precision_or(Fraction(0))
+                if worst_p >= Fraction(1, 2):
+                    actual_p = actual.precision_or(Fraction(1))
+                    assert actual_p >= Fraction(1, 2)
+            if guaranteed > 0:
+                best_true_recall = max(
+                    Fraction(c.correct, relevant) for c in run.profile.counts
+                )
+                assert best_true_recall >= guaranteed
+
+    def test_max_loss_guarantee_honest(self, original_run, improvement_runs):
+        for run in improvement_runs.values():
+            validation = validate_improvement(original_run, run)
+            promised = validation.band.max_effectiveness_loss()
+            t1 = original_run.profile.final_counts().correct
+            t2 = run.profile.final_counts().correct
+            true_loss = 1 - Fraction(t2, t1)
+            assert true_loss <= promised
+
+
+class TestRandomSystemEmpirically:
+    """Section 3.4's S_random, actually run and judged."""
+
+    def test_random_runs_contained_in_band(
+        self, small_workload, original_run, beam_run
+    ):
+        truth = small_workload.suite.ground_truth.mappings
+        schedule = small_workload.schedule
+        validation = validate_improvement(original_run, beam_run)
+        for seed in range(5):
+            subset = random_subset_like(
+                original_run.answers, schedule, list(beam_run.sizes.sizes), seed
+            )
+            profile = SystemProfile.from_answer_set(schedule, subset, truth)
+            report = validation.band.check_containment(profile)
+            assert report.all_contained, f"seed {seed}"
+
+    def test_random_runs_average_near_random_curve(
+        self, small_workload, original_run, beam_run
+    ):
+        truth = small_workload.suite.ground_truth.mappings
+        schedule = small_workload.schedule
+        bounds = compute_incremental_bounds(original_run.profile, beam_run.sizes)
+        final_expected = float(bounds[len(bounds) - 1].random_correct)
+        samples = []
+        for seed in range(20):
+            subset = random_subset_like(
+                original_run.answers, schedule, list(beam_run.sizes.sizes), seed
+            )
+            profile = SystemProfile.from_answer_set(schedule, subset, truth)
+            samples.append(profile.final_counts().correct)
+        mean = sum(samples) / len(samples)
+        assert abs(mean - final_expected) <= max(3.0, 0.25 * final_expected)
+
+    def test_adversarial_subsets_attain_bounds(
+        self, small_workload, original_run, beam_run
+    ):
+        truth = small_workload.suite.ground_truth.mappings
+        schedule = small_workload.schedule
+        bounds = compute_incremental_bounds(original_run.profile, beam_run.sizes)
+        worst = worst_case_subset(
+            original_run.answers, schedule, list(beam_run.sizes.sizes), truth
+        )
+        best = best_case_subset(
+            original_run.answers, schedule, list(beam_run.sizes.sizes), truth
+        )
+        worst_profile = SystemProfile.from_answer_set(schedule, worst, truth)
+        best_profile = SystemProfile.from_answer_set(schedule, best, truth)
+        for entry, wc, bc in zip(
+            bounds, worst_profile.counts, best_profile.counts
+        ):
+            assert wc.correct == entry.worst.correct
+            assert bc.correct == entry.best.correct
+
+
+class TestCrossFigureConsistency:
+    def test_band_width_zero_iff_full_ratio(self, original_run):
+        validation = validate_improvement(original_run, original_run)
+        band = EffectivenessBand(validation.bounds)
+        assert band.mean_precision_width() == 0

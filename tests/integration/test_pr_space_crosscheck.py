@@ -1,0 +1,83 @@
+"""Cross-check: the paper's P/R-space equations against count space.
+
+The library computes everything from counts; the paper states its
+formulas over precision/recall values.  On the real (small-workload)
+profile the two views must agree exactly — Equations 7/8 for increments,
+Equations 2/3/5/6 for the bounds — threshold by threshold.
+"""
+
+from fractions import Fraction
+
+from repro.core.bounds import (
+    best_case_precision,
+    best_case_recall,
+    worst_case_precision,
+    worst_case_recall,
+)
+from repro.core.increments import (
+    IncrementPR,
+    combine_increment_pr,
+    increment_precision,
+    increment_recall,
+)
+from repro.evaluation.validation import validate_improvement
+
+
+class TestEquations78OnRealProfile:
+    def test_increment_precision_matches_counts(self, original_run):
+        profile = original_run.profile
+        counts = profile.counts
+        increments = profile.increments()
+        previous_r, previous_p = Fraction(0), Fraction(1)
+        for count, increment in zip(counts, increments):
+            r = count.recall
+            p = count.precision_or(Fraction(1))
+            eq7 = increment_precision(previous_r, previous_p, r, p)
+            if increment.answers == 0:
+                assert eq7 is None
+            else:
+                assert eq7 == Fraction(increment.correct, increment.answers)
+            assert increment_recall(previous_r, r) == (
+                Fraction(increment.correct, profile.relevant)
+            )
+            previous_r, previous_p = r, p
+
+    def test_step4_recombination_matches_thresholds(self, original_run):
+        profile = original_run.profile
+        counts = profile.counts
+        increments = profile.increments()
+        r, p = Fraction(0), Fraction(1)
+        for count, increment in zip(counts, increments):
+            if increment.answers == 0:
+                # paper's special case: keep the previous point
+                continue
+            inc_pr = IncrementPR(
+                recall=Fraction(increment.correct, profile.relevant),
+                precision=Fraction(increment.correct, increment.answers),
+            )
+            r, p = combine_increment_pr(r, p, inc_pr)
+            assert r == count.recall
+            assert p == count.precision_or(Fraction(1))
+
+
+class TestEquations2356OnRealBounds:
+    def test_ratio_space_matches_count_space(self, original_run, beam_run):
+        validation = validate_improvement(original_run, beam_run)
+        # naive (single-increment) bounds are where Eq 2/3/5/6 apply verbatim
+        from repro.core.incremental import compute_naive_bounds
+
+        naive = compute_naive_bounds(original_run.profile, beam_run.sizes)
+        for entry in naive:
+            if entry.improved_answers == 0 or entry.original.answers == 0:
+                continue
+            ratio = entry.size_ratio
+            p1 = entry.original.precision_or(Fraction(1))
+            r1 = entry.original.recall
+            assert entry.best.precision == best_case_precision(p1, ratio)
+            assert entry.worst.precision == worst_case_precision(p1, ratio)
+            assert entry.best.recall == best_case_recall(r1, p1, ratio)
+            assert entry.worst.recall == worst_case_recall(r1, p1, ratio)
+        # and the incremental bounds can only be tighter
+        for naive_entry, incremental_entry in zip(naive, validation.bounds):
+            assert incremental_entry.worst.correct >= naive_entry.worst.correct
+            assert incremental_entry.best.correct <= naive_entry.best.correct

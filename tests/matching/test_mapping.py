@@ -1,0 +1,99 @@
+"""Unit tests for mappings (search-space elements)."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.mapping import Mapping
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.repository import ElementHandle, SchemaRepository
+
+
+def repo() -> SchemaRepository:
+    def build(schema_id):
+        root = SchemaElement("root")
+        root.add_child(SchemaElement("a"))
+        root.add_child(SchemaElement("b"))
+        return Schema(schema_id, root)
+
+    return SchemaRepository("r", [build("s1"), build("s2")])
+
+
+def query() -> Schema:
+    root = SchemaElement("q")
+    root.add_child(SchemaElement("x"))
+    return Schema("query", root)
+
+
+class TestMappingValidation:
+    def test_requires_targets(self):
+        with pytest.raises(MatchingError, match="at least one"):
+            Mapping("q", ())
+
+    def test_single_schema_enforced(self):
+        repository = repo()
+        targets = (repository.handle("s1", 0), repository.handle("s2", 1))
+        with pytest.raises(MatchingError, match="spans repository schemas"):
+            Mapping("q", targets)
+
+    def test_injectivity_enforced(self):
+        repository = repo()
+        targets = (repository.handle("s1", 1), repository.handle("s1", 1))
+        with pytest.raises(MatchingError, match="same target"):
+            Mapping("q", targets)
+
+    def test_valid_mapping(self):
+        repository = repo()
+        mapping = Mapping(
+            "q", (repository.handle("s1", 0), repository.handle("s1", 2))
+        )
+        assert mapping.target_ids == (0, 2)
+        assert mapping.target_schema.schema_id == "s1"
+
+
+class TestMappingIdentity:
+    def test_equality_by_key(self):
+        repository = repo()
+        a = Mapping("q", (repository.handle("s1", 0), repository.handle("s1", 1)))
+        b = Mapping("q", (repository.handle("s1", 0), repository.handle("s1", 1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_order_matters(self):
+        repository = repo()
+        a = Mapping("q", (repository.handle("s1", 0), repository.handle("s1", 1)))
+        b = Mapping("q", (repository.handle("s1", 1), repository.handle("s1", 0)))
+        assert a != b
+
+    def test_query_id_in_identity(self):
+        repository = repo()
+        a = Mapping("q1", (repository.handle("s1", 0),))
+        b = Mapping("q2", (repository.handle("s1", 0),))
+        assert a != b
+
+    def test_not_equal_other_types(self):
+        repository = repo()
+        assert Mapping("q", (repository.handle("s1", 0),)) != "something"
+
+
+class TestDescribe:
+    def test_describe_lists_pairs(self):
+        repository = repo()
+        q = query()
+        mapping = Mapping(
+            "query", (repository.handle("s1", 0), repository.handle("s1", 1))
+        )
+        text = mapping.describe(q)
+        assert "q  ->  s1:root" in text
+        assert "q/x  ->  s1:root/a" in text
+
+    def test_describe_checks_query_id(self):
+        repository = repo()
+        mapping = Mapping("other", (repository.handle("s1", 0),))
+        with pytest.raises(MatchingError, match="belongs to query"):
+            mapping.describe(query())
+
+    def test_describe_checks_arity(self):
+        repository = repo()
+        mapping = Mapping("query", (repository.handle("s1", 0),))
+        with pytest.raises(MatchingError, match="targets but the query"):
+            mapping.describe(query())

@@ -1,0 +1,113 @@
+"""Unit tests for random/adversarial subset systems (section 3.4)."""
+
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.thresholds import ThresholdSchedule
+from repro.errors import BoundsError
+from repro.matching.random_matcher import (
+    best_case_subset,
+    random_subset_like,
+    worst_case_subset,
+)
+
+
+@pytest.fixture()
+def answers():
+    # 10 answers, scores 0.05..0.5; "g*" items form the ground truth
+    pairs = []
+    for i in range(10):
+        name = f"g{i}" if i % 2 == 0 else f"b{i}"
+        pairs.append((name, 0.05 * (i + 1)))
+    return AnswerSet.from_pairs(pairs)
+
+
+@pytest.fixture()
+def schedule():
+    return ThresholdSchedule([0.25, 0.5])
+
+
+GROUND_TRUTH = frozenset({f"g{i}" for i in range(0, 10, 2)})
+
+
+class TestRandomSubset:
+    def test_sizes_match_targets(self, answers, schedule):
+        subset = random_subset_like(answers, schedule, [3, 7], seed=1)
+        assert subset.size_at(0.25) == 3
+        assert subset.size_at(0.5) == 7
+
+    def test_subset_of_original(self, answers, schedule):
+        subset = random_subset_like(answers, schedule, [3, 7], seed=2)
+        assert subset.is_subset_of(answers)
+
+    def test_deterministic_per_seed(self, answers, schedule):
+        a = random_subset_like(answers, schedule, [3, 7], seed=3)
+        b = random_subset_like(answers, schedule, [3, 7], seed=3)
+        assert a.items() == b.items()
+
+    def test_different_seeds_vary(self, answers, schedule):
+        draws = {
+            random_subset_like(answers, schedule, [2, 5], seed=s).items()
+            for s in range(8)
+        }
+        assert len(draws) > 1
+
+    def test_decreasing_targets_rejected(self, answers, schedule):
+        with pytest.raises(BoundsError, match="non-decreasing"):
+            random_subset_like(answers, schedule, [5, 3], seed=1)
+
+    def test_oversized_targets_rejected(self, answers, schedule):
+        with pytest.raises(BoundsError, match="cannot keep"):
+            random_subset_like(answers, schedule, [6, 7], seed=1)
+
+    def test_target_alignment_enforced(self, answers, schedule):
+        with pytest.raises(Exception):
+            random_subset_like(answers, schedule, [3], seed=1)
+
+
+class TestAdversarialSubsets:
+    def test_worst_case_drops_correct_first(self, answers, schedule):
+        subset = worst_case_subset(answers, schedule, [2, 5], GROUND_TRUTH)
+        # first increment has 5 answers (3 correct g1/g3/g5 ... wait: g0,b1,g2,b3,g4)
+        first = subset.at_threshold(0.25)
+        correct_kept = sum(1 for a in first if a.item in GROUND_TRUTH)
+        # worst case formula: max(0, 2 - (5 - 3)) = 0
+        assert correct_kept == 0
+
+    def test_best_case_keeps_correct_first(self, answers, schedule):
+        subset = best_case_subset(answers, schedule, [2, 5], GROUND_TRUTH)
+        first = subset.at_threshold(0.25)
+        correct_kept = sum(1 for a in first if a.item in GROUND_TRUTH)
+        # best case: min(3 correct, 2 kept) = 2
+        assert correct_kept == 2
+
+    def test_adversarial_subsets_attain_the_bounds(self, answers, schedule):
+        """worst/best subsets realise Equations 1 and 4 exactly."""
+        from repro.core.incremental import (
+            SizeProfile,
+            SystemProfile,
+            compute_incremental_bounds,
+        )
+
+        targets = [3, 7]
+        original = SystemProfile.from_answer_set(schedule, answers, GROUND_TRUTH)
+        sizes = SizeProfile(schedule, tuple(targets))
+        bounds = compute_incremental_bounds(original, sizes)
+
+        worst = worst_case_subset(answers, schedule, targets, GROUND_TRUTH)
+        best = best_case_subset(answers, schedule, targets, GROUND_TRUTH)
+        worst_profile = SystemProfile.from_answer_set(
+            schedule, worst, GROUND_TRUTH
+        )
+        best_profile = SystemProfile.from_answer_set(schedule, best, GROUND_TRUTH)
+        for entry, worst_counts, best_counts in zip(
+            bounds, worst_profile.counts, best_profile.counts
+        ):
+            assert worst_counts.correct == entry.worst.correct
+            assert best_counts.correct == entry.best.correct
+
+    def test_sizes_respected(self, answers, schedule):
+        for fn in (worst_case_subset, best_case_subset):
+            subset = fn(answers, schedule, [4, 6], GROUND_TRUTH)
+            assert subset.size_at(0.25) == 4
+            assert subset.size_at(0.5) == 6

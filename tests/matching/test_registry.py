@@ -1,0 +1,44 @@
+"""Unit tests for the matcher registry."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.objective import ObjectiveFunction
+from repro.matching.registry import available_matchers, make_matcher
+from repro.matching.similarity.name import NameSimilarity
+
+
+def objective() -> ObjectiveFunction:
+    return ObjectiveFunction(NameSimilarity())
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_matchers() == [
+            "beam",
+            "clustering",
+            "exhaustive",
+            "hybrid",
+            "topk",
+        ]
+
+    def test_make_each(self):
+        obj = objective()
+        for name in available_matchers():
+            matcher = make_matcher(name, obj)
+            assert matcher.name == name
+            assert matcher.objective is obj
+
+    def test_parameters_forwarded(self):
+        matcher = make_matcher("beam", objective(), beam_width=3)
+        assert matcher.beam_width == 3
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(MatchingError, match="available:"):
+            make_matcher("magic", objective())
+
+    def test_shared_objective_compatibility(self):
+        obj = objective()
+        a = make_matcher("exhaustive", obj)
+        b = make_matcher("clustering", obj)
+        a.check_compatible(b)

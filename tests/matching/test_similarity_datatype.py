@@ -1,0 +1,38 @@
+"""Unit tests for datatype penalties."""
+
+import itertools
+
+from repro.matching.similarity.datatype import datatype_penalty
+from repro.schema.model import Datatype
+
+
+class TestDatatypePenalty:
+    def test_identity_is_free(self):
+        for datatype in Datatype:
+            assert datatype_penalty(datatype, datatype) == 0.0
+
+    def test_symmetric(self):
+        for a, b in itertools.product(Datatype, repeat=2):
+            assert datatype_penalty(a, b) == datatype_penalty(b, a)
+
+    def test_numeric_family_cheap(self):
+        assert datatype_penalty(Datatype.INTEGER, Datatype.DECIMAL) == 0.10
+
+    def test_textual_family_cheap(self):
+        assert datatype_penalty(Datatype.STRING, Datatype.IDENTIFIER) == 0.20
+
+    def test_container_vs_leaf_expensive(self):
+        assert datatype_penalty(Datatype.COMPLEX, Datatype.STRING) == 0.80
+        assert datatype_penalty(Datatype.COMPLEX, Datatype.DATE) == 0.80
+
+    def test_default_for_odd_pairs(self):
+        assert datatype_penalty(Datatype.DATE, Datatype.BOOLEAN) == 0.50
+
+    def test_all_pairs_in_range(self):
+        for a, b in itertools.product(Datatype, repeat=2):
+            assert 0.0 <= datatype_penalty(a, b) <= 1.0
+
+    def test_family_cheaper_than_default(self):
+        cross_family = datatype_penalty(Datatype.INTEGER, Datatype.DECIMAL)
+        odd = datatype_penalty(Datatype.DATE, Datatype.BOOLEAN)
+        assert cross_family < odd

@@ -1,0 +1,75 @@
+"""Unit tests for structural (ancestry) similarity."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.similarity.structure import ancestry_violations, query_edges
+from repro.schema.model import Schema, SchemaElement
+
+
+def query() -> Schema:
+    root = SchemaElement("book")
+    author = root.add_child(SchemaElement("author"))
+    author.add_child(SchemaElement("last"))
+    root.add_child(SchemaElement("year"))
+    return Schema("q", root)
+
+
+def target() -> Schema:
+    # library > book > (author > (last, first), year)
+    library = SchemaElement("library")
+    book = library.add_child(SchemaElement("book"))
+    author = book.add_child(SchemaElement("author"))
+    author.add_child(SchemaElement("last"))
+    author.add_child(SchemaElement("first"))
+    book.add_child(SchemaElement("year"))
+    return Schema("t", library)
+
+
+class TestQueryEdges:
+    def test_edges_preorder(self):
+        assert query_edges(query()) == [(0, 1), (1, 2), (0, 3)]
+
+    def test_single_node_no_edges(self):
+        assert query_edges(Schema("one", SchemaElement("x"))) == []
+
+
+class TestAncestryViolations:
+    def test_perfect_embedding(self):
+        # book->1, author->2, last->3, year->5
+        violations, decided = ancestry_violations(query(), target(), [1, 2, 3, 5])
+        assert (violations, decided) == (0, 3)
+
+    def test_embedding_with_skipped_levels(self):
+        # book mapped to library (0): author (2) still a proper descendant
+        violations, decided = ancestry_violations(query(), target(), [0, 2, 3, 5])
+        assert violations == 0
+
+    def test_inverted_edge_detected(self):
+        # author mapped above book
+        violations, _ = ancestry_violations(query(), target(), [2, 1, 3, 5])
+        assert violations >= 1
+
+    def test_sibling_mapping_violates(self):
+        # 'last' mapped outside its parent's target subtree (to 'year')
+        violations, decided = ancestry_violations(query(), target(), [1, 2, 5, 3])
+        assert decided == 3
+        assert violations == 1  # only the author->last edge is broken
+
+    def test_partial_assignment_counts_decided_only(self):
+        violations, decided = ancestry_violations(
+            query(), target(), [1, None, 3, None]
+        )
+        assert decided == 0
+        assert violations == 0
+
+    def test_partial_with_one_decided_edge(self):
+        violations, decided = ancestry_violations(
+            query(), target(), [1, 2, None, None]
+        )
+        assert decided == 1
+        assert violations == 0
+
+    def test_arity_checked(self):
+        with pytest.raises(MatchingError):
+            ancestry_violations(query(), target(), [1, 2])

@@ -1,0 +1,82 @@
+"""Shared hypothesis strategies for the property-test suite.
+
+The central generator builds *feasible improvement scenarios*: a judged
+original profile (per-increment answer/correct counts) together with an
+arbitrary admissible behaviour of an improved system (how many answers it
+keeps per increment and how many of those happen to be correct).  Every
+such scenario is a possible world under the paper's assumptions, so the
+bounds must contain it — that is the soundness property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.incremental import SizeProfile, SystemProfile
+from repro.core.measures import Counts
+from repro.core.thresholds import ThresholdSchedule
+
+__all__ = [
+    "increment_lists",
+    "improvement_scenarios",
+    "scenario_to_profiles",
+]
+
+
+@st.composite
+def increment_lists(draw, max_increments: int = 6, max_per_increment: int = 40):
+    """[(answers_i, correct_i)] per increment of the original system."""
+    count = draw(st.integers(min_value=1, max_value=max_increments))
+    out = []
+    for _ in range(count):
+        answers = draw(st.integers(min_value=0, max_value=max_per_increment))
+        correct = draw(st.integers(min_value=0, max_value=answers))
+        out.append((answers, correct))
+    return out
+
+
+@st.composite
+def improvement_scenarios(draw, max_increments: int = 6):
+    """(original increments, kept sizes, kept-correct counts).
+
+    The kept-correct count per increment is drawn from its full feasible
+    range ``[max(0, k - incorrect), min(t, k)]`` — i.e. every adversary
+    between the paper's best and worst case, inclusive.
+    """
+    increments = draw(increment_lists(max_increments=max_increments))
+    kept_sizes = []
+    kept_correct = []
+    for answers, correct in increments:
+        kept = draw(st.integers(min_value=0, max_value=answers))
+        incorrect = answers - correct
+        low = max(0, kept - incorrect)
+        high = min(correct, kept)
+        kept_sizes.append(kept)
+        kept_correct.append(draw(st.integers(min_value=low, max_value=high)))
+    extra_relevant = draw(st.integers(min_value=0, max_value=20))
+    return increments, kept_sizes, kept_correct, extra_relevant
+
+
+def scenario_to_profiles(increments, kept_sizes, extra_relevant):
+    """Materialise (SystemProfile, SizeProfile) from a drawn scenario."""
+    schedule = ThresholdSchedule(
+        [float(i + 1) for i in range(len(increments))]
+    )
+    total_correct = sum(t for _a, t in increments)
+    relevant = total_correct + extra_relevant
+    counts = []
+    answers_total = 0
+    correct_total = 0
+    for a, t in increments:
+        answers_total += a
+        correct_total += t
+        counts.append(Counts(answers_total, correct_total, relevant))
+    sizes = []
+    kept_total = 0
+    for kept in kept_sizes:
+        kept_total += kept
+        sizes.append(kept_total)
+    return (
+        SystemProfile(schedule, tuple(counts)),
+        SizeProfile(schedule, tuple(sizes)),
+    )

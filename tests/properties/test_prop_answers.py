@@ -1,0 +1,68 @@
+"""Property tests for answer-set threshold structure (Figure 1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+
+score_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+def build(scores):
+    return AnswerSet.from_pairs((f"item-{i}", s) for i, s in enumerate(scores))
+
+
+@given(score_lists, st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+def test_threshold_monotonicity(scores, d1, d2):
+    """δ1 ≤ δ2 ⇒ A^δ1 ⊆ A^δ2 — the paper's Figure 1 property."""
+    low, high = min(d1, d2), max(d1, d2)
+    answers = build(scores)
+    assert answers.at_threshold(low).is_subset_of(answers.at_threshold(high))
+    assert answers.size_at(low) <= answers.size_at(high)
+
+
+@given(score_lists, st.floats(min_value=0, max_value=1))
+def test_size_at_matches_at_threshold(scores, delta):
+    answers = build(scores)
+    assert answers.size_at(delta) == len(answers.at_threshold(delta))
+
+
+@given(score_lists, st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=6))
+def test_increments_partition_answer_set(scores, raw_deltas):
+    deltas = sorted(set(raw_deltas))
+    answers = build(scores)
+    pieces = []
+    previous = None
+    for delta in deltas:
+        pieces.append(answers.increment(previous, delta))
+        previous = delta
+    total_items = set()
+    for piece in pieces:
+        assert not (total_items & set(piece.items()))
+        total_items |= set(piece.items())
+    assert total_items == set(answers.at_threshold(deltas[-1]).items())
+
+
+@given(score_lists, st.integers(min_value=0, max_value=70))
+def test_top_n_scores_are_the_n_smallest(scores, n):
+    answers = build(scores)
+    top = answers.top_n(n)
+    assert len(top) == min(n, len(answers))
+    assert top.scores() == sorted(scores)[: len(top)]
+
+
+@given(score_lists)
+def test_scores_sorted(scores):
+    assert build(scores).scores() == sorted(scores)
+
+
+@given(score_lists)
+def test_union_with_self_is_identity(scores):
+    answers = build(scores)
+    union = answers.union(answers)
+    assert union.items() == answers.items()
+    assert union.scores() == answers.scores()

@@ -1,0 +1,86 @@
+"""Property test: branch-and-bound is exhaustive w.r.t. the threshold.
+
+Random small schemas + random thresholds; the engine must return exactly
+the brute-force answer set with identical scores.  This property is what
+entitles the rest of the reproduction to call S1 "exhaustive".
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.engine import SchemaSearch
+from repro.matching.mapping import Mapping
+from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
+from repro.matching.similarity.name import NameSimilarity
+from repro.schema.model import Datatype, Schema, SchemaElement
+from repro.schema.repository import ElementHandle
+
+NAMES = ["author", "title", "price", "year", "name", "code", "writer", "cost"]
+TYPES = [Datatype.STRING, Datatype.INTEGER, Datatype.COMPLEX]
+
+
+@st.composite
+def random_schema(draw, schema_id: str, min_nodes: int, max_nodes: int):
+    """A random small tree with random names/types."""
+    size = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    nodes = [
+        SchemaElement(
+            draw(st.sampled_from(NAMES)), draw(st.sampled_from(TYPES))
+        )
+        for _ in range(size)
+    ]
+    for i in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        nodes[parent].add_child(nodes[i])
+    return Schema(schema_id, nodes[0])
+
+
+@st.composite
+def engine_cases(draw):
+    query = draw(random_schema("q", 1, 3))
+    schema = draw(random_schema("s", 3, 6))
+    delta = draw(st.sampled_from([0.1, 0.25, 0.4, 0.6, 1.0]))
+    structure = draw(st.sampled_from([0.0, 0.25, 0.5]))
+    return query, schema, delta, structure
+
+
+def brute_force(query, schema, objective, delta_max):
+    out = {}
+    for combo in itertools.permutations(range(len(schema)), len(query)):
+        mapping = Mapping(
+            query.schema_id,
+            tuple(ElementHandle(schema, j) for j in combo),
+        )
+        score = objective.mapping_cost(query, mapping)
+        if score <= delta_max:
+            out[combo] = score
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(engine_cases())
+def test_branch_and_bound_equals_brute_force(case):
+    query, schema, delta, structure = case
+    objective = ObjectiveFunction(
+        NameSimilarity(), ObjectiveWeights(structure=structure)
+    )
+    engine = dict(SchemaSearch(query, schema, objective).exhaustive(delta))
+    reference = brute_force(query, schema, objective, delta)
+    assert engine == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(engine_cases(), st.integers(min_value=1, max_value=12))
+def test_beam_subset_of_exhaustive(case, beam_width):
+    query, schema, delta, structure = case
+    objective = ObjectiveFunction(
+        NameSimilarity(), ObjectiveWeights(structure=structure)
+    )
+    search = SchemaSearch(query, schema, objective)
+    full = dict(search.exhaustive(delta))
+    beam = dict(search.beam(delta, beam_width))
+    assert set(beam) <= set(full)
+    for key, score in beam.items():
+        assert score == full[key]

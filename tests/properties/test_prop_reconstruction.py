@@ -1,0 +1,78 @@
+"""Property tests for section 4.1 reconstruction round-trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.incremental import SystemProfile
+from repro.core.measures import Counts
+from repro.core.pr_curve import PRCurve
+from repro.core.reconstruction import reconstruct_profile
+from repro.core.thresholds import ThresholdSchedule
+
+
+@st.composite
+def judged_profiles(draw):
+    """Monotone judged profiles with positive correct counts everywhere.
+
+    Zero-precision points hide their answer count (section 4.1), so the
+    round-trip property is stated for profiles with T >= 1 at the first
+    threshold — the realistic published-curve situation.
+    """
+    n = draw(st.integers(min_value=1, max_value=6))
+    answers = 0
+    correct = 0
+    counts = []
+    for i in range(n):
+        grow = draw(st.integers(min_value=1, max_value=30))
+        grow_correct = draw(
+            st.integers(min_value=1 if i == 0 else 0, max_value=grow)
+        )
+        answers += grow
+        correct += grow_correct
+        counts.append((answers, correct))
+    relevant = correct + draw(st.integers(min_value=0, max_value=30))
+    schedule = ThresholdSchedule([float(i + 1) for i in range(n)])
+    return SystemProfile(
+        schedule, tuple(Counts(a, t, relevant) for a, t in counts)
+    )
+
+
+@given(judged_profiles())
+def test_reconstruction_with_true_relevant_is_lossless(profile):
+    bare = PRCurve.from_values(
+        [(p.recall, p.precision) for p in profile.pr_curve()]
+    )
+    rebuilt = reconstruct_profile(
+        bare, profile.relevant, schedule=profile.schedule
+    )
+    assert rebuilt.counts == profile.counts
+
+
+@given(judged_profiles(), st.integers(min_value=1, max_value=2000))
+def test_reconstruction_always_yields_valid_profile(profile, guess):
+    bare = PRCurve.from_values(
+        [(p.recall, p.precision) for p in profile.pr_curve()]
+    )
+    rebuilt = reconstruct_profile(bare, guess)
+    # SystemProfile validation (monotone counts, consistent |H|) passed;
+    # additionally precision must round-trip within rounding error wherever
+    # the rebuilt counts are big enough for rounding to be benign (a tiny
+    # |H| guess legitimately distorts single-digit counts, up to collapsing
+    # them to zero answers)
+    for original_point, rebuilt_counts in zip(profile.pr_curve(), rebuilt.counts):
+        if rebuilt_counts.answers < 10:
+            continue
+        rebuilt_precision = rebuilt_counts.precision
+        assert rebuilt_precision is not None
+        assert abs(float(rebuilt_precision) - float(original_point.precision)) < 0.25
+
+
+@given(judged_profiles(), st.integers(min_value=2, max_value=8))
+def test_scaling_relevant_scales_counts(profile, factor):
+    bare = PRCurve.from_values(
+        [(p.recall, p.precision) for p in profile.pr_curve()]
+    )
+    rebuilt = reconstruct_profile(bare, profile.relevant * factor)
+    for original, scaled in zip(profile.counts, rebuilt.counts):
+        assert scaled.correct == original.correct * factor
+        assert scaled.answers == original.answers * factor

@@ -1,0 +1,85 @@
+"""Property tests for the schema substrate: parser round-trip and
+mutation provenance preservation over randomly generated trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.model import Datatype, Schema, SchemaElement
+from repro.schema.mutations import MutationConfig, mutate_subtree
+from repro.schema.parser import parse_schema, serialize_schema
+from repro.schema.vocabulary import get_domain
+from repro.util import rng
+
+NAMES = ["alpha", "beta-x", "GammaValue", "d1", "epsilon_long_name"]
+
+
+@st.composite
+def random_trees(draw, max_nodes: int = 12):
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = []
+    for i in range(size):
+        nodes.append(
+            SchemaElement(
+                draw(st.sampled_from(NAMES)),
+                draw(st.sampled_from(list(Datatype))),
+                concept=draw(
+                    st.one_of(st.none(), st.sampled_from(["c:a", "c:b", "c:c"]))
+                ),
+            )
+        )
+    for i in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        nodes[parent].add_child(nodes[i])
+    return Schema("prop", nodes[0])
+
+
+@settings(max_examples=80)
+@given(random_trees())
+def test_parser_round_trip(schema):
+    text = serialize_schema(schema)
+    parsed = parse_schema(text, schema.schema_id)
+    assert serialize_schema(parsed) == text
+    assert [e.name for e in parsed] == [e.name for e in schema]
+    assert [e.concept for e in parsed] == [e.concept for e in schema]
+
+
+@settings(max_examples=80)
+@given(random_trees())
+def test_parser_round_trip_preserves_leaf_datatypes(schema):
+    parsed = parse_schema(serialize_schema(schema), schema.schema_id)
+    for original, loaded in zip(schema, parsed):
+        if original.is_leaf and original.datatype is not Datatype.COMPLEX:
+            assert loaded.datatype is original.datatype
+
+
+@settings(max_examples=60)
+@given(random_trees(), st.integers(min_value=0, max_value=2**32))
+def test_mutation_preserves_concept_multiset_without_drops(schema, seed):
+    mutated = mutate_subtree(
+        rng.make_tagged(seed),
+        schema.root,
+        get_domain("bibliography"),
+        MutationConfig(),
+        drop_probability=0.0,
+    )
+    assert [e.concept for e in mutated.walk()] == [
+        e.concept for e in schema.root.walk()
+    ]
+
+
+@settings(max_examples=60)
+@given(random_trees(), st.integers(min_value=0, max_value=2**32))
+def test_mutation_with_drops_yields_concept_subsequence(schema, seed):
+    mutated = mutate_subtree(
+        rng.make_tagged(seed),
+        schema.root,
+        None,
+        MutationConfig(0, 0, 0, 0),
+        drop_probability=0.5,
+    )
+    original_concepts = [e.concept for e in schema.root.walk()]
+    mutated_concepts = [e.concept for e in mutated.walk()]
+    # mutated pre-order concepts must be a subsequence of the original's
+    it = iter(original_concepts)
+    assert all(c in it for c in mutated_concepts)
+    assert mutated_concepts[0] == original_concepts[0]  # root never dropped

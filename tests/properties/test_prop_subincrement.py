@@ -1,0 +1,74 @@
+"""Property tests for sub-increment segments (section 4.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.measures import Counts
+from repro.core.subincrement import SubIncrementAnalyzer
+
+
+@st.composite
+def endpoint_pairs(draw):
+    """Two ordered measurement points sharing |H|, plus a feasible world."""
+    low_answers = draw(st.integers(min_value=0, max_value=60))
+    low_correct = draw(st.integers(min_value=0, max_value=low_answers))
+    grow = draw(st.integers(min_value=0, max_value=40))
+    grow_correct = draw(st.integers(min_value=0, max_value=grow))
+    relevant = low_correct + grow_correct + draw(
+        st.integers(min_value=0, max_value=25)
+    )
+    low = Counts(low_answers, low_correct, relevant)
+    high = Counts(low_answers + grow, low_correct + grow_correct, relevant)
+    return low, high
+
+
+@given(endpoint_pairs(), st.data())
+def test_every_intermediate_size_has_consistent_segment(pair, data):
+    low, high = pair
+    analyzer = SubIncrementAnalyzer(low, high)
+    n = data.draw(
+        st.integers(min_value=low.answers, max_value=high.answers), label="n"
+    )
+    worst, best = analyzer.correct_range(n)
+    assert low.correct <= worst <= best <= high.correct
+    assert best <= n
+
+
+@given(endpoint_pairs(), st.data())
+def test_true_split_lies_on_segment(pair, data):
+    """Any order in which the increment's answers arrive stays in-bounds."""
+    low, high = pair
+    analyzer = SubIncrementAnalyzer(low, high)
+    inc_correct = analyzer.increment_correct
+    inc_incorrect = analyzer.increment_incorrect
+    n = data.draw(
+        st.integers(min_value=low.answers, max_value=high.answers), label="n"
+    )
+    extra = n - low.answers
+    # feasible number of correct among the first `extra` arrivals
+    lo = max(0, extra - inc_incorrect)
+    hi = min(extra, inc_correct)
+    true_extra_correct = data.draw(
+        st.integers(min_value=lo, max_value=hi), label="split"
+    )
+    worst, best = analyzer.correct_range(n)
+    assert worst <= low.correct + true_extra_correct <= best
+
+
+@given(endpoint_pairs())
+def test_boundary_endpoints_degenerate(pair):
+    low, high = pair
+    analyzer = SubIncrementAnalyzer(low, high)
+    first = analyzer.segment(low.answers)
+    last = analyzer.segment(high.answers)
+    assert first.worst.recall == first.best.recall
+    assert last.worst.recall == last.best.recall
+
+
+@given(endpoint_pairs())
+def test_midpoints_inside_segments(pair):
+    low, high = pair
+    analyzer = SubIncrementAnalyzer(low, high)
+    for segment in analyzer.boundary(step=3):
+        mid = segment.midpoint()
+        assert segment.worst.recall <= mid.recall <= segment.best.recall

@@ -1,0 +1,82 @@
+"""Unit tests for the opt-in extended vocabulary domains."""
+
+import pytest
+
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.model import Datatype
+from repro.schema.vocabulary import (
+    all_domains,
+    builtin_domains,
+    extended_domains,
+    get_domain,
+)
+
+_PREFIX = {"finance": "fin", "travel": "trv"}
+
+
+class TestExtendedDomains:
+    def test_two_extended_domains(self):
+        assert set(extended_domains()) == {"finance", "travel"}
+
+    def test_extended_not_in_builtin(self):
+        assert not set(extended_domains()) & set(builtin_domains())
+
+    def test_all_domains_is_union(self):
+        assert set(all_domains()) == set(builtin_domains()) | set(
+            extended_domains()
+        )
+
+    def test_get_domain_resolves_extended(self):
+        assert get_domain("finance").domain == "finance"
+        assert get_domain("travel").domain == "travel"
+
+    @pytest.mark.parametrize("name", ["finance", "travel"])
+    def test_extended_domain_well_formed(self, name):
+        vocabulary = extended_domains()[name]
+        assert len(vocabulary) >= 18
+        assert vocabulary.containers()
+        assert vocabulary.leaves()
+        prefix = _PREFIX[name]
+        for concept in vocabulary.concepts():
+            assert concept.name.startswith(prefix + ":")
+            if concept.is_container:
+                assert concept.datatype is Datatype.COMPLEX
+
+    @pytest.mark.parametrize("name", ["finance", "travel"])
+    def test_roots_are_containers(self, name):
+        vocabulary = extended_domains()[name]
+        for root in vocabulary.roots:
+            assert vocabulary.concept(root).is_container
+
+
+class TestGenerationWithExtendedDomains:
+    def test_repository_over_extended_domains(self):
+        repo = generate_repository(
+            GeneratorConfig(num_schemas=4, domains=("finance", "travel"), seed=2)
+        )
+        prefixes = {s.schema_id.rsplit("-", 1)[0] for s in repo}
+        assert prefixes == {"finance", "travel"}
+        assert repo.element_count() > 20
+
+    def test_end_to_end_matching_on_extended_domains(self):
+        from repro.evaluation.scenario import build_scenarios
+        from repro.matching import ExhaustiveMatcher
+        from repro.matching.objective import ObjectiveFunction
+        from repro.matching.similarity.name import NameSimilarity, Thesaurus
+
+        repo = generate_repository(
+            GeneratorConfig(
+                num_schemas=6, domains=("finance", "travel"), seed=9
+            )
+        )
+        suite = build_scenarios(repo, num_queries=2, query_size=3, seed=5)
+        thesaurus = Thesaurus.from_vocabularies(
+            extended_domains().values(), coverage=0.8, seed=3
+        )
+        matcher = ExhaustiveMatcher(ObjectiveFunction(NameSimilarity(thesaurus)))
+        answers = suite.run(matcher, 0.3)
+        correct = sum(
+            1 for a in answers if a.item in suite.ground_truth.mappings
+        )
+        assert len(answers) > 0
+        assert correct > 0  # the oracle and the matcher connect end to end

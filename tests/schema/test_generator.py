@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic repository generator."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.generator import (
+    GeneratorConfig,
+    SchemaGenerator,
+    generate_repository,
+)
+from repro.schema.parser import serialize_schema
+from repro.schema.vocabulary import get_domain
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_num_schemas_positive(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(num_schemas=0)
+
+    def test_size_ordering(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(min_size=10, max_size=5)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(domains=("narnia",))
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(domains=())
+
+
+class TestSchemaGeneration:
+    @pytest.fixture(scope="class")
+    def repository(self):
+        return generate_repository(GeneratorConfig(num_schemas=12, seed=21))
+
+    def test_schema_count(self, repository):
+        assert len(repository) == 12
+
+    def test_deterministic(self):
+        config = GeneratorConfig(num_schemas=4, seed=33)
+        first = generate_repository(config)
+        second = generate_repository(config)
+        for a, b in zip(first, second):
+            assert serialize_schema(a) == serialize_schema(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_repository(GeneratorConfig(num_schemas=4, seed=1))
+        b = generate_repository(GeneratorConfig(num_schemas=4, seed=2))
+        assert any(
+            serialize_schema(x) != serialize_schema(y) for x, y in zip(a, b)
+        )
+
+    def test_domains_round_robin(self, repository):
+        prefixes = {schema.schema_id.rsplit("-", 1)[0] for schema in repository}
+        assert prefixes == {"bibliography", "commerce", "medical", "university"}
+
+    def test_sizes_within_soft_bounds(self, repository):
+        for schema in repository:
+            assert len(schema) <= GeneratorConfig().max_size + 6  # noise slack
+
+    def test_concept_provenance_present(self, repository):
+        for schema in repository:
+            with_concept = sum(1 for e in schema if e.concept is not None)
+            assert with_concept / len(schema) > 0.8
+
+    def test_concepts_match_declared_domain(self, repository):
+        schema = next(s for s in repository if s.schema_id.startswith("medical"))
+        prefixes = {c.split(":")[0] for c in schema.concepts()}
+        assert "med" in prefixes
+
+    def test_root_is_domain_root_concept(self, repository):
+        vocabulary = get_domain("bibliography")
+        schema = next(
+            s for s in repository if s.schema_id.startswith("bibliography")
+        )
+        assert schema.root.concept in vocabulary.roots
+
+    def test_single_schema_generation(self):
+        generator = SchemaGenerator(GeneratorConfig())
+        schema = generator.generate_schema("one", "commerce", seed=99)
+        assert schema.schema_id == "one"
+        assert len(schema) >= 2
+
+    def test_noise_leaves_have_no_concept(self):
+        config = GeneratorConfig(
+            num_schemas=6, noise_probability=1.0, seed=3, domains=("medical",)
+        )
+        repository = generate_repository(config)
+        noiseless = [
+            e for s in repository for e in s if e.concept is None
+        ]
+        assert noiseless, "with noise probability 1 some noise leaves must exist"
+
+    def test_repository_id(self):
+        repo = generate_repository(
+            GeneratorConfig(num_schemas=2, seed=1), repository_id="custom"
+        )
+        assert repo.repository_id == "custom"

@@ -1,0 +1,138 @@
+"""Unit tests for the schema tree model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Datatype, Schema, SchemaElement
+
+
+def build_sample() -> Schema:
+    root = SchemaElement("book", Datatype.COMPLEX, concept="bib:book")
+    title = root.add_child(SchemaElement("title", concept="bib:title"))
+    author = root.add_child(
+        SchemaElement("author", Datatype.COMPLEX, concept="bib:author")
+    )
+    author.add_child(SchemaElement("first", concept="bib:first-name"))
+    author.add_child(SchemaElement("last", concept="bib:last-name"))
+    root.add_child(SchemaElement("year", Datatype.INTEGER, concept="bib:year"))
+    assert title.is_leaf
+    return Schema("sample", root)
+
+
+class TestDatatype:
+    def test_parse_case_insensitive(self):
+        assert Datatype.parse(" Integer ") is Datatype.INTEGER
+
+    def test_parse_unknown_lists_valid(self):
+        with pytest.raises(SchemaError, match="expected one of"):
+            Datatype.parse("varchar")
+
+
+class TestSchemaElement:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaElement("   ")
+
+    def test_walk_is_preorder(self):
+        schema = build_sample()
+        names = [e.name for e in schema.root.walk()]
+        assert names == ["book", "title", "author", "first", "last", "year"]
+
+    def test_subtree_size(self):
+        schema = build_sample()
+        assert schema.root.subtree_size() == 6
+        assert schema.element(2).subtree_size() == 3  # author + 2 children
+
+    def test_copy_is_deep(self):
+        schema = build_sample()
+        clone = schema.root.copy()
+        clone.children[0].name = "changed"
+        assert schema.root.children[0].name == "title"
+
+    def test_copy_preserves_concepts(self):
+        clone = build_sample().root.copy()
+        assert clone.concept == "bib:book"
+
+
+class TestSchema:
+    def test_len_counts_all_elements(self):
+        assert len(build_sample()) == 6
+
+    def test_element_ids_are_preorder(self):
+        schema = build_sample()
+        assert schema.element(0).name == "book"
+        assert schema.element(3).name == "first"
+
+    def test_element_out_of_range(self):
+        with pytest.raises(SchemaError, match="has no element"):
+            build_sample().element(99)
+
+    def test_element_id_round_trip(self):
+        schema = build_sample()
+        for element_id in range(len(schema)):
+            assert schema.element_id(schema.element(element_id)) == element_id
+
+    def test_element_id_foreign_element_rejected(self):
+        schema = build_sample()
+        with pytest.raises(SchemaError, match="does not belong"):
+            schema.element_id(SchemaElement("stranger"))
+
+    def test_parent_of_root_is_none(self):
+        assert build_sample().parent_id(0) is None
+
+    def test_parent_ids(self):
+        schema = build_sample()
+        assert schema.parent_id(3) == 2  # first -> author
+        assert schema.parent_id(2) == 0  # author -> book
+
+    def test_depths(self):
+        schema = build_sample()
+        assert schema.depth(0) == 0
+        assert schema.depth(2) == 1
+        assert schema.depth(4) == 2
+
+    def test_path(self):
+        schema = build_sample()
+        assert schema.path(4) == ("book", "author", "last")
+        assert schema.path_string(4) == "book/author/last"
+
+    def test_ancestors(self):
+        schema = build_sample()
+        assert schema.ancestors(4) == [2, 0]
+        assert schema.ancestors(0) == []
+
+    def test_is_ancestor(self):
+        schema = build_sample()
+        assert schema.is_ancestor(0, 4)
+        assert schema.is_ancestor(2, 3)
+        assert not schema.is_ancestor(3, 2)
+        assert not schema.is_ancestor(1, 4)
+        assert not schema.is_ancestor(4, 4)  # strict
+
+    def test_leaves(self):
+        schema = build_sample()
+        assert schema.leaves() == [1, 3, 4, 5]
+
+    def test_concepts(self):
+        assert "bib:last-name" in build_sample().concepts()
+
+    def test_copy_renames(self):
+        clone = build_sample().copy("other")
+        assert clone.schema_id == "other"
+        assert len(clone) == 6
+
+    def test_empty_schema_id_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", SchemaElement("x"))
+
+    def test_shared_subtree_rejected(self):
+        shared = SchemaElement("shared")
+        root = SchemaElement("root", Datatype.COMPLEX)
+        root.add_child(shared)
+        root.add_child(shared)  # same object twice -> DAG, not a tree
+        with pytest.raises(SchemaError, match="shared/cyclic"):
+            Schema("bad", root)
+
+    def test_iteration_matches_elements(self):
+        schema = build_sample()
+        assert list(schema) == schema.elements()

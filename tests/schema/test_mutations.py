@@ -1,0 +1,214 @@
+"""Unit tests for name/structure mutation operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.mutations import (
+    MutationConfig,
+    NameStyler,
+    abbreviate_tokens,
+    apply_typo,
+    extract_personal_schema,
+    mutate_name,
+    mutate_subtree,
+)
+from repro.schema.vocabulary import get_domain
+from repro.util import rng
+
+
+class TestNameStyler:
+    def test_camel(self):
+        assert NameStyler("camel").render("last name") == "lastName"
+
+    def test_snake(self):
+        assert NameStyler("snake").render("last name") == "last_name"
+
+    def test_kebab(self):
+        assert NameStyler("kebab").render("last-name") == "last-name"
+
+    def test_upper(self):
+        assert NameStyler("upper").render("last name") == "LAST_NAME"
+
+    def test_plain(self):
+        assert NameStyler("plain").render("last name") == "lastname"
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SchemaError):
+            NameStyler("spongebob")
+
+    def test_random_styler_deterministic(self):
+        assert (
+            NameStyler.random(rng.make(3)).style
+            == NameStyler.random(rng.make(3)).style
+        )
+
+    def test_empty_label_unchanged(self):
+        assert NameStyler("camel").render("--") == "--"
+
+
+class TestTypos:
+    def test_short_names_untouched(self):
+        assert apply_typo(rng.make(1), "abc") == "abc"
+
+    def test_typo_changes_string(self):
+        generator = rng.make(5)
+        original = "publisher"
+        mutated = apply_typo(generator, original)
+        assert mutated != original
+
+    def test_typo_length_within_one(self):
+        generator = rng.make(9)
+        for _ in range(20):
+            out = apply_typo(generator, "quantity")
+            assert abs(len(out) - len("quantity")) <= 1
+
+    def test_first_letter_preserved(self):
+        generator = rng.make(11)
+        for _ in range(20):
+            assert apply_typo(generator, "tracking")[0] == "t"
+
+
+class TestAbbreviate:
+    def test_short_tokens_kept(self):
+        assert abbreviate_tokens("name") == "name"
+
+    def test_long_token_shortened(self):
+        out = abbreviate_tokens("quantity")
+        assert len(out) <= 4 and out[0] == "q"
+
+    def test_multi_token(self):
+        out = abbreviate_tokens("tracking number")
+        assert " " in out
+
+
+class TestMutationConfig:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SchemaError):
+            MutationConfig(typo_probability=1.5)
+
+
+class TestMutateName:
+    def test_synonym_replacement_uses_vocabulary(self):
+        vocabulary = get_domain("bibliography")
+        config = MutationConfig(
+            synonym_probability=1.0,
+            abbreviation_probability=0.0,
+            typo_probability=0.0,
+            restyle_probability=0.0,
+        )
+        seen = set()
+        for seed in range(10):
+            seen.add(
+                mutate_name(
+                    rng.make(seed), "author", "bib:author", vocabulary, config
+                )
+            )
+        assert seen <= set(vocabulary.synonyms_of("bib:author"))
+        assert len(seen) > 1
+
+    def test_no_vocabulary_no_synonym(self):
+        config = MutationConfig(
+            synonym_probability=1.0,
+            abbreviation_probability=0.0,
+            typo_probability=0.0,
+            restyle_probability=0.0,
+        )
+        assert mutate_name(rng.make(1), "author", None, None, config) == "author"
+
+
+class TestMutateSubtree:
+    def _source(self) -> SchemaElement:
+        root = SchemaElement("author")
+        for name in ("first-name", "last-name", "email", "affiliation"):
+            root.add_child(SchemaElement(name))
+        return root
+
+    def test_pure_copy_with_zero_probabilities(self):
+        config = MutationConfig(0.0, 0.0, 0.0, 0.0)
+        out = mutate_subtree(
+            rng.make(1), self._source(), None, config, drop_probability=0.0
+        )
+        assert [e.name for e in out.walk()] == [
+            e.name for e in self._source().walk()
+        ]
+
+    def test_concepts_preserved(self):
+        source = self._source()
+        for i, element in enumerate(source.walk()):
+            element.concept = f"c{i}"
+        out = mutate_subtree(
+            rng.make(2),
+            source,
+            get_domain("bibliography"),
+            drop_probability=0.0,
+        )
+        assert [e.concept for e in out.walk()] == [
+            e.concept for e in source.walk()
+        ]
+
+    def test_drop_keeps_minimum_children(self):
+        out = mutate_subtree(
+            rng.make(3),
+            self._source(),
+            None,
+            MutationConfig(0, 0, 0, 0),
+            drop_probability=1.0,
+            min_children_kept=1,
+        )
+        assert len(out.children) == 1
+
+    def test_input_not_mutated(self):
+        source = self._source()
+        before = [e.name for e in source.walk()]
+        mutate_subtree(rng.make(4), source, get_domain("bibliography"))
+        assert [e.name for e in source.walk()] == before
+
+
+class TestExtractPersonalSchema:
+    @pytest.fixture(scope="class")
+    def repository(self):
+        return generate_repository(GeneratorConfig(num_schemas=6, seed=13))
+
+    def test_size_near_target(self, repository):
+        source = repository.schemas()[0]
+        query = extract_personal_schema(
+            rng.make_tagged(5), source, get_domain("bibliography"), target_size=4
+        )
+        assert 1 <= len(query) <= 8
+
+    def test_concepts_subset_of_source(self, repository):
+        source = repository.schemas()[1]
+        query = extract_personal_schema(
+            rng.make_tagged(6), source, get_domain("commerce"), target_size=4
+        )
+        assert query.concepts() <= source.concepts()
+
+    def test_schema_id_override(self, repository):
+        query = extract_personal_schema(
+            rng.make_tagged(7),
+            repository.schemas()[2],
+            None,
+            target_size=3,
+            schema_id="my-query",
+        )
+        assert query.schema_id == "my-query"
+
+    def test_invalid_target_size(self, repository):
+        with pytest.raises(SchemaError):
+            extract_personal_schema(
+                rng.make_tagged(8), repository.schemas()[0], None, target_size=0
+            )
+
+    def test_deterministic_for_same_generator_seed(self, repository):
+        source = repository.schemas()[3]
+        a = extract_personal_schema(
+            rng.make_tagged(9), source, None, target_size=4
+        )
+        b = extract_personal_schema(
+            rng.make_tagged(9), source, None, target_size=4
+        )
+        from repro.schema.parser import serialize_schema
+
+        assert serialize_schema(a) == serialize_schema(b)

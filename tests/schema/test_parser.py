@@ -1,0 +1,111 @@
+"""Unit tests for the textual schema format."""
+
+import pytest
+
+from repro.errors import SchemaParseError
+from repro.schema.model import Datatype
+from repro.schema.parser import parse_schema, serialize_schema
+
+SAMPLE = """\
+book
+  title : string
+  author : complex @ bib:author
+    first-name
+    last-name
+  year : integer
+"""
+
+
+class TestParse:
+    def test_tree_shape(self):
+        schema = parse_schema(SAMPLE, "s")
+        assert len(schema) == 6
+        assert schema.path_string(4) == "book/author/last-name"
+
+    def test_datatypes(self):
+        schema = parse_schema(SAMPLE, "s")
+        assert schema.element(5).datatype is Datatype.INTEGER
+
+    def test_container_defaults_to_complex(self):
+        schema = parse_schema("a\n  b\n", "s")
+        assert schema.element(0).datatype is Datatype.COMPLEX
+
+    def test_leaf_defaults_to_string(self):
+        schema = parse_schema("a\n  b\n", "s")
+        assert schema.element(1).datatype is Datatype.STRING
+
+    def test_concept_annotation(self):
+        schema = parse_schema(SAMPLE, "s")
+        assert schema.element(2).concept == "bib:author"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nroot\n  # inner comment\n  child\n"
+        schema = parse_schema(text, "s")
+        assert len(schema) == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaParseError, match="no elements"):
+            parse_schema("   \n  \n")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(SchemaParseError, match="multiple root"):
+            parse_schema("a\nb\n")
+
+    def test_indented_first_line_rejected(self):
+        with pytest.raises(SchemaParseError, match="must not be indented"):
+            parse_schema("  a\n")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(SchemaParseError, match="tabs"):
+            parse_schema("a\n\tb\n")
+
+    def test_odd_indentation_rejected(self):
+        with pytest.raises(SchemaParseError, match="multiple of 2"):
+            parse_schema("a\n   b\n")
+
+    def test_indent_jump_rejected(self):
+        with pytest.raises(SchemaParseError, match="jumped"):
+            parse_schema("a\n    b\n")
+
+    def test_bad_datatype_reports_line(self):
+        with pytest.raises(SchemaParseError, match="line 2"):
+            parse_schema("a\n  b : varchar\n")
+
+    def test_empty_concept_rejected(self):
+        with pytest.raises(SchemaParseError, match="'@'"):
+            parse_schema("a @ \n")
+
+    def test_empty_datatype_rejected(self):
+        with pytest.raises(SchemaParseError, match="':'"):
+            parse_schema("a : \n")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaParseError, match="name is empty"):
+            parse_schema("a\n  : string\n")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self):
+        schema = parse_schema(SAMPLE, "s")
+        assert serialize_schema(parse_schema(serialize_schema(schema), "s")) == (
+            serialize_schema(schema)
+        )
+
+    def test_non_default_datatype_serialized(self):
+        schema = parse_schema("a\n  b : decimal\n", "s")
+        assert "b : decimal" in serialize_schema(schema)
+
+    def test_default_datatype_omitted(self):
+        schema = parse_schema("a\n  b\n", "s")
+        out = serialize_schema(schema)
+        assert "b : string" not in out
+
+    def test_generated_schema_round_trips(self):
+        from repro.schema.generator import GeneratorConfig, generate_repository
+
+        repo = generate_repository(GeneratorConfig(num_schemas=3, seed=5))
+        for schema in repo:
+            text = serialize_schema(schema)
+            again = parse_schema(text, schema.schema_id)
+            assert serialize_schema(again) == text
+            assert [e.concept for e in again] == [e.concept for e in schema]

@@ -1,0 +1,90 @@
+"""Unit tests for the schema repository and element handles."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.repository import ElementHandle, SchemaRepository
+
+
+def tiny_schema(schema_id: str) -> Schema:
+    root = SchemaElement("root")
+    root.add_child(SchemaElement("leaf", concept="c:leaf"))
+    return Schema(schema_id, root)
+
+
+class TestSchemaRepository:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaRepository("r", [])
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaRepository("", [tiny_schema("a")])
+
+    def test_duplicate_schema_ids_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            SchemaRepository("r", [tiny_schema("a"), tiny_schema("a")])
+
+    def test_lookup(self):
+        repo = SchemaRepository("r", [tiny_schema("a"), tiny_schema("b")])
+        assert repo.schema("b").schema_id == "b"
+        assert "a" in repo
+        assert "z" not in repo
+
+    def test_unknown_schema_raises(self):
+        repo = SchemaRepository("r", [tiny_schema("a")])
+        with pytest.raises(SchemaError, match="has no schema"):
+            repo.schema("zzz")
+
+    def test_element_count(self):
+        repo = SchemaRepository("r", [tiny_schema("a"), tiny_schema("b")])
+        assert repo.element_count() == 4
+
+    def test_all_elements_yields_every_element(self):
+        repo = SchemaRepository("r", [tiny_schema("a"), tiny_schema("b")])
+        handles = list(repo.all_elements())
+        assert len(handles) == 4
+        assert len(set(handles)) == 4
+
+    def test_concept_index(self):
+        repo = SchemaRepository("r", [tiny_schema("a"), tiny_schema("b")])
+        index = repo.concept_index()
+        assert len(index["c:leaf"]) == 2
+
+    def test_stats_fields(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=5, seed=2))
+        stats = repo.stats()
+        assert stats["schemas"] == 5.0
+        assert 0 < stats["leaf_fraction"] < 1
+        assert stats["min_size"] <= stats["mean_size"] <= stats["max_size"]
+
+
+class TestElementHandle:
+    @pytest.fixture()
+    def repo(self):
+        return SchemaRepository("r", [tiny_schema("a"), tiny_schema("b")])
+
+    def test_bounds_checked(self, repo):
+        with pytest.raises(SchemaError):
+            ElementHandle(repo.schema("a"), 99)
+
+    def test_accessors(self, repo):
+        handle = repo.handle("a", 1)
+        assert handle.name == "leaf"
+        assert handle.concept == "c:leaf"
+        assert handle.key == ("a", 1)
+
+    def test_equality_by_key(self, repo):
+        assert repo.handle("a", 1) == repo.handle("a", 1)
+        assert repo.handle("a", 1) != repo.handle("b", 1)
+
+    def test_hashable(self, repo):
+        assert len({repo.handle("a", 0), repo.handle("a", 0)}) == 1
+
+    def test_path_string_includes_schema(self, repo):
+        assert repo.handle("a", 1).path_string() == "a:root/leaf"
+
+    def test_not_equal_to_other_types(self, repo):
+        assert repo.handle("a", 0) != ("a", 0)

@@ -1,0 +1,62 @@
+"""Unit tests for repository statistics."""
+
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.model import Schema, SchemaElement
+from repro.schema.repository import SchemaRepository
+from repro.schema.stats import (
+    depth_histogram,
+    describe_repository,
+    lexical_stats,
+)
+
+
+def handmade_repository() -> SchemaRepository:
+    a = SchemaElement("root", concept="c:root")
+    a.add_child(SchemaElement("price", concept="c:price"))
+    a.add_child(SchemaElement("cost", concept="c:price"))  # 2 forms, 1 concept
+    b = SchemaElement("root2", concept="c:root")
+    b.add_child(SchemaElement("price", concept="c:weight"))  # homonym 'price'
+    b.add_child(SchemaElement("noise"))  # unlabelled
+    return SchemaRepository("hand", [Schema("a", a), Schema("b", b)])
+
+
+class TestLexicalStats:
+    def test_counts(self):
+        stats = lexical_stats(handmade_repository())
+        assert stats.distinct_concepts == 3
+        assert stats.unlabelled_elements == 1
+        assert stats.max_surface_forms_per_concept == 2
+        assert stats.homonym_labels == 1  # 'price' denotes two concepts
+
+    def test_generated_repository_is_lexically_diverse(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=12, seed=4))
+        stats = lexical_stats(repo)
+        assert stats.mean_surface_forms_per_concept > 1.0
+        assert stats.homonym_labels >= 1
+
+    def test_empty_concepts(self):
+        root = SchemaElement("only")
+        repo = SchemaRepository("r", [Schema("s", root)])
+        stats = lexical_stats(repo)
+        assert stats.distinct_concepts == 0
+        assert stats.unlabelled_elements == 1
+
+
+class TestDepthHistogram:
+    def test_handmade(self):
+        histogram = depth_histogram(handmade_repository())
+        assert histogram[0] == 2  # two roots
+        assert histogram[1] == 4  # four children
+
+    def test_total_matches_element_count(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=5, seed=6))
+        histogram = depth_histogram(repo)
+        assert sum(histogram.values()) == repo.element_count()
+
+
+class TestDescribe:
+    def test_report_fields(self):
+        text = describe_repository(handmade_repository())
+        assert "schemas             : 2" in text
+        assert "homonym labels" in text
+        assert "noise elements" in text

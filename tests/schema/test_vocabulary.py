@@ -1,0 +1,107 @@
+"""Unit tests for domain vocabularies."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Datatype
+from repro.schema.vocabulary import (
+    Concept,
+    Vocabulary,
+    builtin_domains,
+    get_domain,
+)
+
+
+class TestConcept:
+    def test_requires_surface_form(self):
+        with pytest.raises(SchemaError):
+            Concept(name="x", surface_forms=())
+
+    def test_container_flag(self):
+        concept = Concept("c", ("c",), children=("k",))
+        assert concept.is_container
+
+    def test_all_forms_include_abbreviations(self):
+        concept = Concept("q", ("quantity",), abbreviations=("qty",))
+        assert "qty" in concept.all_forms()
+
+
+class TestVocabulary:
+    def test_duplicate_concept_rejected(self):
+        c = Concept("dup", ("dup",))
+        with pytest.raises(SchemaError, match="duplicate"):
+            Vocabulary("d", [c, Concept("dup", ("other",))], roots=["dup"])
+
+    def test_unknown_child_rejected(self):
+        c = Concept("parent", ("parent",), children=("ghost",))
+        with pytest.raises(SchemaError, match="unknown child"):
+            Vocabulary("d", [c], roots=["parent"])
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SchemaError, match="unknown root"):
+            Vocabulary("d", [Concept("a", ("a",))], roots=["b"])
+
+    def test_empty_roots_rejected(self):
+        with pytest.raises(SchemaError, match="root"):
+            Vocabulary("d", [Concept("a", ("a",))], roots=[])
+
+    def test_lookup_missing_concept(self):
+        vocabulary = get_domain("bibliography")
+        with pytest.raises(SchemaError, match="has no concept"):
+            vocabulary.concept("bib:nonexistent")
+
+    def test_synonyms_of(self):
+        vocabulary = get_domain("bibliography")
+        forms = vocabulary.synonyms_of("bib:author")
+        assert "author" in forms and "writer" in forms
+
+
+class TestBuiltinDomains:
+    def test_four_domains(self):
+        assert set(builtin_domains()) == {
+            "bibliography",
+            "commerce",
+            "medical",
+            "university",
+        }
+
+    def test_unknown_domain_error_lists_known(self):
+        with pytest.raises(SchemaError, match="available:"):
+            get_domain("astrology")
+
+    @pytest.mark.parametrize("name", sorted(builtin_domains()))
+    def test_domain_is_well_formed(self, name):
+        vocabulary = builtin_domains()[name]
+        assert len(vocabulary) >= 20
+        assert vocabulary.containers(), "every domain needs containers"
+        assert vocabulary.leaves(), "every domain needs leaves"
+        for concept in vocabulary.concepts():
+            assert concept.name.startswith(name[:3])
+            if concept.is_container:
+                assert concept.datatype is Datatype.COMPLEX
+
+    @pytest.mark.parametrize("name", sorted(builtin_domains()))
+    def test_roots_are_containers(self, name):
+        vocabulary = builtin_domains()[name]
+        for root in vocabulary.roots:
+            assert vocabulary.concept(root).is_container
+
+    def test_builtin_domains_returns_copy(self):
+        domains = builtin_domains()
+        domains.clear()
+        assert builtin_domains()  # internal registry untouched
+
+    def test_synonym_overlap_across_domains_exists(self):
+        # cross-domain homonyms (e.g. 'email') are what makes noise leaves
+        # plausible; assert at least one shared surface form exists
+        bib = {
+            form
+            for c in get_domain("bibliography").concepts()
+            for form in c.all_forms()
+        }
+        com = {
+            form
+            for c in get_domain("commerce").concepts()
+            for form in c.all_forms()
+        }
+        assert bib & com

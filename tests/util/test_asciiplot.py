@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.util.asciiplot import AsciiPlot, Series
+
+
+class TestSeries:
+    def test_marker_must_be_single_char(self):
+        with pytest.raises(ValueError):
+            Series("s", [(0, 0)], marker="ab")
+
+
+class TestAsciiPlot:
+    def test_render_contains_title_and_legend(self):
+        plot = AsciiPlot(width=20, height=6, title="demo")
+        plot.add(Series("mine", [(0.0, 0.0), (1.0, 1.0)], marker="o"))
+        out = plot.render()
+        assert "demo" in out
+        assert "[o] mine" in out
+
+    def test_corners_are_plotted(self):
+        plot = AsciiPlot(width=20, height=6, x_range=(0, 1), y_range=(0, 1))
+        plot.add(Series("s", [(0.0, 1.0), (1.0, 0.0)], marker="*"))
+        lines = plot.render().splitlines()
+        # top-left corner: first grid row starts with the marker
+        first_grid = lines[0].split("|", 1)[1]
+        assert first_grid[0] == "*"
+
+    def test_out_of_range_points_dropped(self):
+        plot = AsciiPlot(width=20, height=6, x_range=(0, 1), y_range=(0, 1))
+        plot.add(Series("s", [(5.0, 5.0)], marker="#"))
+        grid_lines = [
+            line for line in plot.render().splitlines() if "|" in line
+        ]
+        assert all("#" not in line for line in grid_lines)
+
+    def test_too_small_canvas_rejected(self):
+        plot = AsciiPlot(width=4, height=2)
+        plot.add(Series("s", [(0, 0)]))
+        with pytest.raises(ValueError):
+            plot.render()
+
+    def test_empty_plot_renders(self):
+        out = AsciiPlot(width=12, height=4).render()
+        assert "+" in out  # axis present
+
+    def test_autoscaling_from_data(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add(Series("s", [(10.0, 100.0), (20.0, 200.0)], marker="x"))
+        out = plot.render()
+        assert "200.00" in out
+        assert "10.00" in out
+
+    def test_add_returns_self_for_chaining(self):
+        plot = AsciiPlot(width=12, height=4)
+        assert plot.add(Series("s", [(0, 0)])) is plot
+
+    def test_degenerate_range_padded(self):
+        plot = AsciiPlot(width=12, height=4)
+        plot.add(Series("s", [(0.5, 0.5)], marker="o"))
+        assert "o" in plot.render()

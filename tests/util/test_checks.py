@@ -1,0 +1,69 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.util.checks import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_strictly_increasing,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_value_error_by_default(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_custom_error_type(self):
+        with pytest.raises(KeyError):
+            require(False, "missing", error=KeyError)
+
+
+class TestProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="p must be within"):
+            check_probability(1.5, "p")
+
+
+class TestPositive:
+    def test_positive_ok(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+
+class TestNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+
+class TestStrictlyIncreasing:
+    def test_valid_sequence(self):
+        assert check_strictly_increasing([1, 2, 3], "xs") == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            check_strictly_increasing([], "xs")
+
+    def test_equal_neighbours_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            check_strictly_increasing([1, 1], "xs")
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            check_strictly_increasing([2, 1], "xs")

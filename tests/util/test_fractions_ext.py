@@ -1,0 +1,80 @@
+"""Unit tests for Fraction helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.util.fractions_ext import (
+    as_fraction,
+    clamp01,
+    format_fraction,
+    frac_max,
+    frac_min,
+    safe_ratio,
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        assert as_fraction(Fraction(2, 7)) == Fraction(2, 7)
+
+    def test_float_exact(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_float_snapped(self):
+        assert as_fraction(0.1, max_denominator=1000) == Fraction(1, 10)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_fraction("0.5")  # type: ignore[arg-type]
+
+    def test_bool_is_rational(self):
+        # bool is an int subclass; document the (harmless) behaviour
+        assert as_fraction(True) == Fraction(1)
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(3, 4) == Fraction(3, 4)
+
+    def test_zero_denominator_default(self):
+        assert safe_ratio(3, 0) == Fraction(0)
+
+    def test_zero_denominator_custom_default(self):
+        assert safe_ratio(3, 0, default=Fraction(1)) == Fraction(1)
+
+    def test_mixed_types(self):
+        assert safe_ratio(0.5, 2) == Fraction(1, 4)
+
+
+class TestClamp:
+    def test_below(self):
+        assert clamp01(Fraction(-1, 2)) == Fraction(0)
+
+    def test_above(self):
+        assert clamp01(Fraction(3, 2)) == Fraction(1)
+
+    def test_inside(self):
+        assert clamp01(Fraction(1, 3)) == Fraction(1, 3)
+
+
+class TestMinMax:
+    def test_min_mixed(self):
+        assert frac_min(1, 0.25, Fraction(1, 3)) == Fraction(1, 4)
+
+    def test_max_mixed(self):
+        assert frac_max(0, Fraction(7, 8), 0.5) == Fraction(7, 8)
+
+
+class TestFormat:
+    def test_integer_fraction(self):
+        assert format_fraction(Fraction(4, 2)) == "2"
+
+    def test_proper_fraction(self):
+        assert format_fraction(Fraction(7, 32)) == "7/32 (0.2188)"
+
+    def test_digits(self):
+        assert format_fraction(Fraction(1, 3), digits=2) == "1/3 (0.33)"

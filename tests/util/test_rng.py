@@ -1,0 +1,93 @@
+"""Unit tests for deterministic RNG derivation."""
+
+import pytest
+
+from repro.util import rng
+
+
+class TestSeedFrom:
+    def test_deterministic(self):
+        assert rng.seed_from(1, "a", 2) == rng.seed_from(1, "a", 2)
+
+    def test_distinct_labels_distinct_seeds(self):
+        assert rng.seed_from(1, "a") != rng.seed_from(1, "b")
+
+    def test_distinct_bases_distinct_seeds(self):
+        assert rng.seed_from(1, "a") != rng.seed_from(2, "a")
+
+    def test_label_path_not_concatenation(self):
+        # ("ab",) and ("a", "b") must differ (separator in the hash)
+        assert rng.seed_from(1, "ab") != rng.seed_from(1, "a", "b")
+
+
+class TestDerive:
+    def test_derivation_is_order_independent(self):
+        root1 = rng.make_tagged(42)
+        a_first = rng.derive(root1, "a").random()
+        root2 = rng.make_tagged(42)
+        rng.derive(root2, "b")  # deriving b first must not disturb a
+        a_second = rng.derive(root2, "a").random()
+        assert a_first == a_second
+
+    def test_children_are_independent_streams(self):
+        root = rng.make_tagged(42)
+        a = rng.derive(root, "a")
+        b = rng.derive(root, "b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_nested_derivation(self):
+        root = rng.make_tagged(7)
+        child = rng.derive(root, "x")
+        grandchild1 = rng.derive(child, "y").random()
+        grandchild2 = rng.derive(rng.derive(rng.make_tagged(7), "x"), "y").random()
+        assert grandchild1 == grandchild2
+
+    def test_untagged_parent_still_works(self):
+        import random
+
+        parent = random.Random(3)
+        child = rng.derive(parent, "z")
+        assert 0.0 <= child.random() <= 1.0
+
+
+class TestChoiceWeighted:
+    def test_single_item(self):
+        generator = rng.make(1)
+        assert rng.choice_weighted(generator, ["x"], [1.0]) == "x"
+
+    def test_zero_weight_never_chosen(self):
+        generator = rng.make(5)
+        picks = {
+            rng.choice_weighted(generator, ["a", "b"], [0.0, 1.0])
+            for _ in range(50)
+        }
+        assert picks == {"b"}
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            rng.choice_weighted(rng.make(1), [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            rng.choice_weighted(rng.make(1), ["a"], [1.0, 2.0])
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            rng.choice_weighted(rng.make(1), ["a", "b"], [0.0, 0.0])
+
+
+class TestSampleFraction:
+    def test_full_fraction_returns_all(self):
+        out = rng.sample_fraction(rng.make(1), list(range(10)), 1.0)
+        assert sorted(out) == list(range(10))
+
+    def test_zero_fraction_returns_none(self):
+        assert rng.sample_fraction(rng.make(1), list(range(10)), 0.0) == []
+
+    def test_fraction_clamped(self):
+        out = rng.sample_fraction(rng.make(1), list(range(4)), 2.0)
+        assert sorted(out) == [0, 1, 2, 3]
+
+    def test_half_fraction_size(self):
+        out = rng.sample_fraction(rng.make(1), list(range(10)), 0.5)
+        assert len(out) == 5

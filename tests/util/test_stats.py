@@ -1,0 +1,64 @@
+"""Unit tests for the statistics helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.util.stats import kendall_tau, mean, median, variance
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even(self):
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_variance(self):
+        assert variance([1.0, 1.0, 1.0]) == 0.0
+        assert variance([0.0, 2.0]) == 1.0
+
+    def test_variance_empty_rejected(self):
+        with pytest.raises(ValueError):
+            variance([])
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == Fraction(1)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == Fraction(-1)
+
+    def test_independent_orderings(self):
+        tau = kendall_tau([1, 2, 3, 4], [2, 1, 4, 3])
+        assert -1 < tau < 1
+
+    def test_ties_neither_concordant_nor_discordant(self):
+        tau = kendall_tau([1, 1, 2], [1, 2, 3])
+        # pairs: (1,1)-(1,2) tie in a; (1,1)-(2,3) concordant; (1,2)-(2,3) concordant
+        assert tau == Fraction(2, 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1, 2])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_symmetric(self):
+        a = [3.0, 1.0, 4.0, 1.5, 5.0]
+        b = [2.0, 0.5, 4.5, 1.0, 3.0]
+        assert kendall_tau(a, b) == kendall_tau(b, a)

@@ -1,0 +1,57 @@
+"""Unit tests for text-table rendering."""
+
+import pytest
+
+from repro.util.tables import format_csv, format_kv, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "n"], [("alpha", 1), ("b", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("-")
+        # numeric column is right-aligned
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title_line(self):
+        out = format_table(["a"], [(1,)], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(0.123456,)], float_digits=2)
+        assert "0.12" in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [(None,)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_fraction_like_cells_right_aligned(self):
+        out = format_table(["value"], [("7/32",), ("100/333",)])
+        assert out.splitlines()[-1].endswith("100/333")
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2  # header + rule
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv([("short", 1), ("a-much-longer-key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv([]) == ""
+
+
+class TestFormatCsv:
+    def test_header_and_rows(self):
+        out = format_csv(["a", "b"], [(1, 2.5)])
+        assert out.splitlines()[0] == "a,b"
+        assert out.splitlines()[1] == "1,2.500000"

@@ -1,0 +1,197 @@
+"""Unit tests for the from-scratch string similarity functions."""
+
+import pytest
+
+from repro.util.text import (
+    character_ngrams,
+    dice_coefficient,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    longest_common_prefix,
+    ngram_profile,
+    ngram_similarity,
+    normalise_label,
+    prefix_similarity,
+    token_set_similarity,
+    tokenize_label,
+)
+
+
+class TestNormaliseLabel:
+    def test_camel_case_split(self):
+        assert normalise_label("lastName") == "last name"
+
+    def test_acronym_boundary(self):
+        assert normalise_label("ISBNNumber") == "isbn number"
+
+    def test_punctuation_to_spaces(self):
+        assert normalise_label("last_name-of.author") == "last name of author"
+
+    def test_collapses_whitespace(self):
+        assert normalise_label("  a   b  ") == "a b"
+
+    def test_empty(self):
+        assert normalise_label("") == ""
+
+    def test_only_punctuation(self):
+        assert normalise_label("___") == ""
+
+    def test_digits_preserved(self):
+        assert normalise_label("address2") == "address2"
+
+
+class TestTokenize:
+    def test_tokens(self):
+        assert tokenize_label("orderLineItem") == ["order", "line", "item"]
+
+    def test_empty_label(self):
+        assert tokenize_label("--") == []
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("author", "author") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "cut") == 1
+
+    def test_insertion(self):
+        assert levenshtein("cat", "cart") == 1
+
+    def test_deletion(self):
+        assert levenshtein("cart", "cat") == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_similarity_identical(self):
+        assert levenshtein_similarity("x", "x") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_similarity_empty_pair(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_empty_one_side(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_no_common_characters(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_symmetric(self):
+        assert jaro("dwayne", "duane") == jaro("duane", "dwayne")
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefix", "prefixx") > jaro("prefix", "prefixx")
+
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_prefix_capped_at_four(self):
+        # identical 10-char prefix must not overflow past 1.0
+        assert jaro_winkler("abcdefghij", "abcdefghijk") <= 1.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_range(self):
+        assert 0.0 <= jaro_winkler("alpha", "omega") <= 1.0
+
+
+class TestNgrams:
+    def test_padded_count(self):
+        grams = character_ngrams("ab", n=3)
+        # '##a', '#ab', 'ab#', 'b##'
+        assert grams == ["##a", "#ab", "ab#", "b##"]
+
+    def test_unpadded(self):
+        assert character_ngrams("abcd", n=2, pad=False) == ["ab", "bc", "cd"]
+
+    def test_empty_string(self):
+        assert character_ngrams("", n=3, pad=False) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", n=0)
+
+    def test_profile_is_multiset(self):
+        profile = ngram_profile("aaa", n=1)
+        assert profile["a"] == 3
+
+    def test_similarity_identical(self):
+        assert ngram_similarity("database", "database") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert ngram_similarity("abc", "xyz") == 0.0
+
+    def test_similarity_partial(self):
+        value = ngram_similarity("author", "authors")
+        assert 0.5 < value < 1.0
+
+
+class TestSetSimilarities:
+    def test_dice_both_empty(self):
+        from collections import Counter
+
+        assert dice_coefficient(Counter(), Counter()) == 1.0
+
+    def test_dice_one_empty(self):
+        from collections import Counter
+
+        assert dice_coefficient(Counter("abc"), Counter()) == 0.0
+
+    def test_jaccard_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_token_set_shared_word(self):
+        assert token_set_similarity("first name", "name") == pytest.approx(0.5)
+
+    def test_token_set_style_invariant(self):
+        assert token_set_similarity("lastName", "last_name") == 1.0
+
+
+class TestPrefix:
+    def test_common_prefix_length(self):
+        assert longest_common_prefix("order", "orders") == 5
+
+    def test_no_common_prefix(self):
+        assert longest_common_prefix("abc", "xbc") == 0
+
+    def test_prefix_similarity_range(self):
+        assert prefix_similarity("ab", "abcd") == pytest.approx(0.5)
+
+    def test_prefix_similarity_empty(self):
+        assert prefix_similarity("", "") == 1.0
