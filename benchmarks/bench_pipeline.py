@@ -1,0 +1,98 @@
+"""Pipeline benchmarks: serial matching vs. the sharded, cached pipeline.
+
+The pipeline's pitch is that repeated multi-query workloads (top-n
+sweeps, threshold sweeps, figure reruns) stop recomputing identical
+per-(query, schema) searches.  These benches measure that claim instead
+of asserting it — a three-pass sweep serially with no cache, then the
+same sweep through the pipeline with two workers and a candidate cache —
+and verify the two produce byte-identical answer sets.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.evaluation import build_workload, small_config
+from repro.matching import CandidateCache, ExhaustiveMatcher
+
+SWEEP_PASSES = 3
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    workload = build_workload(small_config())
+    queries = [scenario.query for scenario in workload.suite.scenarios]
+    return workload, queries, workload.schedule.final
+
+
+def _serial_sweep(workload, queries, delta):
+    matcher = ExhaustiveMatcher(workload.objective)
+    last = None
+    for _ in range(SWEEP_PASSES):
+        last = matcher.batch_match(
+            queries, workload.repository, delta, workers=1, cache=False
+        )
+    return last
+
+
+def _pipelined_sweep(workload, queries, delta):
+    matcher = ExhaustiveMatcher(workload.objective)
+    cache = CandidateCache(maxsize=100_000)
+    last = None
+    for _ in range(SWEEP_PASSES):
+        last = matcher.batch_match(
+            queries, workload.repository, delta, workers=WORKERS, cache=cache
+        )
+    return last
+
+
+def _canonical(answer_sets) -> bytes:
+    return repr(
+        [[(answer.item.key, answer.score) for answer in a.answers()] for a in answer_sets]
+    ).encode()
+
+
+def test_bench_serial_sweep(benchmark, sweep_setup):
+    workload, queries, delta = sweep_setup
+    benchmark.pedantic(
+        _serial_sweep, args=(workload, queries, delta), rounds=3, iterations=1
+    )
+
+
+def test_bench_pipelined_sweep(benchmark, sweep_setup):
+    workload, queries, delta = sweep_setup
+    benchmark.pedantic(
+        _pipelined_sweep, args=(workload, queries, delta), rounds=3, iterations=1
+    )
+
+
+def test_pipeline_beats_serial_and_is_byte_identical():
+    """The acceptance check: faster with >= 2 workers, identical bytes.
+
+    Measured on the full default workload (the small one finishes in
+    milliseconds once the name-similarity memo is warm, which would let
+    process startup dominate).  One warm-up pass runs first so both
+    contenders see the same memoised similarity state.
+    """
+    workload = build_workload(None)
+    queries = [scenario.query for scenario in workload.suite.scenarios]
+    delta = workload.schedule.final
+    warmup = ExhaustiveMatcher(workload.objective)
+    warmup.batch_match(queries, workload.repository, delta, workers=1, cache=False)
+
+    started = perf_counter()
+    serial = _serial_sweep(workload, queries, delta)
+    serial_seconds = perf_counter() - started
+
+    started = perf_counter()
+    pipelined = _pipelined_sweep(workload, queries, delta)
+    pipelined_seconds = perf_counter() - started
+
+    assert _canonical(serial) == _canonical(pipelined)
+    assert pipelined_seconds < serial_seconds, (
+        f"sharded+cached sweep ({pipelined_seconds:.3f}s) did not beat the "
+        f"serial sweep ({serial_seconds:.3f}s)"
+    )

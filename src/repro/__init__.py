@@ -12,8 +12,9 @@ The library has four layers:
   format, domain vocabularies, and a synthetic repository generator with
   concept provenance.
 * :mod:`repro.matching` — matching systems: the exhaustive original and
-  three non-exhaustive improvements (beam, clustering, top-k) sharing one
-  objective function.
+  four non-exhaustive improvements (beam, clustering, top-k, and their
+  hybrid) sharing one objective function, plus the sharded parallel
+  matching pipeline with its candidate cache.
 * :mod:`repro.evaluation` — oracle ground truth, judges, scenarios,
   pooling, and end-to-end bounds validation.
 

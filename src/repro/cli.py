@@ -19,7 +19,10 @@ Subcommands
     frozen one.
 
 ``--small`` runs on the reduced workload (seconds instead of minutes on
-slow machines); ``--seed`` reseeds workload generation.
+slow machines); ``--seed`` reseeds workload generation.  ``--workers``
+fans repository matching out over worker processes through the sharded
+pipeline (``--shards`` overrides the shard count, default one per
+worker); both default to serial, which produces identical output.
 """
 
 from __future__ import annotations
@@ -58,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="workload generation seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for repository matching (default: serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="repository shards per matching batch (default: one per worker)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -225,6 +241,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = _config_from_args(args)
     try:
+        if args.workers is not None or args.shards is not None:
+            from repro.matching import pipeline
+
+            pipeline.configure(
+                workers=args.workers,
+                **({} if args.shards is None else {"shards": args.shards}),
+            )
         if args.command == "list":
             return _cmd_list()
         if args.command == "figure":

@@ -64,11 +64,34 @@ class ScenarioSuite:
         """``|H|`` pooled over all queries."""
         return len(self.ground_truth)
 
-    def run(self, matcher: Matcher, delta_max: float) -> AnswerSet:
-        """Pooled answer set of a system over the whole workload."""
+    def run(
+        self,
+        matcher: Matcher,
+        delta_max: float,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        cache: object | None = None,
+    ) -> AnswerSet:
+        """Pooled answer set of a system over the whole workload.
+
+        Routed through the sharded matching pipeline
+        (:meth:`~repro.matching.base.Matcher.batch_match`):  ``workers``
+        fans queries/shards out across processes and the candidate cache
+        memoises repeated searches; the defaults resolve to the
+        module-wide pipeline configuration, whose serial fallback
+        reproduces per-query matching exactly.
+        """
+        per_query = matcher.batch_match(
+            [scenario.query for scenario in self.scenarios],
+            self.repository,
+            delta_max,
+            workers=workers,
+            shards=shards,
+            cache=cache,
+        )
         combined: AnswerSet | None = None
-        for scenario in self.scenarios:
-            answers = matcher.match(scenario.query, self.repository, delta_max)
+        for answers in per_query:
             combined = answers if combined is None else combined.union(answers)
         assert combined is not None
         return combined

@@ -50,9 +50,21 @@ def run_system(
     matcher: Matcher,
     suite: ScenarioSuite,
     schedule: ThresholdSchedule,
+    *,
+    workers: int | None = None,
+    shards: int | None = None,
+    cache: object | None = None,
 ) -> SystemRun:
-    """Run a matcher over the suite and judge it at every threshold."""
-    answers = suite.run(matcher, schedule.final)
+    """Run a matcher over the suite and judge it at every threshold.
+
+    Matching goes through the sharded pipeline; ``workers``/``shards``/
+    ``cache`` default to the module-wide pipeline configuration (serial
+    unless :func:`repro.matching.pipeline.configure` — or the CLI's
+    ``--workers`` flag — says otherwise).
+    """
+    answers = suite.run(
+        matcher, schedule.final, workers=workers, shards=shards, cache=cache
+    )
     profile = SystemProfile.from_answer_set(
         schedule, answers, suite.ground_truth.mappings
     )

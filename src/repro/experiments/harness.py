@@ -104,17 +104,30 @@ class RunBundle:
 
 
 @lru_cache(maxsize=8)
-def base_runs(config: WorkloadConfig | None = None) -> RunBundle:
-    """Build the workload and run all systems once (cached per config)."""
+def base_runs(
+    config: WorkloadConfig | None = None, workers: int | None = None
+) -> RunBundle:
+    """Build the workload and run all systems once (cached per config).
+
+    All four system runs go through the sharded matching pipeline:
+    ``workers`` (default: the module-wide pipeline configuration, which
+    the CLI's ``--workers`` flag sets) fans the per-(query, shard)
+    searches out across processes, and the shared candidate cache keeps
+    repeated figure invocations from re-matching.
+    """
     workload = build_workload(config)
     objective = workload.objective
     original = run_system(
-        ExhaustiveMatcher(objective), workload.suite, workload.schedule
+        ExhaustiveMatcher(objective),
+        workload.suite,
+        workload.schedule,
+        workers=workers,
     )
     beam = run_system(
         BeamMatcher(objective, beam_width=S2_ONE_BEAM_WIDTH),
         workload.suite,
         workload.schedule,
+        workers=workers,
     )
     clustering = run_system(
         ClusteringMatcher(
@@ -122,11 +135,13 @@ def base_runs(config: WorkloadConfig | None = None) -> RunBundle:
         ),
         workload.suite,
         workload.schedule,
+        workers=workers,
     )
     topk = run_system(
         TopKCandidateMatcher(objective, candidates_per_element=S2_EXTRA_TOPK),
         workload.suite,
         workload.schedule,
+        workers=workers,
     )
     return RunBundle(
         workload=workload,

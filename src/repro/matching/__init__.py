@@ -8,11 +8,18 @@ non-exhaustive improvements.
   element-clustering search-space restriction.
 * :class:`~repro.matching.topk.TopKCandidateMatcher` — candidate-list
   truncation in the spirit of probabilistic top-k evaluation.
+* :class:`~repro.matching.hybrid.HybridMatcher` — cluster restriction
+  and beam search composed.
 
 All systems score with a shared :class:`~repro.matching.objective
 .ObjectiveFunction`, so each improvement's answer set is a subset of the
 exhaustive system's at every threshold — the paper's single assumption,
 enforced and tested throughout.
+
+Batch workloads go through :mod:`repro.matching.pipeline`: repository
+sharding, optional worker processes and an LRU candidate cache behind
+:meth:`~repro.matching.base.Matcher.batch_match`, with output identical
+to serial matching.
 """
 
 from repro.matching.base import Matcher
@@ -23,12 +30,19 @@ from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
 from repro.matching.mapping import Mapping
 from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
+from repro.matching.pipeline import (
+    CandidateCache,
+    MatchIncrement,
+    MatchingPipeline,
+    PipelineResult,
+    shard_repository,
+)
 from repro.matching.random_matcher import (
     best_case_subset,
     random_subset_like,
     worst_case_subset,
 )
-from repro.matching.registry import available_matchers, make_matcher
+from repro.matching.registry import available_matchers, batch_match, make_matcher
 from repro.matching.similarity import (
     NameSimilarity,
     Thesaurus,
@@ -39,24 +53,30 @@ from repro.matching.topk import TopKCandidateMatcher
 
 __all__ = [
     "BeamMatcher",
+    "CandidateCache",
     "ClusteringMatcher",
     "ElementClusterer",
     "ExhaustiveMatcher",
     "HybridMatcher",
     "Mapping",
+    "MatchIncrement",
     "Matcher",
+    "MatchingPipeline",
     "NameSimilarity",
     "ObjectiveFunction",
     "ObjectiveWeights",
+    "PipelineResult",
     "SchemaSearch",
     "Thesaurus",
     "TopKCandidateMatcher",
     "ancestry_violations",
     "available_matchers",
+    "batch_match",
     "best_case_subset",
     "count_assignments",
     "datatype_penalty",
     "make_matcher",
     "random_subset_like",
+    "shard_repository",
     "worst_case_subset",
 ]

@@ -7,12 +7,25 @@ matchers score through the same :class:`ObjectiveFunction` instance they
 are constructed with — sharing one objective across an original system
 and its improvements is the precondition of the bounds technique, and
 :func:`Matcher.check_compatible` enforces it.
+
+Matching decomposes into three hooks so that one (query, repository
+schema) pair is an addressable unit of work:
+
+* :meth:`Matcher.prepare` — once per repository (e.g. clustering);
+* :meth:`Matcher.begin_query` — once per query, after ``prepare`` (e.g.
+  cluster nomination);
+* :meth:`Matcher.match_pair` — the search over one repository schema.
+
+:meth:`Matcher.match` drives the three in order; the sharded pipeline
+(:mod:`repro.matching.pipeline`) drives the same hooks with ``prepare``
+on the *full* repository and ``match_pair`` fanned out over shards, which
+is why sharded results are identical to serial ones.
 """
 
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
@@ -47,6 +60,59 @@ class Matcher(abc.ABC):
         nothing.
         """
 
+    def begin_query(self, query: Schema) -> None:
+        """Optional per-query setup hook, run after :meth:`prepare`.
+
+        Called once before a query's :meth:`match_pair` calls (e.g. the
+        clustering matcher nominates clusters here); the default does
+        nothing.
+        """
+
+    def match_pair(
+        self, query: Schema, schema: Schema, delta_max: float
+    ) -> list[tuple[tuple[int, ...], float]]:
+        """Scored assignments ``(target_ids, score)`` for one repository schema.
+
+        The unit of work the sharded pipeline caches and fans out.
+        Requires :meth:`prepare` and :meth:`begin_query` to have run;
+        :meth:`match` and the pipeline both guarantee that.
+        """
+        if delta_max < 0:
+            raise MatchingError(f"delta_max must be >= 0, got {delta_max!r}")
+        return list(self._match_schema(query, schema, delta_max))
+
+    def check_capacity(self, count: int, delta_max: float) -> None:
+        """Raise when an answer count exceeds ``max_answers``."""
+        if count > self.max_answers:
+            raise MatchingError(
+                f"matcher {self.name!r} exceeded max_answers="
+                f"{self.max_answers} at δ={delta_max}; lower the "
+                "threshold or raise the limit"
+            )
+
+    def assemble(
+        self,
+        query: Schema,
+        repository: SchemaRepository,
+        pair_results: dict[str, list[tuple[tuple[int, ...], float]]],
+        delta_max: float,
+    ) -> AnswerSet:
+        """Answer set from per-schema :meth:`match_pair` results.
+
+        Builds mappings in repository order, so any producer of complete
+        ``{schema_id: pair result}`` maps — :meth:`match` and the sharded
+        pipeline — yields the identical answer set.
+        """
+        pairs: list[tuple[Mapping, float]] = []
+        for schema in repository:
+            for target_ids, score in pair_results[schema.schema_id]:
+                handles = tuple(
+                    ElementHandle(schema, target_id) for target_id in target_ids
+                )
+                pairs.append((Mapping(query.schema_id, handles), score))
+                self.check_capacity(len(pairs), delta_max)
+        return AnswerSet.from_pairs(pairs)
+
     def match(
         self, query: Schema, repository: SchemaRepository, delta_max: float
     ) -> AnswerSet:
@@ -54,20 +120,44 @@ class Matcher(abc.ABC):
         if delta_max < 0:
             raise MatchingError(f"delta_max must be >= 0, got {delta_max!r}")
         self.prepare(repository)
-        pairs: list[tuple[Mapping, float]] = []
+        self.begin_query(query)
+        pair_results: dict[str, list[tuple[tuple[int, ...], float]]] = {}
+        count = 0
         for schema in repository:
-            for target_ids, score in self._match_schema(query, schema, delta_max):
-                handles = tuple(
-                    ElementHandle(schema, target_id) for target_id in target_ids
-                )
-                pairs.append((Mapping(query.schema_id, handles), score))
-                if len(pairs) > self.max_answers:
-                    raise MatchingError(
-                        f"matcher {self.name!r} exceeded max_answers="
-                        f"{self.max_answers} at δ={delta_max}; lower the "
-                        "threshold or raise the limit"
-                    )
-        return AnswerSet.from_pairs(pairs)
+            result = self.match_pair(query, schema, delta_max)
+            count += len(result)
+            self.check_capacity(count, delta_max)
+            pair_results[schema.schema_id] = result
+        return self.assemble(query, repository, pair_results, delta_max)
+
+    def batch_match(
+        self,
+        queries: Sequence[Schema],
+        repository: SchemaRepository,
+        delta_max: float,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        cache: object | None = None,
+    ) -> list[AnswerSet]:
+        """Answer sets for many queries via the sharded matching pipeline.
+
+        ``workers`` worker processes fan the per-(query, shard) searches
+        out (``None`` uses the module default set by
+        :func:`repro.matching.pipeline.configure`; 1 is a deterministic
+        serial fallback).  ``shards`` controls repository partitioning
+        (default: one shard per worker) and ``cache`` the candidate cache
+        (``None`` = shared module default, ``False`` = disabled, or a
+        :class:`~repro.matching.pipeline.CandidateCache`).  Results are
+        identical to ``[self.match(q, repository, delta_max) ...]``
+        regardless of workers/shards/cache.
+        """
+        from repro.matching.pipeline import MatchingPipeline
+
+        pipeline = MatchingPipeline(
+            self, workers=workers, shards=shards, cache=cache
+        )
+        return pipeline.run(queries, repository, delta_max).answer_sets
 
     def check_compatible(self, other: "Matcher") -> None:
         """Verify this matcher shares the objective function with another."""

@@ -101,14 +101,22 @@ class ClusteringMatcher(Matcher):
             objective.name_similarity, join_threshold=join_threshold
         )
         self._clusters: list[ElementCluster] | None = None
-        self._repository_id: str | None = None
+        self._repository_digest: str | None = None
+        self._current_allowed: set[tuple[str, int]] | None = None
 
     def prepare(self, repository: SchemaRepository) -> None:
-        """Cluster the repository once (cached per repository identity)."""
-        if self._repository_id == repository.repository_id and self._clusters:
+        """Cluster the repository once (cached per repository *content*).
+
+        Keyed on the content digest, not ``repository_id`` — synthetic
+        workloads reuse the same id for different contents, and stale
+        clusters would silently change (and, via the candidate cache,
+        poison) every subsequent match.
+        """
+        digest = repository.content_digest()
+        if self._repository_digest == digest and self._clusters:
             return
         self._clusters = self.clusterer.cluster(repository)
-        self._repository_id = repository.repository_id
+        self._repository_digest = digest
 
     def allowed_element_keys(self, query: Schema) -> set[tuple[str, int]]:
         """Union of the clusters nominated by the query's elements."""
@@ -126,14 +134,14 @@ class ClusteringMatcher(Matcher):
                 allowed |= cluster.members
         return allowed
 
-    def match(self, query, repository, delta_max):  # type: ignore[override]
-        """Override to nominate clusters once per query, then search."""
-        self.prepare(repository)
+    def begin_query(self, query: Schema) -> None:
+        """Nominate clusters once per query; searches then filter on them.
+
+        Runs after :meth:`prepare`, so the nomination always works on the
+        *full* repository's clusters — also under the sharded pipeline,
+        which prepares on the whole repository before fanning shards out.
+        """
         self._current_allowed = self.allowed_element_keys(query)
-        try:
-            return super().match(query, repository, delta_max)
-        finally:
-            self._current_allowed = None
 
     def _match_schema(
         self, query: Schema, schema: Schema, delta_max: float

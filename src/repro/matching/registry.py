@@ -2,13 +2,15 @@
 
 Central place mapping system names to constructors, used by the CLI and
 the experiment configs so that a run is fully described by plain data
-(name + parameter dict).
+(name + parameter dict).  :func:`batch_match` is the one-call entry
+point from plain data to the sharded matching pipeline.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping, Sequence
 
+from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.base import Matcher
 from repro.matching.beam import BeamMatcher
@@ -17,8 +19,10 @@ from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
 from repro.matching.objective import ObjectiveFunction
 from repro.matching.topk import TopKCandidateMatcher
+from repro.schema.model import Schema
+from repro.schema.repository import SchemaRepository
 
-__all__ = ["available_matchers", "make_matcher"]
+__all__ = ["available_matchers", "batch_match", "make_matcher"]
 
 _FACTORIES: dict[str, Callable[..., Matcher]] = {
     "exhaustive": ExhaustiveMatcher,
@@ -49,3 +53,28 @@ def make_matcher(
             f"unknown matcher {name!r}; available: {', '.join(available_matchers())}"
         ) from None
     return factory(objective, **params)
+
+
+def batch_match(
+    name: str,
+    objective: ObjectiveFunction,
+    queries: Sequence[Schema],
+    repository: SchemaRepository,
+    delta_max: float,
+    *,
+    params: Mapping[str, object] | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    cache: object | None = None,
+) -> list[AnswerSet]:
+    """Run many queries through the sharded pipeline, by matcher name.
+
+    Convenience wrapper: ``make_matcher(name, objective, **params)``
+    followed by :meth:`~repro.matching.base.Matcher.batch_match`.  The
+    run is fully described by plain data plus the objective, which is
+    what the CLI and experiment configs need.
+    """
+    matcher = make_matcher(name, objective, **(params or {}))
+    return matcher.batch_match(
+        queries, repository, delta_max, workers=workers, shards=shards, cache=cache
+    )

@@ -17,7 +17,8 @@ __all__ = ["datatype_penalty"]
 _NUMERIC = frozenset({Datatype.INTEGER, Datatype.DECIMAL})
 _TEXTUAL = frozenset({Datatype.STRING, Datatype.IDENTIFIER})
 
-# Asymmetric cases are listed once; lookup symmetrises.
+# Each unordered pair is listed once; frozenset keys make the lookup
+# direction-independent.
 _SPECIAL: dict[frozenset[Datatype], float] = {
     frozenset({Datatype.INTEGER, Datatype.DECIMAL}): 0.10,
     frozenset({Datatype.STRING, Datatype.IDENTIFIER}): 0.20,

@@ -13,6 +13,7 @@ be a cheat: it would read the ground truth's mind.)
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable
 
 from repro.errors import MatchingError
@@ -38,9 +39,27 @@ class Thesaurus:
             na, nb = normalise_label(a), normalise_label(b)
             if na and nb and na != nb:
                 self._pairs.add(frozenset((na, nb)))
+        self._digest: str | None = None
 
     def __len__(self) -> int:
         return len(self._pairs)
+
+    def digest(self) -> str:
+        """Content hash over the synonym pairs (order-independent).
+
+        Two thesauri with equal digests behave identically; the candidate
+        cache keys on this because :meth:`NameSimilarity.fingerprint`
+        records only the table's *size*.
+        """
+        if self._digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            for first, second in sorted(tuple(sorted(p)) for p in self._pairs):
+                hasher.update(first.encode())
+                hasher.update(b"\x1f")
+                hasher.update(second.encode())
+                hasher.update(b"\x1e")
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def synonymous(self, a: str, b: str) -> bool:
         """Whether the thesaurus lists the two labels as synonyms."""

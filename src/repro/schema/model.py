@@ -19,6 +19,7 @@ evaluators the paper says are unaffordable at scale.
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
@@ -142,6 +143,7 @@ class Schema:
                 child_pos = self._index[id(child)]
                 self._parents[child_pos] = parent_pos
                 self._depths[child_pos] = self._depths[parent_pos] + 1
+        self._digest: str | None = None
 
     def __len__(self) -> int:
         return len(self._elements)
@@ -213,6 +215,26 @@ class Schema:
                 return True
             current = self._parents[current]
         return False
+
+    def content_digest(self) -> str:
+        """Content hash of everything matching can observe about the schema.
+
+        Covers the id, element names, datatypes and parent structure;
+        ``concept`` provenance is deliberately excluded (only the oracle
+        judge reads it).  Memoised — schemas are immutable after
+        construction (see class docstring).
+        """
+        if self._digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(self.schema_id.encode())
+            for element_id, element in enumerate(self._elements):
+                parent = self._parents[element_id]
+                hasher.update(
+                    f"\x1e{element.name}\x1f{element.datatype.value}"
+                    f"\x1f{parent}".encode()
+                )
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def leaves(self) -> list[int]:
         """Ids of all leaf elements."""

@@ -9,6 +9,7 @@ mappings can be compared across systems.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -80,6 +81,7 @@ class SchemaRepository:
                     f"duplicate schema id {schema.schema_id!r} in repository"
                 )
             self._schemas[schema.schema_id] = schema
+        self._digest: str | None = None
 
     def __len__(self) -> int:
         return len(self._schemas)
@@ -113,6 +115,22 @@ class SchemaRepository:
     def element_count(self) -> int:
         """Total number of elements across all schemas."""
         return sum(len(schema) for schema in self._schemas.values())
+
+    def content_digest(self) -> str:
+        """Content hash over all schemas, in repository order (memoised).
+
+        Two repositories with equal digests are indistinguishable to any
+        matcher — repository-global preparation (clustering) and the
+        pipeline's candidate cache key on this rather than on
+        ``repository_id``, which synthetic workloads reuse across
+        different contents.
+        """
+        if self._digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            for schema in self._schemas.values():
+                hasher.update(schema.content_digest().encode())
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def concept_index(self) -> dict[str, list[ElementHandle]]:
         """Concept -> handles of all elements denoting it (oracle support)."""

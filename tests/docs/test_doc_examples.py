@@ -1,0 +1,36 @@
+"""Documented examples must execute (tools/check_docs.py, as a test).
+
+Every fenced ``python`` block in README.md and docs/*.md runs here, one
+parametrized case per document, so documentation cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_TOOL_PATH = Path(__file__).resolve().parents[2] / "tools" / "check_docs.py"
+_SPEC = importlib.util.spec_from_file_location("check_docs", _TOOL_PATH)
+check_docs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_docs)
+
+DOCUMENTS = check_docs.documented_files()
+
+
+def test_documentation_exists():
+    names = {path.name for path in DOCUMENTS}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "api.md" in names
+
+
+@pytest.mark.parametrize(
+    "path", DOCUMENTS, ids=[path.name for path in DOCUMENTS]
+)
+def test_documented_examples_execute(path):
+    blocks = check_docs.extract_python_blocks(path.read_text(encoding="utf-8"))
+    assert blocks, f"{path.name} documents no executable python example"
+    failures = check_docs.run_document(path)
+    assert not failures, "\n".join(failures)

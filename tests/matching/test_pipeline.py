@@ -1,0 +1,320 @@
+"""Tests of the sharded matching pipeline.
+
+The decisive invariants: sharded/parallel output is identical to serial
+``Matcher.match`` output for every matcher, the candidate cache turns
+repeated workloads into pure lookups without changing results, and
+sharding partitions the repository exactly.
+"""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import (
+    BeamMatcher,
+    CandidateCache,
+    ClusteringMatcher,
+    ExhaustiveMatcher,
+    MatchingPipeline,
+    TopKCandidateMatcher,
+    shard_repository,
+)
+from repro.matching import batch_match as registry_batch_match
+from repro.matching.objective import ObjectiveFunction
+from repro.matching.pipeline import matcher_fingerprint, schema_digest
+from repro.matching.similarity.name import NameSimilarity, Thesaurus
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.model import Datatype, Schema, SchemaElement
+from repro.schema.mutations import extract_personal_schema
+from repro.schema.vocabulary import builtin_domains
+from repro.util import rng
+
+DELTA = 0.3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    repo = generate_repository(
+        GeneratorConfig(num_schemas=6, min_size=6, max_size=12, seed=11)
+    )
+    thesaurus = Thesaurus.from_vocabularies(
+        builtin_domains().values(), coverage=0.7, seed=5
+    )
+    objective = ObjectiveFunction(NameSimilarity(thesaurus))
+    queries = [
+        extract_personal_schema(
+            rng.make_tagged(40 + i),
+            repo.schemas()[i],
+            None,
+            target_size=3,
+            schema_id=f"pq-{i}",
+        )
+        for i in range(3)
+    ]
+    return repo, objective, queries
+
+
+def flatten(answer_set):
+    return [(a.item, a.score) for a in answer_set.answers()]
+
+
+MATCHERS = [
+    ("exhaustive", lambda obj: ExhaustiveMatcher(obj)),
+    ("beam", lambda obj: BeamMatcher(obj, beam_width=5)),
+    ("clustering", lambda obj: ClusteringMatcher(obj, clusters_per_element=2)),
+    ("topk", lambda obj: TopKCandidateMatcher(obj, candidates_per_element=4)),
+]
+
+
+class TestShardRepository:
+    def test_exact_partition(self, setup):
+        repo, _, _ = setup
+        for num_shards in (1, 2, 3, len(repo), len(repo) + 5):
+            shards = shard_repository(repo, num_shards)
+            ids = [s.schema_id for shard in shards for s in shard]
+            assert sorted(ids) == sorted(s.schema_id for s in repo)
+            assert len(ids) == len(set(ids))
+            assert len(shards) == min(num_shards, len(repo))
+
+    def test_round_robin_is_deterministic(self, setup):
+        repo, _, _ = setup
+        first = shard_repository(repo, 3)
+        second = shard_repository(repo, 3)
+        assert [s.schema_id for shard in first for s in shard] == [
+            s.schema_id for shard in second for s in shard
+        ]
+
+    def test_balanced_sizes(self, setup):
+        repo, _, _ = setup
+        sizes = [len(shard) for shard in shard_repository(repo, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_shard_count(self, setup):
+        repo, _, _ = setup
+        with pytest.raises(MatchingError):
+            shard_repository(repo, 0)
+
+
+class TestCandidateCache:
+    def test_roundtrip_and_stats(self):
+        cache = CandidateCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", [((0, 1), 0.1)])
+        assert cache.get("k") == [((0, 1), 0.1)]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = CandidateCache(maxsize=2)
+        cache.put("a", [])
+        cache.put("b", [])
+        assert cache.get("a") == []  # refresh "a"; "b" is now LRU
+        cache.put("c", [])
+        assert cache.get("b") is None
+        assert cache.get("a") == []
+        assert cache.stats.evictions == 1
+
+    def test_zero_size_disables_storage(self):
+        cache = CandidateCache(maxsize=0)
+        cache.put("a", [])
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MatchingError):
+            CandidateCache(maxsize=-1)
+
+
+class TestSerialPipeline:
+    @pytest.mark.parametrize("name,factory", MATCHERS)
+    def test_identical_to_per_query_match(self, setup, name, factory):
+        repo, objective, queries = setup
+        serial = [
+            factory(objective).match(query, repo, DELTA) for query in queries
+        ]
+        batched = factory(objective).batch_match(
+            queries, repo, DELTA, workers=1, shards=3, cache=False
+        )
+        assert [flatten(a) for a in serial] == [flatten(a) for a in batched]
+
+    def test_stream_covers_every_unit(self, setup):
+        repo, objective, queries = setup
+        pipeline = MatchingPipeline(
+            ExhaustiveMatcher(objective), workers=1, shards=2, cache=False
+        )
+        increments = list(pipeline.stream(queries, repo, DELTA))
+        units = {(i.query_index, i.shard_index) for i in increments}
+        assert units == {(q, s) for q in range(len(queries)) for s in range(2)}
+        schemas_seen = {
+            schema_id
+            for increment in increments
+            if increment.query_index == 0
+            for schema_id, _ in increment.pair_results
+        }
+        assert schemas_seen == {s.schema_id for s in repo}
+        assert pipeline.last_stats.pairs_total == len(queries) * len(repo)
+
+    def test_cache_turns_second_run_into_lookups(self, setup):
+        repo, objective, queries = setup
+        cache = CandidateCache()
+        matcher = ExhaustiveMatcher(objective)
+        first = matcher.batch_match(queries, repo, DELTA, workers=1, cache=cache)
+        hits_before = cache.stats.hits
+        pipeline = MatchingPipeline(matcher, workers=1, cache=cache)
+        result = pipeline.run(queries, repo, DELTA)
+        assert [flatten(a) for a in first] == [
+            flatten(a) for a in result.answer_sets
+        ]
+        assert result.stats.pairs_from_cache == result.stats.pairs_total
+        assert cache.stats.hits == hits_before + result.stats.pairs_total
+        streamed = list(pipeline.stream(queries, repo, DELTA))
+        assert all(increment.from_cache for increment in streamed)
+
+    def test_cache_distinguishes_matcher_parameters(self, setup):
+        repo, objective, queries = setup
+        cache = CandidateCache()
+        narrow = BeamMatcher(objective, beam_width=2).batch_match(
+            queries, repo, DELTA, workers=1, cache=cache
+        )
+        wide = BeamMatcher(objective, beam_width=12).batch_match(
+            queries, repo, DELTA, workers=1, cache=cache
+        )
+        # a narrower beam keeps fewer answers; a shared cache entry would
+        # make the two systems agree
+        assert sum(len(a) for a in narrow) < sum(len(a) for a in wide)
+
+    def test_cache_distinguishes_thresholds(self, setup):
+        repo, objective, queries = setup
+        cache = CandidateCache()
+        matcher = ExhaustiveMatcher(objective)
+        low = matcher.batch_match(queries, repo, 0.15, workers=1, cache=cache)
+        high = matcher.batch_match(queries, repo, DELTA, workers=1, cache=cache)
+        assert sum(len(a) for a in low) < sum(len(a) for a in high)
+
+    def test_empty_queries(self, setup):
+        repo, objective, _ = setup
+        assert (
+            ExhaustiveMatcher(objective).batch_match([], repo, DELTA, workers=1)
+            == []
+        )
+
+    def test_negative_delta_rejected(self, setup):
+        repo, objective, queries = setup
+        with pytest.raises(MatchingError):
+            ExhaustiveMatcher(objective).batch_match(
+                queries, repo, -0.1, workers=1
+            )
+
+    def test_registry_batch_match(self, setup):
+        repo, objective, queries = setup
+        by_name = registry_batch_match(
+            "beam",
+            objective,
+            queries,
+            repo,
+            DELTA,
+            params={"beam_width": 5},
+            workers=1,
+            cache=False,
+        )
+        direct = BeamMatcher(objective, beam_width=5).batch_match(
+            queries, repo, DELTA, workers=1, cache=False
+        )
+        assert [flatten(a) for a in by_name] == [flatten(a) for a in direct]
+
+
+class TestShardedPipeline:
+    @pytest.mark.parametrize(
+        "name,factory",
+        [MATCHERS[0], MATCHERS[2]],  # exhaustive + the repo-global clustering
+    )
+    def test_workers_identical_to_serial(self, setup, name, factory):
+        repo, objective, queries = setup
+        serial = factory(objective).batch_match(
+            queries, repo, DELTA, workers=1, shards=1, cache=False
+        )
+        sharded = factory(objective).batch_match(
+            queries, repo, DELTA, workers=2, shards=3, cache=False
+        )
+        assert [flatten(a) for a in serial] == [flatten(a) for a in sharded]
+
+    def test_workers_fill_the_cache(self, setup):
+        repo, objective, queries = setup
+        cache = CandidateCache()
+        matcher = ExhaustiveMatcher(objective)
+        matcher.batch_match(queries, repo, DELTA, workers=2, cache=cache)
+        pipeline = MatchingPipeline(matcher, workers=2, cache=cache)
+        streamed = list(pipeline.stream(queries, repo, DELTA))
+        assert all(increment.from_cache for increment in streamed)
+
+
+class TestRepositoryContentChanges:
+    def test_stale_clustering_state_cannot_poison_shared_cache(self, setup):
+        """Same repository_id, different content: prepare must re-run.
+
+        The synthetic generator reuses one repository_id across seeds; a
+        matcher prepared on one seed's content and reused on another
+        must recluster, or it would both return wrong answers and write
+        them into the shared candidate cache under the new content's
+        keys.
+        """
+        _, objective, _ = setup
+        repo_a = generate_repository(
+            GeneratorConfig(num_schemas=4, min_size=6, max_size=10, seed=1)
+        )
+        repo_b = generate_repository(
+            GeneratorConfig(num_schemas=4, min_size=6, max_size=10, seed=2)
+        )
+        assert repo_a.repository_id == repo_b.repository_id
+        assert repo_a.content_digest() != repo_b.content_digest()
+        query = extract_personal_schema(
+            rng.make_tagged(7),
+            repo_b.schemas()[0],
+            None,
+            target_size=3,
+            schema_id="poison-query",
+        )
+        expected = ClusteringMatcher(objective, clusters_per_element=2).match(
+            query, repo_b, DELTA
+        )
+
+        cache = CandidateCache()
+        stale = ClusteringMatcher(objective, clusters_per_element=2)
+        stale.prepare(repo_a)  # now holds repo_a's clusters
+        via_stale = stale.batch_match(
+            [query], repo_b, DELTA, workers=1, cache=cache
+        )[0]
+        assert flatten(via_stale) == flatten(expected)
+
+        fresh = ClusteringMatcher(objective, clusters_per_element=2)
+        via_cache = fresh.batch_match(
+            [query], repo_b, DELTA, workers=1, cache=cache
+        )[0]
+        assert flatten(via_cache) == flatten(expected)
+
+
+def _tiny_schema(child_name: str = "author", concept: str | None = None):
+    root = SchemaElement("book", Datatype.COMPLEX)
+    root.add_child(SchemaElement(child_name, Datatype.STRING, concept=concept))
+    return Schema("tiny", root)
+
+
+class TestFingerprints:
+    def test_schema_digest_ignores_concepts(self):
+        assert schema_digest(_tiny_schema(concept=None)) == schema_digest(
+            _tiny_schema(concept="bib:author")
+        )
+
+    def test_schema_digest_sees_names(self):
+        assert schema_digest(_tiny_schema("author")) != schema_digest(
+            _tiny_schema("title")
+        )
+
+    def test_matcher_fingerprint_separates_configurations(self, setup):
+        _, objective, _ = setup
+        assert matcher_fingerprint(
+            BeamMatcher(objective, beam_width=2)
+        ) != matcher_fingerprint(BeamMatcher(objective, beam_width=3))
+        assert matcher_fingerprint(
+            ExhaustiveMatcher(objective)
+        ) != matcher_fingerprint(BeamMatcher(objective, beam_width=2))

@@ -1,0 +1,112 @@
+"""Execute the fenced ``python`` examples in README.md and docs/*.md.
+
+Documentation rots when its examples stop running.  This tool extracts
+every fenced code block tagged ``python`` from the repository's markdown
+documentation and executes it — blocks of one document run top to bottom
+in a single namespace, so later examples may build on earlier ones.
+Blocks tagged anything else (``console``, ``text``, …) are ignored.
+
+Run standalone::
+
+    python tools/check_docs.py            # all documented files
+    python tools/check_docs.py README.md  # one file
+
+The test suite runs the same checks through
+``tests/docs/test_doc_examples.py``, so a documented example that stops
+executing fails CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def documented_files() -> list[Path]:
+    """The markdown files whose python examples must execute."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(first_code_line, code)`` for every fenced ``python`` block."""
+    blocks: list[tuple[int, str]] = []
+    lines: list[str] = []
+    start = 0
+    in_python = False
+    in_other = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not in_python and not in_other and stripped.startswith("```"):
+            if stripped[3:].strip() == "python":
+                in_python, start, lines = True, number + 1, []
+            else:
+                in_other = True
+        elif in_python and stripped == "```":
+            blocks.append((start, "\n".join(lines)))
+            in_python = False
+        elif in_other and stripped == "```":
+            in_other = False
+        elif in_python:
+            lines.append(line)
+    if in_python or in_other:
+        raise ValueError("unclosed fenced code block")
+    return blocks
+
+
+def run_document(path: Path) -> list[str]:
+    """Execute one document's python blocks; the list of failures.
+
+    All blocks share one namespace (in order), mirroring a reader who
+    pastes them into a session one after another.
+    """
+    namespace: dict[str, object] = {"__name__": f"doccheck_{path.stem}"}
+    failures: list[str] = []
+    for line, code in extract_python_blocks(path.read_text(encoding="utf-8")):
+        try:
+            exec(compile(code, f"{path.name}:{line}", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(
+                f"{path.name}:{line}: {type(exc).__name__}: {exc}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="execute fenced python examples in the markdown docs"
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    paths = (
+        [Path(name).resolve() for name in args.files]
+        if args.files
+        else documented_files()
+    )
+    exit_code = 0
+    for path in paths:
+        blocks = extract_python_blocks(path.read_text(encoding="utf-8"))
+        failures = run_document(path)
+        status = "ok" if not failures else "FAILED"
+        print(f"{path.name}: {len(blocks)} python block(s) {status}")
+        for failure in failures:
+            print(f"  {failure}")
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
