@@ -78,7 +78,7 @@ def main() -> None:
     if winners:
         best = min(winners, key=lambda w: w[1])
         print(
-            f"cheapest configuration guaranteeing P >= 0.5 at recall "
+            "cheapest configuration guaranteeing P >= 0.5 at recall "
             f">= {TARGET_RECALL}: clusters_per_element = {best[0]} "
             f"({best[1]} answers)"
         )

@@ -60,7 +60,7 @@ class SystemProfile:
             if previous is not None:
                 if count.answers < previous.answers:
                     raise BoundsError(
-                        f"answer counts must be non-decreasing with δ; "
+                        "answer counts must be non-decreasing with δ; "
                         f"|A|={count.answers} at δ={delta} follows {previous.answers}"
                     )
                 if count.correct < previous.correct:
@@ -137,7 +137,7 @@ class SizeProfile:
                 raise BoundsError(f"answer size at δ={delta} is negative")
             if size < previous:
                 raise BoundsError(
-                    f"answer sizes must be non-decreasing with δ; "
+                    "answer sizes must be non-decreasing with δ; "
                     f"{size} at δ={delta} follows {previous}"
                 )
             previous = size

@@ -31,7 +31,7 @@ from repro.core.incremental import (
     compute_incremental_bounds,
     compute_naive_bounds,
 )
-from repro.core.measures import Counts, measure
+from repro.core.measures import Counts
 from repro.core.reconstruction import reconstruction_error
 from repro.core.thresholds import ThresholdSchedule
 from repro.evaluation.judge import NoisyJudge

@@ -20,6 +20,13 @@ Batch workloads go through :mod:`repro.matching.pipeline`: repository
 sharding, optional worker processes and an LRU candidate cache behind
 :meth:`~repro.matching.base.Matcher.batch_match`, with output identical
 to serial matching.
+
+All searches draw on the **similarity substrate**
+(:mod:`repro.matching.similarity.matrix`): per-(query, schema) score
+matrices and a repository token index, precomputed once per objective
+function and shared across matchers, thresholds, sweeps and shards —
+with exact threshold-driven candidate pruning that provably never
+changes an answer set.
 """
 
 from repro.matching.base import Matcher
@@ -45,9 +52,15 @@ from repro.matching.random_matcher import (
 from repro.matching.registry import available_matchers, batch_match, make_matcher
 from repro.matching.similarity import (
     NameSimilarity,
+    ScoreMatrix,
+    SimilaritySubstrate,
     Thesaurus,
+    TokenIndex,
     ancestry_violations,
     datatype_penalty,
+    set_substrate_enabled,
+    substrate_disabled,
+    substrate_enabled,
 )
 from repro.matching.topk import TopKCandidateMatcher
 
@@ -67,7 +80,10 @@ __all__ = [
     "ObjectiveWeights",
     "PipelineResult",
     "SchemaSearch",
+    "ScoreMatrix",
+    "SimilaritySubstrate",
     "Thesaurus",
+    "TokenIndex",
     "TopKCandidateMatcher",
     "ancestry_violations",
     "available_matchers",
@@ -77,6 +93,9 @@ __all__ = [
     "datatype_penalty",
     "make_matcher",
     "random_subset_like",
+    "set_substrate_enabled",
     "shard_repository",
+    "substrate_disabled",
+    "substrate_enabled",
     "worst_case_subset",
 ]

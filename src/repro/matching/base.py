@@ -31,6 +31,7 @@ from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.mapping import Mapping
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity.matrix import SimilaritySubstrate, substrate_enabled
 from repro.schema.model import Schema
 from repro.schema.repository import ElementHandle, SchemaRepository
 
@@ -53,12 +54,30 @@ class Matcher(abc.ABC):
     ) -> Iterable[tuple[tuple[int, ...], float]]:
         """Yield ``(target_ids, score)`` for one repository schema."""
 
-    def prepare(self, repository: SchemaRepository) -> None:
-        """Optional repository-level precomputation hook (e.g. clustering).
+    def _substrate(self) -> SimilaritySubstrate | None:
+        """The shared similarity substrate, or ``None`` when disabled.
 
-        Called once per repository before matching; the default does
-        nothing.
+        One substrate hangs off the objective function, so every matcher
+        built against the same objective — the bounds precondition —
+        shares precomputed score matrices and the repository token
+        index.  Honours the process-wide switch
+        (:func:`~repro.matching.similarity.matrix.substrate_enabled`):
+        disabled, matchers fall back to the direct per-search
+        computation path.
         """
+        return self.objective.substrate() if substrate_enabled() else None
+
+    def prepare(self, repository: SchemaRepository) -> None:
+        """Repository-level precomputation hook (e.g. clustering).
+
+        Called once per repository before matching.  The default builds
+        the similarity substrate's token index for the repository
+        (idempotent, keyed by content digest); overriding matchers with
+        repository-global state of their own should call ``super()``.
+        """
+        substrate = self._substrate()
+        if substrate is not None:
+            substrate.prepare(repository)
 
     def begin_query(self, query: Schema) -> None:
         """Optional per-query setup hook, run after :meth:`prepare`.

@@ -110,8 +110,10 @@ class ClusteringMatcher(Matcher):
         Keyed on the content digest, not ``repository_id`` — synthetic
         workloads reuse the same id for different contents, and stale
         clusters would silently change (and, via the candidate cache,
-        poison) every subsequent match.
+        poison) every subsequent match.  Also builds the similarity
+        substrate's token index (the ``super()`` default).
         """
+        super().prepare(repository)
         digest = repository.content_digest()
         if self._repository_digest == digest and self._clusters:
             return
@@ -157,7 +159,10 @@ class ClusteringMatcher(Matcher):
         if len(in_schema) < len(query):
             return  # cannot host an injective mapping within the clusters
         allowed = [in_schema] * len(query)
-        search = SchemaSearch(query, schema, self.objective, allowed=allowed)
+        search = SchemaSearch(
+            query, schema, self.objective, allowed=allowed,
+            substrate=self._substrate(),
+        )
         yield from search.exhaustive(delta_max)
 
     def describe(self) -> dict[str, object]:

@@ -20,6 +20,25 @@ Admissible bound: with structure weight ``sw``, query size ``k`` and
 For a partial assignment, replacing unassigned elements' costs by their
 per-element minimum over the still-allowed candidates and counting only
 already-decided edge violations can never overestimate the final score.
+
+Similarity substrate + exact candidate pruning
+----------------------------------------------
+When constructed with a ``substrate``
+(:class:`~repro.matching.similarity.matrix.SimilaritySubstrate`), the
+search reads the precomputed
+:class:`~repro.matching.similarity.matrix.ScoreMatrix` — cost matrix,
+cost-sorted candidate orders, per-element minima — instead of rederiving
+them, and additionally *trims* each element's candidate list to the
+targets whose static admissible bound
+
+    (1−sw)/k · (cost[i][j] + Σ_{i'≠i} min-cost[i'])
+
+fits under the threshold cutoff.  That static bound never exceeds the
+dynamic bound the search computes at expansion time (the actual prefix
+cost is at least the prefix of minima, and structure violations only
+add), so every trimmed candidate is one branch-and-bound provably never
+expands: the emitted mapping set is identical, candidate for candidate,
+to the untrimmed search — property-tested with the substrate on vs. off.
 """
 
 from __future__ import annotations
@@ -35,6 +54,9 @@ from repro.schema.model import Schema
 __all__ = ["SchemaSearch", "count_assignments"]
 
 _EPSILON = 1e-9
+# Extra slack on the static pruning bound so float non-associativity can
+# only ever keep a candidate the dynamic bound would also have kept.
+_TRIM_SLACK = 1e-12
 
 
 def count_assignments(query_size: int, schema_size: int) -> int:
@@ -57,8 +79,8 @@ class _SearchContext:
 
     query: Schema
     schema: Schema
-    costs: list[list[float]]  # element cost matrix, query x target
-    candidates: list[list[int]]  # per query element, target ids sorted by cost
+    costs: Sequence[Sequence[float]]  # element cost matrix, query x target
+    candidates: list[Sequence[int]]  # per query element, target ids sorted by cost
     min_rest: list[float]  # min_rest[i] = sum of per-element min costs for i..k-1
     parents: list[int | None]
     num_edges: int
@@ -75,39 +97,58 @@ class SchemaSearch:
         schema: Schema,
         objective: ObjectiveFunction,
         allowed: Sequence[Sequence[int]] | None = None,
+        substrate: object | None = None,
+        prune: bool | None = None,
     ):
         """``allowed[i]``, when given, restricts query element i's targets.
 
         ``None`` (or a ``None`` entry) means all elements of the schema
-        are candidates.
+        are candidates.  ``substrate`` supplies the precomputed
+        :class:`~repro.matching.similarity.matrix.ScoreMatrix` for the
+        pair; ``prune`` toggles exact threshold-driven candidate
+        trimming (default: on exactly when a substrate is given, so the
+        substrate-less path is byte-for-byte the historical one).
         """
         self.query = query
         self.schema = schema
         self.objective = objective
-        self._context = self._prepare(allowed)
+        self._prune = (substrate is not None) if prune is None else prune
+        self._context = self._prepare(allowed, substrate)
 
     def _prepare(
-        self, allowed: Sequence[Sequence[int]] | None
+        self,
+        allowed: Sequence[Sequence[int]] | None,
+        substrate: object | None,
     ) -> _SearchContext | None:
         query, schema = self.query, self.schema
         k, m = len(query), len(schema)
         if m < k:
             return None  # injectivity impossible; no mappings exist
-        costs = self.objective.cost_matrix(query, schema)
-        candidates: list[list[int]] = []
+        matrix = substrate.matrix(query, schema) if substrate is not None else None
+        if matrix is not None:
+            costs = matrix.costs
+        else:
+            costs = self.objective.cost_matrix(query, schema)
+        candidates: list[Sequence[int]] = []
+        row_best: list[float] = []
         for i in range(k):
             if allowed is not None and allowed[i] is not None:
                 ids = [j for j in allowed[i] if 0 <= j < m]
+                if not ids:
+                    return None  # some element has no candidate at all
+                ids.sort(key=lambda j: (costs[i][j], j))
+                candidates.append(ids)
+                row_best.append(min(costs[i][j] for j in ids))
+            elif matrix is not None:
+                candidates.append(matrix.candidate_order[i])
+                row_best.append(matrix.row_min[i])
             else:
-                ids = list(range(m))
-            if not ids:
-                return None  # some element has no candidate at all
-            ids.sort(key=lambda j: (costs[i][j], j))
-            candidates.append(ids)
+                ids = sorted(range(m), key=lambda j: (costs[i][j], j))
+                candidates.append(ids)
+                row_best.append(min(costs[i]))
         min_rest = [0.0] * (k + 1)
         for i in range(k - 1, -1, -1):
-            best = min(costs[i][j] for j in candidates[i])
-            min_rest[i] = min_rest[i + 1] + best
+            min_rest[i] = min_rest[i + 1] + row_best[i]
         parents = [query.parent_id(i) for i in range(k)]
         num_edges = sum(1 for p in parents if p is not None)
         sw = self.objective.weights.structure
@@ -123,6 +164,40 @@ class SchemaSearch:
             structure_share=(sw / num_edges) if num_edges else 0.0,
         )
 
+    # -- exact candidate pruning --------------------------------------------
+
+    def _trimmed_candidates(
+        self, ctx: _SearchContext, cutoff: float
+    ) -> list[Sequence[int]] | None:
+        """Candidate lists cut to the targets that can still fit ``cutoff``.
+
+        Drops target ``j`` from element ``i``'s (cost-sorted) list when
+        the static bound ``element_share · (cost[i][j] + Σ other
+        elements' minima)`` provably exceeds the cutoff — every such
+        candidate would be refused by the dynamic bound at each of its
+        expansions, so the emitted set is unchanged (module docstring).
+        Returns ``None`` when some element keeps no candidate at all,
+        which means the whole search is provably empty.
+        """
+        if not self._prune:
+            return ctx.candidates
+        total_min = ctx.min_rest[0]
+        limit = cutoff + _TRIM_SLACK
+        share = ctx.element_share
+        trimmed: list[Sequence[int]] = []
+        for i, ids in enumerate(ctx.candidates):
+            rest = total_min - (ctx.min_rest[i] - ctx.min_rest[i + 1])
+            row = ctx.costs[i]
+            keep = len(ids)
+            for position, j in enumerate(ids):  # ids are cost-sorted
+                if share * (row[j] + rest) > limit:
+                    keep = position
+                    break
+            if keep == 0:
+                return None
+            trimmed.append(ids if keep == len(ids) else ids[:keep])
+        return trimmed
+
     # -- exact enumeration --------------------------------------------------
 
     def exhaustive(self, delta_max: float) -> Iterator[tuple[tuple[int, ...], float]]:
@@ -131,6 +206,9 @@ class SchemaSearch:
         if ctx is None:
             return
         cutoff = delta_max + _EPSILON
+        candidates = self._trimmed_candidates(ctx, cutoff)
+        if candidates is None:
+            return
         k = len(ctx.query)
         assignment: list[int | None] = [None] * k
         used: set[int] = set()
@@ -150,7 +228,7 @@ class SchemaSearch:
             parent = ctx.parents[depth]
             parent_target = assignment[parent] if parent is not None else None
             structure_so_far = ctx.structure_share * violations
-            for target in ctx.candidates[depth]:
+            for target in candidates[depth]:
                 if target in used:
                     continue
                 cost = ctx.costs[depth][target]
@@ -193,6 +271,9 @@ class SchemaSearch:
         if ctx is None:
             return
         cutoff = delta_max + _EPSILON
+        candidates = self._trimmed_candidates(ctx, cutoff)
+        if candidates is None:
+            return
         k = len(ctx.query)
         # state: (bound, assignment tuple, used frozenset, cost_sum, violations)
         states: list[tuple[float, tuple[int, ...], frozenset[int], float, int]] = [
@@ -206,7 +287,7 @@ class SchemaSearch:
             for bound, assignment, used, cost_sum, violations in states:
                 parent_target = assignment[parent] if parent is not None else None
                 structure_so_far = ctx.structure_share * violations
-                for target in ctx.candidates[depth]:
+                for target in candidates[depth]:
                     if target in used:
                         continue
                     cost = ctx.costs[depth][target]

@@ -5,7 +5,9 @@ a certain threshold" (section 2.1).  This matcher is exactly that: the
 branch-and-bound engine with no candidate restriction enumerates every
 injective assignment with Δ ≤ δ — pruning only via an admissible bound,
 which never loses an in-threshold answer (property-tested against brute
-force in the suite).
+force in the suite).  Searches read the shared similarity substrate
+(precomputed score matrices, exact candidate trimming), which changes
+wall-clock, never answers.
 """
 
 from __future__ import annotations
@@ -27,5 +29,7 @@ class ExhaustiveMatcher(Matcher):
     def _match_schema(
         self, query: Schema, schema: Schema, delta_max: float
     ) -> Iterable[tuple[tuple[int, ...], float]]:
-        search = SchemaSearch(query, schema, self.objective)
+        search = SchemaSearch(
+            query, schema, self.objective, substrate=self._substrate()
+        )
         yield from search.exhaustive(delta_max)

@@ -66,7 +66,10 @@ class HybridMatcher(ClusteringMatcher):
         if len(in_schema) < len(query):
             return
         allowed = [in_schema] * len(query)
-        search = SchemaSearch(query, schema, self.objective, allowed=allowed)
+        search = SchemaSearch(
+            query, schema, self.objective, allowed=allowed,
+            substrate=self._substrate(),
+        )
         yield from search.beam(delta_max, self.beam_width)
 
     def describe(self) -> dict[str, object]:

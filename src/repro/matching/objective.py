@@ -73,16 +73,35 @@ class ObjectiveFunction:
         total = self.weights.name + self.weights.datatype
         self._name_share = self.weights.name / total
         self._datatype_share = self.weights.datatype / total
+        self._substrate = None
+
+    def substrate(self):
+        """The similarity substrate shared by every matcher on this Δ.
+
+        Lazily created
+        :class:`~repro.matching.similarity.matrix.SimilaritySubstrate`.
+        Hanging it off the objective makes sharing automatic: matchers
+        must already share one objective instance (the bounds
+        precondition), so they get one matrix/index cache for free.
+        """
+        if self._substrate is None:
+            from repro.matching.similarity.matrix import SimilaritySubstrate
+
+            self._substrate = SimilaritySubstrate(self)
+        return self._substrate
 
     def fingerprint(self) -> str:
         """Configuration identity string.
 
         Two matchers share an objective function exactly when their
-        fingerprints are equal; the bounds pipeline enforces this.
+        fingerprints are equal; the bounds pipeline enforces this, and
+        the candidate cache keys results on it.  Weights are rendered at
+        full ``repr`` precision — rounding here would let two objectives
+        that *score differently* share cache entries.
         """
         return (
-            f"delta(name={self._name_share:.4f},dt={self._datatype_share:.4f},"
-            f"struct={self.weights.structure:.4f};"
+            f"delta(name={self._name_share!r},dt={self._datatype_share!r},"
+            f"struct={self.weights.structure!r};"
             f"{self.name_similarity.fingerprint()})"
         )
 

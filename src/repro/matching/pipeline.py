@@ -85,17 +85,15 @@ def schema_digest(schema: Schema) -> str:
 def matcher_fingerprint(matcher: Matcher) -> str:
     """Configuration identity of a matcher, for cache keys.
 
-    Extends :meth:`Matcher.describe` (name, parameters, objective
-    fingerprint) with the thesaurus content digest — the objective
-    fingerprint records only the thesaurus *size*, which two different
-    tables can share.
+    :meth:`Matcher.describe` covers the system name, its parameters and
+    the objective fingerprint — which itself folds in the thesaurus
+    content digest (:meth:`NameSimilarity.fingerprint`), so same-size,
+    different-content thesauri cannot collide here.
     """
     description = sorted(
         (key, repr(value)) for key, value in matcher.describe().items()
     )
-    thesaurus = getattr(matcher.objective.name_similarity, "thesaurus", None)
-    thesaurus_digest = "none" if thesaurus is None else thesaurus.digest()
-    return f"{description!r}+thesaurus:{thesaurus_digest}"
+    return repr(description)
 
 
 # ---------------------------------------------------------------------------
@@ -200,19 +198,24 @@ def configure(
     ``workers`` is the default process count (1 = serial), ``shards``
     the default shard count (``None`` = one per worker) and
     ``cache_size`` resizes the shared default cache (entries; 0 disables
-    it).  Returns the resulting defaults.
+    it).  Validation is atomic: any invalid argument raises before
+    *anything* is mutated, so a failed call never leaves the process
+    half-configured.  Returns the resulting defaults.
     """
     global _DEFAULT_CACHE
+    if workers is not None and workers < 1:
+        raise MatchingError(f"workers must be >= 1, got {workers!r}")
+    if shards is not _UNSET and shards is not None and shards < 1:  # type: ignore[operator]
+        raise MatchingError(f"shards must be >= 1, got {shards!r}")
+    new_cache = None
+    if cache_size is not None:
+        new_cache = CandidateCache(cache_size)  # validates maxsize
     if workers is not None:
-        if workers < 1:
-            raise MatchingError(f"workers must be >= 1, got {workers!r}")
         _DEFAULTS.workers = workers
     if shards is not _UNSET:
-        if shards is not None and shards < 1:  # type: ignore[operator]
-            raise MatchingError(f"shards must be >= 1, got {shards!r}")
         _DEFAULTS.shards = shards  # type: ignore[assignment]
-    if cache_size is not None:
-        _DEFAULT_CACHE = CandidateCache(cache_size)  # validates first
+    if new_cache is not None:
+        _DEFAULT_CACHE = new_cache
         _DEFAULTS.cache_size = cache_size
     return _DEFAULTS
 

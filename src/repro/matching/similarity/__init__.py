@@ -8,16 +8,34 @@ paper builds on (Cupid, COMA, iMAP):
 * :mod:`~repro.matching.similarity.datatype` — datatype compatibility
   penalties;
 * :mod:`~repro.matching.similarity.structure` — ancestry preservation of
-  whole mappings.
+  whole mappings;
+* :mod:`~repro.matching.similarity.matrix` — the similarity substrate:
+  precomputed per-(query, schema) score matrices, the repository token
+  index, and the per-objective cache sharing both across matchers,
+  thresholds and pipeline shards.
 """
 
 from repro.matching.similarity.datatype import datatype_penalty
+from repro.matching.similarity.matrix import (
+    ScoreMatrix,
+    SimilaritySubstrate,
+    TokenIndex,
+    set_substrate_enabled,
+    substrate_disabled,
+    substrate_enabled,
+)
 from repro.matching.similarity.name import NameSimilarity, Thesaurus
 from repro.matching.similarity.structure import ancestry_violations
 
 __all__ = [
     "NameSimilarity",
+    "ScoreMatrix",
+    "SimilaritySubstrate",
     "Thesaurus",
+    "TokenIndex",
     "ancestry_violations",
     "datatype_penalty",
+    "set_substrate_enabled",
+    "substrate_disabled",
+    "substrate_enabled",
 ]

@@ -1,0 +1,362 @@
+"""The similarity substrate: precomputed score matrices + token index.
+
+The paper's premise is that matching is the expensive part ("exhaustive
+search of schema mappings needs exponential time") while the bounds math
+is free — yet recomputing the per-element cost of every (query element,
+target element) pair on every search construction multiplies that
+expense across matchers, thresholds and pipeline shards.  This module
+materialises the pairwise similarity work **once** and shares it:
+
+* :class:`ScoreMatrix` — for one (query, schema) pair under one
+  :class:`~repro.matching.objective.ObjectiveFunction`, the full exact
+  per-element cost matrix, each row's cost-sorted candidate order, and
+  the per-element minima / suffix sums the branch-and-bound admissible
+  bound reads directly.
+* :class:`TokenIndex` — an inverted token index over repository element
+  labels, built once per repository and cached by content digest.  It
+  groups identically-labelled elements, so a matrix column (and row) is
+  computed once per *distinct* (label, datatype) instead of once per
+  element, and exposes token-posting lookups for diagnostics.
+* :class:`SimilaritySubstrate` — the per-objective cache tying the two
+  together, keyed by schema *content* digests (like the pipeline's
+  candidate cache), so workload rebuilds and repository shards share
+  entries instead of recomputing them.
+
+Exactness
+---------
+The substrate never changes an answer set.  Matrix entries are produced
+by the very same :meth:`ObjectiveFunction.element_cost` calls the
+direct path makes, so they are bit-identical floats; candidate orders
+use the same ``(cost, target_id)`` sort key as the engine.  The
+threshold-driven candidate pruning the engine layers on top
+(:meth:`~repro.matching.engine.SchemaSearch`) only drops a pair
+``(i, j)`` when the certified lower bound of *any* complete mapping
+assigning query element ``i`` to target ``j`` —
+
+    (1 − sw)/k · (cost[i][j] + Σ_{i' ≠ i} min_j' cost[i'][j'])
+
+(structure violations can only add to it) — already exceeds the
+threshold cutoff, i.e. exactly the pairs the branch-and-bound's own
+admissible bound would refuse to expand.  The property suite
+(``tests/properties/test_prop_substrate.py``) asserts byte-identical
+answer sets with the substrate on vs. off for every matcher across a
+threshold sweep.
+
+The substrate can be switched off process-wide (for A/B tests and the
+property suite) with :func:`set_substrate_enabled` or the
+:func:`substrate_disabled` context manager.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import MatchingError
+from repro.schema.model import Schema
+from repro.schema.repository import ElementHandle, SchemaRepository
+from repro.util.text import tokenize_label
+
+__all__ = [
+    "ScoreMatrix",
+    "SimilaritySubstrate",
+    "SubstrateStats",
+    "TokenIndex",
+    "set_substrate_enabled",
+    "substrate_disabled",
+    "substrate_enabled",
+]
+
+#: (label, datatype) groups: representative element id -> all ids sharing
+#: the representative's exact label and datatype, in pre-order
+LabelGroups = tuple[tuple[int, tuple[int, ...]], ...]
+
+_ENABLED = True
+
+
+def substrate_enabled() -> bool:
+    """Whether matchers route similarity work through the substrate."""
+    return _ENABLED
+
+
+def set_substrate_enabled(enabled: bool) -> bool:
+    """Set the process-wide substrate switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def substrate_disabled() -> Iterator[None]:
+    """Run a block with the substrate off (the pre-substrate code path)."""
+    previous = set_substrate_enabled(False)
+    try:
+        yield
+    finally:
+        set_substrate_enabled(previous)
+
+
+def _label_groups(schema: Schema) -> LabelGroups:
+    """Element ids grouped by exact (label, datatype), pre-order within."""
+    groups: dict[tuple[str, object], list[int]] = {}
+    for element_id, element in enumerate(schema.elements()):
+        groups.setdefault((element.name, element.datatype), []).append(element_id)
+    return tuple(
+        (members[0], tuple(members)) for members in groups.values()
+    )
+
+
+class TokenIndex:
+    """Inverted token index over one repository's element labels.
+
+    Built once per repository (cache it by
+    :meth:`~repro.schema.repository.SchemaRepository.content_digest`;
+    :class:`SimilaritySubstrate` does).  Two roles:
+
+    * **label compaction** — :meth:`column_groups` returns each schema's
+      elements grouped by exact (label, datatype), which lets
+      :meth:`ScoreMatrix.build` compute one cost per distinct label pair
+      and broadcast it over duplicates;
+    * **token postings** — :meth:`elements_with_token` /
+      :meth:`candidate_keys` answer "which repository elements share a
+      word token with this label", the inverted-index primitive behind
+      candidate diagnostics and future lexical pre-filters.
+    """
+
+    def __init__(self, repository: SchemaRepository):
+        self.repository_digest = repository.content_digest()
+        postings: dict[str, set[tuple[str, int]]] = {}
+        columns: dict[str, tuple[str, LabelGroups]] = {}
+        distinct = 0
+        for schema in repository:
+            groups = _label_groups(schema)
+            columns[schema.schema_id] = (schema.content_digest(), groups)
+            distinct += len(groups)
+            for representative, members in groups:
+                element = schema.element(representative)
+                keys = [(schema.schema_id, member) for member in members]
+                for token in tokenize_label(element.name):
+                    postings.setdefault(token, set()).update(keys)
+        self._postings: dict[str, frozenset[tuple[str, int]]] = {
+            token: frozenset(keys) for token, keys in postings.items()
+        }
+        self._columns = columns
+        self.distinct_labels = distinct
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def tokens(self) -> list[str]:
+        """All indexed tokens, sorted."""
+        return sorted(self._postings)
+
+    def elements_with_token(self, token: str) -> frozenset[tuple[str, int]]:
+        """``(schema_id, element_id)`` keys of elements containing ``token``."""
+        return self._postings.get(token, frozenset())
+
+    def candidate_keys(self, label: str) -> frozenset[tuple[str, int]]:
+        """Elements sharing at least one normalised token with ``label``."""
+        keys: set[tuple[str, int]] = set()
+        for token in tokenize_label(label):
+            keys |= self._postings.get(token, frozenset())
+        return frozenset(keys)
+
+    def column_groups(self, schema: Schema) -> LabelGroups | None:
+        """Distinct-label groups for ``schema``, or ``None`` if unknown.
+
+        Guarded by content digest: a schema whose id is indexed but whose
+        content differs (synthetic workloads reuse ids across seeds) gets
+        ``None`` rather than stale groups.
+        """
+        entry = self._columns.get(schema.schema_id)
+        if entry is None or entry[0] != schema.content_digest():
+            return None
+        return entry[1]
+
+
+class ScoreMatrix:
+    """Exact per-element cost matrix of one (query, schema) pair.
+
+    ``costs[i][j]`` is precisely
+    :meth:`ObjectiveFunction.element_cost(query.element(i),
+    ElementHandle(schema, j))` — same calls, bit-identical floats.
+    Derived fields feed the engine's admissible bound without per-search
+    rework:
+
+    * ``candidate_order[i]`` — target ids sorted by ``(cost, id)``, the
+      engine's expansion order;
+    * ``row_min[i]`` — cheapest cost of query element ``i``;
+    * ``min_rest[i]`` — ``Σ row_min[i:]`` (suffix sums, length k+1), the
+      bound's "optimistic completion" term.
+    """
+
+    __slots__ = ("query_digest", "schema_digest", "costs", "candidate_order",
+                 "row_min", "min_rest")
+
+    def __init__(
+        self,
+        query_digest: str,
+        schema_digest: str,
+        costs: tuple[tuple[float, ...], ...],
+        candidate_order: tuple[tuple[int, ...], ...],
+    ):
+        self.query_digest = query_digest
+        self.schema_digest = schema_digest
+        self.costs = costs
+        self.candidate_order = candidate_order
+        self.row_min = tuple(min(row) for row in costs)
+        min_rest = [0.0] * (len(costs) + 1)
+        for i in range(len(costs) - 1, -1, -1):
+            min_rest[i] = min_rest[i + 1] + self.row_min[i]
+        self.min_rest = tuple(min_rest)
+
+    @property
+    def query_size(self) -> int:
+        return len(self.costs)
+
+    @property
+    def schema_size(self) -> int:
+        return len(self.costs[0]) if self.costs else 0
+
+    @classmethod
+    def build(
+        cls,
+        objective,
+        query: Schema,
+        schema: Schema,
+        column_groups: LabelGroups | None = None,
+    ) -> "ScoreMatrix":
+        """Compute the matrix, one cost per distinct (label, datatype) pair.
+
+        ``column_groups`` (from :meth:`TokenIndex.column_groups`) skips
+        re-deriving the schema's label groups; rows are likewise grouped
+        by the query's distinct labels.  Duplicate rows/columns alias the
+        same tuples, so repetitive repositories cost proportionally to
+        their *distinct* label surface.
+        """
+        if column_groups is None:
+            column_groups = _label_groups(schema)
+        row_groups = _label_groups(query)
+        size = len(schema)
+        rows: list[tuple[float, ...] | None] = [None] * len(query)
+        orders: list[tuple[int, ...] | None] = [None] * len(query)
+        for representative, members in row_groups:
+            element = query.element(representative)
+            row = [0.0] * size
+            for column_rep, column_members in column_groups:
+                cost = objective.element_cost(
+                    element, ElementHandle(schema, column_rep)
+                )
+                for j in column_members:
+                    row[j] = cost
+            frozen = tuple(row)
+            order = tuple(sorted(range(size), key=lambda j: (row[j], j)))
+            for i in members:
+                rows[i] = frozen
+                orders[i] = order
+        return cls(
+            query.content_digest(),
+            schema.content_digest(),
+            tuple(rows),  # type: ignore[arg-type]
+            tuple(orders),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class SubstrateStats:
+    """Hit/build counters of one :class:`SimilaritySubstrate`."""
+
+    matrices_built: int = 0
+    matrix_hits: int = 0
+    matrix_evictions: int = 0
+    index_builds: int = 0
+
+    @property
+    def matrix_lookups(self) -> int:
+        return self.matrices_built + self.matrix_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of matrix lookups served from cache (0 when unused)."""
+        return self.matrix_hits / self.matrix_lookups if self.matrix_lookups else 0.0
+
+
+class SimilaritySubstrate:
+    """Per-objective cache of :class:`ScoreMatrix` / :class:`TokenIndex`.
+
+    One substrate hangs off each :class:`ObjectiveFunction`
+    (:meth:`~repro.matching.objective.ObjectiveFunction.substrate`), so
+    every matcher built against a shared objective — the bounds
+    technique's precondition — also shares the precomputed similarity
+    work, across matchers, thresholds, repeated sweeps and pipeline
+    shards.  Keys are schema *content* digests: rebuilding an identical
+    workload from the same seeds hits, changing one element name misses.
+
+    ``max_matrices`` bounds the matrix cache (LRU, entries).  The
+    substrate is not thread-safe; like the candidate cache it is only
+    touched from one process at a time (workers each carry their own
+    pickled copy, pre-warmed with whatever the coordinator had built).
+    """
+
+    def __init__(self, objective, max_matrices: int = 16384):
+        if max_matrices < 1:
+            raise MatchingError(
+                f"max_matrices must be >= 1, got {max_matrices!r}"
+            )
+        self.objective = objective
+        self.max_matrices = max_matrices
+        self.stats = SubstrateStats()
+        self._matrices: OrderedDict[tuple[str, str], ScoreMatrix] = OrderedDict()
+        self._index: TokenIndex | None = None
+
+    def __len__(self) -> int:
+        return len(self._matrices)
+
+    def prepare(self, repository: SchemaRepository) -> TokenIndex:
+        """Build (or reuse) the repository's token index; idempotent.
+
+        Matchers call this from their
+        :meth:`~repro.matching.base.Matcher.prepare` hook — once per
+        repository, before any query runs, and in the pipeline before
+        sharding, so shards never rebuild it.
+        """
+        if (
+            self._index is None
+            or self._index.repository_digest != repository.content_digest()
+        ):
+            self._index = TokenIndex(repository)
+            self.stats.index_builds += 1
+        return self._index
+
+    def token_index(self) -> TokenIndex | None:
+        """The prepared repository index, or ``None`` before ``prepare``."""
+        return self._index
+
+    def matrix(self, query: Schema, schema: Schema) -> ScoreMatrix:
+        """The (query, schema) score matrix, built on first use."""
+        key = (query.content_digest(), schema.content_digest())
+        cached = self._matrices.get(key)
+        if cached is not None:
+            self._matrices.move_to_end(key)
+            self.stats.matrix_hits += 1
+            return cached
+        column_groups = (
+            self._index.column_groups(schema) if self._index is not None else None
+        )
+        built = ScoreMatrix.build(
+            self.objective, query, schema, column_groups=column_groups
+        )
+        self._matrices[key] = built
+        self.stats.matrices_built += 1
+        while len(self._matrices) > self.max_matrices:
+            self._matrices.popitem(last=False)
+            self.stats.matrix_evictions += 1
+        return built
+
+    def clear(self) -> None:
+        """Drop cached matrices and the index (counters keep running)."""
+        self._matrices.clear()
+        self._index = None

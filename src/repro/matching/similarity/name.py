@@ -47,9 +47,10 @@ class Thesaurus:
     def digest(self) -> str:
         """Content hash over the synonym pairs (order-independent).
 
-        Two thesauri with equal digests behave identically; the candidate
-        cache keys on this because :meth:`NameSimilarity.fingerprint`
-        records only the table's *size*.
+        Two thesauri with equal digests behave identically;
+        :meth:`NameSimilarity.fingerprint` folds this into the
+        configuration identity, so same-size tables with different
+        content can never collide in fingerprint-keyed caches.
         """
         if self._digest is None:
             hasher = hashlib.blake2b(digest_size=16)
@@ -158,14 +159,23 @@ class NameSimilarity:
         self._memo: dict[tuple[str, str], float] = {}
 
     def fingerprint(self) -> str:
-        """Configuration identity (objective-function equality checks)."""
+        """Configuration identity (objective-function equality checks).
+
+        Includes the thesaurus *content* digest, not just its size — two
+        same-size, different-content tables score differently and must
+        never share a fingerprint (or any cache entry keyed on one).
+        Weights are rendered at full ``repr`` precision for the same
+        reason.
+        """
         thesaurus_part = (
-            "none" if self.thesaurus is None else f"thesaurus[{len(self.thesaurus)}]"
+            "none"
+            if self.thesaurus is None
+            else f"thesaurus[{len(self.thesaurus)}:{self.thesaurus.digest()}]"
         )
         return (
-            f"name(jw={self.jaro_weight:.3f},ng={self.ngram_weight:.3f},"
-            f"tok={self.token_weight:.3f},ramp={self.ramp_low:.2f},"
-            f"{thesaurus_part}@{self.thesaurus_score})"
+            f"name(jw={self.jaro_weight!r},ng={self.ngram_weight!r},"
+            f"tok={self.token_weight!r},ramp={self.ramp_low!r},"
+            f"{thesaurus_part}@{self.thesaurus_score!r})"
         )
 
     def similarity(self, a: str, b: str) -> float:

@@ -47,12 +47,26 @@ class TopKCandidateMatcher(Matcher):
     ) -> Iterable[tuple[tuple[int, ...], float]]:
         if len(schema) < len(query):
             return
-        costs = self.objective.cost_matrix(query, schema)
-        allowed = []
-        for i in range(len(query)):
-            ranked = sorted(range(len(schema)), key=lambda j: (costs[i][j], j))
-            allowed.append(ranked[: self.candidates_per_element])
-        search = SchemaSearch(query, schema, self.objective, allowed=allowed)
+        substrate = self._substrate()
+        if substrate is not None:
+            # the substrate's candidate orders use the same (cost, id)
+            # sort key, so the cut keeps exactly the same targets
+            matrix = substrate.matrix(query, schema)
+            allowed = [
+                list(matrix.candidate_order[i][: self.candidates_per_element])
+                for i in range(len(query))
+            ]
+        else:
+            costs = self.objective.cost_matrix(query, schema)
+            allowed = []
+            for i in range(len(query)):
+                ranked = sorted(
+                    range(len(schema)), key=lambda j: (costs[i][j], j)
+                )
+                allowed.append(ranked[: self.candidates_per_element])
+        search = SchemaSearch(
+            query, schema, self.objective, allowed=allowed, substrate=substrate
+        )
         yield from search.exhaustive(delta_max)
 
     def describe(self) -> dict[str, object]:

@@ -1,0 +1,104 @@
+"""CLI ``--workers``/``--shards`` validation and error paths.
+
+The happy path (fanning a demo out over workers) is covered by the doc
+examples; these tests pin down the failure modes: invalid counts must
+exit with code 1 and a readable message, must not corrupt the
+process-wide pipeline defaults, and non-numeric values must be rejected
+by the parser itself.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.matching import pipeline
+
+
+@pytest.fixture(autouse=True)
+def restore_pipeline_defaults():
+    """Snapshot and restore module-wide defaults around every test."""
+    defaults = pipeline.pipeline_defaults()
+    snapshot = (defaults.workers, defaults.shards, defaults.cache_size)
+    yield
+    pipeline.configure(
+        workers=snapshot[0], shards=snapshot[1], cache_size=snapshot[2]
+    )
+
+
+class TestParsing:
+    def test_workers_and_shards_parsed(self):
+        args = build_parser().parse_args(
+            ["--workers", "3", "--shards", "5", "list"]
+        )
+        assert args.workers == 3
+        assert args.shards == 5
+
+    def test_defaults_are_none(self):
+        args = build_parser().parse_args(["list"])
+        assert args.workers is None
+        assert args.shards is None
+
+    def test_non_numeric_workers_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--workers", "many", "list"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_non_numeric_shards_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--shards", "x", "list"])
+        assert excinfo.value.code == 2
+
+
+class TestValidation:
+    def test_zero_workers_fails_cleanly(self, capsys):
+        assert main(["--workers", "0", "list"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "workers must be >= 1" in err
+
+    def test_negative_workers_fails_cleanly(self, capsys):
+        assert main(["--workers", "-2", "list"]) == 1
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_zero_shards_fails_cleanly(self, capsys):
+        assert main(["--shards", "0", "list"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "shards must be >= 1" in err
+
+    def test_invalid_workers_leave_defaults_untouched(self):
+        before = pipeline.pipeline_defaults().workers
+        assert main(["--workers", "0", "list"]) == 1
+        assert pipeline.pipeline_defaults().workers == before
+
+    def test_invalid_shards_leave_defaults_untouched(self):
+        before = pipeline.pipeline_defaults().shards
+        assert main(["--shards", "-1", "list"]) == 1
+        assert pipeline.pipeline_defaults().shards == before
+
+    def test_configure_is_atomic_across_flags(self):
+        """Valid --workers + invalid --shards must change *nothing*."""
+        defaults = pipeline.pipeline_defaults()
+        before = (defaults.workers, defaults.shards)
+        assert main(["--workers", "4", "--shards", "0", "list"]) == 1
+        defaults = pipeline.pipeline_defaults()
+        assert (defaults.workers, defaults.shards) == before
+
+    def test_valid_flags_configure_module_defaults(self, capsys):
+        assert main(["--workers", "2", "--shards", "3", "list"]) == 0
+        defaults = pipeline.pipeline_defaults()
+        assert defaults.workers == 2
+        assert defaults.shards == 3
+        assert "fig08" in capsys.readouterr().out
+
+    def test_shards_alone_keep_serial_workers(self, capsys):
+        workers_before = pipeline.pipeline_defaults().workers
+        assert main(["--shards", "4", "list"]) == 0
+        defaults = pipeline.pipeline_defaults()
+        assert defaults.workers == workers_before
+        assert defaults.shards == 4
+
+
+class TestShardedRun:
+    def test_demo_runs_sharded_serial(self, capsys):
+        """Serial but sharded: exercises the full pipeline path cheaply."""
+        assert main(["--small", "--workers", "1", "--shards", "2", "demo"]) == 0
+        assert "contained" in capsys.readouterr().out

@@ -4,8 +4,6 @@ Each test checks the *shape* claims the paper makes for that figure, not
 absolute numbers (the substrate is synthetic).
 """
 
-from fractions import Fraction
-
 import pytest
 
 from repro.evaluation.workloads import small_config

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import MatchingError
 from repro.matching.mapping import Mapping
 from repro.schema.model import Schema, SchemaElement
-from repro.schema.repository import ElementHandle, SchemaRepository
+from repro.schema.repository import SchemaRepository
 
 
 def repo() -> SchemaRepository:

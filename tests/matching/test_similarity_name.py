@@ -119,6 +119,14 @@ class TestNameSimilarity:
         b = NameSimilarity(ramp_low=0.2)
         assert a.fingerprint() != b.fingerprint()
 
-    def test_fingerprint_includes_thesaurus_size(self):
+    def test_fingerprint_includes_thesaurus_size_and_content(self):
         thesaurus = Thesaurus([("a1", "b1"), ("c1", "d1")])
-        assert "thesaurus[2]" in NameSimilarity(thesaurus).fingerprint()
+        fingerprint = NameSimilarity(thesaurus).fingerprint()
+        assert f"thesaurus[2:{thesaurus.digest()}]" in fingerprint
+
+    def test_fingerprint_separates_same_size_thesauri(self):
+        # same size, different content: the digest must keep them apart
+        a = Thesaurus([("a1", "b1"), ("c1", "d1")])
+        b = Thesaurus([("a1", "b1"), ("c1", "e1")])
+        assert len(a) == len(b)
+        assert NameSimilarity(a).fingerprint() != NameSimilarity(b).fingerprint()

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.comparison import Verdict, compare_bounds, dominates
-from repro.core.incremental import SizeProfile, compute_incremental_bounds
+from repro.core.incremental import compute_incremental_bounds
 
 from tests.properties.strategies import (
     increment_lists,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.schema.generator import GeneratorConfig, generate_repository
-from repro.schema.model import Schema, SchemaElement
+from repro.schema.model import SchemaElement
 from repro.schema.mutations import (
     MutationConfig,
     NameStyler,
