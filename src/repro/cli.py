@@ -14,6 +14,11 @@ Subcommands
     Compare two improvements by their bounds alone — no judgments.  A
     spec is ``name`` or ``name:param=value[,param=value...]``, e.g.
     ``beam:beam_width=10`` or ``clustering:clusters_per_element=2``.
+``evolve``
+    Replay a churn-delta stream over the workload repository and
+    re-match incrementally after every step (``--churn``/``--steps``
+    control the grid, ``--matcher`` the system, ``--verify`` re-runs
+    each step cold and checks byte-identity).
 ``save-collection <dir>`` / ``show-collection <dir>``
     Freeze the default workload's test collection to disk / summarise a
     frozen one.
@@ -90,6 +95,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("first", help="e.g. beam:beam_width=10")
     compare.add_argument("second", help="e.g. clustering:clusters_per_element=2")
+
+    evolve = sub.add_parser(
+        "evolve", help="replay a churn-delta stream with incremental re-matching"
+    )
+    evolve.add_argument(
+        "--matcher",
+        default="exhaustive",
+        help="matcher spec, e.g. beam:beam_width=8 (default: exhaustive)",
+    )
+    evolve.add_argument(
+        "--delta",
+        type=float,
+        default=0.3,
+        help="matching threshold δmax (default: 0.3)",
+    )
+    evolve.add_argument(
+        "--churn",
+        default="0.05,0.10,0.25",
+        help="comma-separated churn rates, each a fraction of schemas "
+        "touched per step (default: 0.05,0.10,0.25)",
+    )
+    evolve.add_argument(
+        "--steps",
+        type=int,
+        default=2,
+        help="delta steps per churn rate (default: 2)",
+    )
+    evolve.add_argument(
+        "--evolution-seed",
+        type=int,
+        default=97,
+        help="seed for the churn-delta stream (default: 97)",
+    )
+    evolve.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run every step cold and assert byte-identical answers",
+    )
 
     save = sub.add_parser(
         "save-collection", help="freeze the workload's test collection"
@@ -208,6 +251,92 @@ def _cmd_compare(
     return 0
 
 
+def _parse_churn_rates(text: str) -> tuple[float, ...]:
+    """Parse the ``--churn`` comma list into a tuple of rates."""
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(
+            f"bad churn list {text!r}; expected comma-separated numbers"
+        ) from None
+    if not rates:
+        raise ReproError(f"churn list {text!r} names no rates")
+    return rates
+
+
+def _cmd_evolve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
+    from repro.evaluation import EvolutionConfig, build_evolution, build_workload
+    from repro.matching import evolution_session
+    from repro.util.tables import format_table
+
+    name, params = _parse_matcher_spec(args.matcher)
+    evolution = EvolutionConfig(
+        churn_rates=_parse_churn_rates(args.churn),
+        steps_per_rate=args.steps,
+        seed=args.evolution_seed,
+    )
+    workload = build_workload(config)
+    queries = [scenario.query for scenario in workload.suite.scenarios]
+    steps = build_evolution(workload, evolution)
+    session = evolution_session(
+        name, workload.objective, queries, args.delta,
+        params=params, cache=False,
+    )
+    baseline = session.match(workload.repository)
+    print(
+        f"baseline: {len(workload.repository)} schemas, {len(queries)} "
+        f"queries, δmax={args.delta}, matcher={args.matcher} "
+        f"({baseline.stats.wall_seconds:.3f}s cold)"
+    )
+    rows = []
+    for step in steps:
+        result, report = session.rebase(step.repository, step.report)
+        stats = result.rematch
+        assert stats is not None
+        verified = ""
+        if args.verify:
+            cold = session.matcher.batch_match(
+                queries, step.repository, args.delta, cache=False
+            )
+            # answers() carries items, scores and order — the strongest
+            # equality the AnswerSet type offers
+            same = [a.answers() for a in cold] == [
+                a.answers() for a in result.answer_sets
+            ]
+            if not same:
+                raise ReproError(
+                    f"step {step.index}: incremental answers differ from "
+                    "cold re-match"
+                )
+            verified = "identical"
+        rows.append(
+            (
+                step.index,
+                step.churn,
+                report.summary(),
+                stats.pairs_reused,
+                stats.pairs_skipped,
+                stats.pairs_recomputed,
+                "full" if stats.full_recompute else "incremental",
+                f"{stats.wall_seconds:.3f}s",
+                verified,
+            )
+        )
+    headers = [
+        "step", "churn", "delta", "reused", "skipped", "recomputed",
+        "mode", "wall", "verify" if args.verify else "",
+    ]
+    print()
+    print(format_table(headers, rows, title="evolution replay"))
+    total_reused = sum(row[3] for row in rows)
+    total_recomputed = sum(row[5] for row in rows)
+    print(
+        f"\n{len(steps)} steps: {total_reused} pair searches reused, "
+        f"{total_recomputed} recomputed"
+    )
+    return 0
+
+
 def _cmd_save_collection(directory: str, config: WorkloadConfig | None) -> int:
     from repro.evaluation import build_workload, save_collection
 
@@ -258,6 +387,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(config)
         if args.command == "compare":
             return _cmd_compare(args.first, args.second, config)
+        if args.command == "evolve":
+            return _cmd_evolve(args, config)
         if args.command == "save-collection":
             return _cmd_save_collection(args.directory, config)
         if args.command == "show-collection":

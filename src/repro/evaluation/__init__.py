@@ -29,14 +29,19 @@ from repro.evaluation.validation import (
     validate_improvement,
 )
 from repro.evaluation.workloads import (
+    EvolutionConfig,
+    EvolutionStep,
     Workload,
     WorkloadConfig,
+    build_evolution,
     build_workload,
     small_config,
 )
 
 __all__ = [
     "BoundsValidation",
+    "EvolutionConfig",
+    "EvolutionStep",
     "GroundTruth",
     "MatchingScenario",
     "NoisyJudge",
@@ -45,6 +50,7 @@ __all__ = [
     "SystemRun",
     "Workload",
     "WorkloadConfig",
+    "build_evolution",
     "build_pool",
     "build_scenarios",
     "build_workload",

@@ -96,6 +96,31 @@ class ScenarioSuite:
         assert combined is not None
         return combined
 
+    def rebase(self, repository: SchemaRepository) -> "ScenarioSuite":
+        """The same queries over an evolved repository version.
+
+        Ground truth is re-enumerated against ``repository`` (concept
+        provenance survives deltas: id-preserving replacements keep
+        element concepts, removals shrink H, additions grow it), so the
+        rebased suite judges matchers against the repository they
+        actually search.  A query whose sources were all removed keeps
+        an empty H — its recall becomes meaningless, which mirrors the
+        production reality of a query outliving its targets.
+        """
+        return ScenarioSuite(
+            repository,
+            [
+                MatchingScenario(
+                    query=scenario.query,
+                    ground_truth=enumerate_ground_truth(
+                        scenario.query, repository
+                    ),
+                    source_schema_id=scenario.source_schema_id,
+                )
+                for scenario in self.scenarios
+            ],
+        )
+
 
 def build_scenarios(
     repository: SchemaRepository,

@@ -5,6 +5,16 @@ The default workload is the reproduction's stand-in for the authors' XML
 schema collection: four domains, 40 schemas, 12 personal-schema queries.
 Everything is derived from the config's seeds, so two processes given the
 same :class:`WorkloadConfig` see the identical workload.
+
+The **evolving-repository scenario family** extends a fixed workload
+into a deterministic churn stream: :class:`EvolutionConfig` describes a
+churn-rate × delta-size grid, :func:`build_evolution` materialises it as
+:class:`EvolutionStep` values — per step the applied
+:class:`~repro.schema.delta.RepositoryDelta`, its report, the evolved
+repository, and the scenario suite rebased (ground truth re-enumerated)
+against it.  This is the workload shape the incremental re-matching
+layer (:mod:`repro.matching.evolution`) and the CLI's ``evolve``
+subcommand replay.
 """
 
 from __future__ import annotations
@@ -12,14 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.thresholds import ThresholdSchedule
+from repro.errors import SchemaError
 from repro.evaluation.scenario import ScenarioSuite, build_scenarios
 from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
 from repro.matching.similarity.name import NameSimilarity, Thesaurus
+from repro.schema.delta import DeltaReport, RepositoryDelta, churn_delta
 from repro.schema.generator import GeneratorConfig, generate_repository
 from repro.schema.repository import SchemaRepository
 from repro.schema.vocabulary import builtin_domains
+from repro.util import rng as rng_util
 
-__all__ = ["WorkloadConfig", "Workload", "build_workload", "small_config"]
+__all__ = [
+    "EvolutionConfig",
+    "EvolutionStep",
+    "Workload",
+    "WorkloadConfig",
+    "build_evolution",
+    "build_workload",
+    "small_config",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +121,95 @@ class Workload:
     @property
     def relevant_size(self) -> int:
         return self.suite.relevant_size
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """A churn-rate × delta-size grid over an evolving repository.
+
+    ``churn_rates`` are visited in order, ``steps_per_rate`` deltas
+    each; every delta is drawn by :func:`~repro.schema.delta
+    .churn_delta` against the *current* repository version with the
+    given replace/add/remove mix.  Everything derives from ``seed``, so
+    the whole stream is reproducible.
+    """
+
+    churn_rates: tuple[float, ...] = (0.05, 0.10, 0.25)
+    steps_per_rate: int = 2
+    seed: int = 97
+    replace_weight: float = 3.0
+    add_weight: float = 1.0
+    remove_weight: float = 1.0
+    rename_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.churn_rates:
+            raise SchemaError("churn_rates must not be empty")
+        if self.steps_per_rate < 1:
+            raise SchemaError(
+                f"steps_per_rate must be >= 1, got {self.steps_per_rate!r}"
+            )
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.churn_rates) * self.steps_per_rate
+
+
+@dataclass(frozen=True)
+class EvolutionStep:
+    """One materialised step of an evolving-repository scenario."""
+
+    index: int
+    churn: float
+    delta: RepositoryDelta
+    report: DeltaReport
+    repository: SchemaRepository
+    suite: ScenarioSuite  # the workload's queries, ground truth rebased
+
+
+def build_evolution(
+    workload: Workload, config: EvolutionConfig | None = None
+) -> list[EvolutionStep]:
+    """Materialise the evolving-repository scenario family (deterministic).
+
+    Starting from ``workload.repository``, each grid cell draws a churn
+    delta against the previous step's repository, applies it, and
+    rebases the workload's scenario suite (ground truth re-enumerated)
+    on the result.  Replaying the returned deltas in order from the
+    original repository reproduces every intermediate version
+    digest-for-digest — which is what lets incremental re-matching be
+    checked byte-for-byte against cold runs at every step.
+    """
+    config = config or EvolutionConfig()
+    steps: list[EvolutionStep] = []
+    repository = workload.repository
+    suite = workload.suite
+    index = 0
+    for churn in config.churn_rates:
+        for _ in range(config.steps_per_rate):
+            delta = churn_delta(
+                repository,
+                churn=churn,
+                seed=rng_util.seed_from(config.seed, "evolution", index),
+                replace_weight=config.replace_weight,
+                add_weight=config.add_weight,
+                remove_weight=config.remove_weight,
+                rename_fraction=config.rename_fraction,
+            )
+            repository, report = repository.apply(delta)
+            suite = suite.rebase(repository)
+            steps.append(
+                EvolutionStep(
+                    index=index,
+                    churn=churn,
+                    delta=delta,
+                    report=report,
+                    repository=repository,
+                    suite=suite,
+                )
+            )
+            index += 1
+    return steps
 
 
 def build_workload(config: WorkloadConfig | None = None) -> Workload:

@@ -27,12 +27,24 @@ matrices and a repository token index, precomputed once per objective
 function and shared across matchers, thresholds, sweeps and shards —
 with exact threshold-driven candidate pruning that provably never
 changes an answer set.
+
+Evolving repositories go through :mod:`repro.matching.evolution`: an
+:class:`~repro.matching.evolution.EvolutionSession` replays
+:class:`~repro.schema.delta.RepositoryDelta` streams and re-matches
+incrementally — reusing per-pair results for content-unchanged schemas
+and skipping provably empty searches — with answer sets byte-identical
+to a cold full re-match.
 """
 
 from repro.matching.base import Matcher
 from repro.matching.beam import BeamMatcher
 from repro.matching.clustering import ClusteringMatcher, ElementClusterer
-from repro.matching.engine import SchemaSearch, count_assignments
+from repro.matching.engine import (
+    SchemaSearch,
+    count_assignments,
+    threshold_unreachable,
+)
+from repro.matching.evolution import EvolutionSession
 from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
 from repro.matching.mapping import Mapping
@@ -42,14 +54,21 @@ from repro.matching.pipeline import (
     MatchIncrement,
     MatchingPipeline,
     PipelineResult,
+    RematchStats,
     shard_repository,
+    shutdown_workers,
 )
 from repro.matching.random_matcher import (
     best_case_subset,
     random_subset_like,
     worst_case_subset,
 )
-from repro.matching.registry import available_matchers, batch_match, make_matcher
+from repro.matching.registry import (
+    available_matchers,
+    batch_match,
+    evolution_session,
+    make_matcher,
+)
 from repro.matching.similarity import (
     NameSimilarity,
     ScoreMatrix,
@@ -69,6 +88,7 @@ __all__ = [
     "CandidateCache",
     "ClusteringMatcher",
     "ElementClusterer",
+    "EvolutionSession",
     "ExhaustiveMatcher",
     "HybridMatcher",
     "Mapping",
@@ -79,6 +99,7 @@ __all__ = [
     "ObjectiveFunction",
     "ObjectiveWeights",
     "PipelineResult",
+    "RematchStats",
     "SchemaSearch",
     "ScoreMatrix",
     "SimilaritySubstrate",
@@ -91,11 +112,14 @@ __all__ = [
     "best_case_subset",
     "count_assignments",
     "datatype_penalty",
+    "evolution_session",
     "make_matcher",
     "random_subset_like",
     "set_substrate_enabled",
     "shard_repository",
+    "shutdown_workers",
     "substrate_disabled",
     "substrate_enabled",
+    "threshold_unreachable",
     "worst_case_subset",
 ]

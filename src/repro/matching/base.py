@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
@@ -35,6 +36,10 @@ from repro.matching.similarity.matrix import SimilaritySubstrate, substrate_enab
 from repro.schema.model import Schema
 from repro.schema.repository import ElementHandle, SchemaRepository
 
+if TYPE_CHECKING:  # pragma: no cover - pipeline imports this module
+    from repro.matching.pipeline import PipelineResult
+    from repro.schema.delta import DeltaReport
+
 __all__ = ["Matcher"]
 
 
@@ -43,6 +48,16 @@ class Matcher(abc.ABC):
 
     #: short system name used in reports and the registry
     name: str = "abstract"
+
+    #: True when :meth:`match_pair` results depend only on the (query,
+    #: schema) pair, the configuration and the threshold — never on the
+    #: rest of the repository.  Incremental re-matching after a
+    #: repository delta (:mod:`repro.matching.evolution`) reuses stored
+    #: pair results for content-unchanged schemas exactly when this
+    #: holds; matchers with repository-global state (clustering builds
+    #: clusters over the whole repository) must set it to False and get
+    #: a full — still byte-identical — recompute instead.
+    pair_local: bool = True
 
     def __init__(self, objective: ObjectiveFunction, max_answers: int = 500_000):
         self.objective = objective
@@ -177,6 +192,40 @@ class Matcher(abc.ABC):
             self, workers=workers, shards=shards, cache=cache
         )
         return pipeline.run(queries, repository, delta_max).answer_sets
+
+    def batch_rematch(
+        self,
+        queries: Sequence[Schema],
+        repository: SchemaRepository,
+        delta_max: float,
+        *,
+        previous: "PipelineResult",
+        report: "DeltaReport",
+        workers: int | None = None,
+        shards: int | None = None,
+        cache: object | None = None,
+    ) -> list[AnswerSet]:
+        """Incremental :meth:`batch_match` after a repository delta.
+
+        ``previous`` is the :class:`~repro.matching.pipeline
+        .PipelineResult` of the last run against the delta's old
+        repository and ``report`` the
+        :class:`~repro.schema.delta.DeltaReport` from
+        :meth:`~repro.schema.repository.SchemaRepository.apply`; only
+        searches the delta can affect re-run, and the answer sets are
+        byte-identical to a cold ``batch_match`` against ``repository``.
+        For a stateful wrapper that tracks the previous result and
+        repository across a whole delta stream, use
+        :class:`~repro.matching.evolution.EvolutionSession`.
+        """
+        from repro.matching.pipeline import MatchingPipeline
+
+        pipeline = MatchingPipeline(
+            self, workers=workers, shards=shards, cache=cache
+        )
+        return pipeline.rematch(
+            queries, repository, delta_max, previous=previous, report=report
+        ).answer_sets
 
     def check_compatible(self, other: "Matcher") -> None:
         """Verify this matcher shares the objective function with another."""

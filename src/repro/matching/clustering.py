@@ -84,6 +84,12 @@ class ClusteringMatcher(Matcher):
 
     name = "clustering"
 
+    # Per-pair results depend on clusters built over the *whole*
+    # repository: any delta can move cluster boundaries (and hence
+    # nominations) for schemas the delta never touched, so incremental
+    # re-matching must not reuse stored pair results.
+    pair_local = False
+
     def __init__(
         self,
         objective: ObjectiveFunction,

@@ -49,9 +49,10 @@ from dataclasses import dataclass
 
 from repro.errors import MatchingError
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity.matrix import suffix_cost_sums
 from repro.schema.model import Schema
 
-__all__ = ["SchemaSearch", "count_assignments"]
+__all__ = ["SchemaSearch", "count_assignments", "threshold_unreachable"]
 
 _EPSILON = 1e-9
 # Extra slack on the static pruning bound so float non-associativity can
@@ -71,6 +72,37 @@ def count_assignments(query_size: int, schema_size: int) -> int:
     for i in range(query_size):
         total *= max(0, schema_size - i)
     return total
+
+
+def threshold_unreachable(
+    total_min_cost: float,
+    query_size: int,
+    structure_weight: float,
+    delta_max: float,
+) -> bool:
+    """True when the static admissible bound proves the search empty.
+
+    ``total_min_cost`` is the sum of per-query-element minimum costs over
+    *all* targets of the schema, accumulated through
+    :func:`~repro.matching.similarity.matrix.suffix_cost_sums` — the one
+    definition of the float order that :class:`ScoreMatrix`, the search
+    context and every caller of this test share, so
+    ``matrix.min_rest[0]`` can be passed straight in.  The test
+    reproduces the branch-and-bound's very
+    first expansion check bit-for-bit: at depth 0 the cheapest candidate's
+    bound is ``(1−sw)/k · (row_min[0] + min_rest[1]) = (1−sw)/k ·
+    min_rest[0]`` (float addition is commutative), candidates are
+    cost-sorted, and structure violations only add — so when this
+    returns ``True``, *every* engine strategy (exhaustive, beam, and any
+    candidate-restricted variant, whose per-row minima can only be
+    larger) provably emits nothing at ``delta_max``.  Incremental
+    re-matching uses it to skip whole searches against delta-added
+    schemas without risking byte-identity.
+    """
+    if query_size < 1:
+        raise MatchingError(f"query_size must be >= 1, got {query_size!r}")
+    share = (1.0 - structure_weight) / query_size
+    return share * total_min_cost > delta_max + _EPSILON
 
 
 @dataclass
@@ -146,9 +178,7 @@ class SchemaSearch:
                 ids = sorted(range(m), key=lambda j: (costs[i][j], j))
                 candidates.append(ids)
                 row_best.append(min(costs[i]))
-        min_rest = [0.0] * (k + 1)
-        for i in range(k - 1, -1, -1):
-            min_rest[i] = min_rest[i + 1] + row_best[i]
+        min_rest = list(suffix_cost_sums(row_best))
         parents = [query.parent_id(i) for i in range(k)]
         num_edges = sum(1 for p in parents if p is not None)
         sw = self.objective.weights.structure

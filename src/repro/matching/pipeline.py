@@ -25,6 +25,22 @@ drift.  Per-shard results stream back as :class:`MatchIncrement` values
 in completion order; the final :class:`PipelineResult` is
 order-independent.
 
+Two further mechanisms ride on the same per-pair decomposition:
+
+* **One-shot worker state** — worker processes are kept in a shared
+  pool and their state (matcher, queries, the repository's schema
+  table, shared by all shards) is installed once per process via the
+  pool initializer; successive runs with the same matcher/repository/
+  query identity — a threshold sweep, repeated experiments — reuse the
+  live pool and pickle nothing but indices and thresholds
+  (:func:`_acquire_pool`, :func:`shutdown_workers`).
+* **Incremental re-matching** — :meth:`MatchingPipeline.rematch` takes
+  a previous :class:`PipelineResult` plus a
+  :class:`~repro.schema.delta.DeltaReport` and re-runs only the
+  searches a repository delta can actually affect, with byte-identical
+  output (see :mod:`repro.matching.evolution` for the stateful
+  session API).
+
 Module-level defaults (used when ``workers``/``shards``/``cache`` are
 not given explicitly) are set with :func:`configure`; the CLI's
 ``--workers``/``--shards`` flags call it.
@@ -32,15 +48,20 @@ not given explicitly) are set with :func:`configure`; the CLI's
 
 from __future__ import annotations
 
+import atexit
 from collections import OrderedDict
 from collections.abc import Hashable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.base import Matcher
+from repro.matching.engine import threshold_unreachable
+from repro.matching.similarity.matrix import substrate_enabled, suffix_cost_sums
+from repro.schema.delta import DeltaReport
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
 
@@ -51,12 +72,14 @@ __all__ = [
     "MatchingPipeline",
     "PipelineResult",
     "PipelineStats",
+    "RematchStats",
     "configure",
     "default_cache",
     "matcher_fingerprint",
     "pipeline_defaults",
     "schema_digest",
     "shard_repository",
+    "shutdown_workers",
 ]
 
 #: one pair's search result: the ``(target_ids, score)`` list of
@@ -273,6 +296,69 @@ def _init_worker(
     _WORKER_STATE = {"matcher": matcher, "queries": queries, "schemas": schemas}
 
 
+@dataclass
+class _WorkerPool:
+    """A live executor plus the identity of the state its workers hold."""
+
+    executor: ProcessPoolExecutor
+    max_workers: int
+    state_key: tuple
+
+
+_POOL: _WorkerPool | None = None
+
+
+def shutdown_workers() -> None:
+    """Tear down the shared worker pool (idempotent; re-created on demand).
+
+    Registered via :mod:`atexit`; tests that must not leak processes can
+    call it directly.
+    """
+    global _POOL
+    if _POOL is not None:
+        _POOL.executor.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_workers)
+
+
+def _acquire_pool(
+    max_workers: int,
+    state_key: tuple,
+    matcher: Matcher,
+    queries: list[Schema],
+    schema_table: dict[str, Schema],
+) -> ProcessPoolExecutor:
+    """The shared worker pool, (re)initialised only when the state changed.
+
+    The matcher, the query list and the repository's schema table are
+    installed **one-shot per worker process** through the pool
+    initializer; while ``state_key`` — matcher fingerprint, repository
+    and query content digests, substrate switch — stays the same, later
+    pipeline runs (a threshold sweep, repeated experiments) reuse the
+    live processes and re-pickle *nothing*: tasks carry only indices,
+    schema ids and the threshold.  Before this, every ``stream()`` call
+    spawned a fresh pool and re-shipped the full repository and matcher
+    state per run, which dominated wall-clock on large repositories.
+    """
+    global _POOL
+    if (
+        _POOL is not None
+        and _POOL.max_workers == max_workers
+        and _POOL.state_key == state_key
+    ):
+        return _POOL.executor
+    shutdown_workers()
+    executor = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_init_worker,
+        initargs=(matcher, queries, schema_table),
+    )
+    _POOL = _WorkerPool(executor, max_workers, state_key)
+    return executor
+
+
 def _run_unit(
     query_index: int, schema_ids: tuple[str, ...], delta_max: float
 ) -> list[tuple[str, PairResult]]:
@@ -329,11 +415,54 @@ class PipelineStats:
 
 
 @dataclass
+class RematchStats:
+    """Execution record of one incremental re-match (see ``rematch``).
+
+    ``pairs_reused`` were carried over from the previous run unchanged,
+    ``pairs_skipped`` are delta-changed pairs proven empty by the static
+    admissible bound (no search ran), ``pairs_recomputed`` actually
+    searched.  ``queries_touched`` counts queries for which at least one
+    search re-ran.  ``full_recompute`` is set when the matcher carries
+    repository-global state (``pair_local`` false) and the whole run had
+    to be repeated.
+    """
+
+    queries: int
+    pairs_total: int = 0
+    pairs_reused: int = 0
+    pairs_skipped: int = 0
+    pairs_recomputed: int = 0
+    queries_touched: int = 0
+    #: previous AnswerSet objects adopted wholesale because the delta
+    #: provably contributed no pair to them (changed and removed schemas
+    #: all empty for that query, before and after)
+    answer_sets_reused: int = 0
+    full_recompute: bool = False
+    wall_seconds: float = 0.0
+
+
+@dataclass
 class PipelineResult:
-    """Per-query answer sets plus the run's execution statistics."""
+    """Per-query answer sets plus the run's execution statistics.
+
+    ``pair_results`` retains every per-(query, schema) search result in
+    plain ``(target_ids, score)`` form — the state incremental
+    re-matching (:meth:`MatchingPipeline.rematch`,
+    :class:`~repro.matching.evolution.EvolutionSession`) reuses after a
+    repository delta.  ``repository_digest``/``query_digests``/
+    ``delta_max`` identify what the results were computed against, so a
+    re-match can refuse mismatched inputs.  ``rematch`` is set only on
+    results produced incrementally.
+    """
 
     answer_sets: list[AnswerSet]
     stats: PipelineStats
+    pair_results: list[dict[str, PairResult]] = field(default_factory=list)
+    repository_digest: str = ""
+    query_digests: tuple[str, ...] = ()
+    matcher_key: str = ""
+    delta_max: float = 0.0
+    rematch: RematchStats | None = None
 
 
 class MatchingPipeline:
@@ -397,7 +526,186 @@ class MatchingPipeline:
         stats = self.last_stats
         assert stats is not None
         stats.wall_seconds = perf_counter() - started
-        return PipelineResult(answer_sets=answer_sets, stats=stats)
+        return PipelineResult(
+            answer_sets=answer_sets,
+            stats=stats,
+            pair_results=collected,
+            repository_digest=repository.content_digest(),
+            query_digests=tuple(schema_digest(query) for query in queries),
+            matcher_key=matcher_fingerprint(self.matcher),
+            delta_max=delta_max,
+        )
+
+    def rematch(
+        self,
+        queries: Sequence[Schema],
+        repository: SchemaRepository,
+        delta_max: float,
+        *,
+        previous: PipelineResult,
+        report: DeltaReport,
+    ) -> PipelineResult:
+        """Incremental re-match after a repository delta; byte-identical.
+
+        ``previous`` must be the :meth:`run` (or ``rematch``) result for
+        the *same* matcher, queries and threshold against the delta's
+        old repository; ``report`` the
+        :class:`~repro.schema.delta.DeltaReport` of applying the delta.
+        Per-(query, schema) results are then **reused** for every schema
+        the report lists as content-unchanged, **skipped** for changed
+        schemas the static admissible bound proves empty
+        (:func:`~repro.matching.engine.threshold_unreachable` — the
+        branch-and-bound's own first pruning step, so nothing an actual
+        search would emit is ever skipped), and **recomputed** only for
+        the rest.  The reassembled answer sets are byte-identical to a
+        cold ``run()`` against the new repository — property-tested for
+        every matcher and delta kind.
+
+        Matchers whose per-pair results depend on repository-global
+        state (``pair_local`` false: clustering and its hybrids — any
+        delta can move cluster boundaries everywhere) fall back to a
+        full recompute, flagged in the returned ``rematch`` stats.
+
+        Recomputed pairs run serially in the coordinating process and
+        bypass the candidate cache: the changed set is small by
+        construction (that is the point of a delta), so process fan-out
+        and memoisation overheads would dominate the work.  At high
+        churn rates, prefer a fresh :meth:`run`.
+        """
+        queries = list(queries)
+        if delta_max < 0:
+            raise MatchingError(f"delta_max must be >= 0, got {delta_max!r}")
+        if not previous.pair_results:
+            raise MatchingError(
+                "rematch needs a previous result with retained pair_results "
+                "(produced by MatchingPipeline.run)"
+            )
+        if previous.delta_max != delta_max:
+            raise MatchingError(
+                f"rematch threshold {delta_max!r} differs from the previous "
+                f"run's {previous.delta_max!r}"
+            )
+        if previous.matcher_key != matcher_fingerprint(self.matcher):
+            raise MatchingError(
+                "previous result was computed by a differently configured "
+                "matcher (fingerprints differ); rematch can only extend a "
+                "run of the same system"
+            )
+        if previous.repository_digest != report.old_digest:
+            raise MatchingError(
+                "previous result was not computed against the delta's old "
+                "repository (content digests differ)"
+            )
+        if repository.content_digest() != report.new_digest:
+            raise MatchingError(
+                "repository does not match the delta report's new content "
+                "digest"
+            )
+        query_digests = tuple(schema_digest(query) for query in queries)
+        if query_digests != previous.query_digests:
+            raise MatchingError(
+                "query set differs from the previous run's (content digests "
+                "do not match)"
+            )
+
+        started = perf_counter()
+        matcher = self.matcher
+        rematch_stats = RematchStats(
+            queries=len(queries),
+            pairs_total=len(queries) * len(repository),
+        )
+        if not matcher.pair_local:
+            result = self.run(queries, repository, delta_max)
+            rematch_stats.full_recompute = True
+            rematch_stats.pairs_recomputed = rematch_stats.pairs_total
+            rematch_stats.queries_touched = len(queries)
+            rematch_stats.wall_seconds = perf_counter() - started
+            result.rematch = rematch_stats
+            return result
+
+        matcher.prepare(repository)
+        changed = set(report.changed)
+        objective = matcher.objective
+        structure_weight = objective.weights.structure
+        substrate = matcher._substrate()
+        collected: list[dict[str, PairResult]] = []
+        answer_sets: list[AnswerSet] = []
+        for query_index, query in enumerate(queries):
+            prior = previous.pair_results[query_index]
+            by_schema: dict[str, PairResult] = {}
+            began_query = False
+            touched = False
+            # When every changed schema contributes no pair — new result
+            # empty AND old result (for replaced ids) empty — and every
+            # removed schema's old result was empty too, the previous
+            # AnswerSet is provably what assemble() would rebuild
+            # (unchanged schemas keep their relative repository order and
+            # their pair results verbatim), so it is adopted wholesale.
+            reusable_answers = all(
+                not prior[removed_id] for removed_id in report.removed
+            )
+            for schema in repository:
+                schema_id = schema.schema_id
+                if schema_id not in changed:
+                    by_schema[schema_id] = prior[schema_id]
+                    rematch_stats.pairs_reused += 1
+                    continue
+                if prior.get(schema_id):
+                    reusable_answers = False  # replaced away a non-empty pair
+                if len(schema) < len(query):
+                    by_schema[schema_id] = []  # injectivity impossible
+                    rematch_stats.pairs_skipped += 1
+                    continue
+                if substrate is not None:
+                    floor = substrate.matrix(query, schema).min_rest[0]
+                else:
+                    costs = objective.cost_matrix(query, schema)
+                    floor = suffix_cost_sums([min(row) for row in costs])[0]
+                if threshold_unreachable(
+                    floor, len(query), structure_weight, delta_max
+                ):
+                    by_schema[schema_id] = []
+                    rematch_stats.pairs_skipped += 1
+                    continue
+                if not began_query:
+                    matcher.begin_query(query)
+                    began_query = True
+                result = matcher.match_pair(query, schema, delta_max)
+                by_schema[schema_id] = result
+                rematch_stats.pairs_recomputed += 1
+                touched = True
+                if result:
+                    reusable_answers = False
+            if touched:
+                rematch_stats.queries_touched += 1
+            collected.append(by_schema)
+            if reusable_answers:
+                answer_sets.append(previous.answer_sets[query_index])
+                rematch_stats.answer_sets_reused += 1
+            else:
+                answer_sets.append(
+                    matcher.assemble(query, repository, by_schema, delta_max)
+                )
+        stats = PipelineStats(
+            workers=1,
+            shards=1,
+            queries=len(queries),
+            pairs_total=rematch_stats.pairs_total,
+            increments=0,
+        )
+        rematch_stats.wall_seconds = perf_counter() - started
+        stats.wall_seconds = rematch_stats.wall_seconds
+        self.last_stats = stats
+        return PipelineResult(
+            answer_sets=answer_sets,
+            stats=stats,
+            pair_results=collected,
+            repository_digest=repository.content_digest(),
+            query_digests=query_digests,
+            matcher_key=previous.matcher_key,
+            delta_max=delta_max,
+            rematch=rematch_stats,
+        )
 
     def stream(
         self,
@@ -515,21 +823,22 @@ class MatchingPipeline:
             return
 
         # Parallel fan-out.  The matcher is pickled *after* prepare(), so
-        # repository-global state (e.g. clusters) rides along; tasks then
-        # carry only indices and schema ids.
-        needed_ids = {schema_id for _, _, _, missing in pending for schema_id in missing}
-        schema_table = {
-            schema.schema_id: schema
-            for schema in repository
-            if schema.schema_id in needed_ids
-        }
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(matcher, queries, schema_table),
-        ) as pool:
-            futures = {
+        # repository-global state (e.g. clusters) rides along.  Worker
+        # state — matcher, queries, the repository's full schema table
+        # (one copy shared by all shards) — is installed one-shot per
+        # process through the pool initializer and reused across runs
+        # while the state key matches (see :func:`_acquire_pool`); tasks
+        # carry only indices, schema ids and the threshold.
+        schema_table = {schema.schema_id: schema for schema in repository}
+        state_key = (
+            matcher_fingerprint(matcher),
+            repository.content_digest(),
+            tuple(schema_digest(query) for query in queries),
+            substrate_enabled(),
+        )
+
+        def submit_all(pool: ProcessPoolExecutor) -> dict:
+            return {
                 pool.submit(_run_unit, query_index, tuple(missing), delta_max): (
                     query_index,
                     shard_index,
@@ -537,6 +846,20 @@ class MatchingPipeline:
                 )
                 for query_index, shard_index, cached, missing in pending
             }
-            for future in as_completed(futures):
-                query_index, shard_index, cached = futures[future]
-                yield record(query_index, shard_index, cached, future.result())
+
+        pool = _acquire_pool(
+            self.workers, state_key, matcher, queries, schema_table
+        )
+        try:
+            futures = submit_all(pool)
+        except (BrokenProcessPool, RuntimeError):
+            # A worker died (or the pool was shut down) since the last
+            # run; rebuild once and retry.
+            shutdown_workers()
+            pool = _acquire_pool(
+                self.workers, state_key, matcher, queries, schema_table
+            )
+            futures = submit_all(pool)
+        for future in as_completed(futures):
+            query_index, shard_index, cached = futures[future]
+            yield record(query_index, shard_index, cached, future.result())

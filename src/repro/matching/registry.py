@@ -22,7 +22,12 @@ from repro.matching.topk import TopKCandidateMatcher
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
 
-__all__ = ["available_matchers", "batch_match", "make_matcher"]
+__all__ = [
+    "available_matchers",
+    "batch_match",
+    "evolution_session",
+    "make_matcher",
+]
 
 _FACTORIES: dict[str, Callable[..., Matcher]] = {
     "exhaustive": ExhaustiveMatcher,
@@ -77,4 +82,30 @@ def batch_match(
     matcher = make_matcher(name, objective, **(params or {}))
     return matcher.batch_match(
         queries, repository, delta_max, workers=workers, shards=shards, cache=cache
+    )
+
+
+def evolution_session(
+    name: str,
+    objective: ObjectiveFunction,
+    queries: Sequence[Schema],
+    delta_max: float,
+    *,
+    params: Mapping[str, object] | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    cache: object | None = None,
+):
+    """An :class:`~repro.matching.evolution.EvolutionSession` by matcher name.
+
+    The evolving-repository counterpart of :func:`batch_match`: the
+    session is fully described by plain data plus the objective.  Call
+    ``session.match(repository)`` for the cold baseline, then
+    ``session.apply(delta)`` per evolution step.
+    """
+    from repro.matching.evolution import EvolutionSession
+
+    matcher = make_matcher(name, objective, **(params or {}))
+    return EvolutionSession(
+        matcher, queries, delta_max, workers=workers, shards=shards, cache=cache
     )

@@ -17,6 +17,9 @@ materialises the pairwise similarity work **once** and shares it:
   groups identically-labelled elements, so a matrix column (and row) is
   computed once per *distinct* (label, datatype) instead of once per
   element, and exposes token-posting lookups for diagnostics.
+  Rebuilds after repository evolution are **schema-granular**: per-schema
+  entries are reused for every schema whose content digest is unchanged,
+  so a delta re-indexes only what it touched.
 * :class:`SimilaritySubstrate` — the per-objective cache tying the two
   together, keyed by schema *content* digests (like the pipeline's
   candidate cache), so workload rebuilds and repository shards share
@@ -67,6 +70,7 @@ __all__ = [
     "set_substrate_enabled",
     "substrate_disabled",
     "substrate_enabled",
+    "suffix_cost_sums",
 ]
 
 #: (label, datatype) groups: representative element id -> all ids sharing
@@ -99,6 +103,22 @@ def substrate_disabled() -> Iterator[None]:
         set_substrate_enabled(previous)
 
 
+def suffix_cost_sums(row_minima) -> tuple[float, ...]:
+    """``out[i] = Σ row_minima[i:]``, accumulated last row to first.
+
+    The admissible bound's "optimistic completion" term.  This is the
+    *single* definition of the accumulation order: :class:`ScoreMatrix`,
+    the engine's search context and the incremental re-match skip bound
+    all sum through here, so their floats are bit-identical by
+    construction — byte-identity of pruning decisions depends on it.
+    Returns length ``len(row_minima) + 1`` (the trailing 0.0 included).
+    """
+    out = [0.0] * (len(row_minima) + 1)
+    for i in range(len(row_minima) - 1, -1, -1):
+        out[i] = out[i + 1] + row_minima[i]
+    return tuple(out)
+
+
 def _label_groups(schema: Schema) -> LabelGroups:
     """Element ids grouped by exact (label, datatype), pre-order within."""
     groups: dict[tuple[str, object], list[int]] = {}
@@ -106,6 +126,39 @@ def _label_groups(schema: Schema) -> LabelGroups:
         groups.setdefault((element.name, element.datatype), []).append(element_id)
     return tuple(
         (members[0], tuple(members)) for members in groups.values()
+    )
+
+
+@dataclass(frozen=True)
+class _SchemaIndexEntry:
+    """Everything the index derives from one schema, digest-guarded.
+
+    Self-contained per schema, so an entry survives repository evolution
+    unchanged as long as the schema's content digest does — the reuse
+    unit of :meth:`TokenIndex.__init__`'s ``previous`` fast path.
+    """
+
+    digest: str
+    groups: LabelGroups
+    #: token -> (schema_id, element_id) keys contributed by this schema
+    postings: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+
+
+def _index_schema(schema: Schema) -> _SchemaIndexEntry:
+    """Derive one schema's index entry (groups + token postings)."""
+    groups = _label_groups(schema)
+    postings: dict[str, list[tuple[str, int]]] = {}
+    for representative, members in groups:
+        element = schema.element(representative)
+        keys = [(schema.schema_id, member) for member in members]
+        for token in tokenize_label(element.name):
+            postings.setdefault(token, []).extend(keys)
+    return _SchemaIndexEntry(
+        digest=schema.content_digest(),
+        groups=groups,
+        postings=tuple(
+            (token, tuple(keys)) for token, keys in postings.items()
+        ),
     )
 
 
@@ -124,27 +177,44 @@ class TokenIndex:
       :meth:`candidate_keys` answer "which repository elements share a
       word token with this label", the inverted-index primitive behind
       candidate diagnostics and future lexical pre-filters.
+
+    Invalidation is **schema-granular**: passing the previous version's
+    index as ``previous`` reuses every per-schema entry whose content
+    digest is unchanged (grouping and tokenisation are skipped; only the
+    cheap global postings merge re-runs), so re-indexing after a
+    repository delta costs proportionally to the schemas the delta
+    actually changed.  ``reused_schemas`` records how many entries the
+    fast path carried over.
     """
 
-    def __init__(self, repository: SchemaRepository):
+    def __init__(
+        self,
+        repository: SchemaRepository,
+        previous: "TokenIndex | None" = None,
+    ):
         self.repository_digest = repository.content_digest()
-        postings: dict[str, set[tuple[str, int]]] = {}
-        columns: dict[str, tuple[str, LabelGroups]] = {}
-        distinct = 0
+        prior = previous._entries if previous is not None else {}
+        entries: dict[str, _SchemaIndexEntry] = {}
+        reused = 0
         for schema in repository:
-            groups = _label_groups(schema)
-            columns[schema.schema_id] = (schema.content_digest(), groups)
-            distinct += len(groups)
-            for representative, members in groups:
-                element = schema.element(representative)
-                keys = [(schema.schema_id, member) for member in members]
-                for token in tokenize_label(element.name):
-                    postings.setdefault(token, set()).update(keys)
+            entry = prior.get(schema.schema_id)
+            if entry is not None and entry.digest == schema.content_digest():
+                reused += 1
+            else:
+                entry = _index_schema(schema)
+            entries[schema.schema_id] = entry
+        postings: dict[str, set[tuple[str, int]]] = {}
+        for entry in entries.values():
+            for token, keys in entry.postings:
+                postings.setdefault(token, set()).update(keys)
         self._postings: dict[str, frozenset[tuple[str, int]]] = {
             token: frozenset(keys) for token, keys in postings.items()
         }
-        self._columns = columns
-        self.distinct_labels = distinct
+        self._entries = entries
+        self.distinct_labels = sum(
+            len(entry.groups) for entry in entries.values()
+        )
+        self.reused_schemas = reused
 
     def __len__(self) -> int:
         return len(self._postings)
@@ -171,10 +241,10 @@ class TokenIndex:
         content differs (synthetic workloads reuse ids across seeds) gets
         ``None`` rather than stale groups.
         """
-        entry = self._columns.get(schema.schema_id)
-        if entry is None or entry[0] != schema.content_digest():
+        entry = self._entries.get(schema.schema_id)
+        if entry is None or entry.digest != schema.content_digest():
             return None
-        return entry[1]
+        return entry.groups
 
 
 class ScoreMatrix:
@@ -208,10 +278,7 @@ class ScoreMatrix:
         self.costs = costs
         self.candidate_order = candidate_order
         self.row_min = tuple(min(row) for row in costs)
-        min_rest = [0.0] * (len(costs) + 1)
-        for i in range(len(costs) - 1, -1, -1):
-            min_rest[i] = min_rest[i + 1] + self.row_min[i]
-        self.min_rest = tuple(min_rest)
+        self.min_rest = suffix_cost_sums(self.row_min)
 
     @property
     def query_size(self) -> int:
@@ -273,6 +340,9 @@ class SubstrateStats:
     matrix_hits: int = 0
     matrix_evictions: int = 0
     index_builds: int = 0
+    #: per-schema index entries carried over across repository versions
+    #: (schema-granular invalidation; see :meth:`TokenIndex.__init__`)
+    index_schema_reuses: int = 0
 
     @property
     def matrix_lookups(self) -> int:
@@ -322,13 +392,23 @@ class SimilaritySubstrate:
         :meth:`~repro.matching.base.Matcher.prepare` hook — once per
         repository, before any query runs, and in the pipeline before
         sharding, so shards never rebuild it.
+
+        When the repository digest differs from the indexed one — the
+        repository evolved — the rebuild is **incremental**: per-schema
+        entries of the previous index are reused for every schema whose
+        content digest is unchanged, so a delta's re-indexing cost is
+        proportional to the schemas it changed, not the repository size.
+        (Score matrices need no such treatment: they are keyed by schema
+        content digests already, so matrices of untouched schemas keep
+        hitting across versions.)
         """
         if (
             self._index is None
             or self._index.repository_digest != repository.content_digest()
         ):
-            self._index = TokenIndex(repository)
+            self._index = TokenIndex(repository, previous=self._index)
             self.stats.index_builds += 1
+            self.stats.index_schema_reuses += self._index.reused_schemas
         return self._index
 
     def token_index(self) -> TokenIndex | None:

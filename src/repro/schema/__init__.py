@@ -19,8 +19,13 @@ but realistic substitute:
   to derive personal schemas from repository subtrees (the "synthetic
   scenarios" idea of Sayyadian et al. that the paper cites).
 * :mod:`repro.schema.repository` — a queryable collection of schemas.
+* :mod:`repro.schema.delta` — repository evolution: immutable edit
+  scripts (:class:`RepositoryDelta`), application reports at schema
+  granularity (:class:`DeltaReport`), and seeded churn profiles
+  (:func:`churn_delta`) built on the mutation operators.
 """
 
+from repro.schema.delta import DeltaReport, RepositoryDelta, churn_delta
 from repro.schema.model import Datatype, Schema, SchemaElement
 from repro.schema.parser import parse_schema, serialize_schema
 from repro.schema.repository import SchemaRepository
@@ -36,6 +41,8 @@ from repro.schema.vocabulary import (
 
 __all__ = [
     "Datatype",
+    "DeltaReport",
+    "RepositoryDelta",
     "Schema",
     "SchemaElement",
     "SchemaRepository",
@@ -43,6 +50,7 @@ __all__ = [
     "Vocabulary",
     "all_domains",
     "builtin_domains",
+    "churn_delta",
     "describe_repository",
     "extended_domains",
     "get_domain",

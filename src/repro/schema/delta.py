@@ -1,0 +1,246 @@
+"""Repository evolution: deltas, their application reports, churn profiles.
+
+The paper's machinery assumes a fixed repository, but a production
+repository evolves continuously: schemas are registered, retired and
+revised.  This module gives that evolution a first-class, auditable
+form:
+
+* :class:`RepositoryDelta` — an immutable edit script over a
+  :class:`~repro.schema.repository.SchemaRepository`: schemas to add,
+  schema ids to remove, and replacement schemas (same id, new content).
+* :class:`DeltaReport` — what applying a delta actually changed, at
+  schema granularity and in terms of *content digests*.  ``changed``
+  lists exactly the schemas whose matching-observable content differs
+  from before (an id-preserving replacement whose content digest is
+  unchanged is reported as ``unchanged``), which is the invalidation
+  unit the incremental re-matching layer
+  (:mod:`repro.matching.evolution`) consumes.  The report retains the
+  displaced schemas, so :meth:`DeltaReport.inverse` can undo the edit.
+* :func:`churn_delta` — a seeded delta generator driving the mutation
+  operators of :mod:`repro.schema.mutations`: a churn rate picks how
+  many schemas are touched, a weighted mix decides how (shape-preserving
+  rename, removal, or derived addition).  Replacements are produced by
+  :func:`~repro.schema.mutations.rename_schema`, which preserves the
+  tree shape — element ids (pre-order positions) stay stable, so
+  element-level provenance survives repository evolution.
+
+Deltas are applied with
+:meth:`~repro.schema.repository.SchemaRepository.apply`, which returns
+``(new_repository, report)`` and never mutates its receiver — the same
+build-a-new-object rule the schema model follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema
+from repro.schema.mutations import MutationConfig, rename_schema
+from repro.schema.vocabulary import get_domain
+from repro.util import rng as rng_util
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repository.apply)
+    from repro.schema.repository import SchemaRepository
+
+__all__ = ["DeltaReport", "RepositoryDelta", "churn_delta"]
+
+
+@dataclass(frozen=True)
+class RepositoryDelta:
+    """An immutable edit script over a schema repository.
+
+    ``adds`` are new schemas (their ids must be absent), ``removes`` are
+    ids to drop, ``replaces`` are schemas whose ids must already exist
+    and whose content supersedes the current version in place.  The
+    empty delta is legal and applies as a no-op (useful as a stream
+    terminator).
+    """
+
+    adds: tuple[Schema, ...] = ()
+    removes: tuple[str, ...] = ()
+    replaces: tuple[Schema, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for schema_id in self.edited_ids():
+            if schema_id in seen:
+                raise SchemaError(
+                    f"delta touches schema {schema_id!r} more than once"
+                )
+            seen.add(schema_id)
+
+    def edited_ids(self) -> list[str]:
+        """Every schema id the delta touches, in add/remove/replace order."""
+        return (
+            [schema.schema_id for schema in self.adds]
+            + list(self.removes)
+            + [schema.schema_id for schema in self.replaces]
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.adds or self.removes or self.replaces)
+
+    def __len__(self) -> int:
+        """Number of schema-level edits."""
+        return len(self.adds) + len(self.removes) + len(self.replaces)
+
+    def describe(self) -> dict[str, object]:
+        """Plain-data summary (for logs and experiment records)."""
+        return {
+            "adds": tuple(schema.schema_id for schema in self.adds),
+            "removes": self.removes,
+            "replaces": tuple(schema.schema_id for schema in self.replaces),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepositoryDelta(+{len(self.adds)} -{len(self.removes)} "
+            f"~{len(self.replaces)})"
+        )
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`SchemaRepository.apply` call actually changed.
+
+    All ids are grouped by *effect on matching-observable content*:
+
+    * ``added`` / ``removed`` / ``replaced`` — the delta's edits, echoed;
+    * ``changed`` — schemas of the new repository whose content digest
+      has no identical counterpart in the old one (every add, plus every
+      replace whose content really differs).  This is the exact set of
+      schemas any per-pair match result can have changed for — the
+      invalidation unit of incremental re-matching;
+    * ``unchanged`` — ids present in both versions with equal digests
+      (including content-identical replaces).
+
+    The displaced objects (``removed_schemas``, ``replaced_old``) ride
+    along so the edit is invertible: :meth:`inverse` yields the delta
+    that restores every schema's content (removed schemas are re-added
+    at the end, so repository *order* — and hence the order-sensitive
+    repository digest — is only guaranteed to round-trip when the delta
+    removed nothing; the id → digest mapping always round-trips).
+    """
+
+    old_digest: str
+    new_digest: str
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    replaced: tuple[str, ...]
+    changed: tuple[str, ...]
+    unchanged: tuple[str, ...]
+    removed_schemas: tuple[Schema, ...]
+    replaced_old: tuple[Schema, ...]
+
+    @property
+    def is_noop(self) -> bool:
+        """True when matching-observable content is fully unchanged."""
+        return not self.changed and not self.removed
+
+    def inverse(self) -> RepositoryDelta:
+        """The delta that undoes this application (content-wise)."""
+        return RepositoryDelta(
+            adds=self.removed_schemas,
+            removes=self.added,
+            replaces=self.replaced_old,
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"+{len(self.added)} -{len(self.removed)} ~{len(self.replaced)} "
+            f"({len(self.changed)} changed, {len(self.unchanged)} unchanged)"
+        )
+
+
+def _domain_vocabulary(schema_id: str):
+    """The domain vocabulary a generated schema id implies, or ``None``."""
+    try:
+        return get_domain(schema_id.rsplit("-", 1)[0])
+    except Exception:
+        return None
+
+
+def churn_delta(
+    repository: "SchemaRepository",
+    churn: float,
+    seed: int = 0,
+    *,
+    replace_weight: float = 3.0,
+    add_weight: float = 1.0,
+    remove_weight: float = 1.0,
+    rename_fraction: float = 0.35,
+    config: MutationConfig | None = None,
+) -> RepositoryDelta:
+    """A seeded delta touching ``round(churn * |repository|)`` schemas.
+
+    Each touched schema is, with the given weights, **replaced** by a
+    shape-preserving rename (:func:`~repro.schema.mutations
+    .rename_schema`, so element ids stay stable), **removed**, or used
+    as the source of a derived **addition** (a rename under a fresh id).
+    ``rename_fraction`` is the per-element rename probability of a
+    replacement — the default models the common revision that touches a
+    handful of fields rather than relabelling the whole schema (a
+    replacement that happens to rename nothing is a content-identical
+    no-op, which :meth:`~repro.schema.repository.SchemaRepository.apply`
+    reports as unchanged).  The mix is drawn deterministically from
+    ``seed``; removals are capped so the repository never empties.
+    ``churn`` of 0 (or a repository too small to touch) yields the
+    empty delta.
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise SchemaError(f"churn must be in [0, 1], got {churn!r}")
+    if not 0.0 <= rename_fraction <= 1.0:
+        raise SchemaError(
+            f"rename_fraction must be in [0, 1], got {rename_fraction!r}"
+        )
+    weights = (replace_weight, add_weight, remove_weight)
+    if min(weights) < 0 or sum(weights) <= 0:
+        raise SchemaError(
+            "kind weights must be non-negative with a positive sum, "
+            f"got {weights!r}"
+        )
+    config = config or MutationConfig()
+    schemas = repository.schemas()
+    touched = round(churn * len(schemas))
+    if touched < 1:
+        return RepositoryDelta()
+    generator = rng_util.make_tagged(
+        rng_util.seed_from(seed, "churn", repository.content_digest())
+    )
+    chosen = generator.sample(schemas, touched)
+    max_removes = len(schemas) - 1  # a repository needs at least one schema
+    adds: list[Schema] = []
+    removes: list[str] = []
+    replaces: list[Schema] = []
+    for schema in chosen:
+        kind = rng_util.choice_weighted(
+            generator, ("replace", "add", "remove"), weights
+        )
+        if kind == "remove" and len(removes) >= max_removes:
+            kind = "replace"
+        vocabulary = _domain_vocabulary(schema.schema_id)
+        child = rng_util.derive(generator, "edit", schema.schema_id)
+        if kind == "replace":
+            replaces.append(
+                rename_schema(
+                    child, schema, vocabulary, config=config,
+                    element_probability=rename_fraction,
+                )
+            )
+        elif kind == "remove":
+            removes.append(schema.schema_id)
+        else:  # add: a renamed derivative under a fresh, seed-stable id
+            new_id = f"{schema.schema_id}~{child.randrange(16 ** 8):08x}"
+            adds.append(
+                rename_schema(
+                    child, schema, vocabulary, config=config, schema_id=new_id,
+                    element_probability=rename_fraction,
+                )
+            )
+    return RepositoryDelta(
+        adds=tuple(adds), removes=tuple(removes), replaces=tuple(replaces)
+    )

@@ -35,6 +35,7 @@ __all__ = [
     "MutationConfig",
     "mutate_name",
     "mutate_subtree",
+    "rename_schema",
     "extract_personal_schema",
 ]
 
@@ -210,6 +211,49 @@ def mutate_subtree(
                 )
             )
     return root
+
+
+def rename_schema(
+    generator: random.Random,
+    source: Schema,
+    vocabulary: Vocabulary | None,
+    config: MutationConfig = MutationConfig(),
+    schema_id: str | None = None,
+    element_probability: float = 1.0,
+) -> Schema:
+    """A shape-preserving rename of a schema (repository churn).
+
+    Each element's surface name is re-drawn through :func:`mutate_name`
+    with probability ``element_probability`` (one consistent
+    :class:`NameStyler` for the whole schema, like real revisions;
+    1.0 renames everything, lower values model the common revision that
+    touches a handful of fields); tree structure, datatypes and concept
+    provenance are copied verbatim.  Because no element is added,
+    dropped or reordered, pre-order element ids are stable: element
+    ``i`` of the result is the (possibly renamed) element ``i`` of the
+    source — the invariant repository deltas
+    (:mod:`repro.schema.delta`) rely on for id-preserving replacements.
+    """
+    if not 0.0 <= element_probability <= 1.0:
+        raise SchemaError(
+            f"element_probability must be in [0, 1], got {element_probability!r}"
+        )
+    styler = NameStyler.random(generator)
+
+    def clone(element: SchemaElement) -> SchemaElement:
+        name = element.name
+        if generator.random() < element_probability:
+            name = mutate_name(
+                generator, name, element.concept, vocabulary, config, styler
+            )
+        return SchemaElement(
+            name=name,
+            datatype=element.datatype,
+            concept=element.concept,
+            children=[clone(child) for child in element.children],
+        )
+
+    return Schema(schema_id or source.schema_id, clone(source.root))
 
 
 def extract_personal_schema(

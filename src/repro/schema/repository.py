@@ -5,6 +5,15 @@ A :class:`SchemaRepository` is an immutable, indexed set of
 through :class:`ElementHandle` values — a (schema, element-id) pair with
 convenience accessors — which are hashable and cheap, so answer sets and
 mappings can be compared across systems.
+
+Repositories evolve by construction, not mutation:
+:meth:`SchemaRepository.apply` takes a
+:class:`~repro.schema.delta.RepositoryDelta` and returns a *new*
+repository plus a :class:`~repro.schema.delta.DeltaReport` describing —
+at schema granularity, in content digests — exactly what changed.
+Untouched :class:`Schema` objects are shared between the versions, so
+their memoised digests (and everything keyed on them: score matrices,
+token-index groups, candidate-cache entries) stay valid for free.
 """
 
 from __future__ import annotations
@@ -12,9 +21,13 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import SchemaError
 from repro.schema.model import Datatype, Schema, SchemaElement
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (delta imports this module's types)
+    from repro.schema.delta import DeltaReport, RepositoryDelta
 
 __all__ = ["ElementHandle", "SchemaRepository"]
 
@@ -131,6 +144,81 @@ class SchemaRepository:
                 hasher.update(schema.content_digest().encode())
             self._digest = hasher.hexdigest()
         return self._digest
+
+    def apply(self, delta: "RepositoryDelta") -> tuple["SchemaRepository", "DeltaReport"]:
+        """Apply an edit script; returns ``(new_repository, report)``.
+
+        Replacements keep their position in repository order, removals
+        drop out, additions append (in delta order) — so two processes
+        applying the same delta to the same repository produce
+        digest-identical results.  The receiver is never mutated, and
+        untouched ``Schema`` objects are shared with the new repository.
+
+        Raises :class:`~repro.errors.SchemaError` when an add collides
+        with an existing id, a remove/replace names an unknown id, or
+        the delta would empty the repository.
+        """
+        from repro.schema.delta import DeltaReport
+
+        for schema in delta.adds:
+            if schema.schema_id in self._schemas:
+                raise SchemaError(
+                    f"cannot add schema {schema.schema_id!r}: id already in "
+                    f"repository {self.repository_id!r}"
+                )
+        for schema_id in delta.removes:
+            if schema_id not in self._schemas:
+                raise SchemaError(
+                    f"cannot remove schema {schema_id!r}: not in repository "
+                    f"{self.repository_id!r}"
+                )
+        replacements = {schema.schema_id: schema for schema in delta.replaces}
+        for schema_id in replacements:
+            if schema_id not in self._schemas:
+                raise SchemaError(
+                    f"cannot replace schema {schema_id!r}: not in repository "
+                    f"{self.repository_id!r}"
+                )
+        removed_ids = set(delta.removes)
+        new_schemas: list[Schema] = []
+        changed: list[str] = []
+        unchanged: list[str] = []
+        removed_schemas: list[Schema] = []
+        replaced_old: list[Schema] = []
+        for schema in self._schemas.values():
+            if schema.schema_id in removed_ids:
+                removed_schemas.append(schema)
+                continue
+            replacement = replacements.get(schema.schema_id)
+            if replacement is None:
+                new_schemas.append(schema)
+                unchanged.append(schema.schema_id)
+                continue
+            replaced_old.append(schema)
+            new_schemas.append(replacement)
+            if replacement.content_digest() == schema.content_digest():
+                unchanged.append(schema.schema_id)
+            else:
+                changed.append(schema.schema_id)
+        new_schemas.extend(delta.adds)
+        changed.extend(schema.schema_id for schema in delta.adds)
+        if not new_schemas:
+            raise SchemaError(
+                f"delta would empty repository {self.repository_id!r}"
+            )
+        new_repository = SchemaRepository(self.repository_id, new_schemas)
+        report = DeltaReport(
+            old_digest=self.content_digest(),
+            new_digest=new_repository.content_digest(),
+            added=tuple(schema.schema_id for schema in delta.adds),
+            removed=delta.removes,
+            replaced=tuple(schema.schema_id for schema in delta.replaces),
+            changed=tuple(changed),
+            unchanged=tuple(unchanged),
+            removed_schemas=tuple(removed_schemas),
+            replaced_old=tuple(replaced_old),
+        )
+        return new_repository, report
 
     def concept_index(self) -> dict[str, list[ElementHandle]]:
         """Concept -> handles of all elements denoting it (oracle support)."""

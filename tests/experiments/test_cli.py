@@ -60,3 +60,44 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Guarantees" in out
         assert "contained" in out
+
+
+class TestEvolve:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["evolve"])
+        assert args.command == "evolve"
+        assert args.matcher == "exhaustive"
+        assert args.delta == 0.3
+        assert args.churn == "0.05,0.10,0.25"
+        assert args.steps == 2
+        assert not args.verify
+
+    def test_evolve_replays_and_verifies(self, capsys):
+        assert main([
+            "--small", "evolve", "--matcher", "beam:beam_width=6",
+            "--churn", "0.2", "--steps", "2", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evolution replay" in out
+        assert "identical" in out
+        assert "incremental" in out
+
+    def test_evolve_full_recompute_matcher(self, capsys):
+        assert main([
+            "--small", "evolve", "--matcher",
+            "clustering:clusters_per_element=2",
+            "--churn", "0.2", "--steps", "1",
+        ]) == 0
+        assert "full" in capsys.readouterr().out
+
+    def test_bad_churn_list_fails_cleanly(self, capsys):
+        assert main(["--small", "evolve", "--churn", "x,y"]) == 1
+        assert "churn" in capsys.readouterr().err
+
+    def test_empty_churn_list_fails_cleanly(self, capsys):
+        assert main(["--small", "evolve", "--churn", ","]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_matcher_spec_fails_cleanly(self, capsys):
+        assert main(["--small", "evolve", "--matcher", "nope"]) == 1
+        assert "unknown matcher" in capsys.readouterr().err

@@ -318,3 +318,81 @@ class TestFingerprints:
         assert matcher_fingerprint(
             ExhaustiveMatcher(objective)
         ) != matcher_fingerprint(BeamMatcher(objective, beam_width=2))
+
+
+class TestWorkerPoolReuse:
+    """Worker state is installed one-shot per process and reused.
+
+    Successive parallel runs with the same matcher/repository/query
+    identity must keep the same live pool (nothing re-pickled, no
+    process respawn); changing the repository must rotate it.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        from repro.matching.pipeline import shutdown_workers
+
+        shutdown_workers()
+        yield
+        shutdown_workers()
+
+    def test_pool_survives_repeated_runs(self, setup):
+        from repro.matching import pipeline as pipeline_module
+
+        repo, objective, queries = setup
+        matcher = ExhaustiveMatcher(objective)
+        runner = MatchingPipeline(matcher, workers=2, cache=False)
+        first = runner.run(queries, repo, DELTA)
+        pool = pipeline_module._POOL
+        assert pool is not None
+        second = runner.run(queries, repo, DELTA)
+        assert pipeline_module._POOL is pool  # same executor, no respawn
+        assert [flatten(a) for a in first.answer_sets] == [
+            flatten(a) for a in second.answer_sets
+        ]
+
+    def test_pool_survives_threshold_sweep(self, setup):
+        from repro.matching import pipeline as pipeline_module
+
+        repo, objective, queries = setup
+        matcher = ExhaustiveMatcher(objective)
+        runner = MatchingPipeline(matcher, workers=2, cache=False)
+        runner.run(queries, repo, 0.15)
+        pool = pipeline_module._POOL
+        runner.run(queries, repo, DELTA)  # only the threshold changed
+        assert pipeline_module._POOL is pool
+
+    def test_pool_rotates_when_repository_changes(self, setup):
+        from repro.matching import pipeline as pipeline_module
+
+        repo, objective, queries = setup
+        other = generate_repository(
+            GeneratorConfig(num_schemas=4, min_size=6, max_size=10, seed=99)
+        )
+        matcher = ExhaustiveMatcher(objective)
+        runner = MatchingPipeline(matcher, workers=2, cache=False)
+        runner.run(queries, repo, DELTA)
+        pool = pipeline_module._POOL
+        runner.run(queries, other, DELTA)
+        assert pipeline_module._POOL is not pool
+
+    def test_parallel_output_identical_across_pool_reuse(self, setup):
+        repo, objective, queries = setup
+        matcher = BeamMatcher(objective, beam_width=4)
+        serial = matcher.batch_match(
+            queries, repo, DELTA, workers=1, cache=False
+        )
+        parallel_first = matcher.batch_match(
+            queries, repo, DELTA, workers=2, cache=False
+        )
+        parallel_again = matcher.batch_match(
+            queries, repo, DELTA, workers=2, cache=False
+        )
+        for a, b, c in zip(serial, parallel_first, parallel_again):
+            assert flatten(a) == flatten(b) == flatten(c)
+
+    def test_shutdown_workers_is_idempotent(self):
+        from repro.matching.pipeline import shutdown_workers
+
+        shutdown_workers()
+        shutdown_workers()

@@ -1,0 +1,130 @@
+"""Property tests: mutation profiles round-trip through RepositoryDelta.
+
+For random repositories, churn rates, mix weights and seeds, a churn
+delta (built from the mutation operators) must
+
+* preserve **element-id stability** on replacements — a replaced schema
+  keeps its size, and every pre-order id keeps its datatype, concept
+  and parent (only surface names may move);
+* report **digest change iff content change** — per schema, the content
+  digest differs from the old version exactly when some
+  matching-observable field (name, datatype, parent structure) differs;
+* be **invertible** — applying ``report.inverse()`` restores every
+  schema id's content digest (and the repository digest itself when the
+  delta removed nothing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import churn_delta
+from repro.schema.generator import GeneratorConfig, generate_repository
+
+
+@st.composite
+def churn_cases(draw):
+    repo_seed = draw(st.integers(min_value=0, max_value=40))
+    num_schemas = draw(st.integers(min_value=2, max_value=7))
+    churn = draw(st.sampled_from((0.2, 0.5, 1.0)))
+    delta_seed = draw(st.integers(min_value=0, max_value=40))
+    weights = draw(
+        st.sampled_from(
+            (
+                (3.0, 1.0, 1.0),  # the default replace-heavy mix
+                (1.0, 0.0, 0.0),  # replacements only
+                (0.0, 1.0, 0.0),  # additions only
+                (0.0, 0.0, 1.0),  # removals only
+                (1.0, 1.0, 1.0),  # uniform
+            )
+        )
+    )
+    return repo_seed, num_schemas, churn, delta_seed, weights
+
+
+def _observable(schema):
+    """Everything matching can see, per element id (mirrors the digest)."""
+    return [
+        (
+            schema.element(element_id).name,
+            schema.element(element_id).datatype,
+            schema.parent_id(element_id),
+        )
+        for element_id in range(len(schema))
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(churn_cases())
+def test_churn_delta_roundtrip_and_invariants(case):
+    repo_seed, num_schemas, churn, delta_seed, weights = case
+    replace_weight, add_weight, remove_weight = weights
+    repo = generate_repository(
+        GeneratorConfig(
+            num_schemas=num_schemas, min_size=4, max_size=8, seed=repo_seed
+        )
+    )
+    delta = churn_delta(
+        repo,
+        churn=churn,
+        seed=delta_seed,
+        replace_weight=replace_weight,
+        add_weight=add_weight,
+        remove_weight=remove_weight,
+    )
+    new_repo, report = repo.apply(delta)
+
+    # the report partitions the new repository exactly
+    assert sorted(report.changed + report.unchanged) == sorted(
+        schema.schema_id for schema in new_repo
+    )
+    assert not set(report.removed) & {s.schema_id for s in new_repo}
+
+    # element-id stability on replacements: same size; datatype, concept
+    # and parent survive per pre-order id (only names may move)
+    for replacement_id in report.replaced:
+        old = repo.schema(replacement_id)
+        new = new_repo.schema(replacement_id)
+        assert len(new) == len(old)
+        for element_id in range(len(old)):
+            assert (
+                new.element(element_id).datatype
+                == old.element(element_id).datatype
+            )
+            assert (
+                new.element(element_id).concept
+                == old.element(element_id).concept
+            )
+            assert new.parent_id(element_id) == old.parent_id(element_id)
+
+    # digest change iff content change, schema by schema
+    for schema in new_repo:
+        schema_id = schema.schema_id
+        if schema_id in repo:
+            old = repo.schema(schema_id)
+            content_changed = _observable(schema) != _observable(old)
+            digest_changed = schema.content_digest() != old.content_digest()
+            assert content_changed == digest_changed
+            assert digest_changed == (schema_id in report.changed)
+        else:
+            assert schema_id in report.changed  # additions are always new
+
+    # round trip: the inverse delta restores every id's content
+    restored, inverse_report = new_repo.apply(report.inverse())
+    assert {s.schema_id: s.content_digest() for s in restored} == {
+        s.schema_id: s.content_digest() for s in repo
+    }
+    if not report.removed:
+        # without removals even repository order — hence the repository
+        # digest — round-trips
+        assert restored.content_digest() == repo.content_digest()
+
+    # determinism: the same inputs regenerate the same stream
+    again = churn_delta(
+        repo,
+        churn=churn,
+        seed=delta_seed,
+        replace_weight=replace_weight,
+        add_weight=add_weight,
+        remove_weight=remove_weight,
+    )
+    assert repo.apply(again)[1].new_digest == report.new_digest

@@ -1,0 +1,208 @@
+"""Unit tests for repository deltas (RepositoryDelta / apply / churn)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    Datatype,
+    RepositoryDelta,
+    Schema,
+    SchemaElement,
+    SchemaRepository,
+    churn_delta,
+)
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.mutations import rename_schema
+from repro.util import rng as rng_util
+
+
+def _schema(schema_id: str, *names: str) -> Schema:
+    root = SchemaElement(name=f"{schema_id}-root", datatype=Datatype.COMPLEX)
+    for name in names:
+        root.add_child(SchemaElement(name=name))
+    return Schema(schema_id, root)
+
+
+@pytest.fixture
+def repo() -> SchemaRepository:
+    return SchemaRepository(
+        "base",
+        [
+            _schema("s0", "alpha", "beta"),
+            _schema("s1", "gamma"),
+            _schema("s2", "delta", "epsilon", "zeta"),
+        ],
+    )
+
+
+class TestRepositoryDelta:
+    def test_empty_delta_is_noop(self, repo):
+        new_repo, report = repo.apply(RepositoryDelta())
+        assert report.is_noop
+        assert new_repo.content_digest() == repo.content_digest()
+        assert report.old_digest == report.new_digest
+
+    def test_duplicate_edit_rejected(self):
+        with pytest.raises(SchemaError, match="more than once"):
+            RepositoryDelta(
+                adds=(_schema("x", "a"),), removes=("x",)
+            )
+
+    def test_len_and_describe(self):
+        delta = RepositoryDelta(
+            adds=(_schema("x", "a"),),
+            removes=("y",),
+            replaces=(_schema("z", "b"),),
+        )
+        assert len(delta) == 3
+        assert not delta.is_empty
+        assert delta.describe() == {
+            "adds": ("x",),
+            "removes": ("y",),
+            "replaces": ("z",),
+        }
+
+
+class TestApply:
+    def test_add(self, repo):
+        added = _schema("s3", "eta")
+        new_repo, report = repo.apply(RepositoryDelta(adds=(added,)))
+        assert "s3" in new_repo
+        assert len(new_repo) == 4
+        assert report.added == ("s3",)
+        assert report.changed == ("s3",)
+        assert set(report.unchanged) == {"s0", "s1", "s2"}
+        # additions append: repository order is stable for old schemas
+        assert [s.schema_id for s in new_repo] == ["s0", "s1", "s2", "s3"]
+
+    def test_remove(self, repo):
+        new_repo, report = repo.apply(RepositoryDelta(removes=("s1",)))
+        assert "s1" not in new_repo
+        assert report.removed == ("s1",)
+        assert report.changed == ()
+        assert [s.schema_id for s in report.removed_schemas] == ["s1"]
+
+    def test_replace_in_place_with_content_change(self, repo):
+        replacement = _schema("s1", "gamma", "new-leaf")
+        new_repo, report = repo.apply(RepositoryDelta(replaces=(replacement,)))
+        assert [s.schema_id for s in new_repo] == ["s0", "s1", "s2"]
+        assert report.changed == ("s1",)
+        assert len(new_repo.schema("s1")) == 3
+        assert report.replaced_old[0].content_digest() != (
+            replacement.content_digest()
+        )
+
+    def test_content_identical_replace_reports_unchanged(self, repo):
+        clone = repo.schema("s1").copy()
+        new_repo, report = repo.apply(RepositoryDelta(replaces=(clone,)))
+        assert report.changed == ()
+        assert report.is_noop
+        assert new_repo.content_digest() == repo.content_digest()
+
+    def test_untouched_schema_objects_are_shared(self, repo):
+        new_repo, _ = repo.apply(RepositoryDelta(removes=("s1",)))
+        assert new_repo.schema("s0") is repo.schema("s0")
+
+    def test_add_collision_rejected(self, repo):
+        with pytest.raises(SchemaError, match="already in repository"):
+            repo.apply(RepositoryDelta(adds=(_schema("s0", "a"),)))
+
+    def test_remove_unknown_rejected(self, repo):
+        with pytest.raises(SchemaError, match="cannot remove"):
+            repo.apply(RepositoryDelta(removes=("nope",)))
+
+    def test_replace_unknown_rejected(self, repo):
+        with pytest.raises(SchemaError, match="cannot replace"):
+            repo.apply(RepositoryDelta(replaces=(_schema("nope", "a"),)))
+
+    def test_emptying_delta_rejected(self, repo):
+        with pytest.raises(SchemaError, match="empty repository"):
+            repo.apply(RepositoryDelta(removes=("s0", "s1", "s2")))
+
+    def test_receiver_is_never_mutated(self, repo):
+        before = repo.content_digest()
+        repo.apply(
+            RepositoryDelta(
+                adds=(_schema("s9", "x"),),
+                removes=("s0",),
+                replaces=(_schema("s1", "changed"),),
+            )
+        )
+        assert repo.content_digest() == before
+        assert [s.schema_id for s in repo] == ["s0", "s1", "s2"]
+
+    def test_inverse_restores_content(self, repo):
+        delta = RepositoryDelta(
+            adds=(_schema("s9", "x"),),
+            removes=("s0",),
+            replaces=(_schema("s1", "changed"),),
+        )
+        new_repo, report = repo.apply(delta)
+        restored, _ = new_repo.apply(report.inverse())
+        assert {s.schema_id: s.content_digest() for s in restored} == {
+            s.schema_id: s.content_digest() for s in repo
+        }
+
+    def test_inverse_without_removes_restores_digest(self, repo):
+        delta = RepositoryDelta(
+            adds=(_schema("s9", "x"),), replaces=(_schema("s1", "changed"),)
+        )
+        new_repo, report = repo.apply(delta)
+        restored, _ = new_repo.apply(report.inverse())
+        assert restored.content_digest() == repo.content_digest()
+
+
+class TestChurnDelta:
+    def test_deterministic(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=8, seed=11))
+        first = churn_delta(repo, churn=0.4, seed=3)
+        second = churn_delta(repo, churn=0.4, seed=3)
+        assert first.describe() == second.describe()
+        assert repo.apply(first)[1].new_digest == repo.apply(second)[1].new_digest
+
+    def test_seed_changes_the_delta(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=8, seed=11))
+        a = churn_delta(repo, churn=0.5, seed=1)
+        b = churn_delta(repo, churn=0.5, seed=2)
+        assert a.describe() != b.describe()
+
+    def test_zero_churn_is_empty(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=4, seed=1))
+        assert churn_delta(repo, churn=0.0, seed=0).is_empty
+
+    def test_churn_rate_bounds_touched_schemas(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=10, seed=5))
+        delta = churn_delta(repo, churn=0.3, seed=7)
+        assert len(delta) == 3
+
+    def test_invalid_churn_rejected(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=3, seed=5))
+        with pytest.raises(SchemaError, match="churn"):
+            churn_delta(repo, churn=1.5)
+        with pytest.raises(SchemaError, match="weights"):
+            churn_delta(repo, churn=0.5, replace_weight=-1.0)
+
+    def test_never_empties_the_repository(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=2, seed=5))
+        for seed in range(10):
+            delta = churn_delta(
+                repo, churn=1.0, seed=seed,
+                replace_weight=0.0, add_weight=0.0, remove_weight=1.0,
+            )
+            new_repo, _ = repo.apply(delta)
+            assert len(new_repo) >= 1
+
+
+class TestRenameSchema:
+    def test_shape_preserving(self):
+        repo = generate_repository(GeneratorConfig(num_schemas=3, seed=9))
+        source = repo.schemas()[0]
+        renamed = rename_schema(rng_util.make_tagged(4), source, None)
+        assert renamed.schema_id == source.schema_id
+        assert len(renamed) == len(source)
+        for element_id in range(len(source)):
+            old = source.element(element_id)
+            new = renamed.element(element_id)
+            assert new.datatype == old.datatype
+            assert new.concept == old.concept
+            assert renamed.parent_id(element_id) == source.parent_id(element_id)

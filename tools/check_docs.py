@@ -8,10 +8,19 @@ Blocks tagged anything else (``console``, ``text``, …) are ignored.
 
 Run standalone::
 
-    python tools/check_docs.py            # all documented files
-    python tools/check_docs.py README.md  # one file
+    python tools/check_docs.py             # all documented files
+    python tools/check_docs.py README.md   # one file
+    python tools/check_docs.py --examples  # docs plus examples/*.py
 
-The test suite runs the same checks through
+``--examples`` additionally executes every ``examples/*.py`` script in a
+subprocess (smoke mode: the scripts are written against the small
+workload configs, so each finishes in about a second; the
+``REPRO_EXAMPLE_SMOKE=1`` environment variable is set for any script
+that wants to shrink further).  The docs CI job runs with the flag, so
+an example script that stops running fails CI alongside a rotten doc
+block.
+
+The test suite runs the markdown checks through
 ``tests/docs/test_doc_examples.py``, so a documented example that stops
 executing fails CI.
 """
@@ -19,10 +28,15 @@ executing fails CI.
 from __future__ import annotations
 
 import argparse
+import os
+import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: seconds before a runaway example script fails the check
+EXAMPLE_TIMEOUT = 300
 
 
 def documented_files() -> list[Path]:
@@ -30,6 +44,40 @@ def documented_files() -> list[Path]:
     files = [REPO_ROOT / "README.md"]
     files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
     return [path for path in files if path.exists()]
+
+
+def example_files() -> list[Path]:
+    """The runnable example scripts (``--examples``)."""
+    return sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def run_example(path: Path) -> str | None:
+    """Execute one example script in a subprocess; failure text or ``None``.
+
+    Each script runs isolated (its own interpreter, ``PYTHONPATH=src``,
+    ``REPRO_EXAMPLE_SMOKE=1``) so module-level state cannot leak between
+    examples or into the doc checks.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("REPRO_EXAMPLE_SMOKE", "1")
+    try:
+        completed = subprocess.run(
+            [sys.executable, str(path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=EXAMPLE_TIMEOUT,
+        )
+    except subprocess.TimeoutExpired:
+        return f"{path.name}: timed out after {EXAMPLE_TIMEOUT}s"
+    if completed.returncode != 0:
+        tail = (completed.stderr or completed.stdout).strip().splitlines()
+        detail = tail[-1] if tail else "no output"
+        return f"{path.name}: exit {completed.returncode}: {detail}"
+    return None
 
 
 def extract_python_blocks(text: str) -> list[tuple[int, str]]:
@@ -85,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help="markdown files to check (default: README.md and docs/*.md)",
     )
+    parser.add_argument(
+        "--examples",
+        action="store_true",
+        help="also execute every examples/*.py script (smoke mode)",
+    )
     args = parser.parse_args(argv)
 
     src = REPO_ROOT / "src"
@@ -105,6 +158,13 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"  {failure}")
             exit_code = 1
+    if args.examples:
+        for path in example_files():
+            failure = run_example(path)
+            print(f"{path.name}: {'ok' if failure is None else 'FAILED'}")
+            if failure is not None:
+                print(f"  {failure}")
+                exit_code = 1
     return exit_code
 
 
