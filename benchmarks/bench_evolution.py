@@ -23,7 +23,12 @@ import os
 from time import perf_counter
 
 from repro.evaluation import build_workload
-from repro.matching import EvolutionSession, ExhaustiveMatcher, MatchingPipeline
+from repro.matching import (
+    EvolutionSession,
+    ExhaustiveMatcher,
+    MatchingPipeline,
+    canonical_answers,
+)
 from repro.matching.similarity.matrix import TokenIndex
 from repro.schema import churn_delta
 
@@ -33,13 +38,8 @@ _DELTA_MAX = 0.35
 _CHURN = 0.05
 
 
-def _canonical(answer_sets) -> bytes:
-    return repr(
-        [
-            [(answer.item.key, answer.score) for answer in answers.answers()]
-            for answers in answer_sets
-        ]
-    ).encode()
+def _canonical(answer_sets) -> list:
+    return canonical_answers(answer_sets)  # the one shared definition
 
 
 # -- delta primitives --------------------------------------------------------

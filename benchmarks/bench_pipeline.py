@@ -16,7 +16,7 @@ from time import perf_counter
 import pytest
 
 from repro.evaluation import build_workload, small_config
-from repro.matching import CandidateCache, ExhaustiveMatcher
+from repro.matching import CandidateCache, ExhaustiveMatcher, canonical_answers
 
 SWEEP_PASSES = 3
 WORKERS = 2
@@ -50,10 +50,8 @@ def _pipelined_sweep(workload, queries, delta):
     return last
 
 
-def _canonical(answer_sets) -> bytes:
-    return repr(
-        [[(answer.item.key, answer.score) for answer in a.answers()] for a in answer_sets]
-    ).encode()
+def _canonical(answer_sets) -> list:
+    return canonical_answers(answer_sets)  # the one shared definition
 
 
 def test_bench_serial_sweep(benchmark, sweep_setup):

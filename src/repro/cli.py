@@ -19,6 +19,17 @@ Subcommands
     re-match incrementally after every step (``--churn``/``--steps``
     control the grid, ``--matcher`` the system, ``--verify`` re-runs
     each step cold and checks byte-identity).
+``snapshot <dir>``
+    Match the workload's queries and persist repository + similarity
+    substrate + retained results as a warm-start snapshot
+    (``--matcher``/``--delta`` pick the system and threshold).
+``serve [dir]``
+    Run the asyncio :class:`~repro.matching.service.MatchingService`:
+    warm-start from a snapshot directory when one exists (cold from the
+    workload otherwise), replay the workload queries as concurrent
+    requests, optionally apply live churn deltas (``--deltas``), verify
+    byte-identity against the offline path (``--verify``) and write a
+    checkpoint back to the directory.
 ``save-collection <dir>`` / ``show-collection <dir>``
     Freeze the default workload's test collection to disk / summarise a
     frozen one.
@@ -132,6 +143,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="re-run every step cold and assert byte-identical answers",
+    )
+
+    snapshot = sub.add_parser(
+        "snapshot", help="persist a warm-start snapshot of the workload"
+    )
+    snapshot.add_argument("directory", help="snapshot directory to write")
+    snapshot.add_argument(
+        "--matcher",
+        default="exhaustive",
+        help="matcher spec, e.g. beam:beam_width=8 (default: exhaustive)",
+    )
+    snapshot.add_argument(
+        "--delta",
+        type=float,
+        default=0.3,
+        help="matching threshold δmax (default: 0.3)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the async matching service (warm- or cold-start)"
+    )
+    serve.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="snapshot directory: warm-start source and checkpoint target "
+        "(omit for a cold in-memory run)",
+    )
+    serve.add_argument(
+        "--matcher",
+        default="exhaustive",
+        help="matcher spec; must match the snapshot's (default: exhaustive)",
+    )
+    serve.add_argument(
+        "--delta",
+        type=float,
+        default=0.3,
+        help="matching threshold δmax (default: 0.3)",
+    )
+    serve.add_argument(
+        "--deltas",
+        type=int,
+        default=0,
+        help="churn deltas to apply live between request waves (default: 0)",
+    )
+    serve.add_argument(
+        "--churn",
+        type=float,
+        default=0.1,
+        help="churn rate of each live delta (default: 0.1)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="times each workload query is submitted per wave (default: 2; "
+        "repeats exercise retained-state serving)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="most distinct queries per micro-batch (default: 32)",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert byte-identity of served answers against the offline "
+        "batch_match path, after every wave",
     )
 
     save = sub.add_parser(
@@ -337,6 +417,140 @@ def _cmd_evolve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
+    from repro.evaluation import build_workload
+    from repro.matching import MatchingPipeline, make_matcher, save_snapshot
+
+    name, params = _parse_matcher_spec(args.matcher)
+    workload = build_workload(config)
+    queries = [scenario.query for scenario in workload.suite.scenarios]
+    matcher = make_matcher(name, workload.objective, **params)
+    result = MatchingPipeline(matcher, cache=False).run(
+        queries, workload.repository, args.delta
+    )
+    substrate = workload.objective.substrate()
+    store = save_snapshot(
+        args.directory,
+        workload.repository,
+        queries=queries,
+        result=result,
+        substrate=substrate,
+    )
+    print(
+        f"snapshot written to {store.root}: {len(workload.repository)} "
+        f"schemas, {len(queries)} retained queries, "
+        f"{len(substrate.cached_matrices())} score matrices, "
+        f"δmax={args.delta}, matcher={args.matcher} "
+        f"({result.stats.wall_seconds:.3f}s to match cold)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
+    import asyncio
+    from time import perf_counter
+
+    from repro.evaluation import build_workload
+    from repro.matching import MatchingService, canonical_answers, make_matcher
+    from repro.schema import SnapshotStore, churn_delta
+    from repro.util.tables import format_table
+
+    if args.repeat < 1:
+        raise ReproError(
+            f"--repeat must be >= 1, got {args.repeat} (0 would issue no "
+            "requests and make --verify vacuous)"
+        )
+    if args.deltas < 0:
+        raise ReproError(f"--deltas must be >= 0, got {args.deltas}")
+    if args.deltas and args.churn <= 0:
+        raise ReproError(f"--churn must be > 0, got {args.churn}")
+    name, params = _parse_matcher_spec(args.matcher)
+    workload = build_workload(config)
+    queries = [scenario.query for scenario in workload.suite.scenarios]
+    matcher = make_matcher(name, workload.objective, **params)
+    store = SnapshotStore(args.directory) if args.directory else None
+
+    async def run() -> list[tuple]:
+        service = MatchingService(
+            matcher, args.delta, store=store, max_batch=args.max_batch,
+            cache=False,
+        )
+        started = perf_counter()
+        if store is not None and store.exists():
+            await service.start()  # warm start, loudly verified
+        else:
+            await service.start(workload.repository)
+        start_seconds = perf_counter() - started
+        mode = "warm" if service.stats.warm_start else "cold"
+        print(
+            f"{mode} start in {start_seconds:.3f}s "
+            f"({service.stats.matrices_restored} matrices restored), "
+            f"matcher={args.matcher}, δmax={args.delta}"
+        )
+
+        async def wave(label: str) -> tuple:
+            wave_started = perf_counter()
+            requests = [
+                service.match(query)
+                for _ in range(args.repeat)
+                for query in queries
+            ]
+            answers = await asyncio.gather(*requests)
+            seconds = perf_counter() - wave_started
+            verified = ""
+            if args.verify:
+                offline = matcher.batch_match(
+                    queries, service.repository, args.delta, cache=False
+                )
+                expected = canonical_answers(offline) * args.repeat
+                if canonical_answers(answers) != expected:
+                    raise ReproError(
+                        f"wave {label!r}: served answers differ from the "
+                        "offline batch_match path"
+                    )
+                verified = "identical"
+            return (
+                label,
+                len(requests),
+                sum(len(answers_) for answers_ in answers),
+                f"{seconds:.3f}s",
+                verified,
+            )
+
+        rows = [await wave("baseline")]
+        for step in range(args.deltas):
+            delta = churn_delta(service.repository, args.churn, seed=step)
+            report = await service.apply_delta(delta)
+            rows.append(await wave(f"delta {step} ({report.summary()})"))
+        if store is not None:
+            await service.checkpoint()
+        await service.stop()
+
+        stats = service.stats
+        print()
+        print(
+            format_table(
+                ["wave", "requests", "answers", "wall",
+                 "verify" if args.verify else ""],
+                rows,
+                title="serving waves",
+            )
+        )
+        print(
+            f"\n{stats.requests} requests: {stats.served_from_state} from "
+            f"retained state, {stats.coalesced} coalesced, "
+            f"{stats.batched_queries} matched in {stats.batches} "
+            f"micro-batches; {stats.deltas_applied} live deltas, "
+            f"{stats.checkpoints_written} checkpoints written"
+        )
+        if store is not None:
+            print(f"checkpoint: {store.root} (next serve warm-starts from it)")
+        return rows
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_save_collection(directory: str, config: WorkloadConfig | None) -> int:
     from repro.evaluation import build_workload, save_collection
 
@@ -389,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args.first, args.second, config)
         if args.command == "evolve":
             return _cmd_evolve(args, config)
+        if args.command == "snapshot":
+            return _cmd_snapshot(args, config)
+        if args.command == "serve":
+            return _cmd_serve(args, config)
         if args.command == "save-collection":
             return _cmd_save_collection(args.directory, config)
         if args.command == "show-collection":

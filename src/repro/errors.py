@@ -33,6 +33,20 @@ class SchemaParseError(SchemaError):
         super().__init__(message)
 
 
+class SnapshotError(ReproError):
+    """A persisted snapshot is unusable (corrupt, foreign, or stale).
+
+    Raised by the snapshot store (:mod:`repro.schema.store`,
+    :mod:`repro.matching.similarity.persist`) whenever loading would
+    yield state that does not provably match what was saved: truncated
+    or tampered payloads, unsupported format versions, digest-addressed
+    files whose content hashes elsewhere, or fingerprints recorded for a
+    differently configured matcher/objective.  Loading **never** falls
+    back to a silent cold start — wrong warm state must be impossible,
+    so every mismatch is loud.
+    """
+
+
 class MatchingError(ReproError):
     """A matcher was configured or invoked incorrectly."""
 

@@ -34,6 +34,15 @@ Evolving repositories go through :mod:`repro.matching.evolution`: an
 incrementally — reusing per-pair results for content-unchanged schemas
 and skipping provably empty searches — with answer sets byte-identical
 to a cold full re-match.
+
+Long-lived processes go through :mod:`repro.matching.service`: a
+:class:`~repro.matching.service.MatchingService` serves single-query
+requests over asyncio (micro-batched through the pipeline, coalesced by
+content digest, deltas applied live), and the snapshot store
+(:mod:`repro.schema.store` + :mod:`repro.matching.similarity.persist`)
+persists repository, substrate and retained results so a restarted
+process warm-starts in O(load) — every answer byte-identical to the
+offline ``batch_match``/``batch_rematch`` path.
 """
 
 from repro.matching.base import Matcher
@@ -47,7 +56,7 @@ from repro.matching.engine import (
 from repro.matching.evolution import EvolutionSession
 from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
-from repro.matching.mapping import Mapping
+from repro.matching.mapping import Mapping, canonical_answers
 from repro.matching.objective import ObjectiveFunction, ObjectiveWeights
 from repro.matching.pipeline import (
     CandidateCache,
@@ -68,7 +77,9 @@ from repro.matching.registry import (
     batch_match,
     evolution_session,
     make_matcher,
+    matching_service,
 )
+from repro.matching.service import MatchingService, ServiceStats
 from repro.matching.similarity import (
     NameSimilarity,
     ScoreMatrix,
@@ -80,6 +91,11 @@ from repro.matching.similarity import (
     set_substrate_enabled,
     substrate_disabled,
     substrate_enabled,
+)
+from repro.matching.similarity.persist import (
+    Snapshot,
+    load_snapshot,
+    save_snapshot,
 )
 from repro.matching.topk import TopKCandidateMatcher
 
@@ -95,6 +111,7 @@ __all__ = [
     "MatchIncrement",
     "Matcher",
     "MatchingPipeline",
+    "MatchingService",
     "NameSimilarity",
     "ObjectiveFunction",
     "ObjectiveWeights",
@@ -102,7 +119,9 @@ __all__ = [
     "RematchStats",
     "SchemaSearch",
     "ScoreMatrix",
+    "ServiceStats",
     "SimilaritySubstrate",
+    "Snapshot",
     "Thesaurus",
     "TokenIndex",
     "TopKCandidateMatcher",
@@ -110,11 +129,15 @@ __all__ = [
     "available_matchers",
     "batch_match",
     "best_case_subset",
+    "canonical_answers",
     "count_assignments",
     "datatype_penalty",
     "evolution_session",
+    "load_snapshot",
     "make_matcher",
+    "matching_service",
     "random_subset_like",
+    "save_snapshot",
     "set_substrate_enabled",
     "shard_repository",
     "shutdown_workers",

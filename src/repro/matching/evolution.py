@@ -41,6 +41,7 @@ from repro.matching.pipeline import (
     MatchingPipeline,
     PipelineResult,
     RematchStats,
+    matcher_fingerprint,
 )
 from repro.schema.delta import DeltaReport, RepositoryDelta
 from repro.schema.model import Schema
@@ -91,6 +92,62 @@ class EvolutionSession:
         self._result: PipelineResult | None = None
         self.last_report: DeltaReport | None = None
 
+    @classmethod
+    def from_state(
+        cls,
+        matcher: Matcher,
+        repository: SchemaRepository,
+        result: PipelineResult,
+        queries: Sequence[Schema],
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        cache: CandidateCache | bool | None = None,
+    ) -> "EvolutionSession":
+        """Resume a session from a previously computed result.
+
+        The warm-start path: ``result`` (typically restored from a
+        snapshot, see :mod:`repro.matching.similarity.persist`) must
+        have been produced by the *same* matcher configuration for
+        exactly ``queries`` against ``repository`` — all three are
+        digest/fingerprint-checked here, so a resumed session can never
+        silently carry state computed elsewhere.  The returned session
+        behaves as if it had just run :meth:`match`.
+        """
+        if result.matcher_key != matcher_fingerprint(matcher):
+            raise MatchingError(
+                "cannot resume: result was computed by a differently "
+                "configured matcher (fingerprints differ)"
+            )
+        if result.repository_digest != repository.content_digest():
+            raise MatchingError(
+                "cannot resume: result was computed against a different "
+                "repository version (content digests differ)"
+            )
+        if result.query_digests != tuple(
+            query.content_digest() for query in queries
+        ):
+            raise MatchingError(
+                "cannot resume: result was computed for a different query "
+                "list (content digests differ)"
+            )
+        if not result.pair_results:
+            raise MatchingError(
+                "cannot resume: result retains no pair_results (produced "
+                "by MatchingPipeline.run / rematch)"
+            )
+        session = cls(
+            matcher,
+            queries,
+            result.delta_max,
+            workers=workers,
+            shards=shards,
+            cache=cache,
+        )
+        session._repository = repository
+        session._result = result
+        return session
+
     # -- state accessors -----------------------------------------------------
 
     @property
@@ -127,6 +184,41 @@ class EvolutionSession:
         self._repository = repository
         self.last_report = None
         return self._result
+
+    def extend(self, queries: Sequence[Schema]) -> list[AnswerSet]:
+        """Grow the session's query set; returns the new queries' answers.
+
+        The serving path: a long-lived session accumulates queries as
+        they arrive.  The new queries are matched against the *current*
+        repository version through the session's pipeline and their
+        pair results merged into the retained state, so later deltas
+        re-match them incrementally alongside the original set.  Content
+        digests already tracked by the session are rejected — callers
+        (the :class:`~repro.matching.service.MatchingService`) dedupe
+        and serve those from the retained answer sets instead.
+        """
+        new_queries = list(queries)
+        if not new_queries:
+            return []
+        result = self.result  # raises before match()
+        known = set(result.query_digests)
+        fresh: set[str] = set()
+        for query in new_queries:
+            digest = query.content_digest()
+            if digest in known or digest in fresh:
+                raise MatchingError(
+                    f"query {query.schema_id!r} (digest {digest}) is "
+                    "already tracked by this session"
+                )
+            fresh.add(digest)
+        addition = self._pipeline.run(
+            new_queries, self.repository, self.delta_max
+        )
+        result.answer_sets.extend(addition.answer_sets)
+        result.pair_results.extend(addition.pair_results)
+        result.query_digests = result.query_digests + addition.query_digests
+        self.queries.extend(new_queries)
+        return addition.answer_sets
 
     def apply(
         self, delta: RepositoryDelta

@@ -20,7 +20,25 @@ from repro.errors import MatchingError
 from repro.schema.model import Schema
 from repro.schema.repository import ElementHandle
 
-__all__ = ["Mapping"]
+__all__ = ["Mapping", "canonical_answers"]
+
+
+def canonical_answers(answer_sets) -> list[list[tuple]]:
+    """Canonical, comparable form of per-query mapping answer sets.
+
+    ``[(mapping key, score), ...]`` per answer set, in score order —
+    items, scores *and* ranking, the strongest equality the
+    :class:`~repro.core.answers.AnswerSet` type offers.  This is the
+    **single** definition of "byte-identical answers": the CLI's
+    ``serve --verify`` and the benchmark contracts all compare through
+    it, so they cannot silently drift apart in strength.  (The property
+    test suites keep deliberately independent local copies — a test
+    should not trust the library's own comparator.)
+    """
+    return [
+        [(answer.item.key, answer.score) for answer in answers.answers()]
+        for answers in answer_sets
+    ]
 
 
 @dataclass(frozen=True)

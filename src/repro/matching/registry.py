@@ -27,6 +27,7 @@ __all__ = [
     "batch_match",
     "evolution_session",
     "make_matcher",
+    "matching_service",
 ]
 
 _FACTORIES: dict[str, Callable[..., Matcher]] = {
@@ -109,3 +110,26 @@ def evolution_session(
     return EvolutionSession(
         matcher, queries, delta_max, workers=workers, shards=shards, cache=cache
     )
+
+
+def matching_service(
+    name: str,
+    objective: ObjectiveFunction,
+    delta_max: float,
+    *,
+    params: Mapping[str, object] | None = None,
+    **options: object,
+):
+    """A :class:`~repro.matching.service.MatchingService` by matcher name.
+
+    The serving counterpart of :func:`batch_match`: the service is fully
+    described by plain data plus the objective.  ``options`` are
+    forwarded to the service constructor (``store``, ``max_batch``,
+    ``max_delay``, ``workers``, ``shards``, ``cache``,
+    ``checkpoint_every``); call ``await service.start(repository)`` (or
+    just ``start()`` over a snapshot store) before submitting requests.
+    """
+    from repro.matching.service import MatchingService
+
+    matcher = make_matcher(name, objective, **(params or {}))
+    return MatchingService(matcher, delta_max, **options)

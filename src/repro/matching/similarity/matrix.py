@@ -190,10 +190,15 @@ class TokenIndex:
     def __init__(
         self,
         repository: SchemaRepository,
-        previous: "TokenIndex | None" = None,
+        previous: "TokenIndex | dict[str, _SchemaIndexEntry] | None" = None,
     ):
         self.repository_digest = repository.content_digest()
-        prior = previous._entries if previous is not None else {}
+        if previous is None:
+            prior: dict[str, _SchemaIndexEntry] = {}
+        elif isinstance(previous, TokenIndex):
+            prior = previous._entries
+        else:  # a bare entry mapping (the persistence restore path)
+            prior = dict(previous)
         entries: dict[str, _SchemaIndexEntry] = {}
         reused = 0
         for schema in repository:
@@ -233,6 +238,55 @@ class TokenIndex:
         for token in tokenize_label(label):
             keys |= self._postings.get(token, frozenset())
         return frozenset(keys)
+
+    def export_state(self) -> list[dict]:
+        """JSON-able per-schema entries, for snapshot persistence.
+
+        The inverse of :meth:`from_state`; see
+        :mod:`repro.matching.similarity.persist`.
+        """
+        return [
+            {
+                "schema_id": schema_id,
+                "digest": entry.digest,
+                "groups": [
+                    [representative, list(members)]
+                    for representative, members in entry.groups
+                ],
+                "postings": [
+                    [token, [list(key) for key in keys]]
+                    for token, keys in entry.postings
+                ],
+            }
+            for schema_id, entry in self._entries.items()
+        ]
+
+    @classmethod
+    def from_state(
+        cls, repository: SchemaRepository, state: list[dict]
+    ) -> "TokenIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        Every restored entry is digest-guarded against the live
+        repository by the constructor's reuse path, so an entry saved
+        for different schema content is re-derived rather than trusted;
+        only the cheap global postings merge runs either way.
+        """
+        entries = {
+            item["schema_id"]: _SchemaIndexEntry(
+                digest=item["digest"],
+                groups=tuple(
+                    (representative, tuple(members))
+                    for representative, members in item["groups"]
+                ),
+                postings=tuple(
+                    (token, tuple((key[0], key[1]) for key in keys))
+                    for token, keys in item["postings"]
+                ),
+            )
+            for item in state
+        }
+        return cls(repository, previous=entries)
 
     def column_groups(self, schema: Schema) -> LabelGroups | None:
         """Distinct-label groups for ``schema``, or ``None`` if unknown.
@@ -331,6 +385,41 @@ class ScoreMatrix:
             tuple(orders),  # type: ignore[arg-type]
         )
 
+    @classmethod
+    def restore(
+        cls,
+        query_digest: str,
+        schema_digest: str,
+        costs,
+    ) -> "ScoreMatrix":
+        """Rebuild a matrix from persisted costs alone.
+
+        Candidate orders, row minima and suffix sums are *derived* from
+        the costs with the same ``(cost, id)`` sort key and the shared
+        :func:`suffix_cost_sums` accumulation :meth:`build` uses, so a
+        restored matrix is indistinguishable from a freshly built one as
+        long as the persisted floats round-tripped exactly (JSON via
+        ``repr`` does).  Duplicate rows alias one tuple/order pair, like
+        :meth:`build`'s label grouping: restore cost stays proportional
+        to the *distinct* row surface.
+        """
+        frozen_rows: dict[tuple[float, ...], tuple[float, ...]] = {}
+        orders_by_row: dict[tuple[float, ...], tuple[int, ...]] = {}
+        rows = []
+        orders = []
+        for row in costs:
+            key = tuple(row)
+            shared = frozen_rows.get(key)
+            if shared is None:
+                shared = key
+                frozen_rows[key] = shared
+                orders_by_row[key] = tuple(
+                    sorted(range(len(key)), key=lambda j: (key[j], j))
+                )
+            rows.append(shared)
+            orders.append(orders_by_row[key])
+        return cls(query_digest, schema_digest, tuple(rows), tuple(orders))
+
 
 @dataclass
 class SubstrateStats:
@@ -414,6 +503,33 @@ class SimilaritySubstrate:
     def token_index(self) -> TokenIndex | None:
         """The prepared repository index, or ``None`` before ``prepare``."""
         return self._index
+
+    def cached_matrices(self) -> list[ScoreMatrix]:
+        """All cached matrices, least recently used first (for snapshots)."""
+        return list(self._matrices.values())
+
+    def adopt(
+        self,
+        index: TokenIndex | None,
+        matrices: Iterator[ScoreMatrix] | list[ScoreMatrix] = (),
+    ) -> None:
+        """Install restored state — the warm-start path of a snapshot load.
+
+        ``index`` (if given) replaces the prepared token index;
+        ``matrices`` are inserted under their own digest keys, evicting
+        LRU entries past ``max_matrices`` exactly like :meth:`matrix`
+        does.  Counters keep running; adopted entries are not counted as
+        builds.
+        """
+        if index is not None:
+            self._index = index
+        for matrix in matrices:
+            key = (matrix.query_digest, matrix.schema_digest)
+            self._matrices[key] = matrix
+            self._matrices.move_to_end(key)
+            while len(self._matrices) > self.max_matrices:
+                self._matrices.popitem(last=False)
+                self.stats.matrix_evictions += 1
 
     def matrix(self, query: Schema, schema: Schema) -> ScoreMatrix:
         """The (query, schema) score matrix, built on first use."""

@@ -23,6 +23,10 @@ but realistic substitute:
   scripts (:class:`RepositoryDelta`), application reports at schema
   granularity (:class:`DeltaReport`), and seeded churn profiles
   (:func:`churn_delta`) built on the mutation operators.
+* :mod:`repro.schema.store` — the versioned, digest-addressed snapshot
+  store (:class:`SnapshotStore`) persisting repositories to disk with
+  integrity checks; the matching layer builds its warm-start snapshots
+  on top of it.
 """
 
 from repro.schema.delta import DeltaReport, RepositoryDelta, churn_delta
@@ -30,6 +34,7 @@ from repro.schema.model import Datatype, Schema, SchemaElement
 from repro.schema.parser import parse_schema, serialize_schema
 from repro.schema.repository import SchemaRepository
 from repro.schema.stats import describe_repository, lexical_stats
+from repro.schema.store import SnapshotStore
 from repro.schema.vocabulary import (
     Concept,
     Vocabulary,
@@ -46,6 +51,7 @@ __all__ = [
     "Schema",
     "SchemaElement",
     "SchemaRepository",
+    "SnapshotStore",
     "Concept",
     "Vocabulary",
     "all_domains",

@@ -1,0 +1,417 @@
+"""Versioned, digest-addressed on-disk snapshot store.
+
+A long-lived matching service must survive process restarts without
+re-paying the cold-start costs (substrate builds, full repository
+matching).  This module provides the storage half of that: a
+:class:`SnapshotStore` is a directory holding
+
+* a ``manifest.json`` — format version, section table and whatever
+  metadata higher layers record (fingerprints, digests, thresholds);
+* one file per *section*, each listed in the manifest with the blake2b
+  digest of its bytes;
+* schema payloads under ``schemas/<content_digest>.schema`` — the
+  textual format of :mod:`repro.schema.parser`, **addressed by the
+  schema's content digest**, so identical schemas dedupe across
+  repository versions and any rename/corruption of a payload file is
+  detectable.
+
+Integrity is checked on every read: a section whose bytes do not hash
+to the manifest's recorded digest — a truncated write, a tampered file —
+raises :class:`~repro.errors.SnapshotError`, as does a missing file, an
+unparsable manifest or an unsupported format version.  A schema payload
+additionally re-derives the parsed schema's content digest and compares
+it to the file's address (the *foreign digest* check).  Loading never
+silently degrades: wrong warm state must be impossible.
+
+This module knows only about schemas; the matching-layer state
+(similarity substrate, retained pipeline results) is layered on top by
+:mod:`repro.matching.similarity.persist`, which stores its payloads as
+sections here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.schema.model import Schema
+from repro.schema.parser import parse_schema, serialize_schema
+from repro.schema.repository import SchemaRepository
+
+__all__ = ["SNAPSHOT_FORMAT", "SnapshotStore", "payload_digest"]
+
+#: current on-disk format; bump on any layout/semantics change so stale
+#: snapshots fail loudly instead of deserializing garbage
+SNAPSHOT_FORMAT = 1
+
+_MANIFEST = "manifest.json"
+
+#: ownership marker, written before the first payload of the first save:
+#: a directory carrying it is store-owned even when a crash killed that
+#: save before the manifest landed, so re-snapshotting can recover it
+_MARKER = ".snapshot-store"
+
+#: advisory write lock (O_EXCL-created, holds the writer's pid); a save
+#: racing a live writer raises instead of interleaving payloads/prune
+_LOCK = ".snapshot-lock"
+
+#: the payload shapes a save may prune: digest-addressed schema files,
+#: digest-suffixed mutable sections, and leftover temp files — anything
+#: else in a snapshot directory is foreign and is left untouched
+_OWNED_PATTERNS = (
+    re.compile(r"^schemas/[0-9a-f]+\.schema$"),
+    re.compile(r"^[a-z][a-z0-9_]*-[0-9a-f]+\.json$"),
+    re.compile(r"\.tmp$"),
+)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def payload_digest(data: bytes) -> str:
+    """Content hash of one payload file (same primitive as schema digests)."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _schema_section(digest: str) -> str:
+    """Section name of a digest-addressed schema payload."""
+    return f"schemas/{digest}.schema"
+
+
+class SnapshotStore:
+    """One snapshot directory: manifest + digest-verified sections.
+
+    The writing protocol is all-at-once: :meth:`save` receives every
+    section's text plus the metadata, writes payloads first and the
+    manifest **last** (each file via write-to-temp + atomic rename), so
+    a crash mid-save leaves either the previous complete snapshot or a
+    manifest-less directory — never a manifest pointing at half-written
+    payloads.  A manifest-less crash residue stays *recoverable*: an
+    ownership marker (``.snapshot-store``) is written before the first
+    payload, so the next save recognises the directory as its own and
+    overwrites it rather than refusing it as foreign.  The guarantee
+    survives *re*-saves (checkpoints over an
+    existing snapshot) because payload files are never overwritten with
+    different content in place: a section whose target file already
+    holds the identical bytes is skipped, and writers of mutable
+    content (the matching layer's results/substrate payloads) embed the
+    content digest in the section *name*, so old-manifest → old-files
+    stays intact until the new manifest atomically replaces it.  After
+    the manifest lands, payload files it no longer references are
+    pruned — a crash mid-prune merely leaves orphans for the next save.
+    Reading is :meth:`manifest` + :meth:`read_section`, both of which
+    raise :class:`~repro.errors.SnapshotError` on any inconsistency.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SnapshotStore({str(self.root)!r})"
+
+    def exists(self) -> bool:
+        """True when the directory holds a manifest (not necessarily valid)."""
+        return (self.root / _MANIFEST).is_file()
+
+    # -- writing -------------------------------------------------------------
+
+    def save(self, meta: dict, sections: dict[str, str]) -> None:
+        """Write a complete snapshot: payload sections, then the manifest.
+
+        ``meta`` is recorded verbatim in the manifest (under its own
+        keys); ``sections`` maps section names (relative paths) to text
+        content.  The manifest's ``sections`` table records each
+        payload's byte digest, and ``format`` is stamped with
+        :data:`SNAPSHOT_FORMAT`.
+        """
+        if "format" in meta or "sections" in meta:
+            raise SnapshotError(
+                "snapshot meta must not define the reserved keys "
+                "'format'/'sections'"
+            )
+        # A snapshot directory is store-owned: everything the manifest
+        # does not reference gets pruned after a save.  Claiming a
+        # directory that already holds unrelated files would therefore
+        # delete them — refuse instead of destroying user data.  A
+        # directory counts as ours only when its manifest.json has the
+        # snapshot manifest *shape* (any format version, so stale
+        # snapshots stay re-snapshotable); a foreign or unparsable
+        # manifest.json — e.g. a web app's — marks the directory as not
+        # ours just as surely as no manifest at all.
+        if self.exists():
+            if not self._holds_snapshot_manifest():
+                raise SnapshotError(
+                    f"refusing to write a snapshot into {self.root}: its "
+                    "manifest.json is not a snapshot manifest (saving "
+                    "would overwrite it and prune unrelated files); if "
+                    "this really is a corrupt snapshot, delete the "
+                    "directory and re-snapshot"
+                )
+        elif (
+            self.root.is_dir()
+            and any(self.root.iterdir())
+            and not (self.root / _MARKER).is_file()
+        ):
+            raise SnapshotError(
+                f"refusing to write a snapshot into {self.root}: the "
+                "directory is non-empty but holds no snapshot manifest "
+                "(saving would prune unrelated files); use an empty or "
+                "dedicated directory"
+            )
+        # Claim the directory before the first payload: should this save
+        # crash before the manifest lands, the marker lets the next save
+        # recover the half-written directory instead of refusing it.
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _MARKER).touch()
+        self._acquire_lock()
+        try:
+            digests: dict[str, str] = {}
+            for name, text in sections.items():
+                data = text.encode("utf-8")
+                digests[name] = payload_digest(data)
+                self._write_file(name, data)
+            manifest = dict(meta)
+            manifest["format"] = SNAPSHOT_FORMAT
+            manifest["sections"] = digests
+            self._write_file(
+                _MANIFEST,
+                json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+            )
+            self._prune(set(digests))
+        finally:
+            (self.root / _LOCK).unlink(missing_ok=True)
+
+    def _acquire_lock(self) -> None:
+        """Take the directory's advisory write lock, or raise.
+
+        Two live processes checkpointing into one directory would
+        interleave payload writes with each other's prune passes and
+        could leave a manifest referencing deleted files; the lock makes
+        the second writer fail loudly instead.  A lock left behind by a
+        dead writer (crash mid-save) is detected by pid liveness and
+        stolen, so crash recovery needs no manual cleanup.
+        """
+        lock = self.root / _LOCK
+        # The lock appears atomically *with* its pid content (hard link
+        # of a pre-written per-pid temp), so no reader can ever observe
+        # an empty lock; a lock held by our own pid means another thread
+        # of this process is saving, which is just as live as another
+        # process — stealing happens only from provably dead holders.
+        temp = self.root / f"{_LOCK}.{os.getpid()}"
+        temp.write_text(str(os.getpid()), encoding="utf-8")
+        try:
+            for _attempt in (0, 1):
+                try:
+                    os.link(temp, lock)
+                    return
+                except FileExistsError:
+                    try:
+                        holder = int(lock.read_text(encoding="utf-8"))
+                    except (OSError, ValueError):
+                        holder = None
+                    if holder is None or _pid_alive(holder):
+                        raise SnapshotError(
+                            f"snapshot directory {self.root} is being "
+                            "written by another live writer"
+                            f"{'' if holder is None else f' (pid {holder})'}"
+                            "; a snapshot directory has exactly one "
+                            "writer at a time"
+                        ) from None
+                    lock.unlink(missing_ok=True)  # stale: owner is gone
+            raise SnapshotError(
+                f"could not acquire the write lock of {self.root} (a "
+                "racing writer keeps re-creating it)"
+            )
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def _holds_snapshot_manifest(self) -> bool:
+        """Whether manifest.json parses to the snapshot manifest shape.
+
+        Deliberately version-agnostic: any format value passes, so a
+        stale snapshot can be overwritten by a fresh save (the operator
+        playbook) while a foreign ``manifest.json`` cannot.
+        """
+        try:
+            data = json.loads(
+                (self.root / _MANIFEST).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(data, dict)
+            and "format" in data
+            and isinstance(data.get("sections"), dict)
+        )
+
+    def _write_file(self, name: str, data: bytes) -> None:
+        path = self.root / name
+        if path.is_file() and path.read_bytes() == data:
+            return  # identical content already on disk; nothing to do
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_bytes(data)
+        temp.replace(path)
+
+    def _prune(self, keep: set[str]) -> None:
+        """Delete payload files the just-written manifest does not reference.
+
+        Runs only after the new manifest is durably in place, so the
+        deleted files belong exclusively to superseded snapshots (e.g.
+        schema payloads of replaced/removed repository versions, or
+        digest-named result sections from earlier checkpoints); a crash
+        mid-prune leaves orphans that the next save removes.  Only files
+        matching the store's own payload shapes are candidates — a
+        foreign file someone dropped into the directory after it was
+        claimed (notes, ad-hoc backups) is never touched.
+        """
+        for path in self.root.rglob("*"):
+            if not path.is_file():
+                continue
+            name = path.relative_to(self.root).as_posix()
+            if name in keep or name in (_MANIFEST, _MARKER, _LOCK):
+                continue
+            if any(pattern.search(name) for pattern in _OWNED_PATTERNS):
+                path.unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """The parsed manifest; raises when missing, malformed or stale."""
+        path = self.root / _MANIFEST
+        if not path.is_file():
+            raise SnapshotError(f"{self.root} holds no snapshot (no {_MANIFEST})")
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot manifest {path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("sections"), dict
+        ):
+            raise SnapshotError(f"snapshot manifest {path} is malformed")
+        fmt = manifest.get("format")
+        if fmt != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"snapshot at {self.root} has format {fmt!r}; this build "
+                f"reads format {SNAPSHOT_FORMAT} — re-snapshot instead of "
+                "loading stale state"
+            )
+        return manifest
+
+    def read_section(self, name: str, manifest: dict | None = None) -> str:
+        """One section's text, byte-digest-verified against the manifest."""
+        manifest = manifest if manifest is not None else self.manifest()
+        expected = manifest["sections"].get(name)
+        if expected is None:
+            raise SnapshotError(
+                f"snapshot at {self.root} records no section {name!r}"
+            )
+        path = self.root / name
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise SnapshotError(
+                f"snapshot section {name!r} is missing or unreadable: {exc}"
+            ) from exc
+        actual = payload_digest(data)
+        if actual != expected:
+            raise SnapshotError(
+                f"snapshot section {name!r} is corrupt: bytes hash to "
+                f"{actual}, manifest records {expected} (truncated or "
+                "tampered file)"
+            )
+        return data.decode("utf-8")
+
+    # -- schema payloads -----------------------------------------------------
+
+    @staticmethod
+    def schema_sections(schemas: list[Schema]) -> dict[str, str]:
+        """Digest-addressed payload sections for a list of schemas.
+
+        Identical schemas map to the identical section, so repository
+        and query payloads dedupe for free.
+        """
+        return {
+            _schema_section(schema.content_digest()): serialize_schema(schema)
+            for schema in schemas
+        }
+
+    def read_schema(
+        self, schema_id: str, digest: str, manifest: dict | None = None
+    ) -> Schema:
+        """Load one schema payload; verify it hashes to its address.
+
+        The parsed schema's content digest must equal ``digest`` — the
+        name the payload is stored under.  A file whose content hashes
+        elsewhere (a *foreign* payload swapped into place) fails here
+        even when its byte digest matches a manifest entry.
+        """
+        text = self.read_section(_schema_section(digest), manifest)
+        schema = parse_schema(text, schema_id)
+        if schema.content_digest() != digest:
+            raise SnapshotError(
+                f"schema payload {_schema_section(digest)!r} is foreign: "
+                f"content hashes to {schema.content_digest()}, not to its "
+                "address (id/content mismatch)"
+            )
+        return schema
+
+    # -- repository + query persistence --------------------------------------
+
+    @staticmethod
+    def repository_meta(repository: SchemaRepository) -> dict:
+        """Manifest metadata describing a repository (order-preserving)."""
+        return {
+            "repository_id": repository.repository_id,
+            "repository_digest": repository.content_digest(),
+            "schemas": [
+                [schema.schema_id, schema.content_digest()]
+                for schema in repository
+            ],
+        }
+
+    @staticmethod
+    def query_meta(queries: list[Schema]) -> list[list[str]]:
+        """Manifest metadata describing a query list (order-preserving)."""
+        return [[query.schema_id, query.content_digest()] for query in queries]
+
+    def load_repository(self, manifest: dict | None = None) -> SchemaRepository:
+        """Rebuild the repository in its recorded order, fully verified."""
+        manifest = manifest if manifest is not None else self.manifest()
+        meta = manifest.get("repository")
+        if not isinstance(meta, dict) or not meta.get("schemas"):
+            raise SnapshotError(
+                f"snapshot at {self.root} records no repository"
+            )
+        schemas = [
+            self.read_schema(schema_id, digest, manifest)
+            for schema_id, digest in meta["schemas"]
+        ]
+        repository = SchemaRepository(meta["repository_id"], schemas)
+        if repository.content_digest() != meta.get("repository_digest"):
+            raise SnapshotError(
+                "restored repository's content digest differs from the "
+                "manifest's — snapshot is internally inconsistent"
+            )
+        return repository
+
+    def load_queries(self, manifest: dict | None = None) -> list[Schema]:
+        """Rebuild the retained query list in its recorded order."""
+        manifest = manifest if manifest is not None else self.manifest()
+        return [
+            self.read_schema(schema_id, digest, manifest)
+            for schema_id, digest in manifest.get("queries", [])
+        ]

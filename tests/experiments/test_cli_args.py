@@ -102,3 +102,26 @@ class TestShardedRun:
         """Serial but sharded: exercises the full pipeline path cheaply."""
         assert main(["--small", "--workers", "1", "--shards", "2", "demo"]) == 0
         assert "contained" in capsys.readouterr().out
+
+
+class TestServeValidation:
+    """``serve`` rejects degenerate traffic shapes instead of reporting
+    vacuous success (``--repeat 0`` would make ``--verify`` a no-op)."""
+
+    def test_zero_repeat_fails_cleanly(self, capsys, tmp_path):
+        assert main(["--small", "serve", str(tmp_path / "s"),
+                     "--repeat", "0"]) == 1
+        assert "--repeat must be >= 1" in capsys.readouterr().err
+
+    def test_negative_deltas_fails_cleanly(self, capsys):
+        assert main(["--small", "serve", "--deltas", "-1"]) == 1
+        assert "--deltas must be >= 0" in capsys.readouterr().err
+
+    def test_nonpositive_churn_fails_cleanly(self, capsys):
+        assert main(["--small", "serve", "--deltas", "1",
+                     "--churn", "0"]) == 1
+        assert "--churn must be > 0" in capsys.readouterr().err
+
+    def test_invalid_max_batch_fails_cleanly(self, capsys):
+        assert main(["--small", "serve", "--max-batch", "0"]) == 1
+        assert "max_batch must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,322 @@
+"""The snapshot store: round trips and loud corruption failures.
+
+The store's contract is asymmetric by design: writing is best-effort
+atomic (payloads first, manifest last), while reading is paranoid —
+every payload byte-verified against the manifest, every schema payload
+re-hashed against its digest address, every format drift rejected.
+Nothing here may ever fall back to partially loaded state.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.schema import SchemaRepository, SnapshotStore, parse_schema
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.store import SNAPSHOT_FORMAT, payload_digest
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return generate_repository(
+        GeneratorConfig(num_schemas=5, min_size=4, max_size=8, seed=13)
+    )
+
+
+@pytest.fixture()
+def saved(tmp_path, repository):
+    """A written snapshot of the repository plus two of its schemas as queries."""
+    store = SnapshotStore(tmp_path / "snap")
+    queries = [
+        schema.copy(f"query-{i}") for i, schema in
+        enumerate(repository.schemas()[:2])
+    ]
+    meta = {
+        "repository": SnapshotStore.repository_meta(repository),
+        "queries": SnapshotStore.query_meta(queries),
+    }
+    store.save(meta, SnapshotStore.schema_sections(repository.schemas() + queries))
+    return store, queries
+
+
+class TestRoundTrip:
+    def test_repository_round_trips_in_order(self, saved, repository):
+        store, _ = saved
+        loaded = store.load_repository()
+        assert loaded.repository_id == repository.repository_id
+        assert [s.schema_id for s in loaded] == [
+            s.schema_id for s in repository
+        ]
+        assert loaded.content_digest() == repository.content_digest()
+
+    def test_queries_round_trip_in_order(self, saved):
+        store, queries = saved
+        loaded = store.load_queries()
+        assert [q.schema_id for q in loaded] == [q.schema_id for q in queries]
+        assert [q.content_digest() for q in loaded] == [
+            q.content_digest() for q in queries
+        ]
+
+    def test_exists(self, tmp_path, saved):
+        store, _ = saved
+        assert store.exists()
+        assert not SnapshotStore(tmp_path / "nowhere").exists()
+
+    def test_sections_are_digest_addressed_and_deduped(self, saved, repository):
+        store, _ = saved
+        manifest = store.manifest()
+        # every schema payload lives under its content digest
+        for schema in repository:
+            name = f"schemas/{schema.content_digest()}.schema"
+            assert name in manifest["sections"]
+            data = (store.root / name).read_bytes()
+            assert payload_digest(data) == manifest["sections"][name]
+
+    def test_save_refuses_to_claim_foreign_directory(self, tmp_path):
+        """Saving prunes unreferenced files, so a non-empty directory
+        without a manifest must be refused — never silently emptied."""
+        target = tmp_path / "mydata"
+        target.mkdir()
+        (target / "notes.txt").write_text("precious", encoding="utf-8")
+        store = SnapshotStore(target)
+        with pytest.raises(SnapshotError, match="non-empty"):
+            store.save({}, {})
+        assert (target / "notes.txt").read_text(encoding="utf-8") == "precious"
+
+    def test_save_refuses_directory_with_foreign_manifest(self, tmp_path):
+        """A file merely *named* manifest.json (e.g. a web app's) does
+        not make the directory ours — saving must still refuse."""
+        target = tmp_path / "webapp"
+        target.mkdir()
+        (target / "manifest.json").write_text(
+            json.dumps({"name": "my pwa", "icons": []}), encoding="utf-8"
+        )
+        (target / "user-data.txt").write_text("precious", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="not a snapshot manifest"):
+            SnapshotStore(target).save({}, {})
+        assert (target / "user-data.txt").exists()
+        assert json.loads(
+            (target / "manifest.json").read_text(encoding="utf-8")
+        )["name"] == "my pwa"
+
+    def test_crashed_first_save_is_recoverable(self, tmp_path, repository):
+        """A first save that died before the manifest landed left the
+        ownership marker, so re-snapshotting recovers the directory."""
+        target = tmp_path / "crashed"
+        target.mkdir()
+        (target / ".snapshot-store").touch()  # marker written pre-crash
+        (target / "schemas").mkdir()
+        (target / "schemas" / f"{'ab' * 16}.schema").write_text(
+            "half-written\n", encoding="utf-8"
+        )
+        store = SnapshotStore(target)
+        assert not store.exists()
+        store.save(
+            {"repository": SnapshotStore.repository_meta(repository)},
+            SnapshotStore.schema_sections(repository.schemas()),
+        )
+        assert store.load_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_save_over_stale_format_snapshot_allowed(self, saved, repository):
+        """A *snapshot* manifest of any format version stays ours — the
+        re-snapshot playbook for format drift must keep working."""
+        store, _ = saved
+        manifest = store.manifest()
+        manifest["format"] = SNAPSHOT_FORMAT + 1
+        (store.root / "manifest.json").write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        store.save(
+            {"repository": SnapshotStore.repository_meta(repository)},
+            SnapshotStore.schema_sections(repository.schemas()),
+        )
+        assert store.load_repository().content_digest() == (
+            repository.content_digest()
+        )
+
+    def test_resave_prunes_only_payload_shaped_files(self, saved):
+        """A re-save drops *payload-shaped* files the new manifest no
+        longer references — superseded sections and temp leftovers —
+        but never foreign files dropped into the directory later."""
+        store, _ = saved
+        superseded = store.root / f"results-{'0f' * 8}.json"
+        superseded.write_text("{}", encoding="utf-8")
+        leftover = store.root / "schemas" / "broken.schema.tmp"
+        leftover.write_text("x", encoding="utf-8")
+        foreign = store.root / "notes.md"
+        foreign.write_text("operator scribbles", encoding="utf-8")
+        manifest = store.manifest()
+        store.save(
+            {"repository": manifest["repository"]},
+            {
+                name: store.read_section(name, manifest)
+                for name in manifest["sections"]
+            },
+        )
+        assert not superseded.exists()
+        assert not leftover.exists()
+        assert foreign.read_text(encoding="utf-8") == "operator scribbles"
+
+    def test_concurrent_writer_is_refused(self, saved):
+        """A live writer's lock makes a second save fail loudly; a dead
+        writer's (stale pid) is stolen so crashes need no cleanup."""
+        store, _ = saved
+        lock = store.root / ".snapshot-lock"
+        manifest = store.manifest()
+        sections = {
+            name: store.read_section(name, manifest)
+            for name in manifest["sections"]
+        }
+        lock.write_text("1", encoding="utf-8")  # pid 1: alive, never us
+        with pytest.raises(SnapshotError, match="one writer"):
+            store.save({"repository": manifest["repository"]}, sections)
+        import os
+
+        lock.write_text(str(os.getpid()), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="one writer"):
+            # our own pid = another thread of this process: just as live
+            store.save({"repository": manifest["repository"]}, sections)
+        lock.write_text("not-a-pid", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="one writer"):
+            # unreadable holder: refuse, never steal what we can't judge
+            store.save({"repository": manifest["repository"]}, sections)
+        lock.write_text("999999999", encoding="utf-8")  # dead writer: stolen
+        store.save({"repository": manifest["repository"]}, sections)
+        assert not lock.exists()
+
+    def test_save_rejects_reserved_meta_keys(self, tmp_path):
+        store = SnapshotStore(tmp_path / "s")
+        with pytest.raises(SnapshotError, match="reserved"):
+            store.save({"format": 2}, {})
+        with pytest.raises(SnapshotError, match="reserved"):
+            store.save({"sections": {}}, {})
+
+
+class TestLoudFailures:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            SnapshotStore(tmp_path).manifest()
+
+    def test_malformed_manifest(self, saved):
+        store, _ = saved
+        (store.root / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            store.manifest()
+
+    def test_manifest_without_sections_table(self, saved):
+        store, _ = saved
+        (store.root / "manifest.json").write_text(
+            json.dumps({"format": SNAPSHOT_FORMAT}), encoding="utf-8"
+        )
+        with pytest.raises(SnapshotError, match="malformed"):
+            store.manifest()
+
+    def test_version_mismatch(self, saved):
+        store, _ = saved
+        manifest = store.manifest()
+        manifest["format"] = SNAPSHOT_FORMAT + 1
+        (store.root / "manifest.json").write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        with pytest.raises(SnapshotError, match="format"):
+            store.manifest()
+
+    def test_truncated_payload(self, saved, repository):
+        store, _ = saved
+        schema = repository.schemas()[0]
+        path = store.root / f"schemas/{schema.content_digest()}.schema"
+        path.write_bytes(path.read_bytes()[:10])  # truncate
+        with pytest.raises(SnapshotError, match="corrupt"):
+            store.load_repository()
+
+    def test_tampered_payload(self, saved, repository):
+        store, _ = saved
+        schema = repository.schemas()[1]
+        path = store.root / f"schemas/{schema.content_digest()}.schema"
+        path.write_text(
+            path.read_text(encoding="utf-8").replace(
+                schema.root.name, "tampered"
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(SnapshotError, match="corrupt"):
+            store.load_repository()
+
+    def test_missing_payload_file(self, saved, repository):
+        store, _ = saved
+        schema = repository.schemas()[2]
+        (store.root / f"schemas/{schema.content_digest()}.schema").unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            store.load_repository()
+
+    def test_unrecorded_section(self, saved):
+        store, _ = saved
+        with pytest.raises(SnapshotError, match="records no section"):
+            store.read_section("nonexistent.json")
+
+    def test_foreign_digest(self, tmp_path, repository):
+        """A payload whose content hashes away from its address is refused.
+
+        The manifest's byte digest matches (the file was *saved* under
+        the wrong address), so only the schema-level re-hash catches it.
+        """
+        store = SnapshotStore(tmp_path / "forged")
+        schema = repository.schemas()[0]
+        wrong = "00" * 16
+        from repro.schema.parser import serialize_schema
+
+        store.save(
+            {"repository": {
+                "repository_id": "r",
+                "repository_digest": "irrelevant",
+                "schemas": [[schema.schema_id, wrong]],
+            }},
+            {f"schemas/{wrong}.schema": serialize_schema(schema)},
+        )
+        with pytest.raises(SnapshotError, match="foreign"):
+            store.read_schema(schema.schema_id, wrong)
+
+    def test_repositoryless_manifest(self, tmp_path):
+        store = SnapshotStore(tmp_path / "bare")
+        store.save({}, {})
+        with pytest.raises(SnapshotError, match="no repository"):
+            store.load_repository()
+
+    def test_inconsistent_repository_digest(self, saved):
+        store, _ = saved
+        manifest = store.manifest()
+        manifest["repository"]["repository_digest"] = "11" * 16
+        (store.root / "manifest.json").write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        with pytest.raises(SnapshotError, match="internally inconsistent"):
+            store.load_repository()
+
+
+class TestOverwrite:
+    def test_resave_replaces_snapshot(self, saved, repository):
+        """Checkpointing over an old snapshot serves the new state."""
+        store, _ = saved
+        evolved = SchemaRepository(
+            repository.repository_id, repository.schemas()[:3]
+        )
+        store.save(
+            {"repository": SnapshotStore.repository_meta(evolved)},
+            SnapshotStore.schema_sections(evolved.schemas()),
+        )
+        loaded = store.load_repository()
+        assert loaded.content_digest() == evolved.content_digest()
+        assert store.load_queries() == []  # new manifest records none
+
+    def test_schema_payload_text_is_canonical(self, saved, repository):
+        """Payloads are the textual format — diffable, hand-editable."""
+        store, _ = saved
+        schema = repository.schemas()[0]
+        text = store.read_section(
+            f"schemas/{schema.content_digest()}.schema"
+        )
+        reparsed = parse_schema(text, schema.schema_id)
+        assert reparsed.content_digest() == schema.content_digest()
