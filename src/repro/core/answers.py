@@ -14,9 +14,13 @@ from __future__ import annotations
 import bisect
 from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import TypeVar
 
 from repro.errors import AnswerSetError, NotASubsetError
+
+#: sort key of every answer ordering (attrgetter: one C call per element)
+_BY_SCORE = attrgetter("score")
 
 __all__ = ["Answer", "AnswerSet"]
 
@@ -46,17 +50,19 @@ class AnswerSet:
     """
 
     def __init__(self, answers: Iterable[Answer]):
-        ordered = sorted(answers, key=lambda a: a.score)
-        seen: set[Hashable] = set()
-        for answer in ordered:
-            if answer.item in seen:
-                raise AnswerSetError(
-                    f"duplicate answer item {answer.item!r} in answer set"
-                )
-            seen.add(answer.item)
+        ordered = sorted(answers, key=_BY_SCORE)
+        items = frozenset(a.item for a in ordered)
+        if len(items) != len(ordered):  # rebuild stepwise to name the culprit
+            seen: set[Hashable] = set()
+            for answer in ordered:
+                if answer.item in seen:
+                    raise AnswerSetError(
+                        f"duplicate answer item {answer.item!r} in answer set"
+                    )
+                seen.add(answer.item)
         self._answers: tuple[Answer, ...] = tuple(ordered)
         self._scores: list[float] = [a.score for a in ordered]
-        self._items: frozenset[Hashable] = frozenset(seen)
+        self._items: frozenset[Hashable] = items
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[Hashable, float]]) -> "AnswerSet":

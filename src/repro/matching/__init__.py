@@ -26,7 +26,13 @@ All searches draw on the **similarity substrate**
 matrices and a repository token index, precomputed once per objective
 function and shared across matchers, thresholds, sweeps and shards —
 with exact threshold-driven candidate pruning that provably never
-changes an answer set.
+changes an answer set.  Underneath sits the **repository scoring
+kernel** (:mod:`repro.matching.similarity.kernel`): every distinct
+(normalised label, datatype) cost is computed once per repository into
+interned flat rows, matrices gather from them, clustering runs over the
+same interned surface, and the branch-and-bound itself is a flattened
+explicit-stack loop over bitmasks — all byte-identical to the reference
+paths kept behind :func:`kernel_disabled` / :func:`flat_search_disabled`.
 
 Evolving repositories go through :mod:`repro.matching.evolution`: an
 :class:`~repro.matching.evolution.EvolutionSession` replays
@@ -51,6 +57,9 @@ from repro.matching.clustering import ClusteringMatcher, ElementClusterer
 from repro.matching.engine import (
     SchemaSearch,
     count_assignments,
+    flat_search_disabled,
+    flat_search_enabled,
+    set_flat_search_enabled,
     threshold_unreachable,
 )
 from repro.matching.evolution import EvolutionSession
@@ -81,6 +90,7 @@ from repro.matching.registry import (
 )
 from repro.matching.service import MatchingService, ServiceStats
 from repro.matching.similarity import (
+    CostKernel,
     NameSimilarity,
     ScoreMatrix,
     SimilaritySubstrate,
@@ -88,6 +98,9 @@ from repro.matching.similarity import (
     TokenIndex,
     ancestry_violations,
     datatype_penalty,
+    kernel_disabled,
+    kernel_enabled,
+    set_kernel_enabled,
     set_substrate_enabled,
     substrate_disabled,
     substrate_enabled,
@@ -103,6 +116,7 @@ __all__ = [
     "BeamMatcher",
     "CandidateCache",
     "ClusteringMatcher",
+    "CostKernel",
     "ElementClusterer",
     "EvolutionSession",
     "ExhaustiveMatcher",
@@ -133,11 +147,17 @@ __all__ = [
     "count_assignments",
     "datatype_penalty",
     "evolution_session",
+    "flat_search_disabled",
+    "flat_search_enabled",
+    "kernel_disabled",
+    "kernel_enabled",
     "load_snapshot",
     "make_matcher",
     "matching_service",
     "random_subset_like",
     "save_snapshot",
+    "set_flat_search_enabled",
+    "set_kernel_enabled",
     "set_substrate_enabled",
     "shard_repository",
     "shutdown_workers",

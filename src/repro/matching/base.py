@@ -138,13 +138,21 @@ class Matcher(abc.ABC):
         pipeline — yields the identical answer set.
         """
         pairs: list[tuple[Mapping, float]] = []
+        query_id = query.schema_id
         for schema in repository:
-            for target_ids, score in pair_results[schema.schema_id]:
-                handles = tuple(
-                    ElementHandle(schema, target_id) for target_id in target_ids
+            results = pair_results[schema.schema_id]
+            if not results:
+                continue
+            # One handle per schema element, shared by every mapping into
+            # this schema — handles are frozen value objects, so aliasing
+            # them is observationally identical to fresh construction.
+            table = [ElementHandle(schema, j) for j in range(len(schema))]
+            for target_ids, score in results:
+                handles = tuple(map(table.__getitem__, target_ids))
+                pairs.append(
+                    (Mapping._from_search(query_id, handles, target_ids), score)
                 )
-                pairs.append((Mapping(query.schema_id, handles), score))
-                self.check_capacity(len(pairs), delta_max)
+            self.check_capacity(len(pairs), delta_max)
         return AnswerSet.from_pairs(pairs)
 
     def match(

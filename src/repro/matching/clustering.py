@@ -19,6 +19,7 @@ nominated clusters) are mostly retained.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -26,11 +27,25 @@ from repro.errors import MatchingError
 from repro.matching.base import Matcher
 from repro.matching.engine import SchemaSearch
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity.kernel import kernel_enabled
 from repro.matching.similarity.name import NameSimilarity
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
+from repro.util.caching import fifo_put
+from repro.util.text import normalise_label
 
 __all__ = ["ElementCluster", "ElementClusterer", "ClusteringMatcher"]
+
+
+#: clusters shared across matcher instances per NameSimilarity (the
+#: dependency clustering output is a pure function of, together with the
+#: join threshold and repository content) — keyed weakly so a retired
+#: objective's universe is collectable.  Only consulted with the scoring
+#: kernel on; kernel-off preserves the per-matcher PR-4 scans.
+_SHARED_CLUSTERS: "weakref.WeakKeyDictionary[NameSimilarity, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_SHARED_CLUSTERS_PER_SIMILARITY = 8
 
 
 @dataclass
@@ -62,6 +77,37 @@ class ElementClusterer:
         self.join_threshold = join_threshold
 
     def cluster(self, repository: SchemaRepository) -> list[ElementCluster]:
+        """Greedy leader clustering of every repository element.
+
+        Dispatches on the scoring-kernel switch: with the kernel on, the
+        interned distinct-label path below runs (the repository's
+        repeated labels scan clusters once per *distinct* normalised
+        label, not once per element) and the result is shared across
+        every matcher built on the same name similarity — clustering is
+        a pure function of (similarity configuration, join threshold,
+        repository content), so the clustering and hybrid matchers of
+        one universe cluster a repository once between them.  Off, the
+        original per-matcher full scan runs.  All paths produce
+        identical clusters — the kernel-on/off property suite covers
+        the clustering matchers.  Every call returns its own cluster
+        objects (cache hits copy leader and members), so a caller
+        mutating its result cannot corrupt other matchers.
+        """
+        if not kernel_enabled():
+            return self._cluster_scan(repository)
+        cache = _SHARED_CLUSTERS.setdefault(self.name_similarity, {})
+        key = (self.join_threshold, repository.content_digest())
+        clusters = cache.get(key)
+        if clusters is None:
+            clusters = self._cluster_interned(repository)
+            fifo_put(cache, key, clusters, _SHARED_CLUSTERS_PER_SIMILARITY)
+        return [
+            ElementCluster(cluster.leader_name, set(cluster.members))
+            for cluster in clusters
+        ]
+
+    def _cluster_scan(self, repository: SchemaRepository) -> list[ElementCluster]:
+        """The reference greedy scan: every element against every cluster."""
         clusters: list[ElementCluster] = []
         for handle in repository.all_elements():
             best_cluster: ElementCluster | None = None
@@ -76,6 +122,58 @@ class ElementClusterer:
                 best_cluster = ElementCluster(leader_name=handle.name)
                 clusters.append(best_cluster)
             best_cluster.members.add(handle.key)
+        return clusters
+
+    def _cluster_interned(
+        self, repository: SchemaRepository
+    ) -> list[ElementCluster]:
+        """Distinct-label compaction of :meth:`_cluster_scan`, exactly.
+
+        Name similarity is a pure function of the *normalised* labels,
+        so two elements with the same normalised label score identically
+        against every cluster.  Per distinct label the scan keeps
+        ``(best cluster index, best score, clusters seen)``; a repeat
+        label resumes scanning at the first unseen cluster, replacing
+        the cached best on ``score >= best`` — the same
+        last-maximum-wins comparison the full scan applies, replayed
+        only over the suffix, so the chosen cluster (and the founded
+        cluster set) is identical element for element.  A label that
+        founded a cluster is cached as that cluster at similarity 1.0 —
+        the exact value the scan would compute against its own leader,
+        and unbeatable because duplicate-normalised leaders cannot arise
+        (the second occurrence always joins the first at 1.0 ≥ the join
+        threshold).
+        """
+        clusters: list[ElementCluster] = []
+        similarity = self.name_similarity.similarity
+        threshold = self.join_threshold
+        #: normalised label -> (best cluster index or -1, best score, seen)
+        best_by_label: dict[str, tuple[int, float, int]] = {}
+        for handle in repository.all_elements():
+            name = handle.name
+            label = normalise_label(name)
+            if not label:
+                # Empty normalisations score 0.0 against *everything* —
+                # even an identically-normalised leader — so they never
+                # join and cannot be compacted; replay the full scan.
+                best_index, best_score, seen = -1, threshold, 0
+            else:
+                entry = best_by_label.get(label)
+                if entry is None:
+                    best_index, best_score, seen = -1, threshold, 0
+                else:
+                    best_index, best_score, seen = entry
+            for index in range(seen, len(clusters)):
+                score = similarity(clusters[index].leader_name, name)
+                if score >= best_score:
+                    best_index, best_score = index, score
+            if best_index < 0:
+                best_index = len(clusters)
+                clusters.append(ElementCluster(leader_name=name))
+                best_score = 1.0  # what the scan scores a leader vs itself
+            if label:
+                best_by_label[label] = (best_index, best_score, len(clusters))
+            clusters[best_index].members.add(handle.key)
         return clusters
 
 
@@ -109,6 +207,12 @@ class ClusteringMatcher(Matcher):
         self._clusters: list[ElementCluster] | None = None
         self._repository_digest: str | None = None
         self._current_allowed: set[tuple[str, int]] | None = None
+        # query content digest -> nominated keys; nomination is a
+        # deterministic function of (clusters, query content,
+        # clusters_per_element), so re-ranking every cluster on every
+        # begin_query (once per threshold per query in a sweep) is pure
+        # rework.  Invalidated with the clusters, bounded FIFO.
+        self._nominations: dict[str, set[tuple[str, int]]] = {}
 
     def prepare(self, repository: SchemaRepository) -> None:
         """Cluster the repository once (cached per repository *content*).
@@ -125,6 +229,7 @@ class ClusteringMatcher(Matcher):
             return
         self._clusters = self.clusterer.cluster(repository)
         self._repository_digest = digest
+        self._nominations.clear()
 
     def allowed_element_keys(self, query: Schema) -> set[tuple[str, int]]:
         """Union of the clusters nominated by the query's elements."""
@@ -148,8 +253,20 @@ class ClusteringMatcher(Matcher):
         Runs after :meth:`prepare`, so the nomination always works on the
         *full* repository's clusters — also under the sharded pipeline,
         which prepares on the whole repository before fanning shards out.
+        Nominations are memoised per query *content* against the current
+        clusters (kernel on — the same switch that gates the shared
+        cluster build), so a threshold sweep re-ranks nothing; kernel
+        off replays the PR-4 per-call ranking.
         """
-        self._current_allowed = self.allowed_element_keys(query)
+        if not kernel_enabled():
+            self._current_allowed = self.allowed_element_keys(query)
+            return
+        digest = query.content_digest()
+        allowed = self._nominations.get(digest)
+        if allowed is None:
+            allowed = self.allowed_element_keys(query)
+            fifo_put(self._nominations, digest, allowed, 4096)
+        self._current_allowed = allowed
 
     def _match_schema(
         self, query: Schema, schema: Schema, delta_max: float

@@ -39,12 +39,26 @@ cost is at least the prefix of minima, and structure violations only
 add), so every trimmed candidate is one branch-and-bound provably never
 expands: the emitted mapping set is identical, candidate for candidate,
 to the untrimmed search — property-tested with the substrate on vs. off.
+
+Flattened search
+----------------
+:meth:`SchemaSearch.exhaustive` runs as an explicit-stack loop over
+preallocated per-depth arrays: the ``used`` set is an integer bitmask,
+ancestry checks are one shift against the schema's precomputed
+per-target ancestor bitsets
+(:meth:`~repro.schema.model.Schema.ancestor_masks`), and candidate rows
+are flat tuples.  The bound arithmetic is expression-for-expression that
+of :meth:`SchemaSearch.exhaustive_reference` — the recursive generator
+kept as the executable specification — so the emitted sequence is
+byte-identical; :func:`flat_search_disabled` switches the process back
+to the reference for A/B runs.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import MatchingError
@@ -52,12 +66,50 @@ from repro.matching.objective import ObjectiveFunction
 from repro.matching.similarity.matrix import suffix_cost_sums
 from repro.schema.model import Schema
 
-__all__ = ["SchemaSearch", "count_assignments", "threshold_unreachable"]
+__all__ = [
+    "SchemaSearch",
+    "count_assignments",
+    "flat_search_disabled",
+    "flat_search_enabled",
+    "set_flat_search_enabled",
+    "threshold_unreachable",
+]
 
 _EPSILON = 1e-9
 # Extra slack on the static pruning bound so float non-associativity can
 # only ever keep a candidate the dynamic bound would also have kept.
 _TRIM_SLACK = 1e-12
+
+_FLAT_ENABLED = True
+
+
+def flat_search_enabled() -> bool:
+    """Whether :meth:`SchemaSearch.exhaustive` runs the flattened loop."""
+    return _FLAT_ENABLED
+
+
+def set_flat_search_enabled(enabled: bool) -> bool:
+    """Set the process-wide flat-search switch; returns the previous value."""
+    global _FLAT_ENABLED
+    previous = _FLAT_ENABLED
+    _FLAT_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def flat_search_disabled() -> Iterator[None]:
+    """Run a block on the recursive reference search (the PR-4 engine).
+
+    For A/B benchmarks and the property suite: the flattened
+    explicit-stack loop and :meth:`SchemaSearch.exhaustive_reference`
+    must emit the identical mapping sequence — same assignments, same
+    scores, same order.
+    """
+    previous = set_flat_search_enabled(False)
+    try:
+        yield
+    finally:
+        set_flat_search_enabled(previous)
 
 
 def count_assignments(query_size: int, schema_size: int) -> int:
@@ -161,25 +213,34 @@ class SchemaSearch:
             costs = matrix.costs
         else:
             costs = self.objective.cost_matrix(query, schema)
-        candidates: list[Sequence[int]] = []
-        row_best: list[float] = []
-        for i in range(k):
-            if allowed is not None and allowed[i] is not None:
-                ids = [j for j in allowed[i] if 0 <= j < m]
-                if not ids:
-                    return None  # some element has no candidate at all
-                ids.sort(key=lambda j: (costs[i][j], j))
-                candidates.append(ids)
-                row_best.append(min(costs[i][j] for j in ids))
-            elif matrix is not None:
-                candidates.append(matrix.candidate_order[i])
-                row_best.append(matrix.row_min[i])
-            else:
-                ids = sorted(range(m), key=lambda j: (costs[i][j], j))
-                candidates.append(ids)
-                row_best.append(min(costs[i]))
-        min_rest = list(suffix_cost_sums(row_best))
-        parents = [query.parent_id(i) for i in range(k)]
+        if allowed is None and matrix is not None:
+            # Unrestricted search over a precomputed matrix: the context
+            # aliases the matrix's candidate orders and suffix sums
+            # outright — ``min_rest`` *is* suffix_cost_sums(row_min), the
+            # shared accumulation, so no per-search float work runs here.
+            candidates: list[Sequence[int]] = list(matrix.candidate_order)
+            min_rest: Sequence[float] = matrix.min_rest
+        else:
+            candidates = []
+            row_best: list[float] = []
+            for i in range(k):
+                if allowed is not None and allowed[i] is not None:
+                    pairs = sorted(
+                        (costs[i][j], j) for j in allowed[i] if 0 <= j < m
+                    )
+                    if not pairs:
+                        return None  # some element has no candidate at all
+                    candidates.append([j for _, j in pairs])
+                    row_best.append(pairs[0][0])  # cost-sorted: first is min
+                elif matrix is not None:
+                    candidates.append(matrix.candidate_order[i])
+                    row_best.append(matrix.row_min[i])
+                else:
+                    pairs = sorted(zip(costs[i], range(m)))
+                    candidates.append([j for _, j in pairs])
+                    row_best.append(pairs[0][0])
+            min_rest = suffix_cost_sums(row_best)
+        parents = query.parent_ids()
         num_edges = sum(1 for p in parents if p is not None)
         sw = self.objective.weights.structure
         return _SearchContext(
@@ -231,7 +292,129 @@ class SchemaSearch:
     # -- exact enumeration --------------------------------------------------
 
     def exhaustive(self, delta_max: float) -> Iterator[tuple[tuple[int, ...], float]]:
-        """All injective assignments with Δ ≤ δmax, via branch-and-bound."""
+        """All injective assignments with Δ ≤ δmax, via branch-and-bound.
+
+        Runs the flattened explicit-stack loop — an iterative DFS over
+        preallocated arrays with ``used`` as an integer bitmask and
+        ancestry read from the schema's precomputed
+        :meth:`~repro.schema.model.Schema.ancestor_masks` — with bound
+        arithmetic identical, expression for expression, to
+        :meth:`exhaustive_reference` (the recursive generator this loop
+        replaced, kept as the executable specification).  The emitted
+        mapping sequence is candidate-for-candidate identical to the
+        reference — same assignments, same floats, same order —
+        property-tested in ``tests/properties/test_prop_kernel.py``.
+        Honours :func:`flat_search_enabled` so A/B runs can time the
+        reference path.
+        """
+        if not flat_search_enabled():
+            yield from self.exhaustive_reference(delta_max)
+            return
+        ctx = self._context
+        if ctx is None:
+            return
+        cutoff = delta_max + _EPSILON
+        candidates = self._trimmed_candidates(ctx, cutoff)
+        if candidates is None:
+            return
+        k = len(ctx.query)
+        # Flat per-depth frames, filled on descent and read on resume:
+        # candidate rows as flat sequences with resume cursors, prefix
+        # cost sums / violation counts (index d = state *before*
+        # assigning depth d), the resolved parent target and the
+        # already-multiplied structure term, the running assignment, and
+        # `used` as a target-id bitmask.  Ancestry is one shift-and-test
+        # against the schema's precomputed per-target ancestor bitsets.
+        costs = ctx.costs
+        min_rest = ctx.min_rest
+        parents = ctx.parents
+        element_share = ctx.element_share
+        structure_share = ctx.structure_share
+        num_edges = ctx.num_edges
+        ancestor_masks = ctx.schema.ancestor_masks()
+        combine = self.objective.combine
+        assignment = [0] * k
+        positions = [0] * k
+        cost_sums = [0.0] * (k + 1)
+        violations = [0] * (k + 1)
+        parent_targets = [-1] * k  # parents[0] is the root's None
+        structure_terms = [0.0] * k  # structure_share * violations[depth]
+        used = 0
+        depth = 0
+        while depth >= 0:
+            row = candidates[depth]
+            cost_row = costs[depth]
+            index = positions[depth]
+            length = len(row)
+            prefix_cost = cost_sums[depth]
+            prefix_violations = violations[depth]
+            structure_so_far = structure_terms[depth]
+            tail_min = min_rest[depth + 1]
+            parent_target = parent_targets[depth]
+            chosen = -1
+            while index < length:
+                target = row[index]
+                index += 1
+                if (used >> target) & 1:
+                    continue
+                cost = cost_row[target]
+                base_bound = (
+                    element_share * (prefix_cost + cost + tail_min)
+                    + structure_so_far
+                )
+                if base_bound > cutoff:
+                    index = length  # candidates are cost-sorted; rest only worse
+                    break
+                new_violations = prefix_violations
+                if parent_target >= 0 and not (
+                    (ancestor_masks[target] >> parent_target) & 1
+                ):
+                    new_violations += 1
+                    if base_bound + structure_share > cutoff:
+                        continue  # violation pushed this one out; others may fit
+                chosen = target
+                chosen_cost = cost
+                chosen_violations = new_violations
+                break
+            positions[depth] = index
+            if chosen < 0:  # depth exhausted: backtrack, resume the parent
+                depth -= 1
+                if depth >= 0:
+                    used ^= 1 << assignment[depth]
+                continue
+            assignment[depth] = chosen
+            next_depth = depth + 1
+            if next_depth == k:  # complete assignment: score and emit
+                score = combine(
+                    prefix_cost + chosen_cost,
+                    k,
+                    (chosen_violations / num_edges) if num_edges else 0.0,
+                )
+                if score <= cutoff:
+                    yield tuple(assignment), score
+                continue  # same depth; cursor already points at the next candidate
+            used |= 1 << chosen
+            cost_sums[next_depth] = prefix_cost + chosen_cost
+            violations[next_depth] = chosen_violations
+            structure_terms[next_depth] = structure_share * chosen_violations
+            parent = parents[next_depth]
+            parent_targets[next_depth] = (
+                assignment[parent] if parent is not None else -1
+            )
+            positions[next_depth] = 0
+            depth = next_depth
+
+    def exhaustive_reference(
+        self, delta_max: float
+    ) -> Iterator[tuple[tuple[int, ...], float]]:
+        """The recursive branch-and-bound: :meth:`exhaustive`'s spec.
+
+        This is the PR-4 engine, kept verbatim as the executable
+        specification the flattened loop is property-tested against and
+        as the baseline half of ``benchmarks/bench_kernel.py``.  Both
+        searches evaluate the same bound expressions on the same floats
+        in the same order; only the control flow differs.
+        """
         ctx = self._context
         if ctx is None:
             return
@@ -305,20 +488,23 @@ class SchemaSearch:
         if candidates is None:
             return
         k = len(ctx.query)
-        # state: (bound, assignment tuple, used frozenset, cost_sum, violations)
-        states: list[tuple[float, tuple[int, ...], frozenset[int], float, int]] = [
-            (ctx.element_share * ctx.min_rest[0], (), frozenset(), 0.0, 0)
+        ancestor_masks = ctx.schema.ancestor_masks()
+        # state: (bound, assignment tuple, used bitmask, cost_sum, violations)
+        # — the bitmask is internal bookkeeping; selection sorts on the
+        # bound alone, so the emitted beam is unchanged
+        states: list[tuple[float, tuple[int, ...], int, float, int]] = [
+            (ctx.element_share * ctx.min_rest[0], (), 0, 0.0, 0)
         ]
         for depth in range(k):
             expansions: list[
-                tuple[float, tuple[int, ...], frozenset[int], float, int]
+                tuple[float, tuple[int, ...], int, float, int]
             ] = []
             parent = ctx.parents[depth]
             for bound, assignment, used, cost_sum, violations in states:
                 parent_target = assignment[parent] if parent is not None else None
                 structure_so_far = ctx.structure_share * violations
                 for target in candidates[depth]:
-                    if target in used:
+                    if (used >> target) & 1:
                         continue
                     cost = ctx.costs[depth][target]
                     base_bound = (
@@ -330,8 +516,8 @@ class SchemaSearch:
                         break
                     new_violations = violations
                     new_bound = base_bound
-                    if parent_target is not None and not ctx.schema.is_ancestor(
-                        parent_target, target
+                    if parent_target is not None and not (
+                        (ancestor_masks[target] >> parent_target) & 1
                     ):
                         new_violations += 1
                         new_bound += ctx.structure_share
@@ -341,7 +527,7 @@ class SchemaSearch:
                         (
                             new_bound,
                             assignment + (target,),
-                            used | {target},
+                            used | (1 << target),
                             cost_sum + cost,
                             new_violations,
                         )

@@ -56,18 +56,47 @@ class Mapping:
     def __post_init__(self) -> None:
         if not self.targets:
             raise MatchingError("a mapping needs at least one target")
-        schema_ids = {t.schema.schema_id for t in self.targets}
-        if len(schema_ids) != 1:
-            raise MatchingError(
-                f"mapping spans repository schemas {sorted(schema_ids)}; "
-                "a mapping must stay within one schema"
-            )
-        ids = [t.element_id for t in self.targets]
+        first = self.targets[0].schema
+        if any(t.schema is not first for t in self.targets):
+            # distinct objects may still be the same schema id; only then
+            # build the full id set for the error message
+            schema_ids = {t.schema.schema_id for t in self.targets}
+            if len(schema_ids) != 1:
+                raise MatchingError(
+                    f"mapping spans repository schemas {sorted(schema_ids)}; "
+                    "a mapping must stay within one schema"
+                )
+        ids = tuple(t.element_id for t in self.targets)
         if len(set(ids)) != len(ids):
             raise MatchingError(
                 "mapping assigns two query elements to the same target "
-                f"(element ids {ids})"
+                f"(element ids {list(ids)})"
             )
+        # injectivity already walked the targets; keep the result (the
+        # answer-set layer hashes every mapping it ingests)
+        object.__setattr__(self, "_target_ids", ids)
+
+    @classmethod
+    def _from_search(
+        cls,
+        query_schema_id: str,
+        targets: tuple[ElementHandle, ...],
+        target_ids: tuple[int, ...],
+    ) -> "Mapping":
+        """Construct without re-validating — for engine-produced output.
+
+        The branch-and-bound guarantees single-schema injective
+        assignments (``used`` excludes every assigned target), so
+        :meth:`~repro.matching.base.Matcher.assemble` — which turns tens
+        of thousands of search results into mappings on the hot path —
+        skips the constructor's checks.  Every other producer goes
+        through ``Mapping(...)`` and keeps them.
+        """
+        mapping = object.__new__(cls)
+        object.__setattr__(mapping, "query_schema_id", query_schema_id)
+        object.__setattr__(mapping, "targets", targets)
+        object.__setattr__(mapping, "_target_ids", target_ids)
+        return mapping
 
     @property
     def target_schema(self) -> Schema:
@@ -75,19 +104,27 @@ class Mapping:
 
     @property
     def target_ids(self) -> tuple[int, ...]:
-        return tuple(t.element_id for t in self.targets)
+        return self._target_ids  # type: ignore[attr-defined]
 
     @property
     def key(self) -> tuple:
-        """Hashable identity used across systems."""
-        return (
-            self.query_schema_id,
-            self.target_schema.schema_id,
-            self.target_ids,
-        )
+        """Hashable identity used across systems (computed once)."""
+        key = self.__dict__.get("_key")
+        if key is None:
+            key = (
+                self.query_schema_id,
+                self.targets[0].schema.schema_id,
+                self._target_ids,  # type: ignore[attr-defined]
+            )
+            object.__setattr__(self, "_key", key)
+        return key
 
     def __hash__(self) -> int:
-        return hash(self.key)
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.key)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Mapping):

@@ -117,10 +117,33 @@ class ObjectiveFunction:
 
     def element_cost(self, query_element: SchemaElement, target: ElementHandle) -> float:
         """Cost in [0, 1] of mapping one query element onto one target."""
-        name_cost = 1.0 - self.name_similarity.similarity(
-            query_element.name, target.name
+        return self.label_cost(
+            query_element.name,
+            query_element.datatype,
+            target.name,
+            target.datatype,
         )
-        type_cost = datatype_penalty(query_element.datatype, target.datatype)
+
+    def label_cost(
+        self,
+        query_name: str,
+        query_datatype,
+        target_name: str,
+        target_datatype,
+    ) -> float:
+        """Element cost from labels and datatypes alone.
+
+        The *single* definition of the per-element cost expression:
+        :meth:`element_cost` and the repository scoring kernel
+        (:class:`~repro.matching.similarity.kernel.CostKernel`) both
+        evaluate through here, so a kernel row entry is the bit-identical
+        float the direct per-pair path would produce.  Name similarity
+        depends only on the *normalised* labels (and is memoised on
+        them), which is what licenses the kernel to compute one cost per
+        distinct (normalised label, datatype) pair per repository.
+        """
+        name_cost = 1.0 - self.name_similarity.similarity(query_name, target_name)
+        type_cost = datatype_penalty(query_datatype, target_datatype)
         return self._name_share * name_cost + self._datatype_share * type_cost
 
     def cost_matrix(self, query: Schema, target_schema: Schema) -> list[list[float]]:

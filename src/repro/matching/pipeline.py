@@ -59,8 +59,17 @@ from time import perf_counter
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.base import Matcher
-from repro.matching.engine import threshold_unreachable
-from repro.matching.similarity.matrix import substrate_enabled, suffix_cost_sums
+from repro.matching.engine import (
+    flat_search_enabled,
+    set_flat_search_enabled,
+    threshold_unreachable,
+)
+from repro.matching.similarity.kernel import kernel_enabled, set_kernel_enabled
+from repro.matching.similarity.matrix import (
+    set_substrate_enabled,
+    substrate_enabled,
+    suffix_cost_sums,
+)
 from repro.schema.delta import DeltaReport
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
@@ -290,9 +299,19 @@ _WORKER_STATE: dict[str, object] | None = None
 
 
 def _init_worker(
-    matcher: Matcher, queries: list[Schema], schemas: dict[str, Schema]
+    matcher: Matcher,
+    queries: list[Schema],
+    schemas: dict[str, Schema],
+    switches: tuple[bool, bool, bool] = (True, True, True),
 ) -> None:
     global _WORKER_STATE
+    # Mirror the coordinator's process-wide A/B switches (substrate,
+    # kernel, flat search) — worker processes otherwise boot with the
+    # module defaults regardless of what the coordinator toggled.
+    substrate_on, kernel_on, flat_on = switches
+    set_substrate_enabled(substrate_on)
+    set_kernel_enabled(kernel_on)
+    set_flat_search_enabled(flat_on)
     _WORKER_STATE = {"matcher": matcher, "queries": queries, "schemas": schemas}
 
 
@@ -353,7 +372,12 @@ def _acquire_pool(
     executor = ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_init_worker,
-        initargs=(matcher, queries, schema_table),
+        initargs=(
+            matcher,
+            queries,
+            schema_table,
+            (substrate_enabled(), kernel_enabled(), flat_search_enabled()),
+        ),
     )
     _POOL = _WorkerPool(executor, max_workers, state_key)
     return executor
@@ -830,11 +854,17 @@ class MatchingPipeline:
         # while the state key matches (see :func:`_acquire_pool`); tasks
         # carry only indices, schema ids and the threshold.
         schema_table = {schema.schema_id: schema for schema in repository}
+        # The process-wide A/B switches enter the key: workers hold a
+        # pickled copy of the matcher (and its substrate/kernel), so a
+        # toggle flip must re-install state rather than reuse a pool
+        # whose workers were warmed on the other code path.
         state_key = (
             matcher_fingerprint(matcher),
             repository.content_digest(),
             tuple(schema_digest(query) for query in queries),
             substrate_enabled(),
+            kernel_enabled(),
+            flat_search_enabled(),
         )
 
         def submit_all(pool: ProcessPoolExecutor) -> dict:

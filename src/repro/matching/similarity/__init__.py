@@ -12,10 +12,20 @@ paper builds on (Cupid, COMA, iMAP):
 * :mod:`~repro.matching.similarity.matrix` — the similarity substrate:
   precomputed per-(query, schema) score matrices, the repository token
   index, and the per-objective cache sharing both across matchers,
-  thresholds and pipeline shards.
+  thresholds and pipeline shards;
+* :mod:`~repro.matching.similarity.kernel` — the repository scoring
+  kernel: distinct (normalised label, datatype) pairs interned into a
+  per-repository universe with flat cost-row buffers, so each distinct
+  cost is computed once per repository and matrices become gathers.
 """
 
 from repro.matching.similarity.datatype import datatype_penalty
+from repro.matching.similarity.kernel import (
+    CostKernel,
+    kernel_disabled,
+    kernel_enabled,
+    set_kernel_enabled,
+)
 from repro.matching.similarity.matrix import (
     ScoreMatrix,
     SimilaritySubstrate,
@@ -28,6 +38,7 @@ from repro.matching.similarity.name import NameSimilarity, Thesaurus
 from repro.matching.similarity.structure import ancestry_violations
 
 __all__ = [
+    "CostKernel",
     "NameSimilarity",
     "ScoreMatrix",
     "SimilaritySubstrate",
@@ -35,6 +46,9 @@ __all__ = [
     "TokenIndex",
     "ancestry_violations",
     "datatype_penalty",
+    "kernel_disabled",
+    "kernel_enabled",
+    "set_kernel_enabled",
     "set_substrate_enabled",
     "substrate_disabled",
     "substrate_enabled",

@@ -1,0 +1,362 @@
+"""The repository-scoped scoring kernel: interned label-universe costs.
+
+Every system the paper compares — exhaustive or not — scores mappings
+through one shared objective, so the per-element cost computation is the
+innermost loop under every benchmark (substrate sweeps, evolution
+replays, serving).  The :class:`~repro.matching.similarity.matrix
+.ScoreMatrix` already collapsed that work to one cost per distinct
+(label, datatype) pair **per (query, schema) pair**; this module
+collapses it further, to one cost per distinct pair **per repository**:
+
+* the **label universe** — repositories repeat a small distinct-label
+  surface (the :class:`~repro.matching.similarity.matrix.TokenIndex`'s
+  ``distinct_labels`` counter proves it), so the kernel interns every
+  distinct ``(normalised label, datatype)`` the repository contains into
+  a dense integer id, and records, per schema content digest, the label
+  id of each element;
+* **kernel rows** — for each distinct ``(normalised query label,
+  datatype)``, one flat ``array('d')`` of costs against the whole
+  universe, computed exactly once via
+  :meth:`~repro.matching.objective.ObjectiveFunction.label_cost`;
+* **matrix gather** — :meth:`ScoreMatrix.build` then fills a (query,
+  schema) matrix by *indexing* kernel rows with the schema's label ids
+  instead of evaluating any similarity at all.
+
+Exactness
+---------
+Kernel entries are produced by the very same
+:meth:`~repro.matching.objective.ObjectiveFunction.label_cost`
+expression the direct path evaluates, on the normalised labels the name
+similarity is memoised on — every component of the similarity score is a
+pure, symmetric function of the normalised labels
+(:class:`~repro.matching.similarity.name.NameSimilarity`), so a gathered
+cost is the bit-identical float of the per-pair computation.  The
+property suite (``tests/properties/test_prop_kernel.py``) asserts
+byte-identical answer sets with the kernel on vs. off for every matcher
+across threshold sweeps and evolving-repository delta streams.
+
+Evolution and persistence
+-------------------------
+Rebuilding after a repository delta passes the previous kernel as
+``previous``: rows are **migrated** — entries for universe labels that
+survived the delta are copied (cost is a pure function of the label
+pair, so copying is exact), only entries against genuinely new labels
+are computed.  The kernel also exports/imports plain-data state
+(:meth:`CostKernel.export_state` / :meth:`CostKernel.from_state`), which
+the snapshot substrate payload persists so a warm-started service skips
+the recompute entirely (:mod:`repro.matching.similarity.persist`).
+
+The kernel can be switched off process-wide (for A/B tests and the
+property suite) with :func:`set_kernel_enabled` or the
+:func:`kernel_disabled` context manager; disabled, matrices build
+through the per-(query, schema) distinct-label path of PR 2.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.errors import SnapshotError
+from repro.schema.model import Datatype, Schema
+from repro.schema.repository import SchemaRepository
+from repro.util.caching import fifo_put
+from repro.util.text import normalise_label
+
+__all__ = [
+    "CostKernel",
+    "kernel_disabled",
+    "kernel_enabled",
+    "set_kernel_enabled",
+]
+
+#: one interned universe entry: (normalised label, datatype)
+LabelKey = tuple[str, Datatype]
+
+_ENABLED = True
+
+
+def kernel_enabled() -> bool:
+    """Whether score matrices gather from the repository cost kernel."""
+    return _ENABLED
+
+
+def set_kernel_enabled(enabled: bool) -> bool:
+    """Set the process-wide kernel switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def kernel_disabled() -> Iterator[None]:
+    """Run a block with the kernel off (the pre-kernel scoring path)."""
+    previous = set_kernel_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)
+
+
+class CostKernel:
+    """Interned per-repository cost rows for one objective function.
+
+    Built once per repository version (the substrate's
+    :meth:`~repro.matching.similarity.matrix.SimilaritySubstrate.prepare`
+    does, and shard workers inherit it through the one-shot state
+    install).  ``previous`` migrates the prior version's rows across a
+    repository delta — copied where the universe label survived,
+    computed only against new labels.
+
+    The kernel never hands out costs directly; its consumer is
+    :meth:`~repro.matching.similarity.matrix.ScoreMatrix.build`, which
+    gathers :meth:`row` buffers through :meth:`schema_label_ids`.
+    """
+
+    __slots__ = (
+        "objective",
+        "repository_digest",
+        "_labels",
+        "_intern",
+        "_schema_lids",
+        "_rows",
+        "_norms",
+        "_gathers",
+        "rows_built",
+        "rows_migrated",
+    )
+
+    #: bound on the derived (query label, schema) gather cache; entries
+    #: re-derive from the rows in microseconds, so eviction only caps
+    #: memory in long-lived services
+    MAX_GATHERS = 65_536
+    #: bound on materialised cost rows (one per distinct query label);
+    #: evicted rows re-derive exactly on next use, and the cap also
+    #: bounds what a repository delta migrates and a snapshot persists,
+    #: so query-label churn cannot grow a long-lived service unboundedly
+    MAX_ROWS = 4_096
+
+    def __init__(
+        self,
+        objective,
+        repository: SchemaRepository,
+        previous: "CostKernel | None" = None,
+    ):
+        self.objective = objective
+        self.repository_digest = repository.content_digest()
+        labels: list[LabelKey] = []
+        intern: dict[LabelKey, int] = {}
+        schema_lids: dict[str, array] = {}
+        for schema in repository:
+            digest = schema.content_digest()
+            if digest in schema_lids:  # duplicated content, one gather map
+                continue
+            lids = array("L")
+            for element in schema.elements():
+                key = (normalise_label(element.name), element.datatype)
+                lid = intern.get(key)
+                if lid is None:
+                    lid = len(labels)
+                    intern[key] = lid
+                    labels.append(key)
+                lids.append(lid)
+            schema_lids[digest] = lids
+        self._labels = labels
+        self._intern = intern
+        self._schema_lids = schema_lids
+        self._rows: dict[LabelKey, array] = {}
+        self._norms: dict[str, str] = {}  # raw label -> normalised
+        #: (normalised label, datatype, schema digest) -> (costs, order),
+        #: the per-(query label, schema) gather with its (cost, id)-sorted
+        #: candidate order — both pure functions of the key
+        self._gathers: dict[tuple, tuple[tuple, tuple]] = {}
+        self.rows_built = 0
+        self.rows_migrated = 0
+        if previous is not None:
+            self._migrate(previous)
+
+    def _migrate(self, previous: "CostKernel") -> None:
+        """Carry the previous version's rows into this universe.
+
+        Cost is a pure function of the (normalised query label, universe
+        label) pair, so entries for labels present in both universes are
+        copied byte-for-byte; only entries against labels the delta
+        introduced are computed.  Rows are keyed by query label, which
+        survives repository evolution, so a long-lived session keeps its
+        query-side warmth across every delta.  At most :data:`MAX_ROWS`
+        rows carry over — the newest insertions, the same bound
+        :meth:`row` enforces — so migration work per delta is capped
+        regardless of how many labels a service has ever seen.
+        """
+        if previous.objective.fingerprint() != self.objective.fingerprint():
+            return  # foreign kernel; nothing it holds is trustworthy
+        label_cost = self.objective.label_cost
+        prior_intern = previous._intern
+        carried = list(previous._rows.items())[-self.MAX_ROWS:]
+        for key, old_row in carried:
+            query_label, query_datatype = key
+            new_row = array("d", bytes(8 * len(self._labels)))
+            for lid, (target_label, target_datatype) in enumerate(self._labels):
+                old_lid = prior_intern.get((target_label, target_datatype))
+                if old_lid is not None:
+                    new_row[lid] = old_row[old_lid]
+                else:
+                    new_row[lid] = label_cost(
+                        query_label, query_datatype, target_label, target_datatype
+                    )
+            self._rows[key] = new_row
+            self.rows_migrated += 1
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def distinct_labels(self) -> int:
+        """Size of the interned repository label universe."""
+        return len(self._labels)
+
+    @property
+    def rows_cached(self) -> int:
+        """Distinct query labels with a materialised cost row."""
+        return len(self._rows)
+
+    def schema_label_ids(self, schema: Schema) -> array | None:
+        """Per-element universe label ids of ``schema``, or ``None``.
+
+        Keyed by schema *content* digest, so any schema object whose
+        content the kernel's repository version contains gathers —
+        including equal-content schemas from other repository handles —
+        and content the kernel has never seen falls back to the direct
+        build path rather than indexing a wrong row.
+        """
+        return self._schema_lids.get(schema.content_digest())
+
+    def _normalise(self, name: str) -> str:
+        normalised = self._norms.get(name)
+        if normalised is None:
+            normalised = normalise_label(name)
+            fifo_put(self._norms, name, normalised, self.MAX_GATHERS)
+        return normalised
+
+    def row(self, name: str, datatype: Datatype) -> array:
+        """The cost row of one query label against the whole universe.
+
+        Computed on first use — once per distinct (normalised label,
+        datatype) per repository version — through
+        :meth:`ObjectiveFunction.label_cost` on normalised labels, which
+        the name similarity memoises on; entries are bit-identical to
+        the per-pair path's floats (module docstring).
+        """
+        key = (self._normalise(name), datatype)
+        row = self._rows.get(key)
+        if row is None:
+            label_cost = self.objective.label_cost
+            query_label, query_datatype = key
+            row = array(
+                "d",
+                [
+                    label_cost(
+                        query_label, query_datatype, target_label, target_datatype
+                    )
+                    for target_label, target_datatype in self._labels
+                ],
+            )
+            fifo_put(self._rows, key, row, self.MAX_ROWS)
+            self.rows_built += 1
+        return row
+
+    def gather(
+        self, name: str, datatype: Datatype, schema: Schema
+    ) -> tuple[tuple[float, ...], tuple[int, ...]] | None:
+        """One matrix row for ``schema`` plus its candidate order.
+
+        ``None`` when the schema's content is not in this repository
+        version (the caller falls back to the direct build).  Both
+        halves are pure functions of (normalised label, datatype, schema
+        content): costs gather the kernel row through the schema's label
+        ids, the order sorts ``(cost, id)`` pairs — the engine's exact
+        tie-break — so results are cached per that key and *aliased*
+        across every query and matrix that shares the label, bounded by
+        :data:`MAX_GATHERS` (insertion-order eviction; entries re-derive
+        exactly).
+        """
+        digest = schema.content_digest()
+        lids = self._schema_lids.get(digest)
+        if lids is None:
+            return None
+        key = (self._normalise(name), datatype, digest)
+        cached = self._gathers.get(key)
+        if cached is None:
+            row = self.row(name, datatype)
+            costs = tuple(map(row.__getitem__, lids))
+            order = tuple(j for _, j in sorted(zip(costs, range(len(costs)))))
+            cached = (costs, order)
+            fifo_put(self._gathers, key, cached, self.MAX_GATHERS)
+        return cached
+
+    # -- persistence ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able kernel state, for snapshot persistence.
+
+        The inverse of :meth:`from_state`; see
+        :mod:`repro.matching.similarity.persist`.  Floats survive the
+        JSON round trip exactly (``repr``-based formatting).  Only the
+        saved universe and the cost rows are recorded: the per-schema
+        gather maps (and the gather/order cache) re-derive from the live
+        repository on restore in pure string/sort work, so persisting
+        them would be dead weight.
+        """
+        return {
+            "repository_digest": self.repository_digest,
+            "labels": [
+                [label, datatype.value] for label, datatype in self._labels
+            ],
+            "rows": [
+                [label, datatype.value, list(row)]
+                for (label, datatype), row in self._rows.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, objective, repository: SchemaRepository, state: dict
+    ) -> "CostKernel":
+        """Rebuild a kernel from :meth:`export_state` output.
+
+        The universe and gather maps are re-derived from the **live**
+        repository (cheap — pure interning, no similarity work), so they
+        can never go stale; persisted rows are adopted through the same
+        migration path a repository delta uses, which copies entries
+        only where a saved universe label matches a live one and
+        recomputes the rest.  Like the token index's per-schema
+        digest-guarded reuse, this makes a payload saved against any
+        repository version safe: cost is a pure function of the label
+        pair, so matching labels carry over exactly and everything else
+        re-derives — a kernel saved mid-evolution warm-starts the
+        overlap instead of being refused.  Structurally inconsistent
+        payloads (row length disagreeing with the saved universe) raise
+        :class:`~repro.errors.SnapshotError`.
+        """
+        saved = cls.__new__(cls)
+        saved.objective = objective
+        saved.repository_digest = state.get("repository_digest", "")
+        saved._labels = [
+            (label, Datatype(value)) for label, value in state.get("labels", [])
+        ]
+        saved._intern = {key: lid for lid, key in enumerate(saved._labels)}
+        saved._schema_lids = {}
+        saved._rows = {}
+        saved.rows_built = 0
+        saved.rows_migrated = 0
+        universe = len(saved._labels)
+        for label, value, costs in state.get("rows", []):
+            if len(costs) != universe:
+                raise SnapshotError(
+                    f"kernel snapshot row for label {label!r} holds "
+                    f"{len(costs)} costs for a universe of {universe} labels"
+                )
+            saved._rows[(label, Datatype(value))] = array("d", costs)
+        return cls(objective, repository, previous=saved)

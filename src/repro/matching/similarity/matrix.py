@@ -23,7 +23,11 @@ materialises the pairwise similarity work **once** and shares it:
 * :class:`SimilaritySubstrate` — the per-objective cache tying the two
   together, keyed by schema *content* digests (like the pipeline's
   candidate cache), so workload rebuilds and repository shards share
-  entries instead of recomputing them.
+  entries instead of recomputing them.  It also owns the repository
+  scoring kernel (:class:`~repro.matching.similarity.kernel.CostKernel`),
+  which collapses cost computation further — one cost per distinct
+  (normalised label, datatype) pair per *repository* — and turns
+  :meth:`ScoreMatrix.build` into a gather over interned rows.
 
 Exactness
 ---------
@@ -58,6 +62,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import MatchingError
+from repro.matching.similarity.kernel import CostKernel, kernel_enabled
 from repro.schema.model import Schema
 from repro.schema.repository import ElementHandle, SchemaRepository
 from repro.util.text import tokenize_label
@@ -349,32 +354,57 @@ class ScoreMatrix:
         query: Schema,
         schema: Schema,
         column_groups: LabelGroups | None = None,
+        kernel: CostKernel | None = None,
     ) -> "ScoreMatrix":
         """Compute the matrix, one cost per distinct (label, datatype) pair.
 
-        ``column_groups`` (from :meth:`TokenIndex.column_groups`) skips
-        re-deriving the schema's label groups; rows are likewise grouped
-        by the query's distinct labels.  Duplicate rows/columns alias the
-        same tuples, so repetitive repositories cost proportionally to
-        their *distinct* label surface.
+        With a ``kernel``
+        (:class:`~repro.matching.similarity.kernel.CostKernel`) that
+        knows the schema's content, the matrix is a pure **gather**: each
+        distinct query row indexes the kernel's precomputed cost row with
+        the schema's interned label ids and evaluates no similarity at
+        all — the costs are the bit-identical floats of the direct path,
+        because kernel entries come from the same
+        :meth:`~repro.matching.objective.ObjectiveFunction.label_cost`
+        expression.
+
+        Without one, ``column_groups`` (from
+        :meth:`TokenIndex.column_groups`) skips re-deriving the schema's
+        label groups and one cost is computed per distinct (label,
+        datatype) pair of this (query, schema) pair.  Either way,
+        candidate orders sort ``(cost, id)`` pairs directly (no per-id
+        key calls), duplicate rows/columns alias the same tuples, and
+        repetitive repositories cost proportionally to their *distinct*
+        label surface.
         """
-        if column_groups is None:
-            column_groups = _label_groups(schema)
         row_groups = _label_groups(query)
         size = len(schema)
         rows: list[tuple[float, ...] | None] = [None] * len(query)
         orders: list[tuple[int, ...] | None] = [None] * len(query)
+        use_kernel = (
+            kernel is not None and kernel.schema_label_ids(schema) is not None
+        )
+        if not use_kernel and column_groups is None:
+            column_groups = _label_groups(schema)
         for representative, members in row_groups:
             element = query.element(representative)
-            row = [0.0] * size
-            for column_rep, column_members in column_groups:
-                cost = objective.element_cost(
-                    element, ElementHandle(schema, column_rep)
+            if use_kernel:
+                frozen, order = kernel.gather(
+                    element.name, element.datatype, schema
                 )
-                for j in column_members:
-                    row[j] = cost
-            frozen = tuple(row)
-            order = tuple(sorted(range(size), key=lambda j: (row[j], j)))
+            else:
+                row = [0.0] * size
+                pairs = []
+                for column_rep, column_members in column_groups:
+                    cost = objective.element_cost(
+                        element, ElementHandle(schema, column_rep)
+                    )
+                    for j in column_members:
+                        row[j] = cost
+                        pairs.append((cost, j))
+                pairs.sort()
+                frozen = tuple(row)
+                order = tuple(j for _, j in pairs)
             for i in members:
                 rows[i] = frozen
                 orders[i] = order
@@ -414,7 +444,7 @@ class ScoreMatrix:
                 shared = key
                 frozen_rows[key] = shared
                 orders_by_row[key] = tuple(
-                    sorted(range(len(key)), key=lambda j: (key[j], j))
+                    j for _, j in sorted(zip(key, range(len(key))))
                 )
             rows.append(shared)
             orders.append(orders_by_row[key])
@@ -432,6 +462,11 @@ class SubstrateStats:
     #: per-schema index entries carried over across repository versions
     #: (schema-granular invalidation; see :meth:`TokenIndex.__init__`)
     index_schema_reuses: int = 0
+    #: repository cost-kernel (re)builds (see
+    #: :class:`~repro.matching.similarity.kernel.CostKernel`)
+    kernel_builds: int = 0
+    #: kernel rows carried across repository versions by migration
+    kernel_rows_migrated: int = 0
 
     @property
     def matrix_lookups(self) -> int:
@@ -470,6 +505,7 @@ class SimilaritySubstrate:
         self.stats = SubstrateStats()
         self._matrices: OrderedDict[tuple[str, str], ScoreMatrix] = OrderedDict()
         self._index: TokenIndex | None = None
+        self._kernel: CostKernel | None = None
 
     def __len__(self) -> int:
         return len(self._matrices)
@@ -491,18 +527,33 @@ class SimilaritySubstrate:
         content digests already, so matrices of untouched schemas keep
         hitting across versions.)
         """
-        if (
-            self._index is None
-            or self._index.repository_digest != repository.content_digest()
-        ):
+        digest = repository.content_digest()
+        if self._index is None or self._index.repository_digest != digest:
             self._index = TokenIndex(repository, previous=self._index)
             self.stats.index_builds += 1
             self.stats.index_schema_reuses += self._index.reused_schemas
+        if kernel_enabled() and (
+            self._kernel is None or self._kernel.repository_digest != digest
+        ):
+            self._kernel = CostKernel(
+                self.objective, repository, previous=self._kernel
+            )
+            self.stats.kernel_builds += 1
+            self.stats.kernel_rows_migrated += self._kernel.rows_migrated
         return self._index
 
     def token_index(self) -> TokenIndex | None:
         """The prepared repository index, or ``None`` before ``prepare``."""
         return self._index
+
+    def kernel(self) -> CostKernel | None:
+        """The repository cost kernel, or ``None`` before ``prepare``.
+
+        Also ``None`` while the process-wide kernel switch
+        (:func:`~repro.matching.similarity.kernel.kernel_enabled`) is
+        off — matrices then build through the pre-kernel path.
+        """
+        return self._kernel if kernel_enabled() else None
 
     def cached_matrices(self) -> list[ScoreMatrix]:
         """All cached matrices, least recently used first (for snapshots)."""
@@ -512,10 +563,12 @@ class SimilaritySubstrate:
         self,
         index: TokenIndex | None,
         matrices: Iterator[ScoreMatrix] | list[ScoreMatrix] = (),
+        kernel: CostKernel | None = None,
     ) -> None:
         """Install restored state — the warm-start path of a snapshot load.
 
         ``index`` (if given) replaces the prepared token index;
+        ``kernel`` (if given) replaces the repository cost kernel;
         ``matrices`` are inserted under their own digest keys, evicting
         LRU entries past ``max_matrices`` exactly like :meth:`matrix`
         does.  Counters keep running; adopted entries are not counted as
@@ -523,6 +576,8 @@ class SimilaritySubstrate:
         """
         if index is not None:
             self._index = index
+        if kernel is not None:
+            self._kernel = kernel
         for matrix in matrices:
             key = (matrix.query_digest, matrix.schema_digest)
             self._matrices[key] = matrix
@@ -539,11 +594,15 @@ class SimilaritySubstrate:
             self._matrices.move_to_end(key)
             self.stats.matrix_hits += 1
             return cached
-        column_groups = (
-            self._index.column_groups(schema) if self._index is not None else None
-        )
+        kernel = self._kernel if kernel_enabled() else None
+        column_groups = None
+        if kernel is None or kernel.schema_label_ids(schema) is None:
+            column_groups = (
+                self._index.column_groups(schema) if self._index is not None else None
+            )
         built = ScoreMatrix.build(
-            self.objective, query, schema, column_groups=column_groups
+            self.objective, query, schema,
+            column_groups=column_groups, kernel=kernel,
         )
         self._matrices[key] = built
         self.stats.matrices_built += 1
@@ -553,6 +612,7 @@ class SimilaritySubstrate:
         return built
 
     def clear(self) -> None:
-        """Drop cached matrices and the index (counters keep running)."""
+        """Drop matrices, the index and the kernel (counters keep running)."""
         self._matrices.clear()
         self._index = None
+        self._kernel = None

@@ -19,6 +19,7 @@ from collections.abc import Iterable
 from repro.errors import MatchingError
 from repro.schema.vocabulary import Vocabulary
 from repro.util import rng as rng_util
+from repro.util.caching import fifo_put
 from repro.util.checks import check_probability
 from repro.util.text import (
     jaro_winkler,
@@ -131,8 +132,18 @@ class NameSimilarity:
     measures give unrelated words a substantial floor (Jaro-Winkler rates
     random word pairs around 0.4-0.5), and without the ramp that floor
     floods higher thresholds with coincidental mid-similarity mappings.
+
     Results are memoised — matchers evaluate the same label pairs
-    constantly.
+    constantly.  The memo is keyed on the **normalised** label pair
+    (order-canonicalised): every component of the score — Jaro-Winkler,
+    n-gram Dice and token-set Jaccard on the normalised forms, plus the
+    thesaurus, which normalises internally — is a pure, symmetric
+    function of the normalised labels, so ``"Order ID"`` vs
+    ``"order_id"`` and ``"OrderId"`` vs ``"ORDER-ID"`` all share one
+    entry with identical values.  ``memo_limit`` bounds the memo
+    (insertion-order eviction); re-computing an evicted pair returns the
+    identical float, so eviction can never change a score — it only
+    keeps long-lived services from growing the memo without bound.
     """
 
     def __init__(
@@ -143,10 +154,13 @@ class NameSimilarity:
         ngram_weight: float = 0.35,
         token_weight: float = 0.20,
         ramp_low: float = 0.35,
+        memo_limit: int = 262_144,
     ):
         check_probability(thesaurus_score, "thesaurus_score")
         if not 0.0 <= ramp_low < 1.0:
             raise MatchingError(f"ramp_low must be in [0, 1), got {ramp_low!r}")
+        if memo_limit < 1:
+            raise MatchingError(f"memo_limit must be >= 1, got {memo_limit!r}")
         total = jaro_weight + ngram_weight + token_weight
         if total <= 0:
             raise MatchingError("similarity weights must sum to a positive value")
@@ -156,7 +170,11 @@ class NameSimilarity:
         self.ngram_weight = ngram_weight / total
         self.token_weight = token_weight / total
         self.ramp_low = ramp_low
+        self.memo_limit = memo_limit
         self._memo: dict[tuple[str, str], float] = {}
+        # raw label -> normalised form; keeps memo hits regex-free (the
+        # similarity memo itself is keyed on normalised labels)
+        self._norm_cache: dict[str, str] = {}
 
     def fingerprint(self) -> str:
         """Configuration identity (objective-function equality checks).
@@ -179,17 +197,41 @@ class NameSimilarity:
         )
 
     def similarity(self, a: str, b: str) -> float:
-        """Similarity of two raw element labels."""
-        key = (a, b) if a <= b else (b, a)
+        """Similarity of two raw element labels.
+
+        Memoised on the order-canonicalised *normalised* label pair, so
+        raw spellings that normalise alike (``"Order ID"`` /
+        ``"order_id"``) share one cache entry; the memo is bounded by
+        ``memo_limit`` with insertion-order eviction (class docstring).
+        Normalisation itself is cached per raw label, so repeat lookups
+        touch two small dicts and no regex.
+        """
+        norms = self._norm_cache
+        na = norms.get(a)
+        if na is None:
+            na = normalise_label(a)
+            fifo_put(norms, a, na, self.memo_limit)
+        nb = norms.get(b)
+        if nb is None:
+            nb = normalise_label(b)
+            fifo_put(norms, b, nb, self.memo_limit)
+        key = (na, nb) if na <= nb else (nb, na)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        value = self._compute(a, b)
-        self._memo[key] = value
+        value = self._compute(key[0], key[1])
+        fifo_put(self._memo, key, value, self.memo_limit)
         return value
 
-    def _compute(self, a: str, b: str) -> float:
-        na, nb = normalise_label(a), normalise_label(b)
+    def _compute(self, na: str, nb: str) -> float:
+        """Score two already-normalised labels.
+
+        Every component is a pure symmetric function of the normalised
+        forms — ``token_set_similarity`` tokenises via
+        :func:`~repro.util.text.normalise_label` (idempotent), and the
+        thesaurus normalises its arguments internally — which is what
+        makes the normalised memo key in :meth:`similarity` exact.
+        """
         if not na or not nb:
             return 0.0
         if na == nb:
@@ -197,9 +239,9 @@ class NameSimilarity:
         blend = (
             self.jaro_weight * jaro_winkler(na, nb)
             + self.ngram_weight * ngram_similarity(na, nb)
-            + self.token_weight * token_set_similarity(a, b)
+            + self.token_weight * token_set_similarity(na, nb)
         )
         lexical = max(0.0, blend - self.ramp_low) / (1.0 - self.ramp_low)
-        if self.thesaurus is not None and self.thesaurus.synonymous(a, b):
+        if self.thesaurus is not None and self.thesaurus.synonymous(na, nb):
             return max(lexical, self.thesaurus_score)
         return lexical

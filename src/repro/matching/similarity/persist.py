@@ -5,9 +5,13 @@ to keep schemas on disk with integrity checks; this module layers the
 matching-side state on top so that a restarted process **warm-starts in
 O(load)** instead of re-matching:
 
-* the similarity substrate — the repository :class:`TokenIndex` and
-  every cached :class:`ScoreMatrix` (costs only; candidate orders and
-  suffix sums are re-derived deterministically on load);
+* the similarity substrate — the repository :class:`TokenIndex`, the
+  repository scoring kernel
+  (:class:`~repro.matching.similarity.kernel.CostKernel`: interned label
+  universe + per-query-label cost rows, so a warm start skips every
+  similarity evaluation, not just the assembled matrices) and every
+  cached :class:`ScoreMatrix` (costs only; candidate orders and suffix
+  sums are re-derived deterministically on load);
 * the retained :class:`~repro.matching.pipeline.PipelineResult` — the
   per-(query, schema) pair results incremental re-matching feeds on,
   plus the identifying digests and the matcher fingerprint.
@@ -41,6 +45,7 @@ from repro.matching.pipeline import (
     PipelineStats,
     matcher_fingerprint,
 )
+from repro.matching.similarity.kernel import CostKernel, kernel_enabled
 from repro.matching.similarity.matrix import (
     ScoreMatrix,
     SimilaritySubstrate,
@@ -78,8 +83,17 @@ def _digest_named(stem: str, payload: str) -> str:
 # ---------------------------------------------------------------------------
 
 def substrate_payload(substrate: SimilaritySubstrate) -> str:
-    """Serialize a substrate's index + matrices to a JSON section."""
+    """Serialize a substrate's index + kernel + matrices to a JSON section.
+
+    The kernel section is optional in both directions: a substrate
+    prepared with the kernel switched off writes ``"kernel": null``, and
+    payloads written before the kernel existed simply lack the key —
+    :func:`restore_substrate` treats both as "rebuild on first
+    ``prepare``", so snapshot format compatibility holds across the
+    kernel's introduction.
+    """
     index = substrate.token_index()
+    kernel = substrate.kernel()
     return json.dumps(
         {
             "objective_fingerprint": substrate.objective.fingerprint(),
@@ -87,6 +101,7 @@ def substrate_payload(substrate: SimilaritySubstrate) -> str:
                 "repository_digest": index.repository_digest,
                 "entries": index.export_state(),
             },
+            "kernel": None if kernel is None else kernel.export_state(),
             "matrices": [
                 {
                     "query": matrix.query_digest,
@@ -124,11 +139,18 @@ def restore_substrate(
     index = None
     if state.get("index") is not None:
         index = TokenIndex.from_state(repository, state["index"]["entries"])
+    kernel = None
+    # Payloads written before the scoring kernel existed have no
+    # "kernel" key; either way the kernel is rebuilt on first prepare().
+    if state.get("kernel") is not None and kernel_enabled():
+        kernel = CostKernel.from_state(
+            substrate.objective, repository, state["kernel"]
+        )
     matrices = [
         ScoreMatrix.restore(item["query"], item["schema"], item["costs"])
         for item in state.get("matrices", [])
     ]
-    substrate.adopt(index, matrices)
+    substrate.adopt(index, matrices, kernel=kernel)
     return len(matrices)
 
 

@@ -144,6 +144,8 @@ class Schema:
                 self._parents[child_pos] = parent_pos
                 self._depths[child_pos] = self._depths[parent_pos] + 1
         self._digest: str | None = None
+        self._ancestor_masks: tuple[int, ...] | None = None
+        self._parent_ids: tuple[int | None, ...] | None = None
 
     def __len__(self) -> int:
         return len(self._elements)
@@ -180,6 +182,17 @@ class Schema:
         self.element(element_id)  # bounds check
         return self._parents[element_id]
 
+    def parent_ids(self) -> tuple[int | None, ...]:
+        """All parent ids in pre-order (index == element id); memoised.
+
+        The bulk counterpart of :meth:`parent_id` for per-search setup
+        paths that need every parent anyway — one tuple handed out
+        instead of one bounds-checked call per element per search.
+        """
+        if self._parent_ids is None:
+            self._parent_ids = tuple(self._parents)
+        return self._parent_ids
+
     def depth(self, element_id: int) -> int:
         """Root distance of an element (root is depth 0)."""
         self.element(element_id)
@@ -215,6 +228,25 @@ class Schema:
                 return True
             current = self._parents[current]
         return False
+
+    def ancestor_masks(self) -> tuple[int, ...]:
+        """Per-element ancestor bitsets: bit ``a`` of ``out[d]`` is set
+        exactly when :meth:`is_ancestor` (``a``, ``d``) is true.
+
+        Computed once per schema and memoised (schemas are immutable
+        after construction).  The matching engine's flattened
+        branch-and-bound reads ancestry as ``(out[target] >> parent) &
+        1`` instead of walking parent chains per expansion — the hottest
+        structural check in the search.  Pre-order ids guarantee a
+        parent's mask is final before any child's is derived.
+        """
+        if self._ancestor_masks is None:
+            masks = [0] * len(self._elements)
+            for element_id, parent in enumerate(self._parents):
+                if parent is not None:
+                    masks[element_id] = masks[parent] | (1 << parent)
+            self._ancestor_masks = tuple(masks)
+        return self._ancestor_masks
 
     def content_digest(self) -> str:
         """Content hash of everything matching can observe about the schema.

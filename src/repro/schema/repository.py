@@ -40,7 +40,8 @@ class ElementHandle:
     element_id: int
 
     def __post_init__(self) -> None:
-        self.schema.element(self.element_id)  # bounds check
+        if not 0 <= self.element_id < len(self.schema):
+            self.schema.element(self.element_id)  # raises the canonical error
 
     @property
     def element(self) -> SchemaElement:

@@ -1,0 +1,26 @@
+"""Bounded-mapping helpers shared by the hot-path memo caches.
+
+One idiom, one definition: several layers keep insertion-ordered dict
+memos whose entries re-derive exactly on a miss (normalised labels,
+similarity scores, kernel rows and gathers, cluster nominations), so
+eviction can never change an answer — bounding them only caps memory in
+long-lived processes.  :func:`fifo_put` is that policy: evict the oldest
+insertion when full, then insert.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+
+__all__ = ["fifo_put"]
+
+
+def fifo_put(mapping: MutableMapping, key, value, limit: int) -> None:
+    """Insert ``key: value``, first evicting the oldest entry when full.
+
+    Relies on dict insertion order; intended for memos whose values are
+    pure functions of their key, where eviction costs only a recompute.
+    """
+    if len(mapping) >= limit:
+        mapping.pop(next(iter(mapping)))
+    mapping[key] = value

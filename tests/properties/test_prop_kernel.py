@@ -1,0 +1,239 @@
+"""Property tests: the scoring kernel never changes an answer.
+
+Three families:
+
+* **Kernel on/off** — for random repositories, queries, matchers and
+  thresholds, matching with the repository cost kernel enabled (interned
+  label-universe rows, matrix gathers, shared interned clustering) must
+  produce byte-identical answer sets to the kernel-off PR-4 path.
+* **Evolving streams** — the same identity must survive a delta stream:
+  an incremental :class:`~repro.matching.evolution.EvolutionSession`
+  with the kernel on (rows migrating across versions) stays
+  byte-identical to kernel-off cold re-matches of every version.
+* **Flat vs. reference search** — the flattened explicit-stack
+  branch-and-bound must emit the *sequence* the recursive reference
+  generator emits: same assignments, same score floats, same order —
+  with and without the substrate, trimmed and untrimmed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import (
+    ExhaustiveMatcher,
+    MatchingPipeline,
+    SchemaSearch,
+    canonical_answers,
+    flat_search_disabled,
+    kernel_disabled,
+    make_matcher,
+    substrate_disabled,
+)
+from repro.matching.evolution import EvolutionSession
+from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity.name import NameSimilarity, Thesaurus
+from repro.schema import churn_delta
+from repro.schema.generator import GeneratorConfig, generate_repository
+from repro.schema.mutations import extract_personal_schema
+from repro.schema.vocabulary import builtin_domains
+from repro.util import rng
+
+_MATCHERS = [
+    ("exhaustive", {}),
+    ("beam", {"beam_width": 4}),
+    ("clustering", {"clusters_per_element": 2}),
+    ("topk", {"candidates_per_element": 3}),
+    ("hybrid", {"clusters_per_element": 2, "beam_width": 4}),
+]
+
+_THRESHOLDS = (0.05, 0.15, 0.3, 0.45)
+
+
+@st.composite
+def kernel_cases(draw):
+    repo_seed = draw(st.integers(min_value=0, max_value=25))
+    num_schemas = draw(st.integers(min_value=2, max_value=5))
+    query_seed = draw(st.integers(min_value=0, max_value=25))
+    matcher = draw(st.sampled_from(_MATCHERS))
+    with_thesaurus = draw(st.booleans())
+    return repo_seed, num_schemas, query_seed, matcher, with_thesaurus
+
+
+def _canonical(answer_set) -> bytes:
+    return repr(
+        [(answer.item.key, answer.score) for answer in answer_set.answers()]
+    ).encode()
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_cases())
+def test_kernel_answer_sets_byte_identical(case):
+    repo_seed, num_schemas, query_seed, (name, params), with_thesaurus = case
+    repo = generate_repository(
+        GeneratorConfig(
+            num_schemas=num_schemas, min_size=5, max_size=9, seed=repo_seed
+        )
+    )
+    thesaurus = (
+        Thesaurus.from_vocabularies(
+            builtin_domains().values(), coverage=0.6, seed=repo_seed
+        )
+        if with_thesaurus
+        else None
+    )
+    objective = ObjectiveFunction(NameSimilarity(thesaurus))
+    query = extract_personal_schema(
+        rng.make_tagged(query_seed),
+        repo.schemas()[query_seed % num_schemas],
+        None,
+        target_size=3,
+        schema_id="prop-kernel-query",
+    )
+    for delta in _THRESHOLDS:
+        on = make_matcher(name, objective, **params).match(query, repo, delta)
+        with kernel_disabled():
+            off = make_matcher(name, objective, **params).match(
+                query, repo, delta
+            )
+        assert _canonical(on) == _canonical(off), (name, delta)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    repo_seed=st.integers(min_value=0, max_value=10),
+    matcher=st.sampled_from(_MATCHERS),
+    steps=st.integers(min_value=1, max_value=3),
+)
+def test_kernel_identical_across_delta_stream(repo_seed, matcher, steps):
+    """Kernel row migration across an evolving repository changes nothing."""
+    name, params = matcher
+    repo = generate_repository(
+        GeneratorConfig(num_schemas=4, min_size=5, max_size=8, seed=repo_seed)
+    )
+    objective = ObjectiveFunction(NameSimilarity())
+    queries = [
+        extract_personal_schema(
+            rng.make_tagged(repo_seed + index),
+            repo.schemas()[index % 4],
+            None,
+            target_size=3,
+            schema_id=f"prop-evolve-query-{index}",
+        )
+        for index in range(2)
+    ]
+    session = EvolutionSession(
+        make_matcher(name, objective, **params), queries, 0.3, cache=False
+    )
+    session.match(repo)
+    for step in range(steps):
+        delta = churn_delta(session.repository, churn=0.4, seed=step)
+        result, _report = session.apply(delta)
+        with kernel_disabled():
+            cold = MatchingPipeline(
+                make_matcher(name, objective, **params), cache=False
+            ).run(queries, session.repository, 0.3)
+        assert canonical_answers(result.answer_sets) == canonical_answers(
+            cold.answer_sets
+        ), (name, step)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    repo_seed=st.integers(min_value=0, max_value=40),
+    query_seed=st.integers(min_value=0, max_value=40),
+    delta=st.sampled_from((0.05, 0.2, 0.35, 0.5, 0.7)),
+    with_substrate=st.booleans(),
+)
+def test_flat_search_emits_reference_sequence(
+    repo_seed, query_seed, delta, with_substrate
+):
+    """Flat and recursive searches: same mappings, same floats, same order."""
+    repo = generate_repository(
+        GeneratorConfig(num_schemas=2, min_size=5, max_size=10, seed=repo_seed)
+    )
+    objective = ObjectiveFunction(NameSimilarity())
+    query = extract_personal_schema(
+        rng.make_tagged(query_seed),
+        repo.schemas()[query_seed % 2],
+        None,
+        target_size=3,
+        schema_id="prop-flat-query",
+    )
+    for schema in repo:
+        if with_substrate:
+            search = SchemaSearch(
+                query, schema, objective, substrate=objective.substrate()
+            )
+        else:
+            with substrate_disabled():
+                search = SchemaSearch(query, schema, objective)
+        flat = list(search.exhaustive(delta))
+        reference = list(search.exhaustive_reference(delta))
+        assert flat == reference  # sequence equality: order and floats
+        with flat_search_disabled():
+            dispatched = list(search.exhaustive(delta))
+        assert dispatched == reference
+
+
+def test_pre_kernel_snapshot_restores_and_serves(tmp_path):
+    """Format compatibility: a payload without a kernel section loads.
+
+    Simulates a snapshot written before the kernel existed by stripping
+    the ``kernel`` key out of the substrate section, then asserts the
+    snapshot restores and serves byte-identically to a live match.
+    """
+    import json
+
+    from repro.matching.similarity import persist
+    from repro.schema.store import SnapshotStore
+
+    repo = generate_repository(
+        GeneratorConfig(num_schemas=4, min_size=5, max_size=9, seed=3)
+    )
+    objective = ObjectiveFunction(NameSimilarity())
+    queries = [
+        extract_personal_schema(
+            rng.make_tagged(9),
+            repo.schemas()[0],
+            None,
+            target_size=3,
+            schema_id="pre-kernel-query",
+        )
+    ]
+    matcher = ExhaustiveMatcher(objective)
+    result = MatchingPipeline(matcher, cache=False).run(queries, repo, 0.3)
+
+    payload = json.loads(persist.substrate_payload(objective.substrate()))
+    assert "kernel" in payload
+    del payload["kernel"]  # the pre-kernel payload format
+    pre_kernel_payload = json.dumps(payload, sort_keys=True)
+
+    store = SnapshotStore(tmp_path / "snap")
+    meta = {
+        "repository": SnapshotStore.repository_meta(repo),
+        "queries": SnapshotStore.query_meta(queries),
+        "matcher_fingerprint": result.matcher_key,
+        "delta_max": result.delta_max,
+    }
+    sections = SnapshotStore.schema_sections(repo.schemas() + queries)
+    results_payload = persist.results_payload(result)
+    meta["results_section"] = persist._digest_named("results", results_payload)
+    sections[meta["results_section"]] = results_payload
+    meta["substrate_section"] = persist._digest_named(
+        "substrate", pre_kernel_payload
+    )
+    sections[meta["substrate_section"]] = pre_kernel_payload
+    store.save(meta, sections)
+
+    fresh_objective = ObjectiveFunction(NameSimilarity())
+    fresh_matcher = ExhaustiveMatcher(fresh_objective)
+    snapshot = persist.load_snapshot(store, fresh_matcher)
+    assert snapshot.result is not None
+    assert fresh_objective.substrate().kernel() is None  # nothing restored
+    assert canonical_answers(snapshot.result.answer_sets) == canonical_answers(
+        result.answer_sets
+    )
+    # the restored universe serves (and the kernel builds on first prepare)
+    live = fresh_matcher.match(snapshot.queries[0], snapshot.repository, 0.3)
+    assert _canonical(live) == _canonical(result.answer_sets[0])
+    assert fresh_objective.substrate().kernel() is not None
