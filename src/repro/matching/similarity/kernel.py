@@ -50,6 +50,20 @@ The kernel can be switched off process-wide (for A/B tests and the
 property suite) with :func:`set_kernel_enabled` or the
 :func:`kernel_disabled` context manager; disabled, matrices build
 through the per-(query, schema) distinct-label path of PR 2.
+
+Vectorised gathers
+------------------
+With the numpy execution path on
+(:func:`~repro.matching.similarity.vectors.numpy_enabled`), the kernel
+additionally keeps the schema label-id maps stacked into one padded 2-D
+``ndarray``, and the first gather of a query label fancy-indexes its
+cost row through that stack and batch-argsorts **every schema's**
+candidate order in two vector ops, prefilling the gather cache for the
+whole repository at once.  The cached values are the same python tuples
+the spec path builds (``tolist`` round-trips float64 exactly; stable
+argsort ties break by ascending id exactly like the ``(cost, id)``
+sort), so everything downstream is byte-identical either way — the
+property suite (``tests/properties/test_prop_numpy.py``) pins it down.
 """
 
 from __future__ import annotations
@@ -59,6 +73,7 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 
 from repro.errors import SnapshotError
+from repro.matching.similarity import vectors
 from repro.schema.model import Datatype, Schema
 from repro.schema.repository import SchemaRepository
 from repro.util.caching import fifo_put
@@ -124,6 +139,8 @@ class CostKernel:
         "_rows",
         "_norms",
         "_gathers",
+        "_vgathers",
+        "_vindex",
         "rows_built",
         "rows_migrated",
     )
@@ -172,6 +189,16 @@ class CostKernel:
         #: the per-(query label, schema) gather with its (cost, id)-sorted
         #: candidate order — both pure functions of the key
         self._gathers: dict[tuple, tuple[tuple, tuple]] = {}
+        #: the vector path's two-level gather cache: (normalised label,
+        #: datatype) -> {schema digest -> (costs, order)}.  Same values
+        #: as ``_gathers`` under a different shape — one whole-repository
+        #: bucket per query label, filled by one batched gather, looked
+        #: up by interned-string digest (no per-call tuple keys, whose
+        #: enum hashing is a python-level call on the hot path)
+        self._vgathers: dict[tuple, dict[str, tuple[tuple, tuple]]] = {}
+        #: lazy stacked schema-lids index of the vectorised gather path
+        #: (:meth:`_vector_index`); None until the first vector gather
+        self._vindex = None
         self.rows_built = 0
         self.rows_migrated = 0
         if previous is not None:
@@ -252,16 +279,12 @@ class CostKernel:
         key = (self._normalise(name), datatype)
         row = self._rows.get(key)
         if row is None:
-            label_cost = self.objective.label_cost
             query_label, query_datatype = key
             row = array(
                 "d",
-                [
-                    label_cost(
-                        query_label, query_datatype, target_label, target_datatype
-                    )
-                    for target_label, target_datatype in self._labels
-                ],
+                self.objective.label_cost_row(
+                    query_label, query_datatype, self._labels
+                ),
             )
             fifo_put(self._rows, key, row, self.MAX_ROWS)
             self.rows_built += 1
@@ -280,13 +303,29 @@ class CostKernel:
         tie-break — so results are cached per that key and *aliased*
         across every query and matrix that shares the label, bounded by
         :data:`MAX_GATHERS` (insertion-order eviction; entries re-derive
-        exactly).
+        exactly).  The vector path keeps the same values in per-label
+        whole-repository buckets (``_vgathers``) filled by one batched
+        gather each; both caches are invisible to callers — every entry
+        is a pure function of its key.
         """
         digest = schema.content_digest()
         lids = self._schema_lids.get(digest)
         if lids is None:
             return None
-        key = (self._normalise(name), datatype, digest)
+        # inline the norm-cache hit: gather is called once per query
+        # element per schema, so the extra call would be pure overhead
+        normalised = self._norms.get(name)
+        if normalised is None:
+            normalised = self._normalise(name)
+        # the inlined body of vectors.numpy_enabled() — this runs once
+        # per (query element, schema) pair, where a function call is
+        # measurable against the ~µs of useful work per hit
+        if vectors._ENABLED and vectors._np is not None:
+            bucket = self._vgathers.get((normalised, datatype))
+            if bucket is None:
+                return self._gather_vector(name, normalised, datatype, digest)
+            return bucket[digest]
+        key = (normalised, datatype, digest)
         cached = self._gathers.get(key)
         if cached is None:
             row = self.row(name, datatype)
@@ -295,6 +334,95 @@ class CostKernel:
             cached = (costs, order)
             fifo_put(self._gathers, key, cached, self.MAX_GATHERS)
         return cached
+
+    def _vector_index(self):
+        """The stacked schema label-id index of the vector gather path.
+
+        One padded 2-D integer matrix holding every schema's label ids
+        (row per schema content digest, padded to the widest schema)
+        plus the real lengths — built lazily on the first vector gather
+        and shared by every query label thereafter.  Pure structure, no
+        costs: it never goes stale within one kernel (the lid maps are
+        fixed at construction).
+        """
+        if self._vindex is None:
+            np = vectors._np
+            digests = list(self._schema_lids)
+            lid_rows = list(self._schema_lids.values())
+            lengths = [len(lids) for lids in lid_rows]
+            width = max(lengths, default=0)
+            stacked = np.zeros((len(digests), width), dtype=np.intp)
+            for position, lids in enumerate(lid_rows):
+                stacked[position, : len(lids)] = lids
+            padding = np.arange(width) >= np.asarray(
+                lengths, dtype=np.intp
+            ).reshape(-1, 1)
+            self._vindex = (digests, lengths, stacked, padding)
+        return self._vindex
+
+    def _gather_vector(self, name, normalised, datatype, wanted_digest):
+        """Batched gather: fill the cache for **every** schema at once.
+
+        The first request for a query label fancy-indexes its cost row
+        through the stacked lid matrix (one copy) and batch-argsorts all
+        candidate orders (one stable sort over the padded matrix, with
+        ``inf`` in the padding lanes so they rank strictly last — real
+        costs are finite, and even a hypothetical ``inf`` cost would
+        still win its tie against padding because stable sort keeps the
+        lower column first).  Results are converted back to the exact
+        python tuples the spec path builds — ``tolist`` round-trips
+        float64 values exactly, and stable argsort's ascending-position
+        tie-break *is* the ``(cost, id)`` order — then stored as one
+        digest-keyed whole-repository bucket under ``_vgathers``, so
+        both paths serve identical values.
+        """
+        np = vectors._np
+        row = self.row(name, datatype)
+        digests, lengths, stacked, padding = self._vector_index()
+        gathered = np.frombuffer(row, dtype=np.float64)[stacked]
+        # padding lanes hold garbage (row[0], from the zero-padded lid
+        # matrix); overwrite them with inf in place so one argsort ranks
+        # them strictly last — the cost tuples below never read past
+        # ``length``, so the inf never escapes
+        gathered[padding] = np.inf
+        orders = np.argsort(gathered, axis=1, kind="stable")
+        # one tolist per matrix (padding lanes convert too, but at C
+        # speed), then a plain digest-keyed dict fill — interned-string
+        # hashing only, no per-schema key tuples
+        cost_lists = gathered.tolist()
+        order_lists = orders.tolist()
+        bucket: dict[str, tuple[tuple, tuple]] = {}
+        for position, digest in enumerate(digests):
+            length = lengths[position]
+            bucket[digest] = (
+                tuple(cost_lists[position][:length]),
+                tuple(order_lists[position][:length]),
+            )
+        self._vgathers[(normalised, datatype)] = bucket
+        # whole-bucket eviction, oldest first, same memory cap as the
+        # flat cache; the bucket just filled always survives
+        while (
+            len(self._vgathers) > 1
+            and len(self._vgathers) * len(digests) > self.MAX_GATHERS
+        ):
+            del self._vgathers[next(iter(self._vgathers))]
+        return bucket[wanted_digest]
+
+    def __getstate__(self):
+        """Pickle every slot except the ndarray gather index.
+
+        Worker payloads (the pipeline pickles substrates, kernels
+        included, into shard workers) ship the warm row and gather
+        caches but not ``_vindex`` — its stacked matrices rebuild in one
+        lazy pass on the first vector gather, identically.
+        """
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_vindex"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # -- persistence ---------------------------------------------------------
 

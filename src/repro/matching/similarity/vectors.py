@@ -1,0 +1,197 @@
+"""The optional numpy execution layer behind the ``numpy`` A/B switch.
+
+The scoring stack's remaining per-expansion work after the kernel PR is
+pure-python arithmetic: gathering kernel rows into matrices, sorting
+candidate orders, accumulating suffix-sum admissible bounds, cutting
+top-k candidate lists.  This module provides vectorised forms of those
+primitives — and the process-wide switch that selects them — while the
+pure-python code keeps being the **executable specification**, exactly
+like :func:`~repro.matching.engine.flat_search_disabled` keeps the
+recursive search and :func:`~repro.matching.similarity.kernel
+.kernel_disabled` keeps the per-pair scoring path.
+
+Byte-identity discipline
+------------------------
+Every helper here is bit-equal to its python spec, by construction, not
+by accident:
+
+* **Gathers** are fancy indexing — pure copies of the same doubles.
+* **Candidate orders** use stable argsort (ties keep ascending position,
+  which for rows indexed by target id *is* the engine's ``(cost, id)``
+  tie-break) or :func:`numpy.lexsort` where candidate ids arrive
+  unsorted.
+* **Suffix sums** run :func:`numpy.cumsum` over the reversed minima with
+  a prepended ``0.0`` — ``cumsum`` is a strict sequential left fold, so
+  every partial sum is the identical float chain of the spec loop in
+  :func:`~repro.matching.similarity.matrix.suffix_cost_sums`.
+* **Top-k** narrows with ``argpartition`` and then resolves the pivot
+  ties exactly, so the kept target set equals the spec's full
+  ``(cost, id)`` sort cut at k.
+* Results are converted back to python floats/ints (``tolist`` is
+  value-exact for float64), so everything downstream — the search loop,
+  answer sets, serialized snapshots — holds the same objects it would
+  have held on the spec path.
+
+The helpers assume finite costs; the kernel/matrix layer guarantees it
+(objective costs live in [0, 1]) and a regression test pins it down,
+because NaN would order differently under numpy's sort than python's.
+
+Optional dependency
+-------------------
+numpy is **optional**.  When it cannot be imported — or when the
+environment variable ``REPRO_NO_NUMPY=1`` forces the import to be
+skipped, which is how CI exercises the numpy-absent configuration
+without a second container image — :func:`numpy_available` is false,
+:func:`numpy_enabled` is false regardless of the switch, and every
+caller falls back to its spec path.  ``set_numpy_enabled(True)`` on a
+numpy-less process is a recorded no-op: the switch flips, but
+:func:`numpy_enabled` keeps answering false, so toggling code needs no
+availability checks of its own.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+__all__ = [
+    "numpy_available",
+    "numpy_disabled",
+    "numpy_enabled",
+    "set_numpy_enabled",
+    "stable_order",
+    "suffix_sums",
+    "topk_indices",
+    "vector_thresholds",
+]
+
+if os.environ.get("REPRO_NO_NUMPY") == "1":  # the forced-absent CI mode
+    _np = None
+else:
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+        _np = None
+
+_ENABLED = True
+
+#: adaptive dispatch floors: per-call vector forms only run at or above
+#: these sizes (elements for 1-D ops, total elements for 2-D ops) —
+#: below them, numpy's call overhead loses to the tiny python loop it
+#: replaces.  Both forms are bit-identical, so the crossover is purely a
+#: speed choice; the *batched* kernel gather has no floor because it
+#: amortises one dispatch over the whole repository.  Tests force the
+#: floors to 0 via :func:`vector_thresholds` so every vector form is
+#: exercised on small workloads too.
+VECTOR_MIN = 64
+VECTOR_MIN_AREA = 1024
+
+
+@contextmanager
+def vector_thresholds(
+    min_elements: int = 0, min_area: int = 0
+) -> Iterator[None]:
+    """Temporarily override the adaptive dispatch floors.
+
+    The property suite runs its toggle combinations under
+    ``vector_thresholds(0, 0)`` so the vector forms execute even on
+    hypothesis-sized inputs; benchmarks may raise them to isolate a
+    regime.  Restores the previous floors on exit.
+    """
+    global VECTOR_MIN, VECTOR_MIN_AREA
+    previous = (VECTOR_MIN, VECTOR_MIN_AREA)
+    VECTOR_MIN, VECTOR_MIN_AREA = min_elements, min_area
+    try:
+        yield
+    finally:
+        VECTOR_MIN, VECTOR_MIN_AREA = previous
+
+
+def numpy_available() -> bool:
+    """Whether numpy imported at all (``REPRO_NO_NUMPY=1`` forces false)."""
+    return _np is not None
+
+
+def numpy_enabled() -> bool:
+    """Whether the vectorised execution path is active.
+
+    True only when numpy is importable **and** the process-wide switch
+    is on; with numpy absent this is constantly false and the spec
+    paths run everywhere.
+    """
+    return _ENABLED and _np is not None
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Set the process-wide numpy switch; returns the previous value.
+
+    The switch state is tracked even without numpy installed (so
+    save/restore idioms behave), but :func:`numpy_enabled` only ever
+    answers true when numpy is actually importable.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def numpy_disabled() -> Iterator[None]:
+    """Run a block on the pure-python spec paths (for A/B runs)."""
+    previous = set_numpy_enabled(False)
+    try:
+        yield
+    finally:
+        set_numpy_enabled(previous)
+
+
+# ---------------------------------------------------------------------------
+# Vector primitives (call only when ``numpy_enabled()``)
+# ---------------------------------------------------------------------------
+
+def stable_order(values) -> "object":
+    """Indices sorting ``values`` ascending, ties by ascending index.
+
+    For a cost row indexed by target id this is exactly the engine's
+    ``(cost, id)`` candidate order: stable argsort keeps equal costs in
+    input (= id) order.  Accepts any sequence or ndarray; returns an
+    ndarray of indices.
+    """
+    return _np.argsort(_np.asarray(values, dtype=_np.float64), kind="stable")
+
+
+def suffix_sums(row_minima: Sequence[float]) -> tuple[float, ...]:
+    """The vector form of the suffix-sum accumulation.
+
+    Bit-identical to the spec loop in
+    :func:`~repro.matching.similarity.matrix.suffix_cost_sums`:
+    ``cumsum`` is a strict sequential fold, and prepending ``0.0``
+    reproduces the spec's ``out[n-1] = 0.0 + row_minima[n-1]`` first
+    step, so every partial sum is the same float chain.  Returns length
+    ``len(row_minima) + 1`` with the trailing ``0.0``, like the spec.
+    """
+    reversed_with_zero = _np.empty(len(row_minima) + 1, dtype=_np.float64)
+    reversed_with_zero[0] = 0.0
+    reversed_with_zero[1:] = _np.asarray(row_minima, dtype=_np.float64)[::-1]
+    return tuple(_np.cumsum(reversed_with_zero)[::-1].tolist())
+
+
+def topk_indices(costs: Sequence[float], k: int) -> list[int]:
+    """The ``k`` cheapest target ids of one cost row, ``(cost, id)`` order.
+
+    Equal to ``sorted(range(len(costs)), key=lambda j: (costs[j], j))[:k]``
+    — the top-k matcher's spec cut — but via ``argpartition``:
+    partitioning finds the k-th smallest cost, every id at or below that
+    pivot cost is collected (``nonzero`` yields them id-ascending), and
+    one stable sort of that usually-tiny slice resolves pivot ties by id
+    exactly as the spec's tuple sort does.
+    """
+    arr = _np.asarray(costs, dtype=_np.float64)
+    size = arr.shape[0]
+    if k >= size:
+        return stable_order(arr).tolist()
+    pivot = arr[_np.argpartition(arr, k - 1)[:k]].max()
+    eligible = _np.nonzero(arr <= pivot)[0]
+    ranked = eligible[_np.argsort(arr[eligible], kind="stable")]
+    return ranked[:k].tolist()

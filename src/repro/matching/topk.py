@@ -18,6 +18,7 @@ from repro.errors import MatchingError
 from repro.matching.base import Matcher
 from repro.matching.engine import SchemaSearch
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity import vectors
 from repro.schema.model import Schema
 
 __all__ = ["TopKCandidateMatcher"]
@@ -60,10 +61,23 @@ class TopKCandidateMatcher(Matcher):
             costs = self.objective.cost_matrix(query, schema)
             allowed = []
             for i in range(len(query)):
-                ranked = sorted(
-                    range(len(schema)), key=lambda j: (costs[i][j], j)
-                )
-                allowed.append(ranked[: self.candidates_per_element])
+                if (
+                    len(schema) >= vectors.VECTOR_MIN
+                    and vectors.numpy_enabled()
+                ):
+                    # argpartition narrows to the k cheapest, then exact
+                    # (cost, id) tie resolution at the pivot — the same
+                    # targets in the same order as the spec sort's cut
+                    allowed.append(
+                        vectors.topk_indices(
+                            costs[i], self.candidates_per_element
+                        )
+                    )
+                else:
+                    ranked = sorted(
+                        range(len(schema)), key=lambda j: (costs[i][j], j)
+                    )
+                    allowed.append(ranked[: self.candidates_per_element])
         search = SchemaSearch(
             query, schema, self.objective, allowed=allowed, substrate=substrate
         )

@@ -1,0 +1,6 @@
+"""Shared test helpers, importable as ``helpers.*`` from any test.
+
+``tests/`` itself is not a package (no ``__init__.py``), so pytest puts
+it on ``sys.path``; this package rides on that.  Helpers hold reusable
+*machinery* — fixtures stay in ``conftest.py``.
+"""

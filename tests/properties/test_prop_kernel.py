@@ -14,8 +14,18 @@ Three families:
   branch-and-bound must emit the *sequence* the recursive reference
   generator emits: same assignments, same score floats, same order —
   with and without the substrate, trimmed and untrimmed.
+
+The on/off family runs through :mod:`helpers.differential` (the shared
+byte-identity harness); the stream and search families keep bespoke
+drivers because their contracts compare more than final answer sets.
 """
 
+from helpers.differential import (
+    MATCHERS,
+    assert_combinations_identical,
+    canonical as _canonical,
+    make_workload,
+)
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -31,22 +41,11 @@ from repro.matching import (
 )
 from repro.matching.evolution import EvolutionSession
 from repro.matching.objective import ObjectiveFunction
-from repro.matching.similarity.name import NameSimilarity, Thesaurus
+from repro.matching.similarity.name import NameSimilarity
 from repro.schema import churn_delta
 from repro.schema.generator import GeneratorConfig, generate_repository
 from repro.schema.mutations import extract_personal_schema
-from repro.schema.vocabulary import builtin_domains
 from repro.util import rng
-
-_MATCHERS = [
-    ("exhaustive", {}),
-    ("beam", {"beam_width": 4}),
-    ("clustering", {"clusters_per_element": 2}),
-    ("topk", {"candidates_per_element": 3}),
-    ("hybrid", {"clusters_per_element": 2, "beam_width": 4}),
-]
-
-_THRESHOLDS = (0.05, 0.15, 0.3, 0.45)
 
 
 @st.composite
@@ -54,54 +53,28 @@ def kernel_cases(draw):
     repo_seed = draw(st.integers(min_value=0, max_value=25))
     num_schemas = draw(st.integers(min_value=2, max_value=5))
     query_seed = draw(st.integers(min_value=0, max_value=25))
-    matcher = draw(st.sampled_from(_MATCHERS))
+    matcher = draw(st.sampled_from(MATCHERS))
     with_thesaurus = draw(st.booleans())
     return repo_seed, num_schemas, query_seed, matcher, with_thesaurus
-
-
-def _canonical(answer_set) -> bytes:
-    return repr(
-        [(answer.item.key, answer.score) for answer in answer_set.answers()]
-    ).encode()
 
 
 @settings(max_examples=25, deadline=None)
 @given(kernel_cases())
 def test_kernel_answer_sets_byte_identical(case):
     repo_seed, num_schemas, query_seed, (name, params), with_thesaurus = case
-    repo = generate_repository(
-        GeneratorConfig(
-            num_schemas=num_schemas, min_size=5, max_size=9, seed=repo_seed
-        )
+    workload = make_workload(
+        repo_seed,
+        num_schemas=num_schemas,
+        query_seed=query_seed,
+        with_thesaurus=with_thesaurus,
     )
-    thesaurus = (
-        Thesaurus.from_vocabularies(
-            builtin_domains().values(), coverage=0.6, seed=repo_seed
-        )
-        if with_thesaurus
-        else None
-    )
-    objective = ObjectiveFunction(NameSimilarity(thesaurus))
-    query = extract_personal_schema(
-        rng.make_tagged(query_seed),
-        repo.schemas()[query_seed % num_schemas],
-        None,
-        target_size=3,
-        schema_id="prop-kernel-query",
-    )
-    for delta in _THRESHOLDS:
-        on = make_matcher(name, objective, **params).match(query, repo, delta)
-        with kernel_disabled():
-            off = make_matcher(name, objective, **params).match(
-                query, repo, delta
-            )
-        assert _canonical(on) == _canonical(off), (name, delta)
+    assert_combinations_identical(name, params, workload, toggles=("kernel",))
 
 
 @settings(max_examples=10, deadline=None)
 @given(
     repo_seed=st.integers(min_value=0, max_value=10),
-    matcher=st.sampled_from(_MATCHERS),
+    matcher=st.sampled_from(MATCHERS),
     steps=st.integers(min_value=1, max_value=3),
 )
 def test_kernel_identical_across_delta_stream(repo_seed, matcher, steps):

@@ -5,28 +5,19 @@ the substrate enabled (precomputed score matrices + exact candidate
 pruning) must produce **byte-identical** answer sets to the direct
 pre-substrate path — same mappings, same scores, same order.  This is
 the substrate's licence to exist: it may only move work, never answers.
+
+The machinery — workload generation, canonical answer encoding, the
+toggle runner — lives in :mod:`helpers.differential`; this module pins
+the substrate axis of the toggle grid.
 """
 
+from helpers.differential import (
+    MATCHERS,
+    assert_combinations_identical,
+    make_workload,
+)
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
-from repro.matching import make_matcher, substrate_disabled
-from repro.matching.objective import ObjectiveFunction
-from repro.matching.similarity.name import NameSimilarity, Thesaurus
-from repro.schema.generator import GeneratorConfig, generate_repository
-from repro.schema.mutations import extract_personal_schema
-from repro.schema.vocabulary import builtin_domains
-from repro.util import rng
-
-_MATCHERS = [
-    ("exhaustive", {}),
-    ("beam", {"beam_width": 4}),
-    ("clustering", {"clusters_per_element": 2}),
-    ("topk", {"candidates_per_element": 3}),
-    ("hybrid", {"clusters_per_element": 2, "beam_width": 4}),
-]
-
-_THRESHOLDS = (0.05, 0.15, 0.3, 0.45)
 
 
 @st.composite
@@ -34,45 +25,21 @@ def substrate_cases(draw):
     repo_seed = draw(st.integers(min_value=0, max_value=25))
     num_schemas = draw(st.integers(min_value=2, max_value=5))
     query_seed = draw(st.integers(min_value=0, max_value=25))
-    matcher = draw(st.sampled_from(_MATCHERS))
+    matcher = draw(st.sampled_from(MATCHERS))
     with_thesaurus = draw(st.booleans())
     return repo_seed, num_schemas, query_seed, matcher, with_thesaurus
-
-
-def _canonical(answer_set) -> bytes:
-    return repr(
-        [(answer.item.key, answer.score) for answer in answer_set.answers()]
-    ).encode()
 
 
 @settings(max_examples=25, deadline=None)
 @given(substrate_cases())
 def test_substrate_answer_sets_byte_identical(case):
     repo_seed, num_schemas, query_seed, (name, params), with_thesaurus = case
-    repo = generate_repository(
-        GeneratorConfig(
-            num_schemas=num_schemas, min_size=5, max_size=9, seed=repo_seed
-        )
+    workload = make_workload(
+        repo_seed,
+        num_schemas=num_schemas,
+        query_seed=query_seed,
+        with_thesaurus=with_thesaurus,
     )
-    thesaurus = (
-        Thesaurus.from_vocabularies(
-            builtin_domains().values(), coverage=0.6, seed=repo_seed
-        )
-        if with_thesaurus
-        else None
+    assert_combinations_identical(
+        name, params, workload, toggles=("substrate",)
     )
-    objective = ObjectiveFunction(NameSimilarity(thesaurus))
-    query = extract_personal_schema(
-        rng.make_tagged(query_seed),
-        repo.schemas()[query_seed % num_schemas],
-        None,
-        target_size=3,
-        schema_id="prop-substrate-query",
-    )
-    for delta in _THRESHOLDS:
-        on = make_matcher(name, objective, **params).match(query, repo, delta)
-        with substrate_disabled():
-            off = make_matcher(name, objective, **params).match(
-                query, repo, delta
-            )
-        assert _canonical(on) == _canonical(off), (name, delta)

@@ -11,6 +11,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python tools/profile_hotpath.py
     PYTHONPATH=src python tools/profile_hotpath.py --limit 30 --sort tottime
     PYTHONPATH=src python tools/profile_hotpath.py --pre-kernel   # PR-4 path
+    PYTHONPATH=src python tools/profile_hotpath.py --no-numpy     # spec loops
     PYTHONPATH=src python tools/profile_hotpath.py --schemas 260  # repo scale
 
 ``--warm`` first replays the sweep once un-timed so the name-similarity
@@ -87,11 +88,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="profile the PR-4 scoring path (kernel + flat search off)",
     )
+    parser.add_argument(
+        "--no-numpy",
+        action="store_true",
+        help="profile the pure-python spec loops (numpy path off)",
+    )
     args = parser.parse_args(argv)
+
+    from contextlib import ExitStack
 
     from repro.evaluation import build_workload
     from repro.evaluation.workloads import WorkloadConfig
-    from repro.matching import flat_search_disabled, kernel_disabled
+    from repro.matching import (
+        flat_search_disabled,
+        kernel_disabled,
+        numpy_disabled,
+    )
 
     config = None
     if args.schemas is not None:
@@ -107,12 +119,12 @@ def main(argv: list[str] | None = None) -> int:
         _sweep(workload, args.thresholds[:1])
 
     profiler = cProfile.Profile()
-    if args.pre_kernel:
-        with kernel_disabled(), flat_search_disabled():
-            profiler.enable()
-            _sweep(workload, args.thresholds)
-            profiler.disable()
-    else:
+    with ExitStack() as stack:
+        if args.pre_kernel:
+            stack.enter_context(kernel_disabled())
+            stack.enter_context(flat_search_disabled())
+        if args.no_numpy:
+            stack.enter_context(numpy_disabled())
         profiler.enable()
         _sweep(workload, args.thresholds)
         profiler.disable()
