@@ -193,6 +193,7 @@ def _ensure_loaded() -> None:
     """Import the experiment modules so their registrations run."""
     from repro.experiments import (  # noqa: F401  (import for side effect)
         ablations,
+        ablations_backends,
         ablations_extended,
         ablations_macro,
         figures,

@@ -16,6 +16,15 @@ All systems score with a shared :class:`~repro.matching.objective
 exhaustive system's at every threshold — the paper's single assumption,
 enforced and tested throughout.
 
+The objective's *name plane* is pluggable
+(:mod:`repro.matching.similarity.backends`): the registry additionally
+carries the backend variants ``bm25``, ``dense`` and ``ensemble``,
+which run the exhaustive search over a derived objective scoring names
+through a BM25 sparse scorer, a hashed dense-vector scorer, or a
+weighted ensemble of backends.  Each variant fingerprints as its own
+matcher family, compared by the bounds technique within the family —
+never across backends, whose scores are not comparable.
+
 Batch workloads go through :mod:`repro.matching.pipeline`: repository
 sharding, optional worker processes and an LRU candidate cache behind
 :meth:`~repro.matching.base.Matcher.batch_match`, with output identical
@@ -38,7 +47,11 @@ additionally runs **vectorised** (:mod:`repro.matching.similarity
 .vectors`) behind the fourth A/B switch, :func:`numpy_disabled` /
 :func:`set_numpy_enabled` — same floats, same orders, same bytes, with
 the pure-python spec exercised whenever numpy is absent or the switch
-is off.
+is off.  The fifth switch, :func:`backends_disabled` /
+:func:`set_backends_enabled`, covers the backend refactoring seam: off,
+a default objective scores names through the direct pre-backend
+:class:`~repro.matching.similarity.name.NameSimilarity` path,
+byte-identical to the lexical backend route.
 
 Evolving repositories go through :mod:`repro.matching.evolution`: an
 :class:`~repro.matching.evolution.EvolutionSession` replays
@@ -97,18 +110,26 @@ from repro.matching.registry import (
 from repro.matching.service import MatchingService, ServiceStats
 from repro.matching.similarity import (
     CostKernel,
+    EnsembleBackend,
+    HashedVectorBackend,
+    LexicalBackend,
     NameSimilarity,
     ScoreMatrix,
+    SimilarityBackend,
     SimilaritySubstrate,
+    SparseBM25Backend,
     Thesaurus,
     TokenIndex,
     ancestry_violations,
+    backends_disabled,
+    backends_enabled,
     datatype_penalty,
     kernel_disabled,
     kernel_enabled,
     numpy_available,
     numpy_disabled,
     numpy_enabled,
+    set_backends_enabled,
     set_kernel_enabled,
     set_numpy_enabled,
     set_substrate_enabled,
@@ -128,9 +149,12 @@ __all__ = [
     "ClusteringMatcher",
     "CostKernel",
     "ElementClusterer",
+    "EnsembleBackend",
     "EvolutionSession",
     "ExhaustiveMatcher",
+    "HashedVectorBackend",
     "HybridMatcher",
+    "LexicalBackend",
     "Mapping",
     "MatchIncrement",
     "Matcher",
@@ -144,13 +168,17 @@ __all__ = [
     "SchemaSearch",
     "ScoreMatrix",
     "ServiceStats",
+    "SimilarityBackend",
     "SimilaritySubstrate",
     "Snapshot",
+    "SparseBM25Backend",
     "Thesaurus",
     "TokenIndex",
     "TopKCandidateMatcher",
     "ancestry_violations",
     "available_matchers",
+    "backends_disabled",
+    "backends_enabled",
     "batch_match",
     "best_case_subset",
     "canonical_answers",
@@ -169,6 +197,7 @@ __all__ = [
     "numpy_enabled",
     "random_subset_like",
     "save_snapshot",
+    "set_backends_enabled",
     "set_flat_search_enabled",
     "set_kernel_enabled",
     "set_numpy_enabled",

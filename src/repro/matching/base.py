@@ -89,10 +89,18 @@ class Matcher(abc.ABC):
         the similarity substrate's token index for the repository
         (idempotent, keyed by content digest); overriding matchers with
         repository-global state of their own should call ``super()``.
+
+        Corpus-sensitive similarity backends (docs/backends.md) freeze
+        their repository statistics here even when the substrate switch
+        is off — the statistics are part of the *score definition*, not
+        an optimisation, so the substrate-on and substrate-off paths
+        must see the identical frozen corpus.
         """
         substrate = self._substrate()
         if substrate is not None:
             substrate.prepare(repository)
+        elif getattr(self.objective, "corpus_sensitive", False):
+            self.objective.prepare_corpus(repository)
 
     def begin_query(self, query: Schema) -> None:
         """Optional per-query setup hook, run after :meth:`prepare`.

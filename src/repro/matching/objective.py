@@ -23,11 +23,16 @@ from dataclasses import dataclass
 
 from repro.errors import MatchingError, ObjectiveMismatchError
 from repro.matching.mapping import Mapping
+from repro.matching.similarity.backends import (
+    LexicalBackend,
+    SimilarityBackend,
+    backends_enabled,
+)
 from repro.matching.similarity.datatype import datatype_penalty
 from repro.matching.similarity.name import NameSimilarity
 from repro.matching.similarity.structure import ancestry_violations, query_edges
 from repro.schema.model import Schema, SchemaElement
-from repro.schema.repository import ElementHandle
+from repro.schema.repository import ElementHandle, SchemaRepository
 
 __all__ = ["ObjectiveWeights", "ObjectiveFunction"]
 
@@ -67,13 +72,34 @@ class ObjectiveFunction:
         self,
         name_similarity: NameSimilarity,
         weights: ObjectiveWeights | None = None,
+        backend: SimilarityBackend | None = None,
     ):
         self.name_similarity = name_similarity
         self.weights = weights or ObjectiveWeights()
+        # The name-score plane is pluggable (docs/backends.md); the
+        # default wraps ``name_similarity`` itself, fingerprint and all,
+        # so an objective built without an explicit backend is the
+        # pre-backend objective, byte for byte.
+        self.backend = backend if backend is not None else LexicalBackend(
+            name_similarity
+        )
         total = self.weights.name + self.weights.datatype
         self._name_share = self.weights.name / total
         self._datatype_share = self.weights.datatype / total
         self._substrate = None
+
+    def with_backend(self, backend: SimilarityBackend) -> "ObjectiveFunction":
+        """A new objective scoring names through ``backend``.
+
+        Shares the name similarity (clustering and the hybrid matcher
+        nominate through it regardless of backend) and the weights, but
+        nothing cached: the derived objective gets its own substrate,
+        because matrices and kernel rows scored under one backend must
+        never be served to another.
+        """
+        return ObjectiveFunction(
+            self.name_similarity, self.weights, backend=backend
+        )
 
     def substrate(self):
         """The similarity substrate shared by every matcher on this Δ.
@@ -97,13 +123,42 @@ class ObjectiveFunction:
         fingerprints are equal; the bounds pipeline enforces this, and
         the candidate cache keys results on it.  Weights are rendered at
         full ``repr`` precision — rounding here would let two objectives
-        that *score differently* share cache entries.
+        that *score differently* share cache entries.  The name plane's
+        identity is the backend's fingerprint: for the default
+        :class:`~repro.matching.similarity.backends.LexicalBackend` that
+        is the wrapped name similarity's fingerprint verbatim, so
+        default-configured objectives fingerprint exactly as they did
+        before backends existed (pre-backend snapshots keep loading).
         """
         return (
             f"delta(name={self._name_share!r},dt={self._datatype_share!r},"
             f"struct={self.weights.structure!r};"
-            f"{self.name_similarity.fingerprint()})"
+            f"{self.backend.fingerprint()})"
         )
+
+    # -- corpus hooks (corpus-sensitive backends only) -----------------------
+
+    @property
+    def corpus_sensitive(self) -> bool:
+        """Whether name scores depend on repository-wide statistics."""
+        return self.backend.corpus_sensitive
+
+    def corpus_token(self) -> str:
+        """The backend's frozen-corpus digest (``""`` when corpus-free)."""
+        return self.backend.corpus_token()
+
+    def prepare_corpus(
+        self, repository: SchemaRepository, index=None
+    ) -> None:
+        """Freeze the backend's corpus statistics for ``repository``.
+
+        Idempotent per repository content digest; the substrate calls
+        this from :meth:`~repro.matching.similarity.matrix
+        .SimilaritySubstrate.prepare` (passing its token index) and
+        drops cached matrices and kernel rows when the corpus token
+        moved.  A no-op for corpus-insensitive backends.
+        """
+        self.backend.prepare(repository, index)
 
     def check_same_as(self, other: "ObjectiveFunction") -> None:
         """Raise :class:`ObjectiveMismatchError` unless configured identically."""
@@ -142,7 +197,16 @@ class ObjectiveFunction:
         them), which is what licenses the kernel to compute one cost per
         distinct (normalised label, datatype) pair per repository.
         """
-        name_cost = 1.0 - self.name_similarity.similarity(query_name, target_name)
+        backend = self.backend
+        if backend.kind == "lexical" and not backends_enabled():
+            # the pre-backend direct path, kept live as the A/B
+            # reference of the refactoring seam; identical to the
+            # LexicalBackend route by construction (it delegates), which
+            # the backend property suite asserts byte for byte
+            name_score = self.name_similarity.similarity(query_name, target_name)
+        else:
+            name_score = backend.similarity(query_name, target_name)
+        name_cost = 1.0 - name_score
         type_cost = datatype_penalty(query_datatype, target_datatype)
         return self._name_share * name_cost + self._datatype_share * type_cost
 

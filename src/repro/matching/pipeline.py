@@ -64,6 +64,10 @@ from repro.matching.engine import (
     set_flat_search_enabled,
     threshold_unreachable,
 )
+from repro.matching.similarity.backends import (
+    backends_enabled,
+    set_backends_enabled,
+)
 from repro.matching.similarity.kernel import kernel_enabled, set_kernel_enabled
 from repro.matching.similarity.matrix import (
     set_substrate_enabled,
@@ -303,21 +307,25 @@ def _init_worker(
     matcher: Matcher,
     queries: list[Schema],
     schemas: dict[str, Schema],
-    switches: tuple[bool, bool, bool, bool] = (True, True, True, True),
+    switches: tuple[bool, bool, bool, bool, bool] = (
+        True, True, True, True, True,
+    ),
 ) -> None:
     global _WORKER_STATE
     # Mirror the coordinator's process-wide A/B switches (substrate,
-    # kernel, flat search, numpy) — worker processes otherwise boot with
-    # the module defaults regardless of what the coordinator toggled.
-    # The numpy flag carries the coordinator's *switch*; a worker without
-    # numpy importable still runs the spec path (numpy_enabled() stays
-    # false there), which is byte-identical by the vector layer's
-    # contract, so mixed availability cannot skew answers.
-    substrate_on, kernel_on, flat_on, numpy_on = switches
+    # kernel, flat search, numpy, backends) — worker processes otherwise
+    # boot with the module defaults regardless of what the coordinator
+    # toggled.  The numpy flag carries the coordinator's *switch*; a
+    # worker without numpy importable still runs the spec path
+    # (numpy_enabled() stays false there), which is byte-identical by
+    # the vector layer's contract, so mixed availability cannot skew
+    # answers.
+    substrate_on, kernel_on, flat_on, numpy_on, backends_on = switches
     set_substrate_enabled(substrate_on)
     set_kernel_enabled(kernel_on)
     set_flat_search_enabled(flat_on)
     set_numpy_enabled(numpy_on)
+    set_backends_enabled(backends_on)
     _WORKER_STATE = {"matcher": matcher, "queries": queries, "schemas": schemas}
 
 
@@ -387,6 +395,7 @@ def _acquire_pool(
                 kernel_enabled(),
                 flat_search_enabled(),
                 numpy_enabled(),
+                backends_enabled(),
             ),
         ),
     )
@@ -598,8 +607,10 @@ class MatchingPipeline:
 
         Matchers whose per-pair results depend on repository-global
         state (``pair_local`` false: clustering and its hybrids — any
-        delta can move cluster boundaries everywhere) fall back to a
-        full recompute, flagged in the returned ``rematch`` stats.
+        delta can move cluster boundaries everywhere), and objectives
+        whose *scores* do (corpus-sensitive similarity backends — a
+        delta moves the corpus statistics under every pair), fall back
+        to a full recompute, flagged in the returned ``rematch`` stats.
 
         Recomputed pairs run serially in the coordinating process and
         bypass the candidate cache: the changed set is small by
@@ -649,7 +660,13 @@ class MatchingPipeline:
             queries=len(queries),
             pairs_total=len(queries) * len(repository),
         )
-        if not matcher.pair_local:
+        if not matcher.pair_local or getattr(
+            matcher.objective, "corpus_sensitive", False
+        ):
+            # Corpus-sensitive backends re-freeze their repository-wide
+            # statistics against the evolved repository, which can move
+            # *every* pair's score — stored pair results for unchanged
+            # schemas are as stale as a clustering matcher's boundaries.
             result = self.run(queries, repository, delta_max)
             rematch_stats.full_recompute = True
             rematch_stats.pairs_recomputed = rematch_stats.pairs_total
@@ -877,6 +894,7 @@ class MatchingPipeline:
             kernel_enabled(),
             flat_search_enabled(),
             numpy_enabled(),
+            backends_enabled(),
         )
 
         def submit_all(pool: ProcessPoolExecutor) -> dict:

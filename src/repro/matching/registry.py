@@ -4,6 +4,17 @@ Central place mapping system names to constructors, used by the CLI and
 the experiment configs so that a run is fully described by plain data
 (name + parameter dict).  :func:`batch_match` is the one-call entry
 point from plain data to the sharded matching pipeline.
+
+Beyond the paper's five search systems, the registry carries the
+**backend variants** — ``bm25``, ``dense`` and ``ensemble`` — which run
+the exhaustive search over a *derived* objective whose name plane is a
+different :mod:`similarity backend
+<repro.matching.similarity.backends>`.  A variant's objective
+fingerprints differently from the base objective (the backend is part
+of the identity), so variants form their own matcher families: the
+bounds technique compares systems *within* one family — e.g. a beam
+search against the exhaustive baseline on the same BM25 objective —
+never across backends, whose answer scores are not comparable.
 """
 
 from __future__ import annotations
@@ -18,6 +29,12 @@ from repro.matching.clustering import ClusteringMatcher
 from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
 from repro.matching.objective import ObjectiveFunction
+from repro.matching.similarity.backends import (
+    EnsembleBackend,
+    HashedVectorBackend,
+    LexicalBackend,
+    SparseBM25Backend,
+)
 from repro.matching.topk import TopKCandidateMatcher
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
@@ -30,12 +47,62 @@ __all__ = [
     "matching_service",
 ]
 
+
+def _variant(name: str, objective: ObjectiveFunction, backend) -> Matcher:
+    """An exhaustive matcher over ``objective`` rebased onto ``backend``.
+
+    The derived objective shares the base's name similarity and weights
+    but scores names through ``backend`` — and gets its own substrate,
+    so no matrix or kernel row crosses backends.  The instance ``name``
+    carries the variant name into reports and matcher fingerprints.
+    """
+    matcher = ExhaustiveMatcher(objective.with_backend(backend))
+    matcher.name = name
+    return matcher
+
+
+def _bm25_matcher(
+    objective: ObjectiveFunction, k1: float = 1.5, b: float = 0.75
+) -> Matcher:
+    return _variant("bm25", objective, SparseBM25Backend(k1=k1, b=b))
+
+
+def _dense_matcher(
+    objective: ObjectiveFunction, dim: int = 256, n: int = 3
+) -> Matcher:
+    return _variant("dense", objective, HashedVectorBackend(dim=int(dim), n=int(n)))
+
+
+def _ensemble_matcher(
+    objective: ObjectiveFunction,
+    lexical: float = 0.5,
+    bm25: float = 0.25,
+    dense: float = 0.25,
+    k1: float = 1.5,
+    b: float = 0.75,
+    dim: int = 256,
+    n: int = 3,
+) -> Matcher:
+    backend = EnsembleBackend(
+        [
+            LexicalBackend(objective.name_similarity),
+            SparseBM25Backend(k1=k1, b=b),
+            HashedVectorBackend(dim=int(dim), n=int(n)),
+        ],
+        [lexical, bm25, dense],
+    )
+    return _variant("ensemble", objective, backend)
+
+
 _FACTORIES: dict[str, Callable[..., Matcher]] = {
     "exhaustive": ExhaustiveMatcher,
     "beam": BeamMatcher,
     "clustering": ClusteringMatcher,
     "topk": TopKCandidateMatcher,
     "hybrid": HybridMatcher,
+    "bm25": _bm25_matcher,
+    "dense": _dense_matcher,
+    "ensemble": _ensemble_matcher,
 }
 
 

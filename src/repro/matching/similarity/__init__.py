@@ -5,6 +5,11 @@ paper builds on (Cupid, COMA, iMAP):
 
 * :mod:`~repro.matching.similarity.name` — lexical + thesaurus name
   similarity;
+* :mod:`~repro.matching.similarity.backends` — pluggable similarity
+  backends: the protocol behind the objective's name plane, the default
+  lexical backend, the BM25 sparse and hashed dense scorers, and the
+  weighted ensemble (with the ``backends`` A/B switch over the
+  refactoring seam);
 * :mod:`~repro.matching.similarity.datatype` — datatype compatibility
   penalties;
 * :mod:`~repro.matching.similarity.structure` — ancestry preservation of
@@ -24,6 +29,16 @@ paper builds on (Cupid, COMA, iMAP):
   path when numpy is not installed).
 """
 
+from repro.matching.similarity.backends import (
+    EnsembleBackend,
+    HashedVectorBackend,
+    LexicalBackend,
+    SimilarityBackend,
+    SparseBM25Backend,
+    backends_disabled,
+    backends_enabled,
+    set_backends_enabled,
+)
 from repro.matching.similarity.datatype import datatype_penalty
 from repro.matching.similarity.kernel import (
     CostKernel,
@@ -50,18 +65,26 @@ from repro.matching.similarity.vectors import (
 
 __all__ = [
     "CostKernel",
+    "EnsembleBackend",
+    "HashedVectorBackend",
+    "LexicalBackend",
     "NameSimilarity",
     "ScoreMatrix",
+    "SimilarityBackend",
     "SimilaritySubstrate",
+    "SparseBM25Backend",
     "Thesaurus",
     "TokenIndex",
     "ancestry_violations",
+    "backends_disabled",
+    "backends_enabled",
     "datatype_penalty",
     "kernel_disabled",
     "kernel_enabled",
     "numpy_available",
     "numpy_disabled",
     "numpy_enabled",
+    "set_backends_enabled",
     "set_kernel_enabled",
     "set_numpy_enabled",
     "set_substrate_enabled",

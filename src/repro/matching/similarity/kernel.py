@@ -133,6 +133,7 @@ class CostKernel:
     __slots__ = (
         "objective",
         "repository_digest",
+        "corpus_token",
         "_labels",
         "_intern",
         "_schema_lids",
@@ -163,6 +164,12 @@ class CostKernel:
     ):
         self.objective = objective
         self.repository_digest = repository.content_digest()
+        # Corpus-sensitive backends (docs/backends.md) make label costs
+        # depend on repository-wide statistics; the token identifies the
+        # statistics these rows were scored under ("" for corpus-free
+        # objectives), and migration refuses rows from another corpus.
+        token = getattr(objective, "corpus_token", None)
+        self.corpus_token = token() if callable(token) else ""
         labels: list[LabelKey] = []
         intern: dict[LabelKey, int] = {}
         schema_lids: dict[str, array] = {}
@@ -219,6 +226,10 @@ class CostKernel:
         """
         if previous.objective.fingerprint() != self.objective.fingerprint():
             return  # foreign kernel; nothing it holds is trustworthy
+        if previous.corpus_token != self.corpus_token:
+            # same configuration, different corpus statistics: every
+            # carried cost would embed the old repository's frequencies
+            return
         label_cost = self.objective.label_cost
         prior_intern = previous._intern
         carried = list(previous._rows.items())[-self.MAX_ROWS:]
@@ -439,6 +450,7 @@ class CostKernel:
         """
         return {
             "repository_digest": self.repository_digest,
+            "corpus_token": self.corpus_token,
             "labels": [
                 [label, datatype.value] for label, datatype in self._labels
             ],
@@ -471,6 +483,9 @@ class CostKernel:
         saved = cls.__new__(cls)
         saved.objective = objective
         saved.repository_digest = state.get("repository_digest", "")
+        # payloads written before backends existed lack the key; they
+        # were all scored corpus-free, which "" states exactly
+        saved.corpus_token = state.get("corpus_token", "")
         saved._labels = [
             (label, Datatype(value)) for label, value in state.get("labels", [])
         ]

@@ -622,6 +622,19 @@ class SimilaritySubstrate:
             self._index = TokenIndex(repository, previous=self._index)
             self.stats.index_builds += 1
             self.stats.index_schema_reuses += self._index.reused_schemas
+        objective = self.objective
+        if getattr(objective, "corpus_sensitive", False):
+            # Corpus-sensitive backends (docs/backends.md) score through
+            # repository-wide statistics; freeze them against this
+            # repository (idempotent per content digest) and drop every
+            # cached score computed under the previous statistics — the
+            # matrix cache is keyed by schema content digests alone, so
+            # it cannot tell two corpora apart by itself.
+            before = objective.corpus_token()
+            objective.prepare_corpus(repository, self._index)
+            if objective.corpus_token() != before:
+                self._matrices.clear()
+                self._kernel = None
         if kernel_enabled() and (
             self._kernel is None or self._kernel.repository_digest != digest
         ):

@@ -145,6 +145,13 @@ def restore_substrate(
     index = None
     if state.get("index") is not None:
         index = TokenIndex.from_state(repository, state["index"]["entries"])
+    if getattr(substrate.objective, "corpus_sensitive", False):
+        # Freeze the backend's corpus statistics against the restored
+        # repository *before* touching the kernel: the kernel's
+        # migration gate compares corpus tokens, so an unprepared
+        # objective (token "") would refuse every persisted row and
+        # silently cold-start the similarity plane.
+        substrate.objective.prepare_corpus(repository, index)
     kernel = None
     # Payloads written before the scoring kernel existed have no
     # "kernel" key; either way the kernel is rebuilt on first prepare().

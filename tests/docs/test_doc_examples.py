@@ -34,3 +34,39 @@ def test_documented_examples_execute(path):
     assert blocks, f"{path.name} documents no executable python example"
     failures = check_docs.run_document(path)
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.parametrize(
+    "path", DOCUMENTS, ids=[path.name for path in DOCUMENTS]
+)
+def test_documented_references_resolve(path):
+    failures = check_docs.lint_references(path)
+    assert not failures, "\n".join(failures)
+
+
+class TestReferenceLinter:
+    def test_module_attribute_and_nested_references_resolve(self):
+        assert check_docs.resolve_reference("repro.matching")
+        assert check_docs.resolve_reference(
+            "repro.matching.similarity.backends"
+        )
+        assert check_docs.resolve_reference("repro.matching.numpy_disabled")
+        assert check_docs.resolve_reference(
+            "repro.matching.similarity.backends.SimilarityBackend.similarity"
+        )
+
+    def test_unresolvable_references_fail(self):
+        assert not check_docs.resolve_reference("repro.no_such_module")
+        assert not check_docs.resolve_reference("repro.matching.no_such_name")
+
+    def test_lint_reports_file_and_line(self, tmp_path):
+        doc = tmp_path / "stale.md"
+        doc.write_text(
+            "fine: `repro.matching.make_matcher`\n"
+            "rotten: `repro.matching.gone_matcher`\n",
+            encoding="utf-8",
+        )
+        failures = check_docs.lint_references(doc)
+        assert failures == [
+            "stale.md:2: unresolvable reference 'repro.matching.gone_matcher'"
+        ]

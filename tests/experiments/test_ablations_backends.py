@@ -1,0 +1,66 @@
+"""Behavioural tests for the backend ablation (small workload)."""
+
+import pytest
+
+from repro.evaluation.workloads import small_config
+from repro.experiments.harness import run_experiment
+from repro.experiments.ablations_backends import (
+    BACKEND_FAMILIES,
+    MUTATION_PROFILES,
+)
+
+CONFIG = small_config()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("abl-backends", CONFIG)
+
+
+class TestProfileTables:
+    def test_one_table_per_profile_plus_summary_and_bounds(self, result):
+        assert len(result.tables) == len(MUTATION_PROFILES) + 2
+
+    def test_every_family_evaluated_per_profile(self, result):
+        for table in result.tables[: len(MUTATION_PROFILES)]:
+            families = [row[0] for row in table.rows]
+            assert families == [
+                "lexical" if f == "exhaustive" else f for f in BACKEND_FAMILIES
+            ]
+
+    def test_metrics_well_formed(self, result):
+        for table in result.tables[: len(MUTATION_PROFILES)]:
+            for _family, answers, correct, p, r, f1 in table.rows:
+                assert 0 <= correct <= answers
+                assert 0.0 <= p <= 1.0
+                assert 0.0 <= r <= 1.0
+                assert 0.0 <= f1 <= 1.0
+
+
+class TestWinnerSummary:
+    def test_winner_rows_align_with_profiles(self, result):
+        summary = result.tables[len(MUTATION_PROFILES)]
+        assert [row[0] for row in summary.rows] == [
+            name for name, _ in MUTATION_PROFILES
+        ]
+
+    def test_winner_has_best_f1_of_its_profile(self, result):
+        for index, (_profile, winner, f1) in enumerate(
+            result.tables[len(MUTATION_PROFILES)].rows
+        ):
+            profile_rows = result.tables[index].rows
+            best = max(row[5] for row in profile_rows)
+            assert f1 == best
+            assert any(
+                row[0] == winner and row[5] == best for row in profile_rows
+            )
+
+
+class TestFamilyBounds:
+    def test_every_family_band_sound(self, result):
+        bounds = result.tables[len(MUTATION_PROFILES) + 1]
+        assert len(bounds.rows) == len(BACKEND_FAMILIES)
+        for _family, a1, a2, worst, true, best, sound in bounds.rows:
+            assert sound == "yes"
+            assert a2 <= a1
+            assert worst <= true <= best

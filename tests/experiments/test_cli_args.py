@@ -104,6 +104,77 @@ class TestShardedRun:
         assert "contained" in capsys.readouterr().out
 
 
+class TestMatcherSpecs:
+    """``--matcher`` spec parsing and validation, including the backend
+    variants (``bm25``/``dense``/``ensemble``) the registry carries."""
+
+    def test_variant_specs_parse(self):
+        from repro.cli import _parse_matcher_spec
+
+        assert _parse_matcher_spec("bm25:k1=1.2,b=0.5") == (
+            "bm25",
+            {"k1": 1.2, "b": 0.5},
+        )
+        assert _parse_matcher_spec("dense:dim=64,n=2") == (
+            "dense",
+            {"dim": 64, "n": 2},
+        )
+        assert _parse_matcher_spec("ensemble:lexical=0.4,bm25=0.4,dense=0.2") == (
+            "ensemble",
+            {"lexical": 0.4, "bm25": 0.4, "dense": 0.2},
+        )
+
+    def test_unknown_matcher_lists_variants(self, capsys, tmp_path):
+        assert main(["--small", "snapshot", str(tmp_path / "s"),
+                     "--matcher", "magic"]) == 1
+        err = capsys.readouterr().err
+        assert "available:" in err
+        for name in ("bm25", "dense", "ensemble"):
+            assert name in err
+
+    def test_non_numeric_matcher_param_fails_cleanly(self, capsys, tmp_path):
+        assert main(["--small", "snapshot", str(tmp_path / "s"),
+                     "--matcher", "bm25:k1=high"]) == 1
+        assert "must be numeric" in capsys.readouterr().err
+
+    def test_compare_across_families_reports_both_bands(self, capsys):
+        """Bounds never rank across objectives: comparing a backend
+        variant with a plain improvement must validate each against its
+        own family's exhaustive baseline and skip the dominance verdict."""
+        assert main(["--small", "compare", "bm25:k1=1.2",
+                     "beam:beam_width=8"]) == 0
+        out = capsys.readouterr().out
+        assert "different objective families" in out
+        assert "bm25:k1=1.2" in out
+        assert "beam:beam_width=8" in out
+        assert out.count("band sound") == 2
+        assert "dominates" not in out
+
+    def test_snapshot_persists_backend_variant_substrate(self, capsys, tmp_path):
+        """A variant snapshot must hold the *derived* objective's state:
+        an identically configured variant warm-loads it, and the base
+        (lexical) matcher refuses it instead of serving foreign scores."""
+        from repro.errors import SnapshotError
+        from repro.evaluation import build_workload
+        from repro.evaluation.workloads import small_config
+        from repro.matching import load_snapshot, make_matcher
+
+        directory = tmp_path / "snap"
+        assert main(["--small", "snapshot", str(directory),
+                     "--matcher", "bm25:k1=1.2"]) == 0
+        assert "snapshot written" in capsys.readouterr().out
+
+        workload = build_workload(small_config())
+        snapshot = load_snapshot(
+            directory, make_matcher("bm25", workload.objective, k1=1.2)
+        )
+        assert snapshot.result is not None
+        with pytest.raises(SnapshotError):
+            load_snapshot(
+                directory, make_matcher("exhaustive", workload.objective)
+            )
+
+
 class TestServeValidation:
     """``serve`` rejects degenerate traffic shapes instead of reporting
     vacuous success (``--repeat 0`` would make ``--verify`` a no-op)."""

@@ -37,6 +37,7 @@ class TestRegistry:
             "abl-pooling",
             "abl-noise",
             "abl-scaling",
+            "abl-backends",
         }
         assert expected <= ids
 

@@ -1,16 +1,17 @@
 """The differential-testing harness behind the byte-identity suite.
 
-The matching stack carries four process-wide A/B switches, each pairing
-an optimised execution path with the pure-python code kept as its
-executable specification:
+The matching stack carries five process-wide A/B switches, each pairing
+an optimised (or refactored) execution path with the pure-python code
+kept as its executable specification:
 
 ========== ====================================================== ==========
-toggle     optimisation it disables                               spec path
+toggle     path it disables                                       spec path
 ========== ====================================================== ==========
 substrate  precomputed score matrices + exact candidate pruning   direct per-pair scoring
 kernel     interned label-universe cost rows + matrix gathers     per-matrix similarity
 flat-search flattened explicit-stack branch-and-bound             recursive generator
 numpy      vectorised gathers / sorts / bounds / top-k cuts       python loops
+backends   the pluggable-backend seam of the default objective    direct NameSimilarity call
 ========== ====================================================== ==========
 
 The byte-identity contract says any *combination* of these switches
@@ -38,6 +39,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.matching import (
+    backends_disabled,
     flat_search_disabled,
     kernel_disabled,
     make_matcher,
@@ -70,6 +72,7 @@ TOGGLE_CONTEXTS = {
     "kernel": kernel_disabled,
     "flat-search": flat_search_disabled,
     "numpy": numpy_disabled,
+    "backends": backends_disabled,
 }
 ALL_TOGGLES = tuple(TOGGLE_CONTEXTS)
 

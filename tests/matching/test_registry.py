@@ -7,6 +7,11 @@ from repro.matching.objective import ObjectiveFunction
 from repro.matching.registry import available_matchers, make_matcher
 from repro.matching.similarity.name import NameSimilarity
 
+#: the registry's backend variants match through a *derived* objective
+#: (same name similarity and weights, different backend); everything
+#: else shares the objective instance it was built with
+BACKEND_VARIANTS = ("bm25", "dense", "ensemble")
+
 
 def objective() -> ObjectiveFunction:
     return ObjectiveFunction(NameSimilarity())
@@ -16,7 +21,10 @@ class TestRegistry:
     def test_available_names(self):
         assert available_matchers() == [
             "beam",
+            "bm25",
             "clustering",
+            "dense",
+            "ensemble",
             "exhaustive",
             "hybrid",
             "topk",
@@ -27,11 +35,20 @@ class TestRegistry:
         for name in available_matchers():
             matcher = make_matcher(name, obj)
             assert matcher.name == name
-            assert matcher.objective is obj
+            if name in BACKEND_VARIANTS:
+                assert matcher.objective is not obj
+                assert matcher.objective.name_similarity is obj.name_similarity
+                assert matcher.objective.weights is obj.weights
+            else:
+                assert matcher.objective is obj
 
     def test_parameters_forwarded(self):
         matcher = make_matcher("beam", objective(), beam_width=3)
         assert matcher.beam_width == 3
+
+    def test_variant_parameters_forwarded(self):
+        matcher = make_matcher("bm25", objective(), k1=2.0, b=0.5)
+        assert "bm25(k1=2.0,b=0.5)" in matcher.objective.fingerprint()
 
     def test_unknown_name_lists_available(self):
         with pytest.raises(MatchingError, match="available:"):
@@ -42,3 +59,12 @@ class TestRegistry:
         a = make_matcher("exhaustive", obj)
         b = make_matcher("clustering", obj)
         a.check_compatible(b)
+
+    def test_variants_not_compatible_with_base_family(self):
+        from repro.errors import ObjectiveMismatchError
+
+        obj = objective()
+        base = make_matcher("exhaustive", obj)
+        for name in BACKEND_VARIANTS:
+            with pytest.raises(ObjectiveMismatchError):
+                base.check_compatible(make_matcher(name, obj))

@@ -8,9 +8,10 @@ pin it down:
 * **Numpy on/off** — for random repositories, queries, matchers and
   thresholds, the vectorised path must produce byte-identical answer
   sets to the pure-python spec path.
-* **The full toggle grid** — all 2⁴ combinations of the four switches
-  (substrate, kernel, flat-search, numpy) agree byte for byte; this is
-  the flagship run of the :mod:`helpers.differential` harness.
+* **The full toggle grid** — all 2⁵ combinations of the five switches
+  (substrate, kernel, flat-search, numpy, backends) agree byte for
+  byte; this is the flagship run of the :mod:`helpers.differential`
+  harness.
 * **Evolving streams** — an incremental
   :class:`~repro.matching.evolution.EvolutionSession` on the vectorised
   path stays byte-identical to numpy-off cold re-matches across churn
@@ -88,7 +89,7 @@ def test_numpy_answer_sets_byte_identical(case):
 @settings(max_examples=6, deadline=None)
 @given(numpy_cases())
 def test_all_toggle_combinations_byte_identical(case):
-    """All 2⁴ switch combinations agree — the full differential grid."""
+    """All 2⁵ switch combinations agree — the full differential grid."""
     repo_seed, num_schemas, query_seed, (name, params), with_thesaurus = case
     workload = make_workload(
         repo_seed,

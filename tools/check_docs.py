@@ -20,6 +20,12 @@ that wants to shrink further).  The docs CI job runs with the flag, so
 an example script that stops running fails CI alongside a rotten doc
 block.
 
+Beyond executing blocks, the tool is a **reference linter**: every
+dotted ``repro.*`` name mentioned anywhere in a documented file (prose,
+tables, code) must resolve to a real module or attribute.  Renaming
+``repro.matching.similarity.backends`` while a doc still points at the
+old path fails the check even if no executed block imports it.
+
 The test suite runs the markdown checks through
 ``tests/docs/test_doc_examples.py``, so a documented example that stops
 executing fails CI.
@@ -28,7 +34,9 @@ executing fails CI.
 from __future__ import annotations
 
 import argparse
+import importlib
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -37,6 +45,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: seconds before a runaway example script fails the check
 EXAMPLE_TIMEOUT = 300
+
+#: a dotted reference into the library: ``repro.x``, ``repro.x.y``, ...
+DOTTED_REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 
 def documented_files() -> list[Path]:
@@ -124,6 +135,52 @@ def run_document(path: Path) -> list[str]:
     return failures
 
 
+def resolve_reference(reference: str) -> bool:
+    """Can ``reference`` be imported, or import-then-getattr'd?
+
+    Tries the longest importable module prefix, then walks the remaining
+    parts as attributes — so ``repro.matching.similarity.backends``
+    (a module), ``repro.matching.numpy_disabled`` (an attribute) and
+    ``repro.core.bounds.bound_counts`` (module + attribute) all resolve.
+    """
+    parts = reference.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj: object = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def lint_references(path: Path) -> list[str]:
+    """Unresolvable dotted ``repro.*`` references in one document.
+
+    Scans the whole file — prose, tables and code blocks alike — so a
+    module rename breaks the docs check even where no executed example
+    imports the stale path.
+    """
+    failures: list[str] = []
+    seen: set[str] = set()
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for reference in DOTTED_REF.findall(line):
+            if reference in seen:
+                continue
+            seen.add(reference)
+            if not resolve_reference(reference):
+                failures.append(
+                    f"{path.name}:{number}: unresolvable reference {reference!r}"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="execute fenced python examples in the markdown docs"
@@ -152,7 +209,7 @@ def main(argv: list[str] | None = None) -> int:
     exit_code = 0
     for path in paths:
         blocks = extract_python_blocks(path.read_text(encoding="utf-8"))
-        failures = run_document(path)
+        failures = run_document(path) + lint_references(path)
         status = "ok" if not failures else "FAILED"
         print(f"{path.name}: {len(blocks)} python block(s) {status}")
         for failure in failures:
