@@ -29,7 +29,15 @@ Subcommands
     workload otherwise), replay the workload queries as concurrent
     requests, optionally apply live churn deltas (``--deltas``), verify
     byte-identity against the offline path (``--verify``) and write a
-    checkpoint back to the directory.
+    checkpoint back to the directory.  ``--replicas N`` serves through
+    a :class:`~repro.matching.replication.ReplicaGroup` (N replicas
+    behind a replicated delta log); ``--remote-workers host:port,...``
+    fans shard units out to socket workers.
+``worker``
+    Run one socket shard worker
+    (:class:`~repro.matching.remote.WorkerServer`) until interrupted;
+    coordinators reach it via ``serve --remote-workers`` or a
+    :class:`~repro.matching.remote.RemoteShardExecutor`.
 ``save-collection <dir>`` / ``show-collection <dir>``
     Freeze the default workload's test collection to disk / summarise a
     frozen one.
@@ -212,6 +220,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="assert byte-identity of served answers against the offline "
         "batch_match path, after every wave",
+    )
+
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve through a ReplicaGroup of N warm-started replicas with "
+        "a replicated delta log (default: 1 = single service)",
+    )
+    serve.add_argument(
+        "--remote-workers",
+        default=None,
+        help="comma-separated socket worker addresses (host:port,...) to "
+        "fan shard units out to, e.g. started with 'repro worker'",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run one socket shard worker (see docs/distributed.md)"
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = ephemeral; the bound port is "
+        "printed on startup)",
     )
 
     save = sub.add_parser(
@@ -500,34 +538,59 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
         raise ReproError(f"--deltas must be >= 0, got {args.deltas}")
     if args.deltas and args.churn <= 0:
         raise ReproError(f"--churn must be > 0, got {args.churn}")
+    if args.replicas < 1:
+        raise ReproError(f"--replicas must be >= 1, got {args.replicas}")
     name, params = _parse_matcher_spec(args.matcher)
     workload = build_workload(config)
     queries = [scenario.query for scenario in workload.suite.scenarios]
     matcher = make_matcher(name, workload.objective, **params)
     store = SnapshotStore(args.directory) if args.directory else None
+    executor = None
+    if args.remote_workers:
+        from repro.matching.remote import RemoteShardExecutor
+
+        addresses = [
+            address.strip()
+            for address in args.remote_workers.split(",")
+            if address.strip()
+        ]
+        executor = RemoteShardExecutor(addresses)
+        print(f"shard fan-out: {len(addresses)} remote socket workers")
 
     async def run() -> list[tuple]:
-        service = MatchingService(
-            matcher, args.delta, store=store, max_batch=args.max_batch,
-            cache=False,
-        )
+        if args.replicas > 1:
+            from repro.matching import replica_group
+
+            front = replica_group(
+                name, workload.objective, args.replicas, args.delta,
+                params=params, store=store, max_batch=args.max_batch,
+                cache=False, executor=executor,
+            )
+            first = front.services[0]
+        else:
+            front = MatchingService(
+                matcher, args.delta, store=store, max_batch=args.max_batch,
+                cache=False, executor=executor,
+            )
+            first = front
         started = perf_counter()
         if store is not None and store.exists():
-            await service.start()  # warm start, loudly verified
+            await front.start()  # warm start, loudly verified
         else:
-            await service.start(workload.repository)
+            await front.start(workload.repository)
         start_seconds = perf_counter() - started
-        mode = "warm" if service.stats.warm_start else "cold"
+        mode = "warm" if first.stats.warm_start else "cold"
         print(
             f"{mode} start in {start_seconds:.3f}s "
-            f"({service.stats.matrices_restored} matrices restored), "
-            f"matcher={args.matcher}, δmax={args.delta}"
+            f"({first.stats.matrices_restored} matrices restored), "
+            f"matcher={args.matcher}, δmax={args.delta}, "
+            f"replicas={args.replicas}"
         )
 
         async def wave(label: str) -> tuple:
             wave_started = perf_counter()
             requests = [
-                service.match(query)
+                front.match(query)
                 for _ in range(args.repeat)
                 for query in queries
             ]
@@ -536,7 +599,7 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
             verified = ""
             if args.verify:
                 offline = matcher.batch_match(
-                    queries, service.repository, args.delta, cache=False
+                    queries, front.repository, args.delta, cache=False
                 )
                 expected = canonical_answers(offline) * args.repeat
                 if canonical_answers(answers) != expected:
@@ -544,6 +607,20 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
                         f"wave {label!r}: served answers differ from the "
                         "offline batch_match path"
                     )
+                if args.replicas > 1:
+                    # every replica, same bytes — the group's acceptance
+                    # property, checked replica by replica
+                    for query, offline_answers in zip(queries, offline):
+                        per_replica = await front.match_all(query)
+                        if any(
+                            canonical_answers([a])
+                            != canonical_answers([offline_answers])
+                            for a in per_replica
+                        ):
+                            raise ReproError(
+                                f"wave {label!r}: replicas diverge on "
+                                f"query {query.schema_id!r}"
+                            )
                 verified = "identical"
             return (
                 label,
@@ -555,14 +632,13 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
 
         rows = [await wave("baseline")]
         for step in range(args.deltas):
-            delta = churn_delta(service.repository, args.churn, seed=step)
-            report = await service.apply_delta(delta)
+            delta = churn_delta(front.repository, args.churn, seed=step)
+            report = await front.apply_delta(delta)
             rows.append(await wave(f"delta {step} ({report.summary()})"))
         if store is not None:
-            await service.checkpoint()
-        await service.stop()
+            await front.checkpoint()
+        await front.stop()
 
-        stats = service.stats
         print()
         print(
             format_table(
@@ -572,18 +648,51 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
                 title="serving waves",
             )
         )
-        print(
-            f"\n{stats.requests} requests: {stats.served_from_state} from "
-            f"retained state, {stats.coalesced} coalesced, "
-            f"{stats.batched_queries} matched in {stats.batches} "
-            f"micro-batches; {stats.deltas_applied} live deltas, "
-            f"{stats.checkpoints_written} checkpoints written"
-        )
+        if args.replicas > 1:
+            group_stats = front.stats
+            services = front.services
+            print(
+                f"\n{group_stats.served} requests round-robined over "
+                f"{len(services)} replicas "
+                f"(per replica: {[s.stats.requests for s in services]}); "
+                f"{group_stats.deltas_logged} deltas logged and "
+                f"replicated ({group_stats.digest_checks} digest checks, "
+                f"{group_stats.duplicates_ignored} duplicates, "
+                f"{group_stats.gaps_buffered} gaps)"
+            )
+        else:
+            stats = front.stats
+            print(
+                f"\n{stats.requests} requests: {stats.served_from_state} "
+                f"from retained state, {stats.coalesced} coalesced, "
+                f"{stats.batched_queries} matched in {stats.batches} "
+                f"micro-batches; {stats.deltas_applied} live deltas, "
+                f"{stats.checkpoints_written} checkpoints written"
+            )
         if store is not None:
             print(f"checkpoint: {store.root} (next serve warm-starts from it)")
         return rows
 
     asyncio.run(run())
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.matching.remote import WorkerServer
+
+    server = WorkerServer(args.host, args.port)
+    host, port = server.address
+    print(f"worker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    stats = server.stats
+    print(
+        f"worker stopped: {stats.connections} connections, "
+        f"{stats.installs} installs ({stats.installs_reused} reused), "
+        f"{stats.units} units, {stats.errors} errors"
+    )
     return 0
 
 
@@ -643,6 +752,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_snapshot(args, config)
         if args.command == "serve":
             return _cmd_serve(args, config)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "save-collection":
             return _cmd_save_collection(args.directory, config)
         if args.command == "show-collection":

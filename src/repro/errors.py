@@ -51,6 +51,32 @@ class MatchingError(ReproError):
     """A matcher was configured or invoked incorrectly."""
 
 
+class TransportError(ReproError):
+    """A distributed-worker transport failed or delivered unusable bytes.
+
+    Raised by the socket worker protocol (:mod:`repro.matching.remote`)
+    whenever a frame cannot be trusted or a peer is gone: truncated
+    streams (EOF mid-frame), frames whose payload bytes do not hash to
+    the digest in their header (tampering, bit rot, a desynchronised
+    stream), oversized or foreign frames, protocol-version mismatches,
+    and workers that died with units still outstanding.  The transport
+    **never** degrades a damaged frame into an answer: a served result
+    either round-tripped digest-verified or this error is raised.
+    """
+
+
+class ReplicationError(ReproError):
+    """A replica cannot serve or advance consistently with the delta log.
+
+    Raised by :class:`~repro.matching.replication.ReplicaGroup` when a
+    replica falls behind the replicated delta log (a sequence gap means
+    its repository version is stale, so serving would break the
+    byte-identity guarantee — it refuses until caught up), when every
+    replica is behind, or when a replica's repository digest diverges
+    from the log's authoritative digest for that sequence.
+    """
+
+
 class ObjectiveMismatchError(MatchingError):
     """Two systems that must share an objective function do not.
 

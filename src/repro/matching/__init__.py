@@ -68,6 +68,18 @@ content digest, deltas applied live), and the snapshot store
 persists repository, substrate and retained results so a restarted
 process warm-starts in O(load) — every answer byte-identical to the
 offline ``batch_match``/``batch_rematch`` path.
+
+Distribution rides on the executor seam (:mod:`repro.matching
+.executor`): *where* the pipeline's (query, shard) units run is a
+pluggable :class:`~repro.matching.executor.ShardExecutor` — serial,
+the shared persistent process pool, or socket workers on remote nodes
+(:mod:`repro.matching.remote`, length-prefixed digest-verified frames,
+state pulled by digest from the snapshot store).  Replicated serving
+(:mod:`repro.matching.replication`) runs N services behind a
+sequence-numbered replicated delta log with gap/duplicate detection
+and a round-robin front-end — served answers byte-identical across
+replicas and with the single-node path, under fault injection
+(see ``docs/distributed.md``).
 """
 
 from repro.matching.base import Matcher
@@ -82,6 +94,13 @@ from repro.matching.engine import (
     threshold_unreachable,
 )
 from repro.matching.evolution import EvolutionSession
+from repro.matching.executor import (
+    ExecutionState,
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    WorkUnit,
+)
 from repro.matching.exhaustive import ExhaustiveMatcher
 from repro.matching.hybrid import HybridMatcher
 from repro.matching.mapping import Mapping, canonical_answers
@@ -106,6 +125,13 @@ from repro.matching.registry import (
     evolution_session,
     make_matcher,
     matching_service,
+    replica_group,
+)
+from repro.matching.remote import RemoteShardExecutor, WorkerServer
+from repro.matching.replication import (
+    DeltaRecord,
+    ReplicaGroup,
+    ReplicaGroupStats,
 )
 from repro.matching.service import MatchingService, ServiceStats
 from repro.matching.similarity import (
@@ -148,9 +174,11 @@ __all__ = [
     "CandidateCache",
     "ClusteringMatcher",
     "CostKernel",
+    "DeltaRecord",
     "ElementClusterer",
     "EnsembleBackend",
     "EvolutionSession",
+    "ExecutionState",
     "ExhaustiveMatcher",
     "HashedVectorBackend",
     "HybridMatcher",
@@ -164,10 +192,16 @@ __all__ = [
     "ObjectiveFunction",
     "ObjectiveWeights",
     "PipelineResult",
+    "ProcessPoolShardExecutor",
     "RematchStats",
+    "RemoteShardExecutor",
+    "ReplicaGroup",
+    "ReplicaGroupStats",
     "SchemaSearch",
     "ScoreMatrix",
+    "SerialExecutor",
     "ServiceStats",
+    "ShardExecutor",
     "SimilarityBackend",
     "SimilaritySubstrate",
     "Snapshot",
@@ -175,6 +209,8 @@ __all__ = [
     "Thesaurus",
     "TokenIndex",
     "TopKCandidateMatcher",
+    "WorkUnit",
+    "WorkerServer",
     "ancestry_violations",
     "available_matchers",
     "backends_disabled",
@@ -196,6 +232,7 @@ __all__ = [
     "numpy_disabled",
     "numpy_enabled",
     "random_subset_like",
+    "replica_group",
     "save_snapshot",
     "set_backends_enabled",
     "set_flat_search_enabled",

@@ -189,6 +189,7 @@ class Matcher(abc.ABC):
         workers: int | None = None,
         shards: int | None = None,
         cache: object | None = None,
+        executor: object | None = None,
     ) -> list[AnswerSet]:
         """Answer sets for many queries via the sharded matching pipeline.
 
@@ -205,7 +206,8 @@ class Matcher(abc.ABC):
         from repro.matching.pipeline import MatchingPipeline
 
         pipeline = MatchingPipeline(
-            self, workers=workers, shards=shards, cache=cache
+            self, workers=workers, shards=shards, cache=cache,
+            executor=executor,
         )
         return pipeline.run(queries, repository, delta_max).answer_sets
 
@@ -220,6 +222,7 @@ class Matcher(abc.ABC):
         workers: int | None = None,
         shards: int | None = None,
         cache: object | None = None,
+        executor: object | None = None,
     ) -> list[AnswerSet]:
         """Incremental :meth:`batch_match` after a repository delta.
 

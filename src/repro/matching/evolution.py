@@ -36,6 +36,7 @@ from collections.abc import Sequence
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.base import Matcher
+from repro.matching.executor import ShardExecutor
 from repro.matching.pipeline import (
     CandidateCache,
     MatchingPipeline,
@@ -77,6 +78,7 @@ class EvolutionSession:
         workers: int | None = None,
         shards: int | None = None,
         cache: CandidateCache | bool | None = None,
+        executor: ShardExecutor | None = None,
     ):
         if delta_max < 0:
             raise MatchingError(f"delta_max must be >= 0, got {delta_max!r}")
@@ -86,7 +88,8 @@ class EvolutionSession:
             raise MatchingError("an evolution session needs at least one query")
         self.delta_max = delta_max
         self._pipeline = MatchingPipeline(
-            matcher, workers=workers, shards=shards, cache=cache
+            matcher, workers=workers, shards=shards, cache=cache,
+            executor=executor,
         )
         self._repository: SchemaRepository | None = None
         self._result: PipelineResult | None = None
@@ -103,6 +106,7 @@ class EvolutionSession:
         workers: int | None = None,
         shards: int | None = None,
         cache: CandidateCache | bool | None = None,
+        executor: ShardExecutor | None = None,
     ) -> "EvolutionSession":
         """Resume a session from a previously computed result.
 
@@ -143,6 +147,7 @@ class EvolutionSession:
             workers=workers,
             shards=shards,
             cache=cache,
+            executor=executor,
         )
         session._repository = repository
         session._result = result

@@ -27,13 +27,14 @@ order-independent.
 
 Two further mechanisms ride on the same per-pair decomposition:
 
-* **One-shot worker state** — worker processes are kept in a shared
-  pool and their state (matcher, queries, the repository's schema
-  table, shared by all shards) is installed once per process via the
-  pool initializer; successive runs with the same matcher/repository/
-  query identity — a threshold sweep, repeated experiments — reuse the
-  live pool and pickle nothing but indices and thresholds
-  (:func:`_acquire_pool`, :func:`shutdown_workers`).
+* **Pluggable transports** — *where* units run is delegated to a
+  :class:`~repro.matching.executor.ShardExecutor`: serial in-process,
+  the shared persistent worker pool with one-shot state install
+  (:mod:`repro.matching.executor`), or remote socket workers
+  (:mod:`repro.matching.remote`).  Successive runs with the same
+  matcher/repository/query identity — a threshold sweep, repeated
+  experiments — reuse live workers and pickle nothing but indices and
+  thresholds (:func:`shutdown_workers` tears the shared pool down).
 * **Incremental re-matching** — :meth:`MatchingPipeline.rematch` takes
   a previous :class:`PipelineResult` plus a
   :class:`~repro.schema.delta.DeltaReport` and re-runs only the
@@ -48,33 +49,25 @@ not given explicitly) are set with :func:`configure`; the CLI's
 
 from __future__ import annotations
 
-import atexit
 from collections import OrderedDict
 from collections.abc import Hashable, Iterator, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.answers import AnswerSet
 from repro.errors import MatchingError
 from repro.matching.base import Matcher
-from repro.matching.engine import (
-    flat_search_enabled,
-    set_flat_search_enabled,
-    threshold_unreachable,
+from repro.matching.engine import threshold_unreachable
+from repro.matching.executor import (
+    ExecutionState,
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    WorkUnit,
+    current_switches,
+    shutdown_workers,
 )
-from repro.matching.similarity.backends import (
-    backends_enabled,
-    set_backends_enabled,
-)
-from repro.matching.similarity.kernel import kernel_enabled, set_kernel_enabled
-from repro.matching.similarity.matrix import (
-    set_substrate_enabled,
-    substrate_enabled,
-    suffix_cost_sums,
-)
-from repro.matching.similarity.vectors import numpy_enabled, set_numpy_enabled
+from repro.matching.similarity.matrix import suffix_cost_sums
 from repro.schema.delta import DeltaReport
 from repro.schema.model import Schema
 from repro.schema.repository import SchemaRepository
@@ -295,138 +288,6 @@ def shard_repository(
 
 
 # ---------------------------------------------------------------------------
-# Worker process protocol
-# ---------------------------------------------------------------------------
-
-# Initialised once per worker process; tasks then reference queries and
-# schemas by index/id so each task submission pickles only a few scalars.
-_WORKER_STATE: dict[str, object] | None = None
-
-
-def _init_worker(
-    matcher: Matcher,
-    queries: list[Schema],
-    schemas: dict[str, Schema],
-    switches: tuple[bool, bool, bool, bool, bool] = (
-        True, True, True, True, True,
-    ),
-) -> None:
-    global _WORKER_STATE
-    # Mirror the coordinator's process-wide A/B switches (substrate,
-    # kernel, flat search, numpy, backends) — worker processes otherwise
-    # boot with the module defaults regardless of what the coordinator
-    # toggled.  The numpy flag carries the coordinator's *switch*; a
-    # worker without numpy importable still runs the spec path
-    # (numpy_enabled() stays false there), which is byte-identical by
-    # the vector layer's contract, so mixed availability cannot skew
-    # answers.
-    substrate_on, kernel_on, flat_on, numpy_on, backends_on = switches
-    set_substrate_enabled(substrate_on)
-    set_kernel_enabled(kernel_on)
-    set_flat_search_enabled(flat_on)
-    set_numpy_enabled(numpy_on)
-    set_backends_enabled(backends_on)
-    _WORKER_STATE = {"matcher": matcher, "queries": queries, "schemas": schemas}
-
-
-@dataclass
-class _WorkerPool:
-    """A live executor plus the identity of the state its workers hold."""
-
-    executor: ProcessPoolExecutor
-    max_workers: int
-    state_key: tuple
-
-
-_POOL: _WorkerPool | None = None
-
-
-def shutdown_workers() -> None:
-    """Tear down the shared worker pool (idempotent; re-created on demand).
-
-    Registered via :mod:`atexit`; tests that must not leak processes can
-    call it directly.
-    """
-    global _POOL
-    if _POOL is not None:
-        _POOL.executor.shutdown()
-        _POOL = None
-
-
-atexit.register(shutdown_workers)
-
-
-def _acquire_pool(
-    max_workers: int,
-    state_key: tuple,
-    matcher: Matcher,
-    queries: list[Schema],
-    schema_table: dict[str, Schema],
-) -> ProcessPoolExecutor:
-    """The shared worker pool, (re)initialised only when the state changed.
-
-    The matcher, the query list and the repository's schema table are
-    installed **one-shot per worker process** through the pool
-    initializer; while ``state_key`` — matcher fingerprint, repository
-    and query content digests, substrate switch — stays the same, later
-    pipeline runs (a threshold sweep, repeated experiments) reuse the
-    live processes and re-pickle *nothing*: tasks carry only indices,
-    schema ids and the threshold.  Before this, every ``stream()`` call
-    spawned a fresh pool and re-shipped the full repository and matcher
-    state per run, which dominated wall-clock on large repositories.
-    """
-    global _POOL
-    if (
-        _POOL is not None
-        and _POOL.max_workers == max_workers
-        and _POOL.state_key == state_key
-    ):
-        return _POOL.executor
-    shutdown_workers()
-    executor = ProcessPoolExecutor(
-        max_workers=max_workers,
-        initializer=_init_worker,
-        initargs=(
-            matcher,
-            queries,
-            schema_table,
-            (
-                substrate_enabled(),
-                kernel_enabled(),
-                flat_search_enabled(),
-                numpy_enabled(),
-                backends_enabled(),
-            ),
-        ),
-    )
-    _POOL = _WorkerPool(executor, max_workers, state_key)
-    return executor
-
-
-def _run_unit(
-    query_index: int, schema_ids: tuple[str, ...], delta_max: float
-) -> list[tuple[str, PairResult]]:
-    """Execute one (query, shard) unit inside a worker process.
-
-    The matcher arrives already ``prepare()``d on the full repository
-    (its state was pickled with it), so only ``begin_query`` — once per
-    query per worker, not per shard — and the per-pair searches run here.
-    """
-    assert _WORKER_STATE is not None, "worker initializer did not run"
-    matcher: Matcher = _WORKER_STATE["matcher"]  # type: ignore[assignment]
-    queries: list[Schema] = _WORKER_STATE["queries"]  # type: ignore[assignment]
-    schemas: dict[str, Schema] = _WORKER_STATE["schemas"]  # type: ignore[assignment]
-    query = queries[query_index]
-    if _WORKER_STATE.get("active_query") != query_index:
-        matcher.begin_query(query)
-        _WORKER_STATE["active_query"] = query_index
-    return [
-        (schema_id, matcher.match_pair(query, schemas[schema_id], delta_max))
-        for schema_id in schema_ids
-    ]
-
-
-# ---------------------------------------------------------------------------
 # The pipeline
 # ---------------------------------------------------------------------------
 
@@ -516,7 +377,11 @@ class MatchingPipeline:
     (``None`` = module default; 1 = serial in-process), ``shards``
     partitions (``None`` = one per worker), ``cache`` a
     :class:`CandidateCache` (``None`` = shared default, ``False`` =
-    disabled).
+    disabled).  ``executor`` overrides the transport units run on
+    (``None`` = serial for ``workers=1``, the shared process pool
+    otherwise) — e.g. a
+    :class:`~repro.matching.remote.RemoteShardExecutor` fans the same
+    units out to socket workers on other nodes.
     """
 
     def __init__(
@@ -526,6 +391,7 @@ class MatchingPipeline:
         workers: int | None = None,
         shards: int | None = None,
         cache: CandidateCache | bool | None = None,
+        executor: ShardExecutor | None = None,
     ):
         defaults = pipeline_defaults()
         self.matcher = matcher
@@ -541,6 +407,7 @@ class MatchingPipeline:
             self.cache = None
         else:
             self.cache = cache  # type: ignore[assignment]
+        self.executor = executor
         self.last_stats: PipelineStats | None = None
 
     # -- execution ----------------------------------------------------------
@@ -851,75 +718,48 @@ class MatchingPipeline:
                 from_cache=False,
             )
 
-        if self.workers == 1:
-            # Serial fallback: no processes, deterministic unit order,
-            # one begin_query per query (units are query-grouped).
-            schemas_by_id = {s.schema_id: s for s in repository}
-            active_query: int | None = None
-            for query_index, shard_index, cached, missing in pending:
-                if query_index != active_query:
-                    matcher.begin_query(queries[query_index])
-                    active_query = query_index
-                computed = [
-                    (
-                        schema_id,
-                        matcher.match_pair(
-                            queries[query_index],
-                            schemas_by_id[schema_id],
-                            delta_max,
-                        ),
-                    )
-                    for schema_id in missing
-                ]
-                yield record(query_index, shard_index, cached, computed)
-            return
-
-        # Parallel fan-out.  The matcher is pickled *after* prepare(), so
-        # repository-global state (e.g. clusters) rides along.  Worker
-        # state — matcher, queries, the repository's full schema table
-        # (one copy shared by all shards) — is installed one-shot per
-        # process through the pool initializer and reused across runs
-        # while the state key matches (see :func:`_acquire_pool`); tasks
-        # carry only indices, schema ids and the threshold.
-        schema_table = {schema.schema_id: schema for schema in repository}
-        # The process-wide A/B switches enter the key: workers hold a
-        # pickled copy of the matcher (and its substrate/kernel), so a
-        # toggle flip must re-install state rather than reuse a pool
-        # whose workers were warmed on the other code path.
-        state_key = (
-            matcher_fingerprint(matcher),
-            repository.content_digest(),
-            tuple(schema_digest(query) for query in queries),
-            substrate_enabled(),
-            kernel_enabled(),
-            flat_search_enabled(),
-            numpy_enabled(),
-            backends_enabled(),
+        # Hand the missing units to a transport.  The matcher is shipped
+        # *after* prepare(), so repository-global state (e.g. clusters)
+        # rides along; the repository's full schema table is one copy
+        # shared by all shards.  Stateful transports (the shared pool,
+        # remote workers) install this bundle one-shot and reuse it
+        # across runs while the state key matches; the A/B switches
+        # enter the key because workers hold a copy of the matcher (and
+        # its substrate/kernel), so a toggle flip must re-install state
+        # rather than reuse workers warmed on the other code path.
+        switches = current_switches()
+        state = ExecutionState(
+            matcher=matcher,
+            queries=queries,
+            repository=repository,
+            schema_table={schema.schema_id: schema for schema in repository},
+            switches=switches,
+            state_key=(
+                matcher_fingerprint(matcher),
+                repository.content_digest(),
+                tuple(schema_digest(query) for query in queries),
+                *switches,
+            ),
         )
-
-        def submit_all(pool: ProcessPoolExecutor) -> dict:
-            return {
-                pool.submit(_run_unit, query_index, tuple(missing), delta_max): (
-                    query_index,
-                    shard_index,
-                    cached,
-                )
-                for query_index, shard_index, cached, missing in pending
-            }
-
-        pool = _acquire_pool(
-            self.workers, state_key, matcher, queries, schema_table
-        )
-        try:
-            futures = submit_all(pool)
-        except (BrokenProcessPool, RuntimeError):
-            # A worker died (or the pool was shut down) since the last
-            # run; rebuild once and retry.
-            shutdown_workers()
-            pool = _acquire_pool(
-                self.workers, state_key, matcher, queries, schema_table
+        units = [
+            WorkUnit(query_index, shard_index, tuple(missing))
+            for query_index, shard_index, _, missing in pending
+        ]
+        cached_by_unit = {
+            (query_index, shard_index): cached
+            for query_index, shard_index, cached, _ in pending
+        }
+        executor = self.executor
+        if executor is None:
+            executor = (
+                SerialExecutor()
+                if self.workers == 1
+                else ProcessPoolShardExecutor(self.workers)
             )
-            futures = submit_all(pool)
-        for future in as_completed(futures):
-            query_index, shard_index, cached = futures[future]
-            yield record(query_index, shard_index, cached, future.result())
+        for unit, computed in executor.execute(state, units, delta_max):
+            yield record(
+                unit.query_index,
+                unit.shard_index,
+                cached_by_unit[(unit.query_index, unit.shard_index)],
+                computed,
+            )

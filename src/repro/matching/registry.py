@@ -45,6 +45,7 @@ __all__ = [
     "evolution_session",
     "make_matcher",
     "matching_service",
+    "replica_group",
 ]
 
 
@@ -139,6 +140,7 @@ def batch_match(
     workers: int | None = None,
     shards: int | None = None,
     cache: object | None = None,
+    executor: object | None = None,
 ) -> list[AnswerSet]:
     """Run many queries through the sharded pipeline, by matcher name.
 
@@ -149,7 +151,8 @@ def batch_match(
     """
     matcher = make_matcher(name, objective, **(params or {}))
     return matcher.batch_match(
-        queries, repository, delta_max, workers=workers, shards=shards, cache=cache
+        queries, repository, delta_max, workers=workers, shards=shards,
+        cache=cache, executor=executor,
     )
 
 
@@ -163,6 +166,7 @@ def evolution_session(
     workers: int | None = None,
     shards: int | None = None,
     cache: object | None = None,
+    executor: object | None = None,
 ):
     """An :class:`~repro.matching.evolution.EvolutionSession` by matcher name.
 
@@ -175,7 +179,8 @@ def evolution_session(
 
     matcher = make_matcher(name, objective, **(params or {}))
     return EvolutionSession(
-        matcher, queries, delta_max, workers=workers, shards=shards, cache=cache
+        matcher, queries, delta_max, workers=workers, shards=shards,
+        cache=cache, executor=executor,
     )
 
 
@@ -192,7 +197,7 @@ def matching_service(
     The serving counterpart of :func:`batch_match`: the service is fully
     described by plain data plus the objective.  ``options`` are
     forwarded to the service constructor (``store``, ``max_batch``,
-    ``max_delay``, ``workers``, ``shards``, ``cache``,
+    ``max_delay``, ``workers``, ``shards``, ``cache``, ``executor``,
     ``checkpoint_every``); call ``await service.start(repository)`` (or
     just ``start()`` over a snapshot store) before submitting requests.
     """
@@ -200,3 +205,39 @@ def matching_service(
 
     matcher = make_matcher(name, objective, **(params or {}))
     return MatchingService(matcher, delta_max, **options)
+
+
+def replica_group(
+    name: str,
+    objective: ObjectiveFunction,
+    replicas: int,
+    delta_max: float,
+    *,
+    params: Mapping[str, object] | None = None,
+    **options: object,
+):
+    """A :class:`~repro.matching.replication.ReplicaGroup` by matcher name.
+
+    Builds ``replicas`` config-equal matchers, each over its **own**
+    clone of ``objective`` (same name similarity and weights — the value
+    caches are shareable, the similarity substrates must not be), which
+    is the replica group's distinct-objective requirement.  Backend
+    variants (``bm25``/``dense``/``ensemble``) derive their backends
+    inside the factory, so clones stay config-identical there too.
+    ``options`` are forwarded to the group constructor (``store``,
+    ``max_batch``, ``max_delay``, ``workers``, ``shards``, ``cache``,
+    ``executor``, ``delivery``).
+    """
+    from repro.matching.replication import ReplicaGroup
+
+    if replicas < 1:
+        raise MatchingError(f"replicas must be >= 1, got {replicas!r}")
+    matchers = [
+        make_matcher(
+            name,
+            ObjectiveFunction(objective.name_similarity, objective.weights),
+            **(params or {}),
+        )
+        for _ in range(replicas)
+    ]
+    return ReplicaGroup(matchers, delta_max, **options)

@@ -1,0 +1,673 @@
+"""Socket shard workers: the pipeline's fan-out over remote nodes.
+
+This module extends the :class:`~repro.matching.executor.ShardExecutor`
+seam across machine boundaries.  A :class:`WorkerServer` (started by the
+``repro worker`` CLI subcommand, or in-process for tests) holds exactly
+the state a pooled worker process holds — matcher, queries, the
+repository's schema table, the A/B switches — installed **one-shot** and
+reused while the coordinator's ``state_key`` matches; a
+:class:`RemoteShardExecutor` on the coordinator fans the same
+``(query_index, schema_ids, delta_max)`` work units out to N workers and
+streams their results back in completion order.
+
+Wire format
+-----------
+Every message is one **frame**::
+
+    b"RPW1" | uint32 BE payload length | 16-byte blake2b digest | payload
+
+The digest covers the payload bytes; :func:`recv_message` re-hashes what
+it read and refuses mismatches, so truncation, tampering, bit rot and
+desynchronised streams all surface as a loud
+:class:`~repro.errors.TransportError` — **never** as a silently wrong
+answer.  Payloads are pickled dicts with an ``"op"`` key; pickle is an
+explicit trust statement: this protocol connects nodes of *one* cluster
+under one operator, it is not an internet-facing surface.
+
+State install happens in one of two modes:
+
+* ``inline`` — the coordinator ships matcher, queries and schema table
+  in the install frame, exactly the pool initializer's payload.
+* ``store`` — the coordinator ships only the matcher configuration plus
+  the path of a shared :class:`~repro.schema.store.SnapshotStore` and
+  the expected content digests; the worker **pulls** the repository,
+  queries and the persisted substrate/kernel payload by digest from the
+  store (every read byte-digest-verified) and refuses digests that do
+  not match the coordinator's.  This is how heavy substrate/kernel
+  payloads reach many workers without N copies crossing one socket.
+
+Failure semantics on the coordinator: a worker that dies mid-unit gets
+its unit re-enqueued and picked up by a healthy worker (answers are
+byte-identical by the executor contract, so a retry is invisible in the
+output); when *every* worker is gone with units still outstanding,
+``execute`` raises :class:`~repro.errors.TransportError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import struct
+import threading
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty, Queue
+
+from repro.errors import SnapshotError, TransportError
+from repro.matching.executor import (
+    ExecutionState,
+    ShardExecutor,
+    WorkUnit,
+    apply_switches,
+    current_switches,
+    run_unit_with,
+)
+from repro.matching.similarity.persist import (
+    restore_substrate,
+    save_snapshot,
+)
+from repro.schema.store import SnapshotStore
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "RemoteShardExecutor",
+    "WorkerServer",
+    "WorkerStats",
+    "parse_address",
+    "recv_message",
+    "send_message",
+]
+
+MAGIC = b"RPW1"
+PROTOCOL_VERSION = 1
+#: frame size cap — far above any real install payload, far below
+#: anything that could be a desynchronised stream read as a length
+MAX_FRAME = 1 << 30
+
+_HEADER = struct.Struct("!4sI16s")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+def send_message(sock: socket.socket, message: object) -> None:
+    """Pickle ``message`` and send it as one digest-framed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise TransportError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(MAX_FRAME is {MAX_FRAME})"
+        )
+    try:
+        sock.sendall(_HEADER.pack(MAGIC, len(payload), _digest(payload)))
+        sock.sendall(payload)
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise TransportError(f"receive failed: {exc}") from exc
+        if not chunk:
+            got = size - remaining
+            raise TransportError(
+                f"connection closed mid-frame ({got}/{size} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+#: sentinel returned by :func:`recv_message` on a clean end-of-stream
+CLOSED = object()
+
+
+def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> object:
+    """Receive one frame; verify its digest; unpickle the payload.
+
+    A connection that closes cleanly *between* frames returns
+    :data:`CLOSED` when ``eof_ok`` is set (the server's idle-peer case)
+    and raises :class:`TransportError` otherwise (a coordinator mid-
+    conversation).  *Any* other irregularity — EOF mid-frame, foreign
+    magic, oversized length, payload bytes that do not hash to the
+    header digest — raises :class:`TransportError`.
+    """
+    try:
+        first = sock.recv(1)
+    except OSError as exc:
+        raise TransportError(f"receive failed: {exc}") from exc
+    if not first:
+        if eof_ok:
+            return CLOSED
+        raise TransportError("connection closed before a frame arrived")
+    header = first + _recv_exact(sock, _HEADER.size - 1)
+    magic, length, digest = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TransportError(
+            f"foreign frame magic {magic!r} (desynchronised or non-RPW peer)"
+        )
+    if length > MAX_FRAME:
+        raise TransportError(
+            f"frame announces {length} bytes (MAX_FRAME is {MAX_FRAME})"
+        )
+    payload = _recv_exact(sock, length)
+    if _digest(payload) != digest:
+        raise TransportError(
+            "frame payload does not hash to its header digest "
+            "(tampered, corrupted, or desynchronised stream)"
+        )
+    return pickle.loads(payload)
+
+
+def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` → ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return host, int(port)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise TransportError(
+            f"worker address {address!r} is not of the form host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise TransportError(
+            f"worker address {address!r} has a non-numeric port"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Worker server
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerStats:
+    """Counters of one :class:`WorkerServer`'s lifetime."""
+
+    connections: int = 0
+    installs: int = 0
+    installs_reused: int = 0
+    units: int = 0
+    errors: int = 0
+
+
+class WorkerServer:
+    """One shard worker: holds installed state, executes units over sockets.
+
+    The socket twin of a pooled worker process.  Connections are served
+    concurrently (one thread each — a coordinator opens one per fan-out
+    thread), but state install and unit execution serialize under one
+    lock: the installed matcher is single-threaded by contract, and the
+    install is one-shot server-wide, keyed by the coordinator's
+    ``state_key`` — a second connection installing the same key reuses
+    the live state and re-ships nothing.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  :meth:`start` serves on a background thread (tests),
+    :meth:`serve_forever` blocks (the ``repro worker`` CLI);
+    :meth:`stop` shuts down cleanly, :meth:`kill` abandons every open
+    connection mid-frame — the fault harness's worker crash.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self.stats = WorkerStats()
+        self._lock = threading.RLock()
+        self._state: dict[str, object] | None = None
+        self._state_key: tuple | None = None
+        self._stopping = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._connections: list[socket.socket] = []
+        self._accept_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon background thread; returns self."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name="repro-worker-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` (or :meth:`kill`)."""
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()/kill()
+            # Request/reply framing with small frames: Nagle + delayed
+            # ACK would add ~40ms per unit on loopback.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.stats.connections += 1
+            with self._lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-worker-conn",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _close_listener(self) -> None:
+        # shutdown() before close(): closing a listening socket does
+        # not wake a thread blocked in accept() on Linux — shutdown
+        # does, immediately, with an OSError the accept loop treats as
+        # its stop signal.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, join handlers."""
+        self._stopping.set()
+        self._close_listener()
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def kill(self) -> None:
+        """Die abruptly: every peer sees its connection drop mid-protocol.
+
+        The fault-injection twin of ``kill -9`` on a remote worker
+        process — coordinators must recover by retrying outstanding
+        units elsewhere.
+        """
+        self.stop()
+
+    # -- protocol ------------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                message = recv_message(conn, eof_ok=True)
+                if message is CLOSED:
+                    return
+                try:
+                    reply = self._dispatch(message)
+                except TransportError:
+                    raise
+                except Exception as exc:  # loud per-op error reply
+                    self.stats.errors += 1
+                    reply = {"op": "error", "error": f"{type(exc).__name__}: {exc}"}
+                send_message(conn, reply)
+        except TransportError:
+            # Damaged frame or dropped peer: nothing to answer on a
+            # stream that can no longer be trusted — close it.
+            return
+        finally:
+            conn.close()
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    def _dispatch(self, message: object) -> dict:
+        if not isinstance(message, dict) or "op" not in message:
+            raise TransportError(f"malformed message: {message!r}")
+        op = message["op"]
+        if op == "hello":
+            version = message.get("version")
+            if version != PROTOCOL_VERSION:
+                return {
+                    "op": "error",
+                    "error": (
+                        f"protocol version mismatch: coordinator speaks "
+                        f"{version!r}, worker speaks {PROTOCOL_VERSION}"
+                    ),
+                }
+            return {"op": "ready", "version": PROTOCOL_VERSION}
+        if op == "install":
+            return self._install(message)
+        if op == "run":
+            return self._run(message)
+        if op == "shutdown":
+            self._stopping.set()
+            self._close_listener()
+            return {"op": "bye"}
+        return {"op": "error", "error": f"unknown op {op!r}"}
+
+    def _install(self, message: dict) -> dict:
+        state_key = message["state_key"]
+        with self._lock:
+            if self._state_key == state_key:
+                self.stats.installs_reused += 1
+                return {"op": "installed", "reused": True}
+            apply_switches(message["switches"])
+            mode = message.get("mode", "inline")
+            if mode == "inline":
+                state = {
+                    "matcher": message["matcher"],
+                    "queries": message["queries"],
+                    "schemas": message["schema_table"],
+                }
+            elif mode == "store":
+                state = self._install_from_store(message)
+            else:
+                raise TransportError(f"unknown install mode {mode!r}")
+            self._state = state
+            self._state_key = state_key
+            self.stats.installs += 1
+            return {"op": "installed", "reused": False}
+
+    def _install_from_store(self, message: dict) -> dict[str, object]:
+        """Pull repository/queries/substrate by digest from a shared store.
+
+        The coordinator sent only digests and the matcher configuration;
+        every payload read here is byte-digest-verified by the store,
+        and the loaded content digests are compared to the
+        coordinator's — a store holding any other repository version is
+        refused, so a worker can never serve against drifted state.
+        """
+        store = SnapshotStore(message["store_path"])
+        manifest = store.manifest()
+        repository = store.load_repository(manifest)
+        if repository.content_digest() != message["repository_digest"]:
+            raise SnapshotError(
+                "snapshot store holds repository digest "
+                f"{repository.content_digest()}, coordinator expects "
+                f"{message['repository_digest']}"
+            )
+        queries = store.load_queries(manifest)
+        digests = tuple(query.content_digest() for query in queries)
+        if digests != tuple(message["query_digests"]):
+            raise SnapshotError(
+                "snapshot store holds a different query list than the "
+                "coordinator expects (content digests differ)"
+            )
+        matcher = pickle.loads(message["matcher_config"])
+        substrate_section = manifest.get("substrate_section")
+        if substrate_section is not None:
+            substrate = matcher.objective.substrate()
+            if substrate is not None:
+                restore_substrate(
+                    substrate,
+                    store.read_section(substrate_section, manifest),
+                    repository,
+                )
+        # Deterministic rebuild of repository-global matcher state
+        # (token index, clusters) — cold runs derive it the same way.
+        matcher.prepare(repository)
+        return {
+            "matcher": matcher,
+            "queries": queries,
+            "schemas": {s.schema_id: s for s in repository},
+        }
+
+    def _run(self, message: dict) -> dict:
+        with self._lock:
+            if self._state is None or self._state_key != message["state_key"]:
+                return {
+                    "op": "error",
+                    "error": "no state installed for this state_key",
+                }
+            pairs = run_unit_with(
+                self._state,
+                message["query_index"],
+                message["schema_ids"],
+                message["delta_max"],
+            )
+            self.stats.units += 1
+            return {"op": "result", "pairs": pairs}
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side executor
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkerLink:
+    """One live coordinator→worker connection."""
+
+    address: tuple[str, int]
+    sock: socket.socket = field(repr=False)
+
+
+class RemoteShardExecutor(ShardExecutor):
+    """Fan work units out to socket workers; retry on healthy peers.
+
+    ``addresses`` name the workers (``"host:port"`` strings or
+    ``(host, port)`` tuples).  With ``store`` set, state reaches the
+    workers in ``store`` mode: the snapshot is written once (if the
+    store does not already hold this repository version) and each worker
+    pulls repository/queries/substrate **by digest**; otherwise the full
+    state ships inline per worker, exactly like the pool initializer.
+
+    One coordinator thread per worker pulls units from a shared queue,
+    so a worker that dies mid-unit simply stops consuming — its
+    re-enqueued unit is picked up by a surviving thread and the answers
+    are byte-identical by the executor contract.  Only when every worker
+    is gone with units outstanding does :meth:`execute` raise
+    :class:`~repro.errors.TransportError`.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        addresses: Sequence["str | tuple[str, int]"],
+        *,
+        store: SnapshotStore | str | Path | None = None,
+        connect_timeout: float = 10.0,
+    ):
+        if not addresses:
+            raise TransportError("RemoteShardExecutor needs >= 1 worker address")
+        self.addresses = [parse_address(address) for address in addresses]
+        self.store = (
+            store
+            if store is None or isinstance(store, SnapshotStore)
+            else SnapshotStore(store)
+        )
+        self.connect_timeout = connect_timeout
+
+    # -- install payloads ----------------------------------------------------
+
+    def _install_message(self, state: ExecutionState) -> dict:
+        if self.store is None:
+            return {
+                "op": "install",
+                "mode": "inline",
+                "state_key": state.state_key,
+                "switches": state.switches,
+                "matcher": state.matcher,
+                "queries": state.queries,
+                "schema_table": state.schema_table,
+            }
+        repository_digest = state.repository.content_digest()
+        query_digests = tuple(q.content_digest() for q in state.queries)
+        self._ensure_snapshot(state, repository_digest, query_digests)
+        # The matcher configuration ships *without* its substrate — the
+        # whole point of store mode is that workers pull the heavy
+        # similarity payloads by digest instead of N copies crossing
+        # this socket.  Detach, pickle, reattach.
+        objective = state.matcher.objective
+        substrate = objective._substrate
+        objective._substrate = None
+        try:
+            matcher_config = pickle.dumps(
+                state.matcher, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        finally:
+            objective._substrate = substrate
+        return {
+            "op": "install",
+            "mode": "store",
+            "state_key": state.state_key,
+            "switches": state.switches,
+            "store_path": str(self.store.root),
+            "repository_digest": repository_digest,
+            "query_digests": query_digests,
+            "matcher_config": matcher_config,
+        }
+
+    def _ensure_snapshot(
+        self,
+        state: ExecutionState,
+        repository_digest: str,
+        query_digests: tuple[str, ...],
+    ) -> None:
+        """Write the shared snapshot unless the store already holds it."""
+        try:
+            manifest = self.store.manifest()
+            current = (manifest.get("repository") or {}).get("repository_digest")
+            recorded = tuple(
+                digest for _schema_id, digest in manifest.get("queries") or []
+            )
+            if current == repository_digest and recorded == query_digests:
+                return
+        except SnapshotError:
+            pass  # empty or unreadable-yet store: write fresh below
+        save_snapshot(
+            self.store,
+            state.repository,
+            queries=state.queries,
+            substrate=state.matcher._substrate(),
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def _connect(self, address: tuple[str, int]) -> _WorkerLink:
+        sock = socket.create_connection(address, timeout=self.connect_timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return _WorkerLink(address, sock)
+
+    def execute(self, state, units, delta_max):
+        install = self._install_message(state)
+        unit_queue: Queue = Queue()
+        for unit in units:
+            unit_queue.put(unit)
+        events: Queue = Queue()
+        stop = threading.Event()
+
+        def worker_loop(address: tuple[str, int]) -> None:
+            try:
+                link = self._connect(address)
+            except OSError as exc:
+                events.put(("exit", address, TransportError(
+                    f"cannot connect to worker {address[0]}:{address[1]}: {exc}"
+                )))
+                return
+            try:
+                send_message(link.sock, {"op": "hello", "version": PROTOCOL_VERSION})
+                self._expect(link, "ready")
+                send_message(link.sock, install)
+                self._expect(link, "installed")
+            except (TransportError, OSError) as exc:
+                link.sock.close()
+                events.put(("exit", address, exc))
+                return
+            while not stop.is_set():
+                try:
+                    unit = unit_queue.get(timeout=0.05)
+                except Empty:
+                    continue  # stay alive: a peer may die and re-enqueue
+                try:
+                    send_message(link.sock, {
+                        "op": "run",
+                        "state_key": state.state_key,
+                        "query_index": unit.query_index,
+                        "schema_ids": unit.schema_ids,
+                        "delta_max": delta_max,
+                    })
+                    reply = self._expect(link, "result")
+                except (TransportError, OSError) as exc:
+                    # This worker is gone mid-unit: give the unit back
+                    # for a healthy peer, report the death, bow out.
+                    unit_queue.put(unit)
+                    link.sock.close()
+                    events.put(("exit", address, exc))
+                    return
+                events.put(("ok", unit, reply["pairs"]))
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+            events.put(("exit", address, None))
+
+        threads = [
+            threading.Thread(
+                target=worker_loop,
+                args=(address,),
+                name=f"repro-remote-{address[0]}:{address[1]}",
+                daemon=True,
+            )
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+        completed = 0
+        alive = len(threads)
+        last_error: Exception | None = None
+        try:
+            while completed < len(units):
+                kind, *payload = events.get()
+                if kind == "ok":
+                    unit, pairs = payload
+                    completed += 1
+                    yield unit, pairs
+                else:
+                    _address, error = payload
+                    alive -= 1
+                    if error is not None:
+                        last_error = error
+                    if alive == 0:
+                        raise TransportError(
+                            f"all {len(threads)} remote workers are gone "
+                            f"with {len(units) - completed} unit(s) "
+                            f"outstanding (last error: {last_error})"
+                        )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+
+    @staticmethod
+    def _expect(link: _WorkerLink, op: str) -> dict:
+        reply = recv_message(link.sock)
+        if not isinstance(reply, dict) or "op" not in reply:
+            raise TransportError(
+                f"malformed reply from {link.address}: {reply!r}"
+            )
+        if reply["op"] == "error":
+            raise TransportError(
+                f"worker {link.address[0]}:{link.address[1]} refused: "
+                f"{reply.get('error')}"
+            )
+        if reply["op"] != op:
+            raise TransportError(
+                f"expected {op!r} from {link.address}, got {reply['op']!r}"
+            )
+        return reply

@@ -1,0 +1,363 @@
+"""Replicated serving: N matching services behind one replicated delta log.
+
+A :class:`ReplicaGroup` runs N :class:`~repro.matching.service
+.MatchingService` replicas — warm-started from one shared
+:class:`~repro.schema.store.SnapshotStore` or cold from one repository —
+behind a round-robin front-end, and keeps them consistent through a
+**sequence-numbered replicated delta log**:
+
+* :meth:`apply_delta` applies the delta to the group's *authoritative*
+  repository first, appends a :class:`DeltaRecord` (1-based, contiguous
+  sequence numbers) with the resulting repository content digest, and
+  delivers the record to every replica;
+* :meth:`receive` is each replica's delivery endpoint, with full
+  gap/duplicate discipline: a record already applied (``sequence <=
+  applied``) is **ignored** (delivery may duplicate), a record from the
+  future (``sequence > applied + 1``) is **buffered** (delivery may
+  reorder or delay) and the replica is *stale* until the gap closes —
+  buffered records drain automatically the moment the missing sequence
+  arrives;
+* a **stale replica refuses to serve** (:meth:`match_on` raises
+  :class:`~repro.errors.ReplicationError`; the round-robin front-end
+  simply skips it) because serving from an old repository version would
+  break the group's acceptance property — *byte-identity of served
+  answers across replicas and with the single-node offline path*;
+* after every replica-side apply, the replica's repository digest is
+  compared to the log's authoritative digest for that sequence — any
+  divergence (a corrupted delivery, non-deterministic apply) raises
+  :class:`~repro.errors.ReplicationError` instead of letting a forked
+  replica keep answering.
+
+Delivery is injectable (``delivery=``) precisely so the fault-injection
+harness (``tests/helpers/faults.py``) can drop, duplicate, reorder and
+delay records; the default delivers immediately and in order.
+
+Each replica needs its **own** matcher built over its **own** objective
+(config-equal — fingerprints are checked — but distinct objects):
+services run their pipelines on executor threads, and sharing one
+similarity substrate across replicas would race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
+
+from repro.core.answers import AnswerSet
+from repro.errors import MatchingError, ReplicationError
+from repro.matching.base import Matcher
+from repro.matching.pipeline import CandidateCache, matcher_fingerprint
+from repro.matching.service import MatchingService
+from repro.schema.delta import DeltaReport, RepositoryDelta
+from repro.schema.model import Schema
+from repro.schema.repository import SchemaRepository
+from repro.schema.store import SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matching.executor import ShardExecutor
+
+__all__ = ["DeltaRecord", "ReplicaGroup", "ReplicaGroupStats"]
+
+#: delivery hook: ``(group, replica_index, record)`` → awaitable.  The
+#: default awaits ``group.receive(replica_index, record)`` immediately.
+DeliveryHook = Callable[["ReplicaGroup", int, "DeltaRecord"], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One replicated log entry: a delta under its 1-based sequence number."""
+
+    sequence: int
+    delta: RepositoryDelta
+
+    def __post_init__(self) -> None:
+        if self.sequence < 1:
+            raise ReplicationError(
+                f"delta log sequences are 1-based, got {self.sequence!r}"
+            )
+
+
+@dataclass
+class ReplicaGroupStats:
+    """Counters of one group's lifetime."""
+
+    served: int = 0
+    deltas_logged: int = 0
+    #: per-replica applied record counts (indexed by replica)
+    applied: list[int] = field(default_factory=list)
+    duplicates_ignored: int = 0
+    gaps_buffered: int = 0
+    catch_ups: int = 0
+    digest_checks: int = 0
+
+
+class ReplicaGroup:
+    """N warm-started service replicas + replicated delta log + front-end.
+
+    ``matchers`` are the per-replica matchers — one each, config-equal
+    (fingerprint-checked) but distinct objects over distinct objectives.
+    ``store`` warm-starts every replica from the same snapshot when it
+    holds one; ``delivery`` overrides how log records reach replicas
+    (fault injection).  The remaining options are forwarded to each
+    :class:`~repro.matching.service.MatchingService`.
+
+    Usage::
+
+        group = ReplicaGroup([make() for _ in range(2)], delta_max=0.3)
+        await group.start(repository)
+        answers = await group.match(query)       # round-robin
+        await group.apply_delta(delta)           # logged + replicated
+        await group.stop()
+    """
+
+    def __init__(
+        self,
+        matchers: Sequence[Matcher],
+        delta_max: float,
+        *,
+        store: SnapshotStore | str | Path | None = None,
+        max_batch: int = 32,
+        max_delay: float = 0.0,
+        workers: int | None = None,
+        shards: int | None = None,
+        cache: CandidateCache | bool | None = None,
+        executor: "ShardExecutor | None" = None,
+        delivery: DeliveryHook | None = None,
+    ):
+        matchers = list(matchers)
+        if not matchers:
+            raise ReplicationError("a replica group needs >= 1 matcher")
+        fingerprints = {matcher_fingerprint(m) for m in matchers}
+        if len(fingerprints) != 1:
+            raise ReplicationError(
+                "replica matchers are configured differently (fingerprints "
+                "differ); replicas must be config-identical or their answers "
+                "cannot be byte-identical"
+            )
+        if len({id(m.objective) for m in matchers}) != len(matchers):
+            raise ReplicationError(
+                "replica matchers share an objective object; each replica "
+                "needs its own (similarity substrates are not shared safely "
+                "across concurrently serving replicas)"
+            )
+        self.store = (
+            store
+            if store is None or isinstance(store, SnapshotStore)
+            else SnapshotStore(store)
+        )
+        self.services = [
+            MatchingService(
+                matcher,
+                delta_max,
+                store=self.store,
+                max_batch=max_batch,
+                max_delay=max_delay,
+                workers=workers,
+                shards=shards,
+                cache=cache,
+                executor=executor,
+            )
+            for matcher in matchers
+        ]
+        self.delta_max = delta_max
+        self.log: list[DeltaRecord] = []
+        self.stats = ReplicaGroupStats(applied=[0] * len(matchers))
+        self._digests: list[str] = []
+        self._applied = [0] * len(matchers)
+        self._buffers: list[dict[int, DeltaRecord]] = [
+            {} for _ in matchers
+        ]
+        self._repository: SchemaRepository | None = None
+        self._next_replica = 0
+        self._delivery = delivery if delivery is not None else _deliver_direct
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, repository: SchemaRepository | None = None) -> None:
+        """Start every replica (warm from the shared store when it holds one).
+
+        All replicas must come up on the *same* repository version —
+        digest-checked here, so a half-written store or a mismatched
+        cold repository cannot produce a group that is forked from the
+        first request on.
+        """
+        warm = self.store is not None and self.store.exists()
+        for service in self.services:
+            await service.start(None if warm else repository)
+        digests = {
+            service.repository.content_digest() for service in self.services
+        }
+        if len(digests) != 1:
+            await self.stop()
+            raise ReplicationError(
+                f"replicas started on {len(digests)} distinct repository "
+                "versions; a group must start converged"
+            )
+        self._repository = self.services[0].repository
+
+    async def stop(self) -> None:
+        """Stop every replica (idempotent per service)."""
+        for service in self.services:
+            if service.started:
+                await service.stop()
+
+    async def checkpoint(self) -> SnapshotStore:
+        """Write one snapshot from replica 0 (replicas are identical)."""
+        if self.store is None:
+            raise MatchingError("replica group has no snapshot store")
+        return await self.services[0].checkpoint()
+
+    # -- authoritative state -------------------------------------------------
+
+    @property
+    def repository(self) -> SchemaRepository:
+        """The authoritative repository (head of the delta log)."""
+        if self._repository is None:
+            raise MatchingError("replica group not started; call start()")
+        return self._repository
+
+    def applied(self, index: int) -> int:
+        """How many log records replica ``index`` has applied."""
+        return self._applied[index]
+
+    def current(self, index: int) -> bool:
+        """Is replica ``index`` caught up with the whole log?"""
+        return (
+            self._applied[index] == len(self.log)
+            and not self._buffers[index]
+        )
+
+    def current_replicas(self) -> list[int]:
+        """Indices of replicas that may serve right now."""
+        return [i for i in range(len(self.services)) if self.current(i)]
+
+    # -- the replicated delta log --------------------------------------------
+
+    async def apply_delta(self, delta: RepositoryDelta) -> DeltaReport:
+        """Log a delta authoritatively, then deliver it to every replica.
+
+        The authoritative repository advances first — the log entry
+        records the digest every replica must reach at this sequence —
+        then the record goes out through the delivery hook.  With the
+        default hook, every live replica has applied (and digest-
+        checked) the record when this returns.
+        """
+        new_repository, report = self.repository.apply(delta)
+        self._repository = new_repository
+        record = DeltaRecord(len(self.log) + 1, delta)
+        self.log.append(record)
+        self._digests.append(new_repository.content_digest())
+        self.stats.deltas_logged += 1
+        for index in range(len(self.services)):
+            await self._delivery(self, index, record)
+        return report
+
+    async def receive(self, index: int, record: DeltaRecord) -> None:
+        """Deliver one log record to replica ``index`` (gap/dup discipline).
+
+        Duplicates (sequence already applied) are counted and ignored;
+        future records (a gap) are counted and buffered — the replica is
+        stale, and :meth:`match_on` refuses it, until the missing
+        records arrive and the buffer drains in sequence order.
+        """
+        if record.sequence <= self._applied[index]:
+            self.stats.duplicates_ignored += 1
+            return
+        buffer = self._buffers[index]
+        if record.sequence > self._applied[index] + 1:
+            buffer[record.sequence] = record
+            self.stats.gaps_buffered += 1
+            return
+        await self._apply_record(index, record)
+        while self._applied[index] + 1 in buffer:
+            await self._apply_record(
+                index, buffer.pop(self._applied[index] + 1)
+            )
+
+    async def _apply_record(self, index: int, record: DeltaRecord) -> None:
+        service = self.services[index]
+        await service.apply_delta(record.delta)
+        self._applied[index] = record.sequence
+        self.stats.applied[index] = record.sequence
+        expected = self._digests[record.sequence - 1]
+        actual = service.repository.content_digest()
+        self.stats.digest_checks += 1
+        if actual != expected:
+            raise ReplicationError(
+                f"replica {index} diverged at sequence {record.sequence}: "
+                f"repository digest {actual} != authoritative {expected}"
+            )
+
+    async def catch_up(self, index: int) -> int:
+        """Replay missed log records into replica ``index``; returns count.
+
+        The recovery path after dropped deliveries: everything past the
+        replica's applied position is re-delivered from the
+        authoritative log in order (which also drains its buffer).
+        """
+        replayed = 0
+        while self._applied[index] < len(self.log):
+            record = self.log[self._applied[index]]
+            self._buffers[index].pop(record.sequence, None)
+            await self._apply_record(index, record)
+            replayed += 1
+        self._buffers[index].clear()
+        if replayed:
+            self.stats.catch_ups += 1
+        return replayed
+
+    # -- serving front-end ---------------------------------------------------
+
+    async def match(self, query: Schema) -> AnswerSet:
+        """Serve one query from the next current replica (round-robin).
+
+        Stale replicas are skipped — they would serve answers computed
+        against an old repository version.  When *every* replica is
+        behind the log, the group refuses loudly rather than serve a
+        stale answer.
+        """
+        count = len(self.services)
+        for offset in range(count):
+            index = (self._next_replica + offset) % count
+            if self.current(index):
+                self._next_replica = (index + 1) % count
+                self.stats.served += 1
+                return await self.services[index].match(query)
+        raise ReplicationError(
+            f"every replica is behind the delta log (log at "
+            f"{len(self.log)}, applied: {self._applied}); deliver the "
+            "missing records or call catch_up()"
+        )
+
+    async def match_on(self, index: int, query: Schema) -> AnswerSet:
+        """Serve from one specific replica; refuses a stale replica."""
+        if not self.current(index):
+            raise ReplicationError(
+                f"replica {index} is behind the delta log (applied "
+                f"{self._applied[index]} of {len(self.log)}, "
+                f"{len(self._buffers[index])} buffered); serving would "
+                "break byte-identity — call catch_up() first"
+            )
+        self.stats.served += 1
+        return await self.services[index].match(query)
+
+    async def match_all(self, query: Schema) -> list[AnswerSet]:
+        """One answer set per replica — the byte-identity verification hook.
+
+        Every replica must be current; the caller compares the answer
+        sets (canonically encoded) for identity.
+        """
+        return [
+            await self.match_on(index, query)
+            for index in range(len(self.services))
+        ]
+
+
+async def _deliver_direct(
+    group: ReplicaGroup, index: int, record: DeltaRecord
+) -> None:
+    await group.receive(index, record)

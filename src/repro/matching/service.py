@@ -45,6 +45,7 @@ from repro.core.answers import AnswerSet
 from repro.errors import MatchingError, SnapshotError
 from repro.matching.base import Matcher
 from repro.matching.evolution import EvolutionSession
+from repro.matching.executor import ShardExecutor
 from repro.matching.pipeline import CandidateCache
 from repro.matching.similarity.persist import load_snapshot, save_snapshot
 from repro.schema.delta import DeltaReport, RepositoryDelta
@@ -99,9 +100,11 @@ class MatchingService:
         Seconds the dispatcher waits for more requests before
         dispatching a non-full micro-batch (0 = dispatch whatever one
         event-loop tick accumulated).
-    workers, shards, cache:
+    workers, shards, cache, executor:
         Forwarded to the underlying pipeline, as in
-        :meth:`~repro.matching.base.Matcher.batch_match`.
+        :meth:`~repro.matching.base.Matcher.batch_match`; ``executor``
+        selects the shard transport (e.g. a
+        :class:`~repro.matching.remote.RemoteShardExecutor`).
     checkpoint_every:
         Write a snapshot automatically after every N applied deltas
         (``None`` = only on explicit :meth:`checkpoint`).
@@ -118,6 +121,7 @@ class MatchingService:
         workers: int | None = None,
         shards: int | None = None,
         cache: CandidateCache | bool | None = None,
+        executor: ShardExecutor | None = None,
         checkpoint_every: int | None = None,
     ):
         if delta_max < 0:
@@ -143,6 +147,7 @@ class MatchingService:
         self.stats = ServiceStats()
         self._pipeline_options = {
             "workers": workers, "shards": shards, "cache": cache,
+            "executor": executor,
         }
         self._session: EvolutionSession | None = None
         self._repository: SchemaRepository | None = None

@@ -3,11 +3,25 @@
 Matching runs are the expensive part of the suite; everything that can
 share them does, through session-scoped fixtures.  All fixtures are
 deterministic (seeded), so test outcomes are stable run to run.
+
+Two suite-wide knobs live here as well:
+
+* **Hypothesis profiles** — CI runs under the pinned ``ci`` profile
+  (``HYPOTHESIS_PROFILE=ci``): derandomised, so example selection is a
+  function of the test alone and a red run reproduces locally from the
+  printed blob; no deadline, because shared runners make per-example
+  wall-clock a flake source, not a signal.
+* **``network`` opt-out** — tests marked ``network`` open local
+  sockets (loopback only).  ``REPRO_NO_NETWORK=1`` skips them for
+  sandboxes where even loopback listeners are off-limits.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.evaluation import build_workload, run_system, small_config
 from repro.matching import (
@@ -16,6 +30,23 @@ from repro.matching import (
     ExhaustiveMatcher,
     TopKCandidateMatcher,
 )
+
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_NO_NETWORK") != "1":
+        return
+    skip = pytest.mark.skip(
+        reason="socket tests disabled (REPRO_NO_NETWORK=1)"
+    )
+    for item in items:
+        if "network" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -57,6 +57,13 @@ def flatten(answer_set):
     return [(a.item, a.score) for a in answer_set.answers()]
 
 
+class _ExplodingMatcher(ExhaustiveMatcher):
+    """Raises on every pair search; module-level so workers can unpickle it."""
+
+    def match_pair(self, query, schema, delta_max):
+        raise ValueError("injected worker failure")
+
+
 MATCHERS = [
     ("exhaustive", lambda obj: ExhaustiveMatcher(obj)),
     ("beam", lambda obj: BeamMatcher(obj, beam_width=5)),
@@ -337,33 +344,33 @@ class TestWorkerPoolReuse:
         shutdown_workers()
 
     def test_pool_survives_repeated_runs(self, setup):
-        from repro.matching import pipeline as pipeline_module
+        from repro.matching import executor as executor_module
 
         repo, objective, queries = setup
         matcher = ExhaustiveMatcher(objective)
         runner = MatchingPipeline(matcher, workers=2, cache=False)
         first = runner.run(queries, repo, DELTA)
-        pool = pipeline_module._POOL
+        pool = executor_module._POOL
         assert pool is not None
         second = runner.run(queries, repo, DELTA)
-        assert pipeline_module._POOL is pool  # same executor, no respawn
+        assert executor_module._POOL is pool  # same executor, no respawn
         assert [flatten(a) for a in first.answer_sets] == [
             flatten(a) for a in second.answer_sets
         ]
 
     def test_pool_survives_threshold_sweep(self, setup):
-        from repro.matching import pipeline as pipeline_module
+        from repro.matching import executor as executor_module
 
         repo, objective, queries = setup
         matcher = ExhaustiveMatcher(objective)
         runner = MatchingPipeline(matcher, workers=2, cache=False)
         runner.run(queries, repo, 0.15)
-        pool = pipeline_module._POOL
+        pool = executor_module._POOL
         runner.run(queries, repo, DELTA)  # only the threshold changed
-        assert pipeline_module._POOL is pool
+        assert executor_module._POOL is pool
 
     def test_pool_rotates_when_repository_changes(self, setup):
-        from repro.matching import pipeline as pipeline_module
+        from repro.matching import executor as executor_module
 
         repo, objective, queries = setup
         other = generate_repository(
@@ -372,9 +379,9 @@ class TestWorkerPoolReuse:
         matcher = ExhaustiveMatcher(objective)
         runner = MatchingPipeline(matcher, workers=2, cache=False)
         runner.run(queries, repo, DELTA)
-        pool = pipeline_module._POOL
+        pool = executor_module._POOL
         runner.run(queries, other, DELTA)
-        assert pipeline_module._POOL is not pool
+        assert executor_module._POOL is not pool
 
     def test_parallel_output_identical_across_pool_reuse(self, setup):
         repo, objective, queries = setup
@@ -396,3 +403,33 @@ class TestWorkerPoolReuse:
 
         shutdown_workers()
         shutdown_workers()
+
+    def test_worker_exception_mid_sweep_retires_pool(self, setup):
+        # A unit raising inside a worker must not leave the shared pool
+        # alive with orphaned busy processes (leaks across tests as CI
+        # slowdown): the executor cancels outstanding futures and shuts
+        # the pool down before re-raising.
+        from repro.matching import executor as executor_module
+
+        repo, objective, queries = setup
+        runner = MatchingPipeline(
+            _ExplodingMatcher(objective), workers=2, cache=False
+        )
+        with pytest.raises(ValueError, match="injected worker failure"):
+            runner.run(queries, repo, DELTA)
+        assert executor_module._POOL is None
+
+    def test_abandoned_stream_keeps_pool_warm(self, setup):
+        # Abandoning the increment stream (GeneratorExit) is not a
+        # failure: pending units are cancelled but the warm pool stays
+        # for the next run.
+        from repro.matching import executor as executor_module
+
+        repo, objective, queries = setup
+        runner = MatchingPipeline(
+            ExhaustiveMatcher(objective), workers=2, cache=False
+        )
+        stream = runner.stream(queries, repo, DELTA)
+        next(stream)
+        stream.close()
+        assert executor_module._POOL is not None

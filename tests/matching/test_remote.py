@@ -1,0 +1,344 @@
+"""Socket-worker conformance: framing, byte-identity, fault injection.
+
+Three layers of the remote transport, bottom up:
+
+* **Framing** — every way a frame can be damaged (truncation, foreign
+  magic, oversized length, payload bytes that do not hash to the header
+  digest) raises :class:`~repro.errors.TransportError` loudly; a clean
+  close between frames is the one tolerated end.
+* **Byte-identity** — answers computed through
+  :class:`~repro.matching.remote.RemoteShardExecutor` over live
+  :class:`~repro.matching.remote.WorkerServer` instances, in both
+  ``inline`` and ``store`` install modes, are byte-identical to the
+  serial in-process path, and installed state is reused across sweeps.
+* **Fault injection** — a worker crashing mid-shard gets its unit
+  retried on a healthy worker with identical answers; a tampered or
+  truncated stream (through :class:`helpers.faults.TamperProxy`) fails
+  the run with :class:`~repro.errors.TransportError`, never a silently
+  wrong answer; when every worker is gone, the executor refuses.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+
+import pytest
+
+from helpers.faults import TamperProxy, cut_after, flip_byte
+from repro.errors import TransportError
+from repro.matching import RemoteShardExecutor, WorkerServer, make_matcher
+from repro.matching import remote as remote_module
+from repro.matching.remote import (
+    CLOSED,
+    MAGIC,
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+pytestmark = pytest.mark.network
+
+
+@pytest.fixture(scope="module")
+def queries(small_workload):
+    return [scenario.query for scenario in small_workload.suite.scenarios]
+
+
+def _canonical(answer_sets) -> bytes:
+    return repr(
+        [
+            [(answer.item.key, answer.score) for answer in answers.answers()]
+            for answers in answer_sets
+        ]
+    ).encode()
+
+
+def _serial_answers(small_workload, queries, name="exhaustive", params=None):
+    matcher = make_matcher(name, small_workload.objective, **(params or {}))
+    return matcher.batch_match(
+        queries, small_workload.repository, 0.3, cache=False
+    )
+
+
+def _remote_answers(
+    small_workload, queries, executor, name="exhaustive", params=None
+):
+    matcher = make_matcher(name, small_workload.objective, **(params or {}))
+    return matcher.batch_match(
+        queries,
+        small_workload.repository,
+        0.3,
+        cache=False,
+        shards=3,
+        executor=executor,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_message(a, {"op": "hello", "version": PROTOCOL_VERSION})
+        assert recv_message(b) == {"op": "hello", "version": PROTOCOL_VERSION}
+
+    def test_clean_eof_between_frames(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b, eof_ok=True) is CLOSED
+        with pytest.raises(TransportError, match="closed before a frame"):
+            recv_message(b)
+
+    def test_truncated_frame_raises(self, pair):
+        a, b = pair
+        payload = pickle.dumps({"op": "run"})
+        frame = remote_module._HEADER.pack(
+            MAGIC, len(payload), remote_module._digest(payload)
+        ) + payload
+        a.sendall(frame[:-3])  # drop the frame's last bytes
+        a.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            recv_message(b, eof_ok=True)  # eof_ok covers *between* frames only
+
+    def test_foreign_magic_raises(self, pair):
+        a, b = pair
+        a.sendall(b"HTTP" + b"\x00" * 20)
+        with pytest.raises(TransportError, match="foreign frame magic"):
+            recv_message(b)
+
+    def test_oversized_length_raises(self, pair):
+        a, b = pair
+        a.sendall(
+            remote_module._HEADER.pack(
+                MAGIC, remote_module.MAX_FRAME + 1, b"\x00" * 16
+            )
+        )
+        with pytest.raises(TransportError, match="MAX_FRAME"):
+            recv_message(b)
+
+    def test_tampered_payload_raises(self, pair):
+        a, b = pair
+        payload = pickle.dumps({"op": "result", "pairs": []})
+        frame = remote_module._HEADER.pack(
+            MAGIC, len(payload), remote_module._digest(payload)
+        ) + payload
+        tampered = bytearray(frame)
+        tampered[-1] ^= 0xFF  # one flipped payload byte
+        a.sendall(bytes(tampered))
+        with pytest.raises(TransportError, match="does not hash"):
+            recv_message(b)
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address(("localhost", "8080")) == ("localhost", 8080)
+        with pytest.raises(TransportError, match="host:port"):
+            parse_address("9000")
+        with pytest.raises(TransportError, match="non-numeric"):
+            parse_address("host:http")
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity over live workers
+# ---------------------------------------------------------------------------
+
+class TestRemoteByteIdentity:
+    @pytest.mark.parametrize(
+        "name,params",
+        [("exhaustive", {}), ("clustering", {"clusters_per_element": 2})],
+    )
+    def test_inline_matches_serial(self, small_workload, queries, name, params):
+        workers = [WorkerServer().start() for _ in range(2)]
+        try:
+            executor = RemoteShardExecutor([w.address for w in workers])
+            remote = _remote_answers(
+                small_workload, queries, executor, name, params
+            )
+        finally:
+            for worker in workers:
+                worker.stop()
+        serial = _serial_answers(small_workload, queries, name, params)
+        assert _canonical(remote) == _canonical(serial)
+        assert sum(w.stats.units for w in workers) == len(queries) * 3
+
+    def test_store_mode_matches_serial(self, small_workload, queries, tmp_path):
+        worker = WorkerServer().start()
+        try:
+            executor = RemoteShardExecutor(
+                [worker.address], store=tmp_path / "snap"
+            )
+            remote = _remote_answers(small_workload, queries, executor)
+        finally:
+            worker.stop()
+        assert _canonical(remote) == _canonical(
+            _serial_answers(small_workload, queries)
+        )
+        # The worker pulled state from the store the coordinator wrote.
+        assert (tmp_path / "snap").exists()
+        assert worker.stats.installs == 1
+
+    def test_state_reused_across_sweeps(self, small_workload, queries):
+        worker = WorkerServer().start()
+        try:
+            executor = RemoteShardExecutor([worker.address])
+            first = _remote_answers(small_workload, queries, executor)
+            second = _remote_answers(small_workload, queries, executor)
+        finally:
+            worker.stop()
+        assert _canonical(first) == _canonical(second)
+        assert worker.stats.installs == 1
+        assert worker.stats.installs_reused >= 1
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class _CrashingWorker(WorkerServer):
+    """Dies abruptly — listener and every connection — on its first unit.
+
+    The coordinator sent the unit and will never hear back: the
+    connection drops mid-conversation, exactly like ``kill -9`` on a
+    remote worker process between request and reply.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.crashed = False
+
+    def _run(self, message):
+        self.crashed = True
+        self._stopping.set()
+        self._close_listener()
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        raise TransportError("injected crash mid-shard")
+
+
+class _SlowFirstUnitWorker(WorkerServer):
+    """Stalls its first unit so a peer is guaranteed to pick one up too."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._stalled = False
+
+    def _run(self, message):
+        if not self._stalled:
+            self._stalled = True
+            time.sleep(0.3)
+        return super()._run(message)
+
+
+class TestFaultInjection:
+    def test_worker_crash_mid_shard_is_retried(self, small_workload, queries):
+        """The headline scenario: crash mid-shard, identical answers."""
+        crasher = _CrashingWorker().start()
+        healthy = _SlowFirstUnitWorker().start()
+        try:
+            executor = RemoteShardExecutor([crasher.address, healthy.address])
+            remote = _remote_answers(small_workload, queries, executor)
+        finally:
+            crasher.stop()
+            healthy.stop()
+        assert crasher.crashed, "the fault never fired"
+        # Every unit — including the one the crasher dropped — completed
+        # on the healthy worker, and the answers are byte-identical.
+        assert healthy.stats.units == len(queries) * 3
+        assert _canonical(remote) == _canonical(
+            _serial_answers(small_workload, queries)
+        )
+
+    def test_all_workers_gone_raises(self, small_workload, queries):
+        crasher = _CrashingWorker().start()
+        try:
+            executor = RemoteShardExecutor([crasher.address])
+            with pytest.raises(TransportError, match="remote workers are gone"):
+                _remote_answers(small_workload, queries, executor)
+        finally:
+            crasher.stop()
+
+    def test_tampered_stream_raises(self, small_workload, queries):
+        """A flipped byte inside a reply frame: loud TransportError."""
+        worker = WorkerServer().start()
+        # Offset 30 lands inside the first reply's payload (24-byte
+        # header + pickled {"op": "ready", ...}).
+        with TamperProxy(worker.address, downstream=flip_byte(30)) as proxy:
+            try:
+                executor = RemoteShardExecutor([proxy.address])
+                with pytest.raises(TransportError):
+                    _remote_answers(small_workload, queries, executor)
+            finally:
+                worker.stop()
+
+    def test_truncated_stream_raises(self, small_workload, queries):
+        """A connection cut mid-header: loud TransportError."""
+        worker = WorkerServer().start()
+        with TamperProxy(worker.address, downstream=cut_after(10)) as proxy:
+            try:
+                executor = RemoteShardExecutor([proxy.address])
+                with pytest.raises(TransportError):
+                    _remote_answers(small_workload, queries, executor)
+            finally:
+                worker.stop()
+
+    def test_upstream_tamper_never_executes(self, small_workload, queries):
+        """Damage on the coordinator→worker leg: the worker refuses too."""
+        worker = WorkerServer().start()
+        with TamperProxy(worker.address, upstream=flip_byte(40)) as proxy:
+            try:
+                executor = RemoteShardExecutor([proxy.address])
+                with pytest.raises(TransportError):
+                    _remote_answers(small_workload, queries, executor)
+            finally:
+                worker.stop()
+        assert worker.stats.units == 0
+
+
+class TestVersionAndState:
+    def test_version_mismatch_refused(self):
+        worker = WorkerServer().start()
+        try:
+            sock = socket.create_connection(worker.address, timeout=5)
+            send_message(sock, {"op": "hello", "version": 999})
+            reply = recv_message(sock)
+            sock.close()
+        finally:
+            worker.stop()
+        assert reply["op"] == "error"
+        assert "version mismatch" in reply["error"]
+
+    def test_run_without_install_refused(self):
+        worker = WorkerServer().start()
+        try:
+            sock = socket.create_connection(worker.address, timeout=5)
+            send_message(sock, {
+                "op": "run",
+                "state_key": ("nope",),
+                "query_index": 0,
+                "schema_ids": (),
+                "delta_max": 0.3,
+            })
+            reply = recv_message(sock)
+            sock.close()
+        finally:
+            worker.stop()
+        assert reply["op"] == "error"
+        assert "no state installed" in reply["error"]

@@ -1,0 +1,275 @@
+"""Replica-group conformance: the delta log under hostile delivery.
+
+The acceptance property: answers served by a
+:class:`~repro.matching.replication.ReplicaGroup` are byte-identical
+across replicas and to the single-node offline path — and stay that way
+under every delivery fault :class:`helpers.faults.DeltaLogFaults` can
+script.  Duplicated records are ignored; a dropped record leaves a gap
+and the affected replica **refuses to serve** until :meth:`catch_up`
+(or late delivery) closes it; reordered records buffer and drain in
+sequence; a replica whose repository digest diverges from the log's
+authoritative digest is refused loudly instead of answering from a
+fork.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from helpers.faults import DeltaLogFaults
+from repro.errors import MatchingError, ReplicationError
+from repro.matching import make_matcher, replica_group
+from repro.matching.replication import DeltaRecord, ReplicaGroup
+from repro.schema import churn_delta
+
+
+@pytest.fixture(scope="module")
+def queries(small_workload):
+    return [scenario.query for scenario in small_workload.suite.scenarios]
+
+
+def _canonical(answer_sets) -> bytes:
+    return repr(
+        [
+            [(answer.item.key, answer.score) for answer in answers.answers()]
+            for answers in answer_sets
+        ]
+    ).encode()
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _group(small_workload, replicas=2, *, delivery=None, **options):
+    return replica_group(
+        "exhaustive",
+        small_workload.objective,
+        replicas,
+        0.3,
+        delivery=delivery,
+        cache=False,
+        **options,
+    )
+
+
+def _offline(small_workload, queries, repository):
+    matcher = make_matcher("exhaustive", small_workload.objective)
+    return matcher.batch_match(queries, repository, 0.3, cache=False)
+
+
+class TestReplicaGroupIdentity:
+    def test_replicas_identical_to_offline_across_deltas(
+        self, small_workload, queries
+    ):
+        """The acceptance property over a clean log."""
+
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            waves, repositories = [], []
+            for step in range(3):
+                if step:
+                    await group.apply_delta(
+                        churn_delta(group.repository, churn=0.25, seed=step)
+                    )
+                waves.append(
+                    [await group.match_all(query) for query in queries]
+                )
+                repositories.append(group.repository)
+            await group.stop()
+            return waves, repositories
+
+        waves, repositories = _run(scenario())
+        for wave, repository in zip(waves, repositories):
+            offline = _canonical(_offline(small_workload, queries, repository))
+            for replica in range(2):
+                served = _canonical([answers[replica] for answers in wave])
+                assert served == offline
+
+    def test_round_robin_spreads_requests(self, small_workload, queries):
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            answers = [await group.match(query) for query in queries * 2]
+            await group.stop()
+            return group, answers
+
+        group, answers = _run(scenario())
+        assert group.stats.served == len(queries) * 2
+        assert _canonical(answers) == _canonical(
+            _offline(small_workload, queries * 2, small_workload.repository)
+        )
+
+
+class TestDeliveryFaults:
+    def test_duplicate_delivery_ignored(self, small_workload, queries):
+        faults = DeltaLogFaults(duplicate={(1, 1)})
+
+        async def scenario():
+            group = _group(small_workload, delivery=faults)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, answers, repository
+
+        group, answers, repository = _run(scenario())
+        assert group.stats.duplicates_ignored == 1
+        assert group.current_replicas() == [0, 1]
+        offline = _canonical(_offline(small_workload, queries, repository))
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_gap_refuses_service_until_caught_up(self, small_workload, queries):
+        """Drop record 1 to replica 1: it buffers record 2 and refuses."""
+        faults = DeltaLogFaults(drop={(1, 1)})
+
+        async def scenario():
+            group = _group(small_workload, delivery=faults)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=1)
+            )
+            assert group.current(0) and not group.current(1)
+            # The stale replica refuses; the round-robin skips it.
+            with pytest.raises(ReplicationError, match="behind the delta log"):
+                await group.match_on(1, queries[0])
+            routed = [await group.match(query) for query in queries]
+            # Recovery: replay the missed records from the log.
+            replayed = await group.catch_up(1)
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, routed, replayed, answers, repository
+
+        group, routed, replayed, answers, repository = _run(scenario())
+        assert group.stats.gaps_buffered == 1
+        assert replayed == 2  # the dropped record 1 + buffered record 2
+        assert group.stats.catch_ups == 1
+        assert group.current_replicas() == [0, 1]
+        offline = _canonical(_offline(small_workload, queries, repository))
+        assert _canonical(routed) == offline  # served by replica 0 alone
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_reordered_delivery_drains_in_sequence(
+        self, small_workload, queries
+    ):
+        """Hold record 1, deliver record 2 first, release: buffer drains."""
+        faults = DeltaLogFaults(hold={(1, 1)})
+
+        async def scenario():
+            group = _group(small_workload, delivery=faults)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=1)
+            )
+            assert not group.current(1)  # record 2 buffered behind the hold
+            released = await faults.release()
+            assert group.current(1)  # record 1 applied, buffer drained
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, released, answers, repository
+
+        group, released, answers, repository = _run(scenario())
+        assert released == 1
+        assert group.stats.gaps_buffered == 1
+        assert group.applied(1) == 2
+        offline = _canonical(_offline(small_workload, queries, repository))
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_every_replica_stale_refuses_loudly(self, small_workload, queries):
+        faults = DeltaLogFaults(drop={(0, 1), (1, 1)})
+
+        async def scenario():
+            group = _group(small_workload, delivery=faults)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            with pytest.raises(ReplicationError, match="every replica"):
+                await group.match(queries[0])
+            await group.stop()
+
+        _run(scenario())
+
+    def test_divergent_replica_refused(self, small_workload):
+        """A replica applying the *wrong* delta at a sequence is caught."""
+        faults = DeltaLogFaults(drop={(1, 1)})
+
+        async def scenario():
+            group = _group(small_workload, delivery=faults)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            tampered = DeltaRecord(
+                1, churn_delta(small_workload.repository, churn=0.25, seed=99)
+            )
+            with pytest.raises(ReplicationError, match="diverged"):
+                await group.receive(1, tampered)
+            await group.stop()
+
+        _run(scenario())
+
+
+class TestConstructionGuards:
+    def test_config_mismatched_replicas_refused(self, small_workload):
+        matchers = [
+            make_matcher("beam", small_workload.objective, beam_width=4),
+            make_matcher("beam", small_workload.objective, beam_width=8),
+        ]
+        with pytest.raises(ReplicationError, match="configured differently"):
+            ReplicaGroup(matchers, 0.3)
+
+    def test_shared_objective_refused(self, small_workload):
+        matchers = [
+            make_matcher("exhaustive", small_workload.objective)
+            for _ in range(2)
+        ]
+        with pytest.raises(ReplicationError, match="share an objective"):
+            ReplicaGroup(matchers, 0.3)
+
+    def test_zero_replicas_refused(self, small_workload):
+        with pytest.raises(MatchingError, match="replicas must be >= 1"):
+            replica_group("exhaustive", small_workload.objective, 0, 0.3)
+
+    def test_log_sequences_are_one_based(self, small_workload):
+        with pytest.raises(ReplicationError, match="1-based"):
+            DeltaRecord(0, churn_delta(small_workload.repository, 0.1, seed=0))
+
+
+class TestWarmStart:
+    def test_group_warm_starts_from_checkpoint(
+        self, small_workload, queries, tmp_path
+    ):
+        async def scenario():
+            group = _group(small_workload, store=tmp_path / "snap")
+            await group.start(small_workload.repository)
+            baseline = [await group.match(query) for query in queries]
+            await group.checkpoint()
+            await group.stop()
+
+            warm = _group(small_workload, store=tmp_path / "snap")
+            await warm.start()
+            assert all(s.stats.warm_start for s in warm.services)
+            warmed = [await warm.match(query) for query in queries]
+            await warm.stop()
+            return baseline, warmed
+
+        baseline, warmed = _run(scenario())
+        assert _canonical(baseline) == _canonical(warmed)
