@@ -251,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="port to bind (default: 0 = ephemeral; the bound port is "
         "printed on startup)",
     )
+    worker.add_argument(
+        "--parallel-units",
+        type=int,
+        default=1,
+        help="work units this worker executes concurrently (private "
+        "state slots; default: 1 = serial)",
+    )
 
     save = sub.add_parser(
         "save-collection", help="freeze the workload's test collection"
@@ -680,9 +687,16 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.matching.remote import WorkerServer
 
-    server = WorkerServer(args.host, args.port)
+    server = WorkerServer(
+        args.host, args.port, parallel_units=args.parallel_units
+    )
     host, port = server.address
-    print(f"worker listening on {host}:{port}", flush=True)
+    suffix = (
+        f" ({args.parallel_units} parallel units)"
+        if args.parallel_units > 1
+        else ""
+    )
+    print(f"worker listening on {host}:{port}{suffix}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -41,27 +41,37 @@ its unit re-enqueued and picked up by a healthy worker (answers are
 byte-identical by the executor contract, so a retry is invisible in the
 output); when *every* worker is gone with units still outstanding,
 ``execute`` raises :class:`~repro.errors.TransportError`.
+
+Concurrency model: the coordinator fans out on **asyncio** — one
+event loop on one background thread, one coroutine per worker, with
+:func:`async_send_message`/:func:`async_recv_message` as the stream
+twins of the blocking framing helpers — so N workers cost one thread,
+not N.  A worker runs up to ``parallel_units`` units concurrently by
+keeping that many private state *slots* (eagerly cloned at install
+time); a reinstall waits for in-flight units to drain before flipping
+the process-wide A/B switches, so no unit ever runs under mixed
+switches.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import pickle
 import socket
 import struct
 import threading
-from collections.abc import Iterator, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from dataclasses import dataclass
 from pathlib import Path
-from queue import Empty, Queue
+from queue import Queue
 
 from repro.errors import SnapshotError, TransportError
 from repro.matching.executor import (
     ExecutionState,
     ShardExecutor,
-    WorkUnit,
     apply_switches,
-    current_switches,
+    clone_worker_state,
     run_unit_with,
 )
 from repro.matching.similarity.persist import (
@@ -77,6 +87,8 @@ __all__ = [
     "RemoteShardExecutor",
     "WorkerServer",
     "WorkerStats",
+    "async_recv_message",
+    "async_send_message",
     "parse_address",
     "recv_message",
     "send_message",
@@ -191,6 +203,70 @@ def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
         ) from exc
 
 
+async def async_send_message(
+    writer: asyncio.StreamWriter, message: object
+) -> None:
+    """:func:`send_message` over an asyncio stream — same frame, same checks."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise TransportError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(MAX_FRAME is {MAX_FRAME})"
+        )
+    writer.write(_HEADER.pack(MAGIC, len(payload), _digest(payload)))
+    writer.write(payload)
+    try:
+        await writer.drain()
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+async def async_recv_message(reader: asyncio.StreamReader) -> object:
+    """:func:`recv_message` over an asyncio stream — same frame, same checks.
+
+    The coordinator is always mid-conversation when it reads, so there
+    is no ``eof_ok`` mode here: *any* EOF raises
+    :class:`~repro.errors.TransportError`.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise TransportError(
+                "connection closed before a frame arrived"
+            ) from exc
+        raise TransportError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{_HEADER.size} bytes read)"
+        ) from exc
+    except OSError as exc:
+        raise TransportError(f"receive failed: {exc}") from exc
+    magic, length, digest = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TransportError(
+            f"foreign frame magic {magic!r} (desynchronised or non-RPW peer)"
+        )
+    if length > MAX_FRAME:
+        raise TransportError(
+            f"frame announces {length} bytes (MAX_FRAME is {MAX_FRAME})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{length} bytes read)"
+        ) from exc
+    except OSError as exc:
+        raise TransportError(f"receive failed: {exc}") from exc
+    if _digest(payload) != digest:
+        raise TransportError(
+            "frame payload does not hash to its header digest "
+            "(tampered, corrupted, or desynchronised stream)"
+        )
+    return pickle.loads(payload)
+
+
 # ---------------------------------------------------------------------------
 # Worker server
 # ---------------------------------------------------------------------------
@@ -210,12 +286,23 @@ class WorkerServer:
     """One shard worker: holds installed state, executes units over sockets.
 
     The socket twin of a pooled worker process.  Connections are served
-    concurrently (one thread each — a coordinator opens one per fan-out
-    thread), but state install and unit execution serialize under one
-    lock: the installed matcher is single-threaded by contract, and the
-    install is one-shot server-wide, keyed by the coordinator's
-    ``state_key`` — a second connection installing the same key reuses
-    the live state and re-ships nothing.
+    concurrently (one thread each — a coordinator opens one per
+    fan-out coroutine).  Install is one-shot server-wide, keyed by the
+    coordinator's ``state_key`` — a second connection installing the
+    same key reuses the live state and re-ships nothing.
+
+    ``parallel_units`` is the worker's own shard parallelism: the
+    install builds that many private state **slots** (the installed
+    state plus eager pickle-round-trip clones, each byte-equivalent to
+    a fresh install), and each running unit checks one out, so N
+    coordinator connections execute up to ``parallel_units`` units
+    concurrently instead of serializing on one state lock.  Answers
+    are byte-identical whichever slot a unit lands on — clones carry
+    exactly the install payload.  A reinstall (different ``state_key``)
+    waits for in-flight units to drain before flipping the
+    process-wide A/B switches; in-flight units of the old state finish
+    under the old switches, later ``run`` ops of the old key are
+    refused loudly.
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  :meth:`start` serves on a background thread (tests),
@@ -224,15 +311,28 @@ class WorkerServer:
     connection mid-frame — the fault harness's worker crash.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        parallel_units: int = 1,
+    ):
+        if parallel_units < 1:
+            raise TransportError(
+                f"parallel_units must be >= 1, got {parallel_units!r}"
+            )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen()
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self.parallel_units = parallel_units
         self.stats = WorkerStats()
         self._lock = threading.RLock()
-        self._state: dict[str, object] | None = None
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._slots: Queue | None = None
         self._state_key: tuple | None = None
         self._stopping = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -268,6 +368,9 @@ class WorkerServer:
                 name="repro-worker-conn",
                 daemon=True,
             )
+            # prune finished handlers — a long-lived worker must not
+            # grow a thread list one entry per connection it ever served
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
             thread.start()
 
@@ -365,6 +468,13 @@ class WorkerServer:
             if self._state_key == state_key:
                 self.stats.installs_reused += 1
                 return {"op": "installed", "reused": True}
+            # A reinstall flips the process-wide A/B switches; units of
+            # the previous state still running must finish under the
+            # switches they started under, so drain them first.  (Their
+            # coordinators' later ``run`` ops of the old key are then
+            # refused loudly by the state_key check.)
+            while self._inflight:
+                self._idle.wait(timeout=1.0)
             apply_switches(message["switches"])
             mode = message.get("mode", "inline")
             if mode == "inline":
@@ -377,7 +487,14 @@ class WorkerServer:
                 state = self._install_from_store(message)
             else:
                 raise TransportError(f"unknown install mode {mode!r}")
-            self._state = state
+            # Eager slot cloning, under the install lock: every slot is
+            # fixed before any unit can run on the new state, so no
+            # clone is ever taken of a matcher mid-unit.
+            slots: Queue = Queue()
+            slots.put(state)
+            for _ in range(self.parallel_units - 1):
+                slots.put(clone_worker_state(state))
+            self._slots = slots
             self._state_key = state_key
             self.stats.installs += 1
             return {"op": "installed", "reused": False}
@@ -428,32 +545,41 @@ class WorkerServer:
 
     def _run(self, message: dict) -> dict:
         with self._lock:
-            if self._state is None or self._state_key != message["state_key"]:
+            if self._slots is None or self._state_key != message["state_key"]:
                 return {
                     "op": "error",
                     "error": "no state installed for this state_key",
                 }
-            pairs = run_unit_with(
-                self._state,
-                message["query_index"],
-                message["schema_ids"],
-                message["delta_max"],
-            )
+            # Capture the slot queue under the same lock acquisition as
+            # the key check: a reinstall swaps ``_slots`` wholesale, and
+            # a slot must go back to the queue (= state generation) it
+            # came from, never into a newer one.
+            slots = self._slots
+            self._inflight += 1
+        try:
+            slot = slots.get()
+            try:
+                pairs = run_unit_with(
+                    slot,
+                    message["query_index"],
+                    message["schema_ids"],
+                    message["delta_max"],
+                )
+            finally:
+                slots.put(slot)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if not self._inflight:
+                    self._idle.notify_all()
+        with self._lock:
             self.stats.units += 1
-            return {"op": "result", "pairs": pairs}
+        return {"op": "result", "pairs": pairs}
 
 
 # ---------------------------------------------------------------------------
 # Coordinator-side executor
 # ---------------------------------------------------------------------------
-
-@dataclass
-class _WorkerLink:
-    """One live coordinator→worker connection."""
-
-    address: tuple[str, int]
-    sock: socket.socket = field(repr=False)
-
 
 class RemoteShardExecutor(ShardExecutor):
     """Fan work units out to socket workers; retry on healthy peers.
@@ -465,12 +591,17 @@ class RemoteShardExecutor(ShardExecutor):
     pulls repository/queries/substrate **by digest**; otherwise the full
     state ships inline per worker, exactly like the pool initializer.
 
-    One coordinator thread per worker pulls units from a shared queue,
-    so a worker that dies mid-unit simply stops consuming — its
-    re-enqueued unit is picked up by a surviving thread and the answers
-    are byte-identical by the executor contract.  Only when every worker
-    is gone with units outstanding does :meth:`execute` raise
-    :class:`~repro.errors.TransportError`.
+    The fan-out is one asyncio event loop on one background thread —
+    one coroutine per worker, N workers cost one thread — pulling units
+    from a shared queue, so a worker that dies mid-unit simply stops
+    consuming: its re-enqueued unit is picked up by a surviving
+    coroutine and the answers are byte-identical by the executor
+    contract.  Only when every worker is gone with units outstanding
+    does :meth:`execute` raise
+    :class:`~repro.errors.TransportError`.  ``addresses`` is re-read
+    at every :meth:`execute`, so membership can change between sweeps
+    (workers killed, restarted, or added) without rebuilding the
+    executor.
     """
 
     name = "remote"
@@ -558,79 +689,23 @@ class RemoteShardExecutor(ShardExecutor):
 
     # -- execution -----------------------------------------------------------
 
-    def _connect(self, address: tuple[str, int]) -> _WorkerLink:
-        sock = socket.create_connection(address, timeout=self.connect_timeout)
-        sock.settimeout(None)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return _WorkerLink(address, sock)
-
     def execute(self, state, units, delta_max):
+        units = list(units)
+        if not units:
+            return
         install = self._install_message(state)
-        unit_queue: Queue = Queue()
-        for unit in units:
-            unit_queue.put(unit)
+        addresses = list(self.addresses)
         events: Queue = Queue()
-        stop = threading.Event()
-
-        def worker_loop(address: tuple[str, int]) -> None:
-            try:
-                link = self._connect(address)
-            except OSError as exc:
-                events.put(("exit", address, TransportError(
-                    f"cannot connect to worker {address[0]}:{address[1]}: {exc}"
-                )))
-                return
-            try:
-                send_message(link.sock, {"op": "hello", "version": PROTOCOL_VERSION})
-                self._expect(link, "ready")
-                send_message(link.sock, install)
-                self._expect(link, "installed")
-            except (TransportError, OSError) as exc:
-                link.sock.close()
-                events.put(("exit", address, exc))
-                return
-            while not stop.is_set():
-                try:
-                    unit = unit_queue.get(timeout=0.05)
-                except Empty:
-                    continue  # stay alive: a peer may die and re-enqueue
-                try:
-                    send_message(link.sock, {
-                        "op": "run",
-                        "state_key": state.state_key,
-                        "query_index": unit.query_index,
-                        "schema_ids": unit.schema_ids,
-                        "delta_max": delta_max,
-                    })
-                    reply = self._expect(link, "result")
-                except (TransportError, OSError) as exc:
-                    # This worker is gone mid-unit: give the unit back
-                    # for a healthy peer, report the death, bow out.
-                    unit_queue.put(unit)
-                    link.sock.close()
-                    events.put(("exit", address, exc))
-                    return
-                events.put(("ok", unit, reply["pairs"]))
-            try:
-                link.sock.close()
-            except OSError:
-                pass
-            events.put(("exit", address, None))
-
-        threads = [
-            threading.Thread(
-                target=worker_loop,
-                args=(address,),
-                name=f"repro-remote-{address[0]}:{address[1]}",
-                daemon=True,
-            )
-            for address in self.addresses
-        ]
-        for thread in threads:
-            thread.start()
+        abandoned = threading.Event()
+        thread = threading.Thread(
+            target=self._fanout_thread,
+            args=(addresses, install, state.state_key, units, delta_max,
+                  events, abandoned),
+            name="repro-remote-fanout",
+            daemon=True,
+        )
+        thread.start()
         completed = 0
-        alive = len(threads)
-        last_error: Exception | None = None
         try:
             while completed < len(units):
                 kind, *payload = events.get()
@@ -639,35 +714,127 @@ class RemoteShardExecutor(ShardExecutor):
                     completed += 1
                     yield unit, pairs
                 else:
-                    _address, error = payload
-                    alive -= 1
-                    if error is not None:
-                        last_error = error
-                    if alive == 0:
-                        raise TransportError(
-                            f"all {len(threads)} remote workers are gone "
-                            f"with {len(units) - completed} unit(s) "
-                            f"outstanding (last error: {last_error})"
-                        )
+                    raise payload[0]
         finally:
-            stop.set()
-            for thread in threads:
-                thread.join(timeout=5)
+            # Whether the sweep finished, failed, or was abandoned by
+            # the consumer: tell the loop to bail, then wait for it —
+            # no orphaned coroutines, sockets, or threads stay behind.
+            abandoned.set()
+            thread.join(timeout=10)
+
+    def _fanout_thread(
+        self, addresses, install, state_key, units, delta_max, events,
+        abandoned,
+    ) -> None:
+        try:
+            asyncio.run(self._fanout(
+                addresses, install, state_key, units, delta_max, events,
+                abandoned,
+            ))
+        except BaseException as exc:  # pragma: no cover - loop-level safety net
+            events.put(("fatal", TransportError(f"fan-out loop failed: {exc}")))
+
+    async def _fanout(
+        self, addresses, install, state_key, units, delta_max, events,
+        abandoned,
+    ) -> None:
+        """One coroutine per worker, all on this (background) event loop.
+
+        A dying worker re-enqueues its in-flight unit and drops out; the
+        loop ends when every unit completed, every worker is gone, or
+        the consumer abandoned the sweep.  Exactly one terminal event
+        reaches the consumer: per-unit ``("ok", ...)`` results and, if
+        units remain with no workers left, one ``("fatal", ...)``.
+        """
+        unit_queue: asyncio.Queue = asyncio.Queue()
+        for unit in units:
+            unit_queue.put_nowait(unit)
+        progress = {"remaining": len(units)}
+        errors: list[Exception] = []
+
+        async def run_worker(address: tuple[str, int]) -> None:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(address[0], address[1]),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                errors.append(TransportError(
+                    f"cannot connect to worker {address[0]}:{address[1]}: "
+                    f"{exc}"
+                ))
+                return
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                # Request/reply framing with small frames: Nagle +
+                # delayed ACK would add ~40ms per unit on loopback.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            unit = None
+            try:
+                await async_send_message(
+                    writer, {"op": "hello", "version": PROTOCOL_VERSION}
+                )
+                self._check_reply(
+                    address, await async_recv_message(reader), "ready"
+                )
+                await async_send_message(writer, install)
+                self._check_reply(
+                    address, await async_recv_message(reader), "installed"
+                )
+                while progress["remaining"] and not abandoned.is_set():
+                    try:
+                        unit = unit_queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        # stay subscribed: a dying peer may re-enqueue
+                        await asyncio.sleep(0.01)
+                        continue
+                    await async_send_message(writer, {
+                        "op": "run",
+                        "state_key": state_key,
+                        "query_index": unit.query_index,
+                        "schema_ids": unit.schema_ids,
+                        "delta_max": delta_max,
+                    })
+                    reply = self._check_reply(
+                        address, await async_recv_message(reader), "result"
+                    )
+                    progress["remaining"] -= 1
+                    events.put(("ok", unit, reply["pairs"]))
+                    unit = None
+            except (TransportError, OSError) as exc:
+                # This worker is gone mid-unit: give the unit back for
+                # a healthy peer, record the death, bow out.
+                if unit is not None:
+                    unit_queue.put_nowait(unit)
+                errors.append(exc)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except OSError:
+                    pass
+
+        await asyncio.gather(*(run_worker(address) for address in addresses))
+        if progress["remaining"] and not abandoned.is_set():
+            events.put(("fatal", TransportError(
+                f"all {len(addresses)} remote workers are gone with "
+                f"{progress['remaining']} unit(s) outstanding "
+                f"(last error: {errors[-1] if errors else None})"
+            )))
 
     @staticmethod
-    def _expect(link: _WorkerLink, op: str) -> dict:
-        reply = recv_message(link.sock)
+    def _check_reply(address: tuple[str, int], reply: object, op: str) -> dict:
         if not isinstance(reply, dict) or "op" not in reply:
             raise TransportError(
-                f"malformed reply from {link.address}: {reply!r}"
+                f"malformed reply from {address}: {reply!r}"
             )
         if reply["op"] == "error":
             raise TransportError(
-                f"worker {link.address[0]}:{link.address[1]} refused: "
+                f"worker {address[0]}:{address[1]} refused: "
                 f"{reply.get('error')}"
             )
         if reply["op"] != op:
             raise TransportError(
-                f"expected {op!r} from {link.address}, got {reply['op']!r}"
+                f"expected {op!r} from {address}, got {reply['op']!r}"
             )
         return reply

@@ -90,6 +90,10 @@ class ReplicaGroupStats:
     gaps_buffered: int = 0
     catch_ups: int = 0
     digest_checks: int = 0
+    #: replicas added at runtime (:meth:`ReplicaGroup.join`)
+    joins: int = 0
+    #: replicas removed at runtime (:meth:`ReplicaGroup.leave`)
+    leaves: int = 0
 
 
 class ReplicaGroup:
@@ -146,17 +150,22 @@ class ReplicaGroup:
             if store is None or isinstance(store, SnapshotStore)
             else SnapshotStore(store)
         )
+        # kept for replicas built later: join() constructs its service
+        # with exactly the founding replicas' pipeline options
+        self._service_options = {
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+            "workers": workers,
+            "shards": shards,
+            "cache": cache,
+            "executor": executor,
+        }
         self.services = [
             MatchingService(
                 matcher,
                 delta_max,
                 store=self.store,
-                max_batch=max_batch,
-                max_delay=max_delay,
-                workers=workers,
-                shards=shards,
-                cache=cache,
-                executor=executor,
+                **self._service_options,
             )
             for matcher in matchers
         ]
@@ -169,6 +178,7 @@ class ReplicaGroup:
             {} for _ in matchers
         ]
         self._repository: SchemaRepository | None = None
+        self._base_repository: SchemaRepository | None = None
         self._next_replica = 0
         self._delivery = delivery if delivery is not None else _deliver_direct
 
@@ -198,6 +208,9 @@ class ReplicaGroup:
                 "versions; a group must start converged"
             )
         self._repository = self.services[0].repository
+        # The log is empty at start, so the started version is the base
+        # every later join() cold-starts from before replaying the log.
+        self._base_repository = self._repository
 
     async def stop(self) -> None:
         """Stop every replica (idempotent per service)."""
@@ -210,6 +223,89 @@ class ReplicaGroup:
         if self.store is None:
             raise MatchingError("replica group has no snapshot store")
         return await self.services[0].checkpoint()
+
+    # -- runtime membership ---------------------------------------------------
+
+    async def join(self, matcher: Matcher) -> int:
+        """Add a replica at runtime; returns its index.
+
+        The joiner cold-starts on the group's **base** repository (the
+        version every founding replica started on) and then replays the
+        whole replicated log through :meth:`catch_up` — every record
+        digest-checked against the authoritative digests — so it ends
+        byte-identical to the founding replicas without the group ever
+        pausing: no drain, no handoff, the round-robin keeps serving
+        from the existing replicas while the joiner catches up.  The
+        same config discipline as construction applies: the matcher
+        must be fingerprint-equal to the group's and must not share an
+        objective object with a live replica.
+        """
+        if self._base_repository is None:
+            raise MatchingError("replica group not started; call start()")
+        if matcher_fingerprint(matcher) != matcher_fingerprint(
+            self.services[0].matcher
+        ):
+            raise ReplicationError(
+                "joining matcher is configured differently from the group's "
+                "(fingerprints differ); replicas must be config-identical or "
+                "their answers cannot be byte-identical"
+            )
+        if any(
+            matcher.objective is service.matcher.objective
+            for service in self.services
+        ):
+            raise ReplicationError(
+                "joining matcher shares an objective object with a live "
+                "replica; each replica needs its own (similarity substrates "
+                "are not shared safely across concurrently serving replicas)"
+            )
+        service = MatchingService(
+            matcher,
+            self.delta_max,
+            store=None,  # the log replay, not a snapshot, is its truth
+            **self._service_options,
+        )
+        await service.start(self._base_repository)
+        self.services.append(service)
+        self._applied.append(0)
+        self._buffers.append({})
+        self.stats.applied.append(0)
+        self.stats.joins += 1
+        index = len(self.services) - 1
+        await self.catch_up(index)
+        return index
+
+    async def leave(self, index: int) -> MatchingService:
+        """Remove replica ``index`` at runtime, without draining.
+
+        The slot disappears from routing, delivery and bookkeeping
+        immediately, then the service is stopped **without drain**:
+        requests still queued on it fail with
+        :class:`~repro.errors.MatchingError` rather than being
+        answered — a replica leaving mid-request refuses loudly, it
+        never serves on the way out.  Replica indices above ``index``
+        shift down by one (delivery hooks that script faults by index
+        address the current membership).  The returned (stopped)
+        service is handed back for inspection.
+        """
+        if not 0 <= index < len(self.services):
+            raise ReplicationError(
+                f"no replica at index {index} "
+                f"(group has {len(self.services)})"
+            )
+        if len(self.services) == 1:
+            raise ReplicationError(
+                "cannot remove the last replica; stop() the group instead"
+            )
+        service = self.services.pop(index)
+        self._applied.pop(index)
+        self._buffers.pop(index)
+        self.stats.applied.pop(index)
+        self._next_replica %= len(self.services)
+        self.stats.leaves += 1
+        if service.started:
+            await service.stop(drain=False)
+        return service
 
     # -- authoritative state -------------------------------------------------
 
@@ -264,6 +360,12 @@ class ReplicaGroup:
         stale, and :meth:`match_on` refuses it, until the missing
         records arrive and the buffer drains in sequence order.
         """
+        if not 0 <= index < len(self.services):
+            raise ReplicationError(
+                f"delivery addressed replica {index}, but the group has "
+                f"{len(self.services)} (did the membership change under a "
+                "held delivery?)"
+            )
         if record.sequence <= self._applied[index]:
             self.stats.duplicates_ignored += 1
             return

@@ -257,17 +257,32 @@ class MatchingService:
         self._lock = asyncio.Lock()
         self._task = loop.create_task(self._dispatch())
 
-    async def stop(self) -> None:
-        """Drain pending requests, then stop the dispatcher (idempotent).
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the dispatcher (idempotent); by default, drain first.
 
-        One event-loop tick of grace lets requests that were already
-        scheduled (e.g. via ``ensure_future``) enqueue before the
-        accept-gate closes; everything pending at that point is answered
-        before the dispatcher exits — no request future is ever dropped.
+        With ``drain`` (the default), one event-loop tick of grace lets
+        requests that were already scheduled (e.g. via
+        ``ensure_future``) enqueue before the accept-gate closes;
+        everything pending at that point is answered before the
+        dispatcher exits — no request future is ever dropped.
+
+        With ``drain=False`` — a replica leaving its group, an
+        emergency teardown — nothing more is answered: every queued
+        request future fails with
+        :class:`~repro.errors.MatchingError` immediately.  Futures
+        still fail loudly rather than hang; they are just not served.
         """
         if self._task is None:
             return
-        await asyncio.sleep(0)  # grace tick for already-scheduled match()es
+        if drain:
+            await asyncio.sleep(0)  # grace tick for already-scheduled match()es
+        else:
+            pending, self._pending = self._pending, []
+            for _query, future in pending:
+                if not future.done():
+                    future.set_exception(
+                        MatchingError("service stopped without draining")
+                    )
         self._stopping = True
         self._wake.set()
         await self._task

@@ -38,6 +38,39 @@ settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
+def pytest_addoption(parser):
+    # The chaos soak harness (tests/soak) — all knobs optional; without
+    # them the smoke grid runs its fixed seeds at smoke length.
+    group = parser.getgroup("soak", "chaos soak harness (tests/soak)")
+    group.addoption(
+        "--soak-seed",
+        type=int,
+        default=None,
+        help="replay exactly one soak schedule with this seed "
+        "(the one-command repro printed by a failing soak run)",
+    )
+    group.addoption(
+        "--soak-waves",
+        type=int,
+        default=None,
+        help="waves per soak schedule (default: 3 for the smoke grid, "
+        "8 for --soak-schedules runs)",
+    )
+    group.addoption(
+        "--soak-schedules",
+        type=int,
+        default=None,
+        help="run a long soak of N randomized schedules (the nightly "
+        "CI job; skipped by default)",
+    )
+    group.addoption(
+        "--soak-log",
+        default=None,
+        help="append the event log of failing schedules to this file "
+        "(published as a CI artifact)",
+    )
+
+
 def pytest_collection_modifyitems(config, items):
     if os.environ.get("REPRO_NO_NETWORK") != "1":
         return

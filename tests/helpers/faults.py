@@ -41,6 +41,7 @@ __all__ = [
     "TamperProxy",
     "cut_after",
     "flip_byte",
+    "rewrite_frame",
 ]
 
 
@@ -81,6 +82,41 @@ class _FlipByte(ByteFault):
         return chunk, True
 
 
+@dataclass
+class _RewriteOnce(ByteFault):
+    old: bytes
+    new: bytes
+    _buffer: bytes = b""
+    _done: bool = False
+
+    def transform(self, chunk: bytes, offset: int) -> tuple[bytes, bool]:
+        if self._done:
+            return chunk, True
+        self._buffer += chunk
+        found = self._buffer.find(self.old)
+        if found != -1:
+            out = (
+                self._buffer[:found]
+                + self.new
+                + self._buffer[found + len(self.old):]
+            )
+            self._done = True
+            self._buffer = b""
+            return out, True
+        # Hold back only the bytes that could still be a prefix of
+        # ``old`` spanning into the next chunk; forward the rest so the
+        # stream keeps flowing while we watch for the pattern.
+        keep = len(self.old) - 1
+        if keep <= 0 or len(self._buffer) <= keep:
+            if keep <= 0:
+                out, self._buffer = self._buffer, b""
+                return out, True
+            return b"", True
+        out = self._buffer[:-keep]
+        self._buffer = self._buffer[-keep:]
+        return out, True
+
+
 def cut_after(at: int) -> ByteFault:
     """Forward ``at`` bytes, then drop the connection — truncation."""
     return _CutAfter(at)
@@ -89,6 +125,20 @@ def cut_after(at: int) -> ByteFault:
 def flip_byte(at: int) -> ByteFault:
     """Invert the byte at stream offset ``at`` — tampering / bit rot."""
     return _FlipByte(at)
+
+
+def rewrite_frame(old: bytes, new: bytes) -> ByteFault:
+    """Replace the first occurrence of ``old`` in the stream with ``new``.
+
+    Unlike :func:`flip_byte`, the replacement can be a complete,
+    correctly framed message — the tool for protocol-level faults
+    (version skew, substituted ops) that must pass the digest check and
+    be *refused by the peer's protocol logic*, not by the framing
+    layer.  Bytes are buffered only while they could still be a prefix
+    of ``old``; once replaced (or proven absent chunk by chunk) the
+    relay is transparent.
+    """
+    return _RewriteOnce(old, new)
 
 
 class TamperProxy:

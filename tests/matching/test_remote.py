@@ -22,14 +22,21 @@ from __future__ import annotations
 
 import pickle
 import socket
+import threading
 import time
 
 import pytest
 
-from helpers.faults import TamperProxy, cut_after, flip_byte
+from helpers.faults import TamperProxy, cut_after, flip_byte, rewrite_frame
 from repro.errors import TransportError
 from repro.matching import RemoteShardExecutor, WorkerServer, make_matcher
 from repro.matching import remote as remote_module
+from repro.matching.executor import (
+    ExecutionState,
+    WorkUnit,
+    current_switches,
+)
+from repro.matching.pipeline import matcher_fingerprint, schema_digest
 from repro.matching.remote import (
     CLOSED,
     MAGIC,
@@ -148,6 +155,73 @@ class TestFraming:
             parse_address("9000")
         with pytest.raises(TransportError, match="non-numeric"):
             parse_address("host:http")
+
+
+def _frame(message: object) -> bytes:
+    """The exact frame bytes :func:`send_message` would put on the wire."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        remote_module._HEADER.pack(
+            MAGIC, len(payload), remote_module._digest(payload)
+        )
+        + payload
+    )
+
+
+class TestFrameEdges:
+    """The frame-size and protocol-skew edges of the wire format."""
+
+    def test_send_refuses_oversize_frame(self, pair, monkeypatch):
+        """An oversize payload is refused before a byte hits the wire."""
+        a, _b = pair
+        monkeypatch.setattr(remote_module, "MAX_FRAME", 64)
+        with pytest.raises(TransportError, match="refusing to send"):
+            send_message(a, {"op": "install", "blob": b"x" * 256})
+
+    def test_worker_closes_on_announced_oversize(self):
+        """A header announcing > MAX_FRAME: the worker drops the stream.
+
+        No error reply — a peer announcing a gigabyte-plus frame is a
+        desynchronised or hostile stream, and nothing later on it can
+        be trusted; the connection closes and the client observes EOF.
+        """
+        worker = WorkerServer().start()
+        try:
+            sock = socket.create_connection(worker.address, timeout=5)
+            sock.sendall(
+                remote_module._HEADER.pack(
+                    MAGIC, remote_module.MAX_FRAME + 1, b"\x00" * 16
+                )
+            )
+            with pytest.raises(TransportError, match="closed"):
+                recv_message(sock)
+            sock.close()
+        finally:
+            worker.stop()
+        assert worker.stats.units == 0
+
+    def test_hello_version_skew_refused(self, small_workload, queries):
+        """A relay rewriting hello to a future protocol version.
+
+        :func:`helpers.faults.rewrite_frame` substitutes a complete,
+        correctly digest-framed hello — so the fault passes the framing
+        layer and must be refused by the worker's *protocol* logic.
+        The worker never installs state and never runs a unit.
+        """
+        worker = WorkerServer().start()
+        skew = rewrite_frame(
+            _frame({"op": "hello", "version": PROTOCOL_VERSION}),
+            _frame({"op": "hello", "version": 999}),
+        )
+        with TamperProxy(worker.address, upstream=skew) as proxy:
+            try:
+                executor = RemoteShardExecutor([proxy.address])
+                with pytest.raises(TransportError, match="version mismatch"):
+                    _remote_answers(small_workload, queries, executor)
+            finally:
+                worker.stop()
+        assert worker.stats.installs == 0
+        assert worker.stats.units == 0
 
 
 # ---------------------------------------------------------------------------
@@ -342,3 +416,157 @@ class TestVersionAndState:
             worker.stop()
         assert reply["op"] == "error"
         assert "no state installed" in reply["error"]
+
+    def test_parallel_units_must_be_positive(self):
+        with pytest.raises(TransportError, match="parallel_units"):
+            WorkerServer(parallel_units=0)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator shutdown hygiene
+# ---------------------------------------------------------------------------
+
+def _fanout_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-remote")
+    ]
+
+
+def _no_fanout_threads(timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _fanout_threads():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _execution_state(small_workload, queries, matcher):
+    switches = current_switches()
+    return ExecutionState(
+        matcher=matcher,
+        queries=queries,
+        repository=small_workload.repository,
+        schema_table={
+            schema.schema_id: schema for schema in small_workload.repository
+        },
+        switches=switches,
+        state_key=(
+            matcher_fingerprint(matcher),
+            small_workload.repository.content_digest(),
+            tuple(schema_digest(query) for query in queries),
+            *switches,
+        ),
+    )
+
+
+class TestCoordinatorShutdown:
+    """``execute`` leaves nothing behind, however the sweep ends."""
+
+    def test_no_leaked_threads_after_worker_death(
+        self, small_workload, queries
+    ):
+        """Every worker dying mid-sweep: the fan-out thread still exits."""
+        crasher = _CrashingWorker().start()
+        try:
+            executor = RemoteShardExecutor([crasher.address])
+            with pytest.raises(TransportError):
+                _remote_answers(small_workload, queries, executor)
+        finally:
+            crasher.stop()
+        assert _no_fanout_threads(), (
+            "fan-out thread leaked after a failed sweep: "
+            f"{_fanout_threads()}"
+        )
+
+    def test_no_leaked_threads_after_abandoned_stream(
+        self, small_workload, queries
+    ):
+        """A consumer walking away mid-stream: the fan-out loop bails.
+
+        The pipeline consumes ``execute`` generators to completion, but
+        the generator protocol allows any consumer to ``close()`` early
+        — and an abandoned sweep must not keep a live event loop
+        talking to workers behind the caller's back.
+        """
+        worker = _SlowFirstUnitWorker().start()
+        try:
+            matcher = make_matcher("exhaustive", small_workload.objective)
+            matcher.prepare(small_workload.repository)
+            state = _execution_state(small_workload, queries, matcher)
+            schema_ids = tuple(
+                schema.schema_id for schema in small_workload.repository
+            )
+            units = [
+                WorkUnit(index, 0, schema_ids)
+                for index in range(len(queries))
+            ]
+            executor = RemoteShardExecutor([worker.address])
+            stream = executor.execute(state, units, 0.3)
+            next(stream)  # first unit completes, the rest never asked for
+            stream.close()
+        finally:
+            worker.stop()
+        assert _no_fanout_threads(), (
+            "fan-out thread leaked after an abandoned sweep: "
+            f"{_fanout_threads()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side parallelism
+# ---------------------------------------------------------------------------
+
+class TestParallelUnits:
+    def test_concurrent_coordinators_byte_identical(
+        self, small_workload, queries
+    ):
+        """Two coordinators race one ``parallel_units=2`` worker.
+
+        Both sweeps must come back byte-identical to the serial path
+        (whichever state slot each unit lands on), the state installs
+        exactly once (the coordinators share a ``state_key``), and
+        every unit of both sweeps executes.
+        """
+        worker = WorkerServer(parallel_units=2).start()
+        results: dict[int, bytes] = {}
+        errors: list[BaseException] = []
+
+        def sweep(label: int) -> None:
+            try:
+                # a private objective per coordinator: similarity
+                # substrates are not shared safely across concurrently
+                # executing matchers
+                objective = pickle.loads(
+                    pickle.dumps(small_workload.objective)
+                )
+                matcher = make_matcher("exhaustive", objective)
+                executor = RemoteShardExecutor([worker.address])
+                results[label] = _canonical(matcher.batch_match(
+                    queries,
+                    small_workload.repository,
+                    0.3,
+                    cache=False,
+                    shards=3,
+                    executor=executor,
+                ))
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=sweep, args=(label,)) for label in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        worker.stop()
+        assert not errors, errors
+        serial = _canonical(_serial_answers(small_workload, queries))
+        assert results[0] == serial
+        assert results[1] == serial
+        assert worker.stats.units == len(queries) * 3 * 2
+        assert worker.stats.installs == 1
+        assert worker.stats.installs_reused >= 1

@@ -253,6 +253,155 @@ class TestConstructionGuards:
             DeltaRecord(0, churn_delta(small_workload.repository, 0.1, seed=0))
 
 
+class TestMembership:
+    """Runtime membership: join() via log replay, leave() without drain."""
+
+    def test_join_catches_up_and_serves_identically(
+        self, small_workload, queries
+    ):
+        """A replica joining after deltas ends byte-identical to founders."""
+
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            for seed in range(2):
+                await group.apply_delta(
+                    churn_delta(group.repository, churn=0.25, seed=seed)
+                )
+            joiner = make_matcher("exhaustive", small_workload.objective)
+            index = await group.join(joiner)
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, index, answers, repository
+
+        group, index, answers, repository = _run(scenario())
+        assert index == 2
+        assert group.stats.joins == 1
+        assert group.applied(2) == 2  # the joiner replayed the whole log
+        assert group.current_replicas() == [0, 1, 2]
+        offline = _canonical(_offline(small_workload, queries, repository))
+        for replica in range(3):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_join_refuses_config_mismatch(self, small_workload):
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            try:
+                with pytest.raises(
+                    ReplicationError, match="configured differently"
+                ):
+                    await group.join(
+                        make_matcher(
+                            "beam", small_workload.objective, beam_width=4
+                        )
+                    )
+            finally:
+                await group.stop()
+
+        _run(scenario())
+
+    def test_join_refuses_shared_objective(self, small_workload):
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            try:
+                shared = group.services[0].matcher.objective
+                with pytest.raises(
+                    ReplicationError, match="shares an objective"
+                ):
+                    await group.join(make_matcher("exhaustive", shared))
+            finally:
+                await group.stop()
+
+        _run(scenario())
+
+    def test_join_before_start_refused(self, small_workload):
+        async def scenario():
+            group = _group(small_workload)
+            with pytest.raises(MatchingError, match="not started"):
+                await group.join(
+                    make_matcher("exhaustive", small_workload.objective)
+                )
+
+        _run(scenario())
+
+    def test_leave_without_draining(self, small_workload, queries):
+        """A replica leaves mid-life; the survivors keep serving."""
+
+        async def scenario():
+            group = _group(small_workload, replicas=3)
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            gone = await group.leave(1)
+            answers = [await group.match(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, gone, answers, repository
+
+        group, gone, answers, repository = _run(scenario())
+        assert group.stats.leaves == 1
+        assert len(group.services) == 2
+        assert not gone.started  # handed back stopped
+        assert group.current_replicas() == [0, 1]
+        offline = _canonical(_offline(small_workload, queries, repository))
+        assert _canonical(answers) == offline
+
+    def test_leave_last_replica_refused(self, small_workload):
+        async def scenario():
+            group = _group(small_workload, replicas=1)
+            await group.start(small_workload.repository)
+            try:
+                with pytest.raises(
+                    ReplicationError, match="cannot remove the last replica"
+                ):
+                    await group.leave(0)
+            finally:
+                await group.stop()
+
+        _run(scenario())
+
+    def test_leave_bounds_checked(self, small_workload):
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            try:
+                with pytest.raises(ReplicationError, match="no replica at"):
+                    await group.leave(5)
+            finally:
+                await group.stop()
+
+        _run(scenario())
+
+    def test_delivery_to_departed_replica_refused(self, small_workload):
+        """A held delivery outliving a membership change is caught.
+
+        Delivery hooks address replicas by index; after a leave() the
+        index space shifts, so a record released against the old
+        membership must refuse loudly rather than apply to whichever
+        replica now wears that index — or run off the end of the group.
+        """
+
+        async def scenario():
+            group = _group(small_workload)
+            await group.start(small_workload.repository)
+            record = DeltaRecord(
+                1, churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            try:
+                with pytest.raises(
+                    ReplicationError, match="membership change"
+                ):
+                    await group.receive(7, record)
+            finally:
+                await group.stop()
+
+        _run(scenario())
+
+
 class TestWarmStart:
     def test_group_warm_starts_from_checkpoint(
         self, small_workload, queries, tmp_path

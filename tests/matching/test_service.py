@@ -403,6 +403,41 @@ class TestServiceApi:
         )
         assert _canonical(answers) == _canonical(offline)
 
+    def test_stop_without_draining_fails_pending_loudly(
+        self, workload, queries
+    ):
+        """stop(drain=False): queued requests refuse, none are answered.
+
+        The replica-leave path — a service going away mid-request must
+        fail its queue loudly (every future resolves with
+        ``MatchingError``) rather than serve on the way out or leave a
+        caller hanging; later requests are refused the same way.
+        """
+        matcher = ExhaustiveMatcher(workload.objective)
+
+        async def scenario():
+            # a wide coalescing window parks the requests in the pending
+            # queue: they are enqueued but unserved when stop() lands
+            service = MatchingService(
+                matcher, 0.3, cache=False, max_delay=5.0
+            )
+            await service.start(workload.repository)
+            futures = [
+                asyncio.ensure_future(service.match(q)) for q in queries
+            ]
+            await asyncio.sleep(0)  # let the requests reach the queue
+            await service.stop(drain=False)
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
+            with pytest.raises(MatchingError, match="not accepting"):
+                await service.match(queries[0])
+            return outcomes
+
+        outcomes = _run(scenario())
+        assert len(outcomes) == len(queries)
+        for outcome in outcomes:
+            assert isinstance(outcome, MatchingError)
+            assert "without draining" in str(outcome)
+
     def test_restart_on_new_repository_serves_fresh_state(
         self, workload, queries
     ):

@@ -101,3 +101,64 @@ def test_replicas_equal_single_node_replay(name, params, case):
             assert canonical(routed[query_index]) == expected[query_index], (
                 name, query_index, "round-robin"
             )
+
+
+@pytest.mark.parametrize("name,params", MATCHERS)
+@settings(max_examples=3, deadline=None)
+@given(case=replication_cases())
+def test_joining_replica_equals_founders(name, params, case):
+    """Runtime membership cannot change a byte.
+
+    A replica joining mid-stream — cold-started on the base repository
+    and caught up purely from the replicated log — must end
+    byte-identical to the founding replicas *and* to the single-node
+    replay, for every matcher family.
+    """
+    repo_seed, query_seed, num_queries, delta_max, churn, delta_seeds = case
+    workload = make_workload(
+        repo_seed, num_schemas=3, query_seed=query_seed,
+        num_queries=num_queries,
+    )
+    queries = list(workload.queries)
+
+    session = EvolutionSession(
+        make_matcher(name, workload.objective(), **params),
+        queries,
+        delta_max,
+        cache=False,
+    )
+    session.match(workload.repository)
+    deltas = []
+    for seed in delta_seeds:
+        delta = churn_delta(session.repository, churn=churn, seed=seed)
+        deltas.append(delta)
+        session.apply(delta)
+    expected = [canonical(a) for a in session.answer_sets]
+
+    async def scenario():
+        group = replica_group(
+            name, workload.objective(), 2, delta_max,
+            params=params, cache=False,
+        )
+        await group.start(workload.repository)
+        # the joiner arrives after the first delta: its truth is the
+        # base repository plus the log, never a snapshot
+        await group.apply_delta(deltas[0])
+        joined = await group.join(
+            make_matcher(name, workload.objective(), **params)
+        )
+        for delta in deltas[1:]:
+            await group.apply_delta(delta)
+        per_replica = [await group.match_all(q) for q in queries]
+        await group.stop()
+        return group, joined, per_replica
+
+    group, joined, per_replica = _run(scenario())
+    assert joined == 2
+    assert group.current_replicas() == [0, 1, 2]
+    for query_index in range(len(queries)):
+        for replica in range(3):
+            observed = canonical(per_replica[query_index][replica])
+            assert observed == expected[query_index], (
+                name, query_index, {"replica": replica}
+            )

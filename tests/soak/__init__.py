@@ -1,0 +1,1 @@
+"""The chaos soak suite: long seeded fault schedules over the full stack."""

@@ -1,0 +1,120 @@
+"""The soak suite entry points: smoke grid, seed replay, nightly long run.
+
+Three gears, all over :mod:`soak.harness`:
+
+* **smoke** (tier-1, always on) — a fixed grid of seeds at smoke
+  length (:data:`SMOKE_WAVES` waves).  Deterministic, minutes not
+  hours; the PR gate that every replica stays byte-identical to the
+  single-node replay under randomized fault schedules.
+* **replay** (``--soak-seed N [--soak-waves W]``) — exactly one
+  schedule, no shrinking: the one-command repro a failing run prints.
+* **long** (``--soak-schedules N``) — the nightly CI gear: N fresh
+  schedules at long length, failing schedules' event logs appended to
+  ``--soak-log`` for the artifact upload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from soak.harness import SoakFailure, run_schedule, run_with_shrink
+
+pytestmark = [pytest.mark.soak, pytest.mark.network]
+
+SMOKE_SEEDS = range(20)
+SMOKE_WAVES = 3
+LONG_WAVES = 8
+#: the long-soak seed base keeps nightly schedules disjoint from smoke
+LONG_SEED_BASE = 100_000
+
+#: non-default matcher families the smoke also drags through a schedule
+FAMILY_CASES = [
+    ("beam", {"beam_width": 4}),
+    ("clustering", {"clusters_per_element": 2}),
+]
+
+
+def _skip_if_explicit_run(config) -> None:
+    """Smoke steps aside when the user asked for a replay or a long soak."""
+    if config.getoption("--soak-seed") is not None:
+        pytest.skip("replaying one schedule (--soak-seed); smoke grid off")
+    if config.getoption("--soak-schedules") is not None:
+        pytest.skip("long soak requested (--soak-schedules); smoke grid off")
+
+
+def _run_logged(config, runner, seed: int, waves: int, **kwargs):
+    """Run one schedule, appending its event log to --soak-log on failure."""
+    lines: list[str] = []
+    try:
+        return runner(seed, waves, log=lines.append, **kwargs)
+    except SoakFailure:
+        path = config.getoption("--soak-log")
+        if path:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(f"=== schedule seed={seed} waves={waves} ===\n")
+                handle.writelines(line + "\n" for line in lines)
+        raise
+
+
+class TestSoakSmoke:
+    """The tier-1 gate: fixed seeds, smoke length, shrink on failure."""
+
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_schedule(self, pytestconfig, seed):
+        _skip_if_explicit_run(pytestconfig)
+        waves = pytestconfig.getoption("--soak-waves") or SMOKE_WAVES
+        report = _run_logged(
+            pytestconfig, run_with_shrink, seed, waves
+        )
+        assert report.ops >= 2 * waves
+        # the barrier audits every replica against the replay each
+        # wave, so a completed schedule always served queries
+        assert report.queries_served >= 2 * waves
+
+    @pytest.mark.parametrize("name,params", FAMILY_CASES)
+    def test_other_families(self, pytestconfig, name, params):
+        _skip_if_explicit_run(pytestconfig)
+        waves = pytestconfig.getoption("--soak-waves") or SMOKE_WAVES
+        report = _run_logged(
+            pytestconfig,
+            run_with_shrink,
+            7,  # one fixed seed per non-default family
+            waves,
+            matcher=name,
+            params=params,
+        )
+        assert report.queries_served >= 2 * waves
+
+
+class TestSoakReplay:
+    """``--soak-seed``: rerun exactly the schedule a failure printed."""
+
+    def test_replay(self, pytestconfig):
+        seed = pytestconfig.getoption("--soak-seed")
+        if seed is None:
+            pytest.skip("no --soak-seed given")
+        waves = pytestconfig.getoption("--soak-waves") or SMOKE_WAVES
+        report = _run_logged(pytestconfig, run_schedule, seed, waves)
+        assert report.waves == waves
+
+
+class TestSoakLong:
+    """``--soak-schedules N``: the nightly randomized long soak."""
+
+    def test_long_soak(self, pytestconfig):
+        count = pytestconfig.getoption("--soak-schedules")
+        if count is None:
+            pytest.skip("no --soak-schedules given (nightly CI gear)")
+        waves = pytestconfig.getoption("--soak-waves") or LONG_WAVES
+        for seed in range(LONG_SEED_BASE, LONG_SEED_BASE + count):
+            _run_logged(pytestconfig, run_with_shrink, seed, waves)
+
+
+def test_marker_discipline():
+    """The soak suite must carry both gate markers.
+
+    ``network`` keeps it out of REPRO_NO_NETWORK=1 sandboxes (every
+    schedule opens loopback sockets); ``soak`` lets CI and developers
+    select or deselect the whole chaos tier with ``-m``.
+    """
+    assert {"soak", "network"} <= {mark.name for mark in pytestmark}
