@@ -10,6 +10,11 @@ What ``BENCH_distributed.json`` tracks across commits:
   the one-shot install has been paid;
 * ``test_bench_remote_install`` — that one-shot cost: fresh workers,
   full inline state install, then the sweep;
+* ``test_bench_remote_recovery`` — the same cold sweep with one worker
+  crashing on its first unit: the coordinator detects the loss, opens
+  the breaker, re-enqueues the dropped unit, and the survivor absorbs
+  the sweep.  Read against ``test_bench_remote_install``: the gap is
+  the price of recovering from a mid-sweep worker death;
 * ``test_bench_replica_delta_apply`` — a 2-replica group applying one
   churn delta through the replicated log (two service applies plus two
   digest checks per record).
@@ -23,8 +28,10 @@ check, whose wall-clock half is skipped when
 
 import asyncio
 import os
+import socket
 from time import perf_counter
 
+from repro.errors import TransportError
 from repro.evaluation import build_workload, small_config
 from repro.matching import (
     ExhaustiveMatcher,
@@ -113,6 +120,57 @@ def test_bench_remote_install(benchmark):
     benchmark.pedantic(install_and_sweep, setup=setup, rounds=3, iterations=1)
 
 
+class _CrashOnFirstUnitWorker(WorkerServer):
+    """Dies abruptly — listener and every connection — on its first unit.
+
+    The coordinator sent the unit and never hears back: the connection
+    drops mid-conversation, exactly like ``kill -9`` on a remote worker
+    between request and reply.
+    """
+
+    def _run(self, message):
+        self._stopping.set()
+        self._close_listener()
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        raise TransportError("injected crash mid-sweep")
+
+
+def test_bench_remote_recovery(benchmark):
+    """Mid-sweep worker death: detect, open the breaker, re-run, finish.
+
+    One of the two workers crashes on its first unit; the sweep must
+    still complete byte-identically on the survivor.  The number to
+    watch is this benchmark minus ``test_bench_remote_install`` — the
+    recovery-time overhead of a mid-sweep worker loss.
+    """
+    workload, queries = _setup()
+    expected = _serial_reference(workload, queries)
+
+    def setup():
+        crasher = _CrashOnFirstUnitWorker().start()
+        survivor = WorkerServer().start()
+        executor = RemoteShardExecutor([crasher.address, survivor.address])
+        return (crasher, survivor, executor), {}
+
+    def recover(crasher, survivor, executor):
+        try:
+            answers = _sweep(workload, queries, executor)
+            assert canonical_answers(answers) == expected
+            assert executor.worker_health(crasher.address).state == "open"
+        finally:
+            crasher.stop()
+            survivor.stop()
+
+    benchmark.pedantic(recover, setup=setup, rounds=3, iterations=1)
+
+
 def test_bench_replica_delta_apply(benchmark):
     """A 2-replica round: start, retain the queries, replicate one delta.
 
@@ -148,10 +206,12 @@ def test_distributed_byte_identity_and_overhead():
     envelope of the serial baseline.
 
     Byte-identity runs unconditionally — across two socket workers
-    (warm and cold install) and across both replicas of a group before
-    and after a delta.  The wall-clock envelope (warm remote ≤ 25× the
-    serial sweep on loopback — generous: the wire costs framing and
-    pickling, not matching) is skipped when ``BENCH_TIMING_ASSERTS=0``.
+    (warm and cold install), across a sweep that loses a worker to a
+    mid-sweep crash, and across both replicas of a group before and
+    after a delta.  The wall-clock envelopes (warm remote ≤ 25× the
+    serial sweep; crash recovery ≤ 10× the healthy cold sweep — both
+    generous: the wire costs framing and pickling, not matching) are
+    skipped when ``BENCH_TIMING_ASSERTS=0``.
     """
     workload, queries = _setup()
     expected = _serial_reference(workload, queries)
@@ -159,7 +219,9 @@ def test_distributed_byte_identity_and_overhead():
     workers = [WorkerServer().start() for _ in range(2)]
     try:
         executor = RemoteShardExecutor([w.address for w in workers])
+        started = perf_counter()
         assert canonical_answers(_sweep(workload, queries, executor)) == expected
+        cold_seconds = perf_counter() - started
         started = perf_counter()
         warm = _sweep(workload, queries, executor)
         remote_seconds = perf_counter() - started
@@ -167,6 +229,23 @@ def test_distributed_byte_identity_and_overhead():
     finally:
         for worker in workers:
             worker.stop()
+
+    # Recovery: one worker crashes on its first unit; the sweep still
+    # completes byte-identically on the survivor and the dead address's
+    # breaker ends the sweep open.
+    crasher = _CrashOnFirstUnitWorker().start()
+    survivor = WorkerServer().start()
+    try:
+        executor = RemoteShardExecutor([crasher.address, survivor.address])
+        started = perf_counter()
+        recovered = _sweep(workload, queries, executor)
+        recovery_seconds = perf_counter() - started
+        assert canonical_answers(recovered) == expected
+        assert executor.worker_health(crasher.address).state == "open"
+        assert executor.stats.breaker_opens >= 1
+    finally:
+        crasher.stop()
+        survivor.stop()
 
     started = perf_counter()
     serial = _sweep(workload, queries, SerialExecutor())
@@ -199,4 +278,11 @@ def test_distributed_byte_identity_and_overhead():
         assert remote_seconds <= 25.0 * max(serial_seconds, 0.01), (
             f"warm remote sweep ({remote_seconds:.3f}s) is far outside the "
             f"expected envelope of serial ({serial_seconds:.3f}s)"
+        )
+        # A crash is an EOF, detected immediately — recovery costs one
+        # re-run unit plus breaker bookkeeping, not a timeout wait.
+        assert recovery_seconds <= 10.0 * max(cold_seconds, 0.05), (
+            f"crash-recovery sweep ({recovery_seconds:.3f}s) is far outside "
+            f"the expected envelope of the healthy cold sweep "
+            f"({cold_seconds:.3f}s) — recovery is stalling, not re-running"
         )

@@ -32,7 +32,8 @@ Subcommands
     checkpoint back to the directory.  ``--replicas N`` serves through
     a :class:`~repro.matching.replication.ReplicaGroup` (N replicas
     behind a replicated delta log); ``--remote-workers host:port,...``
-    fans shard units out to socket workers.
+    fans shard units out to socket workers; ``--status`` prints a
+    per-wave operator health line (replica lag, worker breakers).
 ``worker``
     Run one socket shard worker
     (:class:`~repro.matching.remote.WorkerServer`) until interrupted;
@@ -235,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated socket worker addresses (host:port,...) to "
         "fan shard units out to, e.g. started with 'repro worker'",
     )
+    serve.add_argument(
+        "--status",
+        action="store_true",
+        help="print one operator status line after every wave: replica "
+        "serving/lagging state and, with --remote-workers, each worker's "
+        "circuit-breaker state (see docs/distributed.md)",
+    )
 
     worker = sub.add_parser(
         "worker", help="run one socket shard worker (see docs/distributed.md)"
@@ -257,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="work units this worker executes concurrently (private "
         "state slots; default: 1 = serial)",
+    )
+    worker.add_argument(
+        "--op-timeout",
+        type=float,
+        default=None,
+        help="seconds of mid-conversation silence before a hung peer's "
+        "connection is dropped (default: unbounded; idle waits for a "
+        "first byte are never bounded)",
     )
 
     save = sub.add_parser(
@@ -629,6 +645,8 @@ def _cmd_serve(args: argparse.Namespace, config: WorkloadConfig | None) -> int:
                                 f"query {query.schema_id!r}"
                             )
                 verified = "identical"
+            if args.status:
+                print(f"[{label}] {front.status()}")
             return (
                 label,
                 len(requests),
@@ -688,7 +706,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.matching.remote import WorkerServer
 
     server = WorkerServer(
-        args.host, args.port, parallel_units=args.parallel_units
+        args.host,
+        args.port,
+        parallel_units=args.parallel_units,
+        op_timeout=args.op_timeout,
     )
     host, port = server.address
     suffix = (

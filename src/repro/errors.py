@@ -59,9 +59,14 @@ class TransportError(ReproError):
     streams (EOF mid-frame), frames whose payload bytes do not hash to
     the digest in their header (tampering, bit rot, a desynchronised
     stream), oversized or foreign frames, protocol-version mismatches,
-    and workers that died with units still outstanding.  The transport
-    **never** degrades a damaged frame into an answer: a served result
-    either round-tripped digest-verified or this error is raised.
+    and workers that died with units still outstanding.  Liveness
+    failures surface here too: a remote op that exceeds its
+    :class:`~repro.matching.remote.DeadlineBudget` deadline (the hung
+    peer is treated as crashed), and a fan-out whose every worker sits
+    behind an open circuit breaker (every address failed recently and
+    is still cooling down).  The transport **never** degrades a damaged
+    frame into an answer: a served result either round-tripped
+    digest-verified or this error is raised.
     """
 
 
@@ -71,9 +76,13 @@ class ReplicationError(ReproError):
     Raised by :class:`~repro.matching.replication.ReplicaGroup` when a
     replica falls behind the replicated delta log (a sequence gap means
     its repository version is stale, so serving would break the
-    byte-identity guarantee — it refuses until caught up), when every
-    replica is behind, or when a replica's repository digest diverges
-    from the log's authoritative digest for that sequence.
+    byte-identity guarantee — it refuses until caught up), when a
+    replica is **lagging** — backpressured out of delivery because its
+    bounded queue overflowed ``max_lag``, a delivery raised, or it
+    outlived the group's ``settle_timeout`` (``catch_up()`` is the road
+    back) — when every replica is behind, or when a replica's
+    repository digest diverges from the log's authoritative digest for
+    that sequence.
     """
 
 

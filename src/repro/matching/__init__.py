@@ -74,12 +74,13 @@ Distribution rides on the executor seam (:mod:`repro.matching
 pluggable :class:`~repro.matching.executor.ShardExecutor` — serial,
 the shared persistent process pool, or socket workers on remote nodes
 (:mod:`repro.matching.remote`, length-prefixed digest-verified frames,
-state pulled by digest from the snapshot store).  Replicated serving
-(:mod:`repro.matching.replication`) runs N services behind a
-sequence-numbered replicated delta log with gap/duplicate detection
-and a round-robin front-end — served answers byte-identical across
-replicas and with the single-node path, under fault injection
-(see ``docs/distributed.md``).
+state pulled by digest from the snapshot store, every remote op
+deadline-budgeted and every worker address behind a circuit breaker).
+Replicated serving (:mod:`repro.matching.replication`) runs N services
+behind a sequence-numbered replicated delta log with gap/duplicate
+detection, bounded backpressured delivery queues and a round-robin
+front-end — served answers byte-identical across replicas and with the
+single-node path, under fault injection (see ``docs/distributed.md``).
 """
 
 from repro.matching.base import Matcher
@@ -127,9 +128,16 @@ from repro.matching.registry import (
     matching_service,
     replica_group,
 )
-from repro.matching.remote import RemoteShardExecutor, WorkerServer
+from repro.matching.remote import (
+    DeadlineBudget,
+    ExecutorStats,
+    RemoteShardExecutor,
+    WorkerHealth,
+    WorkerServer,
+)
 from repro.matching.replication import (
     DeltaRecord,
+    GroupStats,
     ReplicaGroup,
     ReplicaGroupStats,
 )
@@ -174,12 +182,15 @@ __all__ = [
     "CandidateCache",
     "ClusteringMatcher",
     "CostKernel",
+    "DeadlineBudget",
     "DeltaRecord",
     "ElementClusterer",
     "EnsembleBackend",
     "EvolutionSession",
     "ExecutionState",
+    "ExecutorStats",
     "ExhaustiveMatcher",
+    "GroupStats",
     "HashedVectorBackend",
     "HybridMatcher",
     "LexicalBackend",
@@ -210,6 +221,7 @@ __all__ = [
     "TokenIndex",
     "TopKCandidateMatcher",
     "WorkUnit",
+    "WorkerHealth",
     "WorkerServer",
     "ancestry_violations",
     "available_matchers",

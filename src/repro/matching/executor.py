@@ -209,6 +209,16 @@ class ShardExecutor(abc.ABC):
     def shutdown(self) -> None:
         """Release held resources (idempotent); default holds none."""
 
+    def status(self) -> str:
+        """One operator status line for this transport.
+
+        In-process transports have no health to report; the remote
+        executor overrides this with per-worker breaker states and its
+        deadline/breaker counters (see
+        :meth:`repro.matching.remote.RemoteShardExecutor.status`).
+        """
+        return f"executor {self.name}: ok"
+
 
 class SerialExecutor(ShardExecutor):
     """Run units in the calling process, in submission order.

@@ -51,6 +51,20 @@ keeping that many private state *slots* (eagerly cloned at install
 time); a reinstall waits for in-flight units to drain before flipping
 the process-wide A/B switches, so no unit ever runs under mixed
 switches.
+
+Liveness: every remote op runs under a per-op deadline from the
+coordinator's :class:`DeadlineBudget` — a hung socket can delay a sweep
+by at most one deadline, never hang it — and the coordinator keeps a
+per-address :class:`WorkerHealth` circuit breaker: a failing worker's
+breaker **opens** (the fan-out skips the address instead of re-dialing
+it every sweep), cools down under exponential backoff with jitter,
+**half-opens** to probe once the cooldown elapses, and closes again on
+success.  When every configured address sits behind an open breaker,
+:meth:`RemoteShardExecutor.execute` refuses loudly rather than dialing
+into a known-dead cluster.  None of this touches the byte-identity
+contract: an expired deadline is handled exactly like a crashed worker
+(the unit is re-enqueued for a healthy peer, or the sweep raises
+:class:`~repro.errors.TransportError`).
 """
 
 from __future__ import annotations
@@ -58,9 +72,11 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import pickle
+import random
 import socket
 import struct
 import threading
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -84,7 +100,10 @@ __all__ = [
     "MAGIC",
     "MAX_FRAME",
     "PROTOCOL_VERSION",
+    "DeadlineBudget",
+    "ExecutorStats",
     "RemoteShardExecutor",
+    "WorkerHealth",
     "WorkerServer",
     "WorkerStats",
     "async_recv_message",
@@ -148,7 +167,12 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
 CLOSED = object()
 
 
-def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> object:
+def recv_message(
+    sock: socket.socket,
+    *,
+    eof_ok: bool = False,
+    mid_frame_timeout: float | None = None,
+) -> object:
     """Receive one frame; verify its digest; unpickle the payload.
 
     A connection that closes cleanly *between* frames returns
@@ -156,9 +180,18 @@ def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> object:
     and raises :class:`TransportError` otherwise (a coordinator mid-
     conversation).  *Any* other irregularity — EOF mid-frame, foreign
     magic, oversized length, payload bytes that do not hash to the
-    header digest — raises :class:`TransportError`.
+    header digest, a digest-valid payload that does not unpickle —
+    raises :class:`TransportError`.
+
+    ``mid_frame_timeout`` bounds how long a peer may stall **inside** a
+    frame: the wait for a frame's *first* byte stays unbounded (an idle
+    coordinator between sweeps is healthy), but once a frame has
+    started, every further byte must arrive within the timeout or the
+    peer is treated as hung and the read fails loudly.
     """
     try:
+        if mid_frame_timeout is not None:
+            sock.settimeout(None)  # idle between frames may wait forever
         first = sock.recv(1)
     except OSError as exc:
         raise TransportError(f"receive failed: {exc}") from exc
@@ -166,6 +199,14 @@ def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> object:
         if eof_ok:
             return CLOSED
         raise TransportError("connection closed before a frame arrived")
+    if mid_frame_timeout is not None:
+        # a started frame must keep flowing: a peer that goes silent
+        # mid-frame must not pin this reader (or block a server's
+        # stop()) forever
+        try:
+            sock.settimeout(mid_frame_timeout)
+        except OSError as exc:
+            raise TransportError(f"receive failed: {exc}") from exc
     header = first + _recv_exact(sock, _HEADER.size - 1)
     magic, length, digest = _HEADER.unpack(header)
     if magic != MAGIC:
@@ -182,14 +223,40 @@ def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> object:
             "frame payload does not hash to its header digest "
             "(tampered, corrupted, or desynchronised stream)"
         )
-    return pickle.loads(payload)
+    return _loads(payload)
+
+
+def _loads(payload: bytes) -> object:
+    """Unpickle a digest-verified payload; refuse garbage loudly.
+
+    A digest only proves the bytes arrived as sent — a peer can still
+    *send* bytes that are not a pickle at all, and that must surface as
+    a :class:`TransportError`, not as an :class:`pickle.UnpicklingError`
+    escaping the protocol layer.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise TransportError(
+            "frame payload passed its digest check but is not a valid "
+            f"message ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
     """``"host:port"`` or ``(host, port)`` → ``(host, port)``."""
     if isinstance(address, tuple):
+        if len(address) != 2:
+            raise TransportError(
+                f"worker address {address!r} is not a (host, port) pair"
+            )
         host, port = address
-        return host, int(port)
+        try:
+            return host, int(port)
+        except (TypeError, ValueError) as exc:
+            raise TransportError(
+                f"worker address {address!r} has a non-numeric port"
+            ) from exc
     host, sep, port = address.rpartition(":")
     if not sep or not host:
         raise TransportError(
@@ -264,7 +331,7 @@ async def async_recv_message(reader: asyncio.StreamReader) -> object:
             "frame payload does not hash to its header digest "
             "(tampered, corrupted, or desynchronised stream)"
         )
-    return pickle.loads(payload)
+    return _loads(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -304,6 +371,15 @@ class WorkerServer:
     under the old switches, later ``run`` ops of the old key are
     refused loudly.
 
+    ``op_timeout`` bounds how long one peer may stall the connection
+    **mid-conversation**: a frame that started must finish arriving —
+    and a reply must be accepted — within that many seconds, or the
+    connection is dropped as hung.  Idle coordinators waiting *between*
+    frames are never timed out, so the default ``None`` and any finite
+    value are both safe for long-lived coordinator connections; a
+    finite value additionally guarantees a peer that sends half a frame
+    and goes silent cannot pin a handler thread.
+
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  :meth:`start` serves on a background thread (tests),
     :meth:`serve_forever` blocks (the ``repro worker`` CLI);
@@ -317,11 +393,17 @@ class WorkerServer:
         port: int = 0,
         *,
         parallel_units: int = 1,
+        op_timeout: float | None = None,
     ):
         if parallel_units < 1:
             raise TransportError(
                 f"parallel_units must be >= 1, got {parallel_units!r}"
             )
+        if op_timeout is not None and op_timeout <= 0:
+            raise TransportError(
+                f"op_timeout must be positive (or None), got {op_timeout!r}"
+            )
+        self.op_timeout = op_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -416,7 +498,12 @@ class WorkerServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             while True:
-                message = recv_message(conn, eof_ok=True)
+                # the mid-frame timeout is left armed on the socket for
+                # the reply send below: a peer that stops *reading* is
+                # as hung as one that stops writing
+                message = recv_message(
+                    conn, eof_ok=True, mid_frame_timeout=self.op_timeout
+                )
                 if message is CLOSED:
                     return
                 try:
@@ -581,6 +668,88 @@ class WorkerServer:
 # Coordinator-side executor
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """Per-op timeouts (seconds) for every remote operation of a sweep.
+
+    Each field bounds one protocol op end to end (request sent, reply
+    received).  ``None`` disables that bound; a positive float makes a
+    hung socket indistinguishable from a crashed worker after that many
+    seconds — the op raises :class:`~repro.errors.TransportError`, the
+    unit is re-enqueued for a healthy peer, and the byte-identity
+    contract is untouched.  The defaults are far above any healthy op's
+    latency, so they never fire in normal operation but still bound
+    every sweep.
+    """
+
+    #: establishing the TCP connection
+    connect: float | None = 10.0
+    #: the hello/ready version handshake
+    hello: float | None = 10.0
+    #: state install (may ship or pull a large payload)
+    install: float | None = 120.0
+    #: one work unit (request sent → result received)
+    run: float | None = 120.0
+
+    def __post_init__(self) -> None:
+        for op in ("connect", "hello", "install", "run"):
+            value = getattr(self, op)
+            if value is not None and value <= 0:
+                raise TransportError(
+                    f"deadline for {op!r} must be positive (or None), "
+                    f"got {value!r}"
+                )
+
+
+@dataclass
+class WorkerHealth:
+    """One worker address's circuit-breaker record on the coordinator.
+
+    ``state`` is the classic three-state breaker: ``"closed"`` (dialed
+    normally), ``"open"`` (skipped by the fan-out until ``open_until``),
+    ``"half-open"`` (cooldown elapsed; the next sweep admits the address
+    once as a probe — success closes the breaker, failure re-opens it
+    with a doubled cooldown).  ``dials`` counts actual connection
+    attempts, so a test can assert a dead address is *not* re-dialed
+    while its breaker is open.
+    """
+
+    address: tuple[str, int]
+    state: str = "closed"
+    consecutive_failures: int = 0
+    dials: int = 0
+    successes: int = 0
+    failures: int = 0
+    #: ``time.monotonic()`` of the most recent recorded failure
+    last_failure: float | None = None
+    #: ``time.monotonic()`` until which an open breaker skips dials
+    open_until: float = 0.0
+
+
+@dataclass
+class ExecutorStats:
+    """Counters of one :class:`RemoteShardExecutor`'s lifetime."""
+
+    #: sweeps started by :meth:`RemoteShardExecutor.execute`
+    sweeps: int = 0
+    #: work units completed across all sweeps
+    units: int = 0
+    #: remote ops that exceeded their :class:`DeadlineBudget` deadline
+    deadline_expiries: int = 0
+    #: breaker transitions closed/half-open → open
+    breaker_opens: int = 0
+    #: breaker transitions open/half-open → closed
+    breaker_closes: int = 0
+    #: addresses skipped by a sweep because their breaker was open
+    breaker_skips: int = 0
+    #: open breakers re-admitted half-open after their cooldown
+    half_open_probes: int = 0
+    #: sweeps refused outright because every breaker was open
+    all_open_refusals: int = 0
+    #: explicit :meth:`RemoteShardExecutor.probe` health checks
+    probes: int = 0
+
+
 class RemoteShardExecutor(ShardExecutor):
     """Fan work units out to socket workers; retry on healthy peers.
 
@@ -602,6 +771,26 @@ class RemoteShardExecutor(ShardExecutor):
     at every :meth:`execute`, so membership can change between sweeps
     (workers killed, restarted, or added) without rebuilding the
     executor.
+
+    Every remote op runs under a per-op deadline from ``deadlines`` (a
+    :class:`DeadlineBudget`; the default budget adopts
+    ``connect_timeout`` for its connect bound), so a hung peer is
+    reclassified as a crashed one after at most one deadline.  The
+    executor also keeps a per-address :class:`WorkerHealth` circuit
+    breaker: a failure opens the address's breaker for
+    ``breaker_backoff * 2**(consecutive failures - 1)`` seconds (capped
+    at ``breaker_backoff_cap``, stretched by up to ``breaker_jitter``
+    of random jitter so a fleet of coordinators does not re-dial in
+    lockstep), sweeps skip open breakers instead of re-dialing the dead
+    address, an elapsed cooldown admits the address half-open as a
+    probe, and a success closes the breaker.  A sweep finding *every*
+    address behind an open breaker raises
+    :class:`~repro.errors.TransportError` immediately; :meth:`probe` is
+    the operator's (and the soak barrier's) explicit blocking health
+    check that can close a breaker without waiting out its cooldown.
+    Health state and counters are exposed as :meth:`worker_health`,
+    :attr:`stats` (an :class:`ExecutorStats`) and the one-line
+    :meth:`status`.
     """
 
     name = "remote"
@@ -612,9 +801,27 @@ class RemoteShardExecutor(ShardExecutor):
         *,
         store: SnapshotStore | str | Path | None = None,
         connect_timeout: float = 10.0,
+        deadlines: DeadlineBudget | None = None,
+        breaker_backoff: float = 0.5,
+        breaker_backoff_cap: float = 30.0,
+        breaker_jitter: float = 0.25,
+        rng: random.Random | None = None,
     ):
         if not addresses:
             raise TransportError("RemoteShardExecutor needs >= 1 worker address")
+        if breaker_backoff <= 0:
+            raise TransportError(
+                f"breaker_backoff must be positive, got {breaker_backoff!r}"
+            )
+        if breaker_backoff_cap < breaker_backoff:
+            raise TransportError(
+                f"breaker_backoff_cap ({breaker_backoff_cap!r}) must be >= "
+                f"breaker_backoff ({breaker_backoff!r})"
+            )
+        if breaker_jitter < 0:
+            raise TransportError(
+                f"breaker_jitter must be >= 0, got {breaker_jitter!r}"
+            )
         self.addresses = [parse_address(address) for address in addresses]
         self.store = (
             store
@@ -622,6 +829,136 @@ class RemoteShardExecutor(ShardExecutor):
             else SnapshotStore(store)
         )
         self.connect_timeout = connect_timeout
+        self.deadlines = (
+            deadlines
+            if deadlines is not None
+            else DeadlineBudget(connect=connect_timeout)
+        )
+        self.breaker_backoff = breaker_backoff
+        self.breaker_backoff_cap = breaker_backoff_cap
+        self.breaker_jitter = breaker_jitter
+        self.stats = ExecutorStats()
+        self._rng = rng if rng is not None else random.Random()
+        # one executor may be shared across replica services sweeping
+        # concurrently on different fan-out threads — health and stats
+        # mutations stay behind one lock
+        self._health_lock = threading.Lock()
+        self._health: dict[tuple[str, int], WorkerHealth] = {}
+
+    # -- worker health / circuit breakers ------------------------------------
+
+    def worker_health(self, address: "str | tuple[str, int]") -> WorkerHealth:
+        """The (live, mutable) health record for one worker address."""
+        parsed = parse_address(address)
+        with self._health_lock:
+            return self._health_for(parsed)
+
+    def _health_for(self, address: tuple[str, int]) -> WorkerHealth:
+        # callers hold self._health_lock
+        health = self._health.get(address)
+        if health is None:
+            health = self._health[address] = WorkerHealth(address)
+        return health
+
+    def _admit(
+        self, addresses: list[tuple[str, int]]
+    ) -> tuple[list[tuple[str, int]], list[tuple[str, int]]]:
+        """Partition a sweep's addresses into (dialable, breaker-skipped).
+
+        Open breakers whose cooldown has elapsed transition to
+        half-open and are admitted as probes; open breakers still
+        cooling down are skipped — the sweep never re-dials them.
+        """
+        usable: list[tuple[str, int]] = []
+        skipped: list[tuple[str, int]] = []
+        now = time.monotonic()
+        with self._health_lock:
+            for address in addresses:
+                health = self._health_for(address)
+                if health.state == "open":
+                    if now < health.open_until:
+                        skipped.append(address)
+                        self.stats.breaker_skips += 1
+                        continue
+                    health.state = "half-open"
+                    self.stats.half_open_probes += 1
+                usable.append(address)
+        return usable, skipped
+
+    def _record_failure(self, address: tuple[str, int]) -> None:
+        with self._health_lock:
+            health = self._health_for(address)
+            health.consecutive_failures += 1
+            health.failures += 1
+            health.last_failure = time.monotonic()
+            if health.state != "open":
+                self.stats.breaker_opens += 1
+            cooldown = min(
+                self.breaker_backoff_cap,
+                self.breaker_backoff
+                * (2 ** (health.consecutive_failures - 1)),
+            )
+            cooldown *= 1.0 + self.breaker_jitter * self._rng.random()
+            health.state = "open"
+            health.open_until = health.last_failure + cooldown
+
+    def _record_success(self, address: tuple[str, int]) -> None:
+        with self._health_lock:
+            health = self._health_for(address)
+            if health.state != "closed":
+                self.stats.breaker_closes += 1
+            health.state = "closed"
+            health.consecutive_failures = 0
+            health.successes += 1
+            health.open_until = 0.0
+
+    def probe(self, address: "str | tuple[str, int]") -> bool:
+        """One blocking hello round trip, recorded in the breaker.
+
+        The explicit health check: a success closes the address's
+        breaker immediately (no cooldown wait), a failure (re-)opens
+        it.  Returns whether the worker answered the handshake.
+        """
+        parsed = parse_address(address)
+        with self._health_lock:
+            self.stats.probes += 1
+            self._health_for(parsed).dials += 1
+        try:
+            sock = socket.create_connection(
+                parsed, timeout=self.deadlines.connect
+            )
+        except OSError:
+            self._record_failure(parsed)
+            return False
+        try:
+            sock.settimeout(self.deadlines.hello)
+            send_message(sock, {"op": "hello", "version": PROTOCOL_VERSION})
+            self._check_reply(parsed, recv_message(sock), "ready")
+        except (TransportError, OSError):
+            self._record_failure(parsed)
+            return False
+        finally:
+            sock.close()
+        self._record_success(parsed)
+        return True
+
+    def status(self) -> str:
+        """One operator line: per-address breaker states + counters."""
+        with self._health_lock:
+            states = ", ".join(
+                f"{address[0]}:{address[1]}="
+                f"{self._health_for(address).state}"
+                for address in self.addresses
+            )
+            s = self.stats
+            return (
+                f"executor remote: workers [{states}] | "
+                f"{s.sweeps} sweeps, {s.units} units, "
+                f"{s.deadline_expiries} deadline expiries, "
+                f"{s.breaker_opens} breaker opens, "
+                f"{s.breaker_skips} skips, "
+                f"{s.all_open_refusals} all-open refusals"
+            )
 
     # -- install payloads ----------------------------------------------------
 
@@ -693,8 +1030,20 @@ class RemoteShardExecutor(ShardExecutor):
         units = list(units)
         if not units:
             return
+        addresses, skipped = self._admit(list(self.addresses))
+        if not addresses:
+            with self._health_lock:
+                self.stats.all_open_refusals += 1
+            raise TransportError(
+                f"all {len(skipped)} worker breaker(s) are open "
+                f"({', '.join(f'{h}:{p}' for h, p in skipped)}); every "
+                "configured worker failed recently — wait out the "
+                "cooldown, probe() a recovered worker, or fix the "
+                "addresses"
+            )
         install = self._install_message(state)
-        addresses = list(self.addresses)
+        with self._health_lock:
+            self.stats.sweeps += 1
         events: Queue = Queue()
         abandoned = threading.Event()
         thread = threading.Thread(
@@ -712,6 +1061,8 @@ class RemoteShardExecutor(ShardExecutor):
                 if kind == "ok":
                     unit, pairs = payload
                     completed += 1
+                    with self._health_lock:
+                        self.stats.units += 1
                     yield unit, pairs
                 else:
                     raise payload[0]
@@ -734,6 +1085,20 @@ class RemoteShardExecutor(ShardExecutor):
         except BaseException as exc:  # pragma: no cover - loop-level safety net
             events.put(("fatal", TransportError(f"fan-out loop failed: {exc}")))
 
+    async def _op(self, coroutine, timeout, address, op):
+        """Await one remote op under its deadline; expiry = crashed peer."""
+        if timeout is None:
+            return await coroutine
+        try:
+            return await asyncio.wait_for(coroutine, timeout)
+        except asyncio.TimeoutError:
+            with self._health_lock:
+                self.stats.deadline_expiries += 1
+            raise TransportError(
+                f"{op} to worker {address[0]}:{address[1]} exceeded its "
+                f"{timeout}s deadline (hung peer treated as crashed)"
+            ) from None
+
     async def _fanout(
         self, addresses, install, state_key, units, delta_max, events,
         abandoned,
@@ -745,20 +1110,53 @@ class RemoteShardExecutor(ShardExecutor):
         the consumer abandoned the sweep.  Exactly one terminal event
         reaches the consumer: per-unit ``("ok", ...)`` results and, if
         units remain with no workers left, one ``("fatal", ...)``.
+        Every remote op runs under its :class:`DeadlineBudget` bound,
+        and abandonment cancels the worker coroutines outright, so the
+        loop's lifetime is bounded even against hung peers.
         """
         unit_queue: asyncio.Queue = asyncio.Queue()
         for unit in units:
             unit_queue.put_nowait(unit)
         progress = {"remaining": len(units)}
         errors: list[Exception] = []
+        budget = self.deadlines
+
+        async def handshake(reader, writer, address):
+            await async_send_message(
+                writer, {"op": "hello", "version": PROTOCOL_VERSION}
+            )
+            self._check_reply(
+                address, await async_recv_message(reader), "ready"
+            )
+
+        async def install_state(reader, writer, address):
+            await async_send_message(writer, install)
+            self._check_reply(
+                address, await async_recv_message(reader), "installed"
+            )
+
+        async def run_unit(reader, writer, address, unit):
+            await async_send_message(writer, {
+                "op": "run",
+                "state_key": state_key,
+                "query_index": unit.query_index,
+                "schema_ids": unit.schema_ids,
+                "delta_max": delta_max,
+            })
+            return self._check_reply(
+                address, await async_recv_message(reader), "result"
+            )
 
         async def run_worker(address: tuple[str, int]) -> None:
+            with self._health_lock:
+                self._health_for(address).dials += 1
             try:
-                reader, writer = await asyncio.wait_for(
+                reader, writer = await self._op(
                     asyncio.open_connection(address[0], address[1]),
-                    self.connect_timeout,
+                    budget.connect, address, "connect",
                 )
-            except (OSError, asyncio.TimeoutError) as exc:
+            except (TransportError, OSError) as exc:
+                self._record_failure(address)
                 errors.append(TransportError(
                     f"cannot connect to worker {address[0]}:{address[1]}: "
                     f"{exc}"
@@ -771,16 +1169,17 @@ class RemoteShardExecutor(ShardExecutor):
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             unit = None
             try:
-                await async_send_message(
-                    writer, {"op": "hello", "version": PROTOCOL_VERSION}
+                await self._op(
+                    handshake(reader, writer, address),
+                    budget.hello, address, "hello",
                 )
-                self._check_reply(
-                    address, await async_recv_message(reader), "ready"
+                await self._op(
+                    install_state(reader, writer, address),
+                    budget.install, address, "install",
                 )
-                await async_send_message(writer, install)
-                self._check_reply(
-                    address, await async_recv_message(reader), "installed"
-                )
+                # connect + handshake + install round-tripped: the
+                # worker is provably healthy — close a half-open breaker
+                self._record_success(address)
                 while progress["remaining"] and not abandoned.is_set():
                     try:
                         unit = unit_queue.get_nowait()
@@ -788,15 +1187,9 @@ class RemoteShardExecutor(ShardExecutor):
                         # stay subscribed: a dying peer may re-enqueue
                         await asyncio.sleep(0.01)
                         continue
-                    await async_send_message(writer, {
-                        "op": "run",
-                        "state_key": state_key,
-                        "query_index": unit.query_index,
-                        "schema_ids": unit.schema_ids,
-                        "delta_max": delta_max,
-                    })
-                    reply = self._check_reply(
-                        address, await async_recv_message(reader), "result"
+                    reply = await self._op(
+                        run_unit(reader, writer, address, unit),
+                        budget.run, address, "run",
                     )
                     progress["remaining"] -= 1
                     events.put(("ok", unit, reply["pairs"]))
@@ -806,6 +1199,7 @@ class RemoteShardExecutor(ShardExecutor):
                 # a healthy peer, record the death, bow out.
                 if unit is not None:
                     unit_queue.put_nowait(unit)
+                self._record_failure(address)
                 errors.append(exc)
             finally:
                 writer.close()
@@ -814,7 +1208,29 @@ class RemoteShardExecutor(ShardExecutor):
                 except OSError:
                     pass
 
-        await asyncio.gather(*(run_worker(address) for address in addresses))
+        tasks = [
+            asyncio.ensure_future(run_worker(address))
+            for address in addresses
+        ]
+
+        async def watchdog() -> None:
+            # an abandoned sweep must not keep coroutines talking to
+            # workers behind the consumer's back — even coroutines
+            # currently awaiting a (deadline-bounded) op
+            while not all(task.done() for task in tasks):
+                if abandoned.is_set():
+                    for task in tasks:
+                        task.cancel()
+                    return
+                await asyncio.sleep(0.05)
+
+        watch = asyncio.ensure_future(watchdog())
+        await asyncio.gather(*tasks, return_exceptions=True)
+        watch.cancel()
+        try:
+            await watch
+        except asyncio.CancelledError:
+            pass
         if progress["remaining"] and not abandoned.is_set():
             events.put(("fatal", TransportError(
                 f"all {len(addresses)} remote workers are gone with "

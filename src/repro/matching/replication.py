@@ -9,7 +9,19 @@ behind a round-robin front-end, and keeps them consistent through a
 * :meth:`apply_delta` applies the delta to the group's *authoritative*
   repository first, appends a :class:`DeltaRecord` (1-based, contiguous
   sequence numbers) with the resulting repository content digest, and
-  delivers the record to every replica;
+  hands the record to every replica's **bounded delivery queue** — a
+  per-replica drain worker applies queued records concurrently across
+  replicas, and ``apply_delta`` waits (bounded by ``settle_timeout``)
+  for the queues to drain, so on the fast path every live replica has
+  applied the record when it returns, exactly as before;
+* **backpressure instead of blocking**: a replica whose queue already
+  holds ``max_lag`` undelivered records — or whose delivery raised, or
+  whose drain outlived ``settle_timeout`` — is marked **lagging**: the
+  log keeps advancing (the authoritative repository never waits on a
+  slow replica), further deliveries to that replica are skipped, and
+  the front-end skips it exactly as it skips a stale replica;
+  :meth:`catch_up` replays the missed records and returns it to
+  serving;
 * :meth:`receive` is each replica's delivery endpoint, with full
   gap/duplicate discipline: a record already applied (``sequence <=
   applied``) is **ignored** (delivery may duplicate), a record from the
@@ -17,11 +29,12 @@ behind a round-robin front-end, and keeps them consistent through a
   reorder or delay) and the replica is *stale* until the gap closes —
   buffered records drain automatically the moment the missing sequence
   arrives;
-* a **stale replica refuses to serve** (:meth:`match_on` raises
-  :class:`~repro.errors.ReplicationError`; the round-robin front-end
-  simply skips it) because serving from an old repository version would
-  break the group's acceptance property — *byte-identity of served
-  answers across replicas and with the single-node offline path*;
+* a **stale or lagging replica refuses to serve** (:meth:`match_on`
+  raises :class:`~repro.errors.ReplicationError`; the round-robin
+  front-end simply skips it) because serving from an old repository
+  version would break the group's acceptance property — *byte-identity
+  of served answers across replicas and with the single-node offline
+  path*;
 * after every replica-side apply, the replica's repository digest is
   compared to the log's authoritative digest for that sequence — any
   divergence (a corrupted delivery, non-deterministic apply) raises
@@ -40,6 +53,7 @@ similarity substrate across replicas would race.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
@@ -57,7 +71,7 @@ from repro.schema.store import SnapshotStore
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.matching.executor import ShardExecutor
 
-__all__ = ["DeltaRecord", "ReplicaGroup", "ReplicaGroupStats"]
+__all__ = ["DeltaRecord", "GroupStats", "ReplicaGroup", "ReplicaGroupStats"]
 
 #: delivery hook: ``(group, replica_index, record)`` → awaitable.  The
 #: default awaits ``group.receive(replica_index, record)`` immediately.
@@ -94,6 +108,49 @@ class ReplicaGroupStats:
     joins: int = 0
     #: replicas removed at runtime (:meth:`ReplicaGroup.leave`)
     leaves: int = 0
+    #: deliveries skipped because the target replica was lagging
+    deliveries_skipped: int = 0
+    #: replicas marked lagging (queue overflow, delivery failure, or
+    #: a delivery outliving ``settle_timeout``)
+    replicas_lagged: int = 0
+    #: delivery-hook invocations that raised
+    delivery_failures: int = 0
+    #: ``apply_delta`` settles that hit ``settle_timeout`` with
+    #: deliveries still in flight
+    settle_timeouts: int = 0
+
+
+#: the name the graceful-degradation surface exposes these under
+GroupStats = ReplicaGroupStats
+
+
+@dataclass
+class _ReplicaState:
+    """Everything the group tracks per replica, in one object.
+
+    Drain workers hold the *object*, never an index: replica indices
+    shift on :meth:`ReplicaGroup.leave`, so anything long-lived resolves
+    its current index (via ``list.index``) only at the moment it needs
+    one — or discovers it has been removed and stands down.
+    """
+
+    service: MatchingService
+    #: highest contiguously applied log sequence
+    applied: int = 0
+    #: out-of-order future records, keyed by sequence
+    buffer: dict[int, DeltaRecord] = field(default_factory=dict)
+    #: the bounded delivery queue apply_delta feeds
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    #: records enqueued but not yet delivered (queue depth + in flight)
+    pending: int = 0
+    #: backpressure flag: skipped by delivery and by the front-end
+    lagging: bool = False
+    #: the first unreported delivery failure (raised by the next settle)
+    error: Exception | None = None
+    #: serializes applies onto this replica (drain vs. catch_up races)
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: the drain worker (created at start/join, cancelled at stop/leave)
+    task: asyncio.Task | None = None
 
 
 class ReplicaGroup:
@@ -103,7 +160,12 @@ class ReplicaGroup:
     (fingerprint-checked) but distinct objects over distinct objectives.
     ``store`` warm-starts every replica from the same snapshot when it
     holds one; ``delivery`` overrides how log records reach replicas
-    (fault injection).  The remaining options are forwarded to each
+    (fault injection).  ``max_lag`` bounds each replica's delivery
+    queue — a replica that falls further behind is marked *lagging*
+    (skipped, recoverable via :meth:`catch_up`) instead of blocking the
+    log — and ``settle_timeout`` bounds how long :meth:`apply_delta`
+    waits for deliveries to drain before letting slow replicas lag.
+    The remaining options are forwarded to each
     :class:`~repro.matching.service.MatchingService`.
 
     Usage::
@@ -128,10 +190,18 @@ class ReplicaGroup:
         cache: CandidateCache | bool | None = None,
         executor: "ShardExecutor | None" = None,
         delivery: DeliveryHook | None = None,
+        max_lag: int = 8,
+        settle_timeout: float = 30.0,
     ):
         matchers = list(matchers)
         if not matchers:
             raise ReplicationError("a replica group needs >= 1 matcher")
+        if max_lag < 1:
+            raise ReplicationError(f"max_lag must be >= 1, got {max_lag!r}")
+        if settle_timeout <= 0:
+            raise ReplicationError(
+                f"settle_timeout must be positive, got {settle_timeout!r}"
+            )
         fingerprints = {matcher_fingerprint(m) for m in matchers}
         if len(fingerprints) != 1:
             raise ReplicationError(
@@ -160,30 +230,38 @@ class ReplicaGroup:
             "cache": cache,
             "executor": executor,
         }
-        self.services = [
-            MatchingService(
-                matcher,
-                delta_max,
-                store=self.store,
-                **self._service_options,
+        self._states = [
+            _ReplicaState(
+                MatchingService(
+                    matcher,
+                    delta_max,
+                    store=self.store,
+                    **self._service_options,
+                )
             )
             for matcher in matchers
         ]
         self.delta_max = delta_max
+        self.max_lag = max_lag
+        self.settle_timeout = settle_timeout
         self.log: list[DeltaRecord] = []
         self.stats = ReplicaGroupStats(applied=[0] * len(matchers))
         self._digests: list[str] = []
-        self._applied = [0] * len(matchers)
-        self._buffers: list[dict[int, DeltaRecord]] = [
-            {} for _ in matchers
-        ]
         self._repository: SchemaRepository | None = None
         self._base_repository: SchemaRepository | None = None
         self._next_replica = 0
         self._delivery = delivery if delivery is not None else _deliver_direct
+        #: pulsed by drain workers after every delivery so settle()
+        #: wakes the moment a queue may have emptied
+        self._drained = asyncio.Event()
 
     def __len__(self) -> int:
-        return len(self.services)
+        return len(self._states)
+
+    @property
+    def services(self) -> list[MatchingService]:
+        """The live replica services, in index order."""
+        return [state.service for state in self._states]
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -196,10 +274,11 @@ class ReplicaGroup:
         first request on.
         """
         warm = self.store is not None and self.store.exists()
-        for service in self.services:
-            await service.start(None if warm else repository)
+        for state in self._states:
+            await state.service.start(None if warm else repository)
         digests = {
-            service.repository.content_digest() for service in self.services
+            state.service.repository.content_digest()
+            for state in self._states
         }
         if len(digests) != 1:
             await self.stop()
@@ -207,22 +286,36 @@ class ReplicaGroup:
                 f"replicas started on {len(digests)} distinct repository "
                 "versions; a group must start converged"
             )
-        self._repository = self.services[0].repository
+        self._repository = self._states[0].service.repository
         # The log is empty at start, so the started version is the base
         # every later join() cold-starts from before replaying the log.
         self._base_repository = self._repository
+        loop = asyncio.get_running_loop()
+        for state in self._states:
+            if state.task is None:
+                state.task = loop.create_task(self._drain(state))
 
     async def stop(self) -> None:
-        """Stop every replica (idempotent per service)."""
-        for service in self.services:
-            if service.started:
-                await service.stop()
+        """Stop every replica and drain worker (idempotent per service)."""
+        for state in self._states:
+            if state.task is not None:
+                state.task.cancel()
+        for state in self._states:
+            if state.task is not None:
+                try:
+                    await state.task
+                except asyncio.CancelledError:
+                    pass
+                state.task = None
+        for state in self._states:
+            if state.service.started:
+                await state.service.stop()
 
     async def checkpoint(self) -> SnapshotStore:
         """Write one snapshot from replica 0 (replicas are identical)."""
         if self.store is None:
             raise MatchingError("replica group has no snapshot store")
-        return await self.services[0].checkpoint()
+        return await self._states[0].service.checkpoint()
 
     # -- runtime membership ---------------------------------------------------
 
@@ -243,7 +336,7 @@ class ReplicaGroup:
         if self._base_repository is None:
             raise MatchingError("replica group not started; call start()")
         if matcher_fingerprint(matcher) != matcher_fingerprint(
-            self.services[0].matcher
+            self._states[0].service.matcher
         ):
             raise ReplicationError(
                 "joining matcher is configured differently from the group's "
@@ -251,8 +344,8 @@ class ReplicaGroup:
                 "their answers cannot be byte-identical"
             )
         if any(
-            matcher.objective is service.matcher.objective
-            for service in self.services
+            matcher.objective is state.service.matcher.objective
+            for state in self._states
         ):
             raise ReplicationError(
                 "joining matcher shares an objective object with a live "
@@ -266,12 +359,14 @@ class ReplicaGroup:
             **self._service_options,
         )
         await service.start(self._base_repository)
-        self.services.append(service)
-        self._applied.append(0)
-        self._buffers.append({})
+        state = _ReplicaState(service)
+        self._states.append(state)
         self.stats.applied.append(0)
         self.stats.joins += 1
-        index = len(self.services) - 1
+        state.task = asyncio.get_running_loop().create_task(
+            self._drain(state)
+        )
+        index = len(self._states) - 1
         await self.catch_up(index)
         return index
 
@@ -288,24 +383,29 @@ class ReplicaGroup:
         address the current membership).  The returned (stopped)
         service is handed back for inspection.
         """
-        if not 0 <= index < len(self.services):
+        if not 0 <= index < len(self._states):
             raise ReplicationError(
                 f"no replica at index {index} "
-                f"(group has {len(self.services)})"
+                f"(group has {len(self._states)})"
             )
-        if len(self.services) == 1:
+        if len(self._states) == 1:
             raise ReplicationError(
                 "cannot remove the last replica; stop() the group instead"
             )
-        service = self.services.pop(index)
-        self._applied.pop(index)
-        self._buffers.pop(index)
+        state = self._states.pop(index)
         self.stats.applied.pop(index)
-        self._next_replica %= len(self.services)
+        self._next_replica %= len(self._states)
         self.stats.leaves += 1
-        if service.started:
-            await service.stop(drain=False)
-        return service
+        if state.task is not None:
+            state.task.cancel()
+            try:
+                await state.task
+            except asyncio.CancelledError:
+                pass
+            state.task = None
+        if state.service.started:
+            await state.service.stop(drain=False)
+        return state.service
 
     # -- authoritative state -------------------------------------------------
 
@@ -318,18 +418,56 @@ class ReplicaGroup:
 
     def applied(self, index: int) -> int:
         """How many log records replica ``index`` has applied."""
-        return self._applied[index]
+        return self._states[index].applied
+
+    def lagging(self, index: int) -> bool:
+        """Is replica ``index`` marked lagging (backpressured out)?"""
+        return self._states[index].lagging
+
+    def pending(self, index: int) -> int:
+        """Deliveries enqueued for replica ``index`` but not yet applied."""
+        return self._states[index].pending
 
     def current(self, index: int) -> bool:
-        """Is replica ``index`` caught up with the whole log?"""
+        """Is replica ``index`` caught up with the whole log (and serving)?"""
+        state = self._states[index]
         return (
-            self._applied[index] == len(self.log)
-            and not self._buffers[index]
+            not state.lagging
+            and state.applied == len(self.log)
+            and not state.buffer
         )
 
     def current_replicas(self) -> list[int]:
         """Indices of replicas that may serve right now."""
-        return [i for i in range(len(self.services)) if self.current(i)]
+        return [i for i in range(len(self._states)) if self.current(i)]
+
+    def status(self) -> str:
+        """One operator line: per-replica lag/serving state + the executor's.
+
+        The graceful-degradation surface: what an operator (or
+        ``repro-bounds serve --status``) reads to see which replicas
+        serve, which lag, and how the shard transport's breakers stand.
+        """
+        parts = []
+        for index, state in enumerate(self._states):
+            if state.lagging:
+                phase = "lagging"
+            elif self.current(index):
+                phase = "current"
+            else:
+                phase = "stale"
+            parts.append(
+                f"r{index}={phase} applied {state.applied}/{len(self.log)}"
+                + (f" pending {state.pending}" if state.pending else "")
+            )
+        line = (
+            f"group: {len(self._states)} replicas "
+            f"({len(self.current_replicas())} serving) [{', '.join(parts)}]"
+        )
+        executor = self._service_options.get("executor")
+        if executor is not None:
+            line += " | " + executor.status()
+        return line
 
     # -- the replicated delta log --------------------------------------------
 
@@ -338,9 +476,16 @@ class ReplicaGroup:
 
         The authoritative repository advances first — the log entry
         records the digest every replica must reach at this sequence —
-        then the record goes out through the delivery hook.  With the
-        default hook, every live replica has applied (and digest-
-        checked) the record when this returns.
+        then the record enters each replica's bounded delivery queue
+        and the call waits (at most ``settle_timeout``) for the queues
+        to drain.  On the fast path every live replica has applied (and
+        digest-checked) the record when this returns, exactly as the
+        synchronous delivery did; a replica that is already lagging, or
+        whose queue holds ``max_lag`` undelivered records, is skipped
+        and left for :meth:`catch_up` — the log **never blocks on a
+        slow replica**.  The first delivery failure observed is
+        re-raised here (the log still holds the record; the failed
+        replica is lagging and recoverable).
         """
         new_repository, report = self.repository.apply(delta)
         self._repository = new_repository
@@ -348,9 +493,88 @@ class ReplicaGroup:
         self.log.append(record)
         self._digests.append(new_repository.content_digest())
         self.stats.deltas_logged += 1
-        for index in range(len(self.services)):
-            await self._delivery(self, index, record)
+        for state in self._states:
+            if state.lagging:
+                self.stats.deliveries_skipped += 1
+                continue
+            if state.pending >= self.max_lag:
+                # backpressure: this replica is not keeping up — let it
+                # lag (catch_up() replays from the log) rather than
+                # grow its queue or stall the log
+                state.lagging = True
+                self.stats.replicas_lagged += 1
+                self.stats.deliveries_skipped += 1
+                continue
+            state.pending += 1
+            state.queue.put_nowait(record)
+        await self._settle()
         return report
+
+    async def _drain(self, state: _ReplicaState) -> None:
+        """One replica's delivery worker: queue → delivery hook, forever.
+
+        A delivery that raises marks the replica lagging and parks the
+        error for the next :meth:`apply_delta` settle to re-raise; a
+        lagging replica's queued records are discarded (the log holds
+        them — :meth:`catch_up` is the road back, and re-delivering out
+        of a poisoned queue would just repeat the failure).
+        """
+        while True:
+            record = await state.queue.get()
+            try:
+                if state.lagging:
+                    continue
+                try:
+                    index = self._states.index(state)
+                except ValueError:
+                    return  # replica left the group; stand down
+                try:
+                    await self._delivery(self, index, record)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - parked, re-raised
+                    state.lagging = True
+                    state.error = exc
+                    self.stats.delivery_failures += 1
+                    self.stats.replicas_lagged += 1
+            finally:
+                state.pending -= 1
+                self._drained.set()
+
+    async def _settle(self) -> None:
+        """Wait (bounded) for non-lagging replicas' deliveries to drain.
+
+        Raises the first parked delivery error, if any; on timeout,
+        replicas with deliveries still in flight are marked lagging and
+        the log moves on without them.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.settle_timeout
+        while True:
+            self._drained.clear()
+            error: Exception | None = None
+            busy = False
+            for state in self._states:
+                if state.error is not None and error is None:
+                    error, state.error = state.error, None
+                if not state.lagging and state.pending:
+                    busy = True
+            if error is not None:
+                raise error
+            if not busy:
+                return
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                for state in self._states:
+                    if not state.lagging and state.pending:
+                        state.lagging = True
+                        self.stats.replicas_lagged += 1
+                self.stats.settle_timeouts += 1
+                return
+            try:
+                await asyncio.wait_for(self._drained.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass
 
     async def receive(self, index: int, record: DeltaRecord) -> None:
         """Deliver one log record to replica ``index`` (gap/dup discipline).
@@ -360,54 +584,77 @@ class ReplicaGroup:
         stale, and :meth:`match_on` refuses it, until the missing
         records arrive and the buffer drains in sequence order.
         """
-        if not 0 <= index < len(self.services):
+        if not 0 <= index < len(self._states):
             raise ReplicationError(
                 f"delivery addressed replica {index}, but the group has "
-                f"{len(self.services)} (did the membership change under a "
+                f"{len(self._states)} (did the membership change under a "
                 "held delivery?)"
             )
-        if record.sequence <= self._applied[index]:
+        state = self._states[index]
+        if record.sequence <= state.applied:
             self.stats.duplicates_ignored += 1
             return
-        buffer = self._buffers[index]
-        if record.sequence > self._applied[index] + 1:
-            buffer[record.sequence] = record
+        if record.sequence > state.applied + 1:
+            state.buffer[record.sequence] = record
             self.stats.gaps_buffered += 1
             return
-        await self._apply_record(index, record)
-        while self._applied[index] + 1 in buffer:
+        await self._apply_record(state, record)
+        while state.applied + 1 in state.buffer:
             await self._apply_record(
-                index, buffer.pop(self._applied[index] + 1)
+                state, state.buffer.pop(state.applied + 1)
             )
 
-    async def _apply_record(self, index: int, record: DeltaRecord) -> None:
-        service = self.services[index]
-        await service.apply_delta(record.delta)
-        self._applied[index] = record.sequence
-        self.stats.applied[index] = record.sequence
-        expected = self._digests[record.sequence - 1]
-        actual = service.repository.content_digest()
-        self.stats.digest_checks += 1
-        if actual != expected:
-            raise ReplicationError(
-                f"replica {index} diverged at sequence {record.sequence}: "
-                f"repository digest {actual} != authoritative {expected}"
-            )
+    async def _apply_record(
+        self, state: _ReplicaState, record: DeltaRecord
+    ) -> None:
+        async with state.lock:
+            if record.sequence <= state.applied:
+                # raced with a concurrent path (a queued delivery vs. a
+                # catch_up replay of the same record): the second apply
+                # is the duplicate-delivery case and is ignored
+                self.stats.duplicates_ignored += 1
+                return
+            await state.service.apply_delta(record.delta)
+            state.applied = record.sequence
+            try:
+                self.stats.applied[
+                    self._states.index(state)
+                ] = record.sequence
+            except ValueError:
+                pass  # replica left mid-apply; its stats slot is gone
+            expected = self._digests[record.sequence - 1]
+            actual = state.service.repository.content_digest()
+            self.stats.digest_checks += 1
+            if actual != expected:
+                try:
+                    index = self._states.index(state)
+                except ValueError:
+                    index = -1
+                raise ReplicationError(
+                    f"replica {index} diverged at sequence "
+                    f"{record.sequence}: repository digest {actual} != "
+                    f"authoritative {expected}"
+                )
 
     async def catch_up(self, index: int) -> int:
         """Replay missed log records into replica ``index``; returns count.
 
-        The recovery path after dropped deliveries: everything past the
-        replica's applied position is re-delivered from the
-        authoritative log in order (which also drains its buffer).
+        The recovery path after dropped deliveries *and* after
+        backpressure: everything past the replica's applied position is
+        re-delivered from the authoritative log in order (which also
+        drains its buffer), and a successful replay clears the lagging
+        flag — the replica returns to serving.
         """
+        state = self._states[index]
         replayed = 0
-        while self._applied[index] < len(self.log):
-            record = self.log[self._applied[index]]
-            self._buffers[index].pop(record.sequence, None)
-            await self._apply_record(index, record)
+        while state.applied < len(self.log):
+            record = self.log[state.applied]
+            state.buffer.pop(record.sequence, None)
+            await self._apply_record(state, record)
             replayed += 1
-        self._buffers[index].clear()
+        state.buffer.clear()
+        state.lagging = False
+        state.error = None
         if replayed:
             self.stats.catch_ups += 1
         return replayed
@@ -417,35 +664,39 @@ class ReplicaGroup:
     async def match(self, query: Schema) -> AnswerSet:
         """Serve one query from the next current replica (round-robin).
 
-        Stale replicas are skipped — they would serve answers computed
-        against an old repository version.  When *every* replica is
-        behind the log, the group refuses loudly rather than serve a
-        stale answer.
+        Stale and lagging replicas are skipped — they would serve
+        answers computed against an old repository version.  When
+        *every* replica is behind the log, the group refuses loudly
+        rather than serve a stale answer.
         """
-        count = len(self.services)
+        count = len(self._states)
         for offset in range(count):
             index = (self._next_replica + offset) % count
             if self.current(index):
                 self._next_replica = (index + 1) % count
                 self.stats.served += 1
-                return await self.services[index].match(query)
+                return await self._states[index].service.match(query)
         raise ReplicationError(
             f"every replica is behind the delta log (log at "
-            f"{len(self.log)}, applied: {self._applied}); deliver the "
+            f"{len(self.log)}, applied: "
+            f"{[state.applied for state in self._states]}); deliver the "
             "missing records or call catch_up()"
         )
 
     async def match_on(self, index: int, query: Schema) -> AnswerSet:
-        """Serve from one specific replica; refuses a stale replica."""
+        """Serve from one specific replica; refuses a stale/lagging one."""
         if not self.current(index):
+            state = self._states[index]
             raise ReplicationError(
                 f"replica {index} is behind the delta log (applied "
-                f"{self._applied[index]} of {len(self.log)}, "
-                f"{len(self._buffers[index])} buffered); serving would "
-                "break byte-identity — call catch_up() first"
+                f"{state.applied} of {len(self.log)}, "
+                f"{len(state.buffer)} buffered"
+                + (", lagging" if state.lagging else "")
+                + "); serving would break byte-identity — call catch_up() "
+                "first"
             )
         self.stats.served += 1
-        return await self.services[index].match(query)
+        return await self._states[index].service.match(query)
 
     async def match_all(self, query: Schema) -> list[AnswerSet]:
         """One answer set per replica — the byte-identity verification hook.
@@ -455,7 +706,7 @@ class ReplicaGroup:
         """
         return [
             await self.match_on(index, query)
-            for index in range(len(self.services))
+            for index in range(len(self._states))
         ]
 
 

@@ -176,6 +176,27 @@ class MatchingService:
     def started(self) -> bool:
         return self._task is not None
 
+    def status(self) -> str:
+        """One operator status line: service state + the executor's.
+
+        The single-service face of the graceful-degradation surface
+        (``repro-bounds serve --status``); :meth:`ReplicaGroup.status
+        <repro.matching.replication.ReplicaGroup.status>` is the
+        replicated one.
+        """
+        if not self.started:
+            line = "service: stopped"
+        else:
+            line = (
+                f"service: up, {self.stats.requests} requests, "
+                f"{self.stats.deltas_applied} deltas, "
+                f"{len(self._pending)} pending"
+            )
+        executor = self._pipeline_options.get("executor")
+        if executor is not None:
+            line += " | " + executor.status()
+        return line
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self, repository: SchemaRepository | None = None) -> None:

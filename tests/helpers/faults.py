@@ -9,18 +9,26 @@ Two fault surfaces, one helper each:
   truncated frame), :func:`flip_byte` inverts one byte at a stream
   offset (bit rot, tampering).  Faults are per-direction: ``downstream``
   damages worker→coordinator bytes, ``upstream`` coordinator→worker.
-  The digest framing of :mod:`repro.matching.remote` must turn every
-  one of these into a loud :class:`~repro.errors.TransportError` —
-  never a silently wrong answer.
+  The relay also injects *liveness* faults: ``delay_ms`` sleeps before
+  forwarding every chunk (a slow link — :class:`DelayProxy` is the
+  latency-only spelling), and ``stall_after`` swallows every byte past
+  that per-direction offset while keeping the connection **open** (a
+  hung peer / one-way partition — the fault deadlines must convert
+  into a loud timeout, since no EOF ever arrives).  The digest framing
+  of :mod:`repro.matching.remote` must turn every damage fault into a
+  loud :class:`~repro.errors.TransportError` — never a silently wrong
+  answer.
 
 * :class:`DeltaLogFaults` is a scriptable
   :class:`~repro.matching.replication.ReplicaGroup` delivery hook that
-  drops, duplicates, or holds specific ``(replica, sequence)``
+  drops, duplicates, holds, or delays specific ``(replica, sequence)``
   deliveries.  Dropping record *k* and delivering *k+1* manufactures a
   log gap (the replica must buffer and refuse to serve); duplicating
   exercises the idempotence discipline; :meth:`release` delivers held
   records late — in any order the test scripts — exercising reorder and
-  delayed delivery.
+  delayed delivery; :attr:`delay` sleeps a delivery in place, which
+  past the group's ``settle_timeout`` exercises backpressure (the
+  replica lags and must be caught up, not waited on).
 
 Both are deterministic: faults fire at exact byte offsets or exact
 sequence numbers, so a failing test names the precise damage that
@@ -29,14 +37,17 @@ produced it.
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.matching.replication import DeltaRecord, ReplicaGroup
 
 __all__ = [
     "ByteFault",
+    "DelayProxy",
     "DeltaLogFaults",
     "TamperProxy",
     "cut_after",
@@ -150,6 +161,15 @@ class TamperProxy:
     target→client bytes; offsets are absolute per connection per
     direction.  A fault that cuts the stream closes *both* sides of
     that relay, so each peer observes the mid-conversation drop.
+
+    Liveness faults ride alongside the byte faults: ``delay_ms`` sleeps
+    that long before forwarding every chunk in either direction (a slow
+    link), and ``stall_after`` forwards that many bytes per direction
+    and then silently swallows the rest **without closing anything** —
+    the hung-peer fault: no EOF, no reset, just a connection that goes
+    quiet mid-conversation.  Byte-fault offsets keep counting the
+    source stream, so scripted damage stays at its exact offset even
+    under stall truncation.
     """
 
     def __init__(
@@ -158,10 +178,20 @@ class TamperProxy:
         *,
         upstream: ByteFault | None = None,
         downstream: ByteFault | None = None,
+        delay_ms: float = 0.0,
+        stall_after: int | None = None,
     ):
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms!r}")
+        if stall_after is not None and stall_after < 0:
+            raise ValueError(
+                f"stall_after must be >= 0, got {stall_after!r}"
+            )
         self.target = target
         self.upstream = upstream or ByteFault()
         self.downstream = downstream or ByteFault()
+        self.delay_ms = delay_ms
+        self.stall_after = stall_after
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind(("127.0.0.1", 0))
@@ -239,8 +269,19 @@ class TamperProxy:
                 chunk = source.recv(65536)
                 if not chunk:
                     break
+                if self.delay_ms:
+                    time.sleep(self.delay_ms / 1000.0)
+                raw = len(chunk)
+                if self.stall_after is not None:
+                    if offset >= self.stall_after:
+                        # the stall: swallow, keep the connection open —
+                        # the peer sees silence, never an EOF
+                        offset += raw
+                        continue
+                    if offset + raw > self.stall_after:
+                        chunk = chunk[: self.stall_after - offset]
                 out, keep = fault.transform(chunk, offset)
-                offset += len(chunk)
+                offset += raw
                 if out:
                     sink.sendall(out)
                 if not keep:
@@ -258,6 +299,18 @@ class TamperProxy:
                 sock.close()
 
 
+class DelayProxy(TamperProxy):
+    """A :class:`TamperProxy` that only adds latency.
+
+    Every chunk in both directions is forwarded ``delay_ms`` late and
+    otherwise untouched — the slow-worker fault.  Byte-identity is
+    unaffected; only deadlines and wall-clock bounds feel it.
+    """
+
+    def __init__(self, target: tuple[str, int], *, delay_ms: float = 20.0):
+        super().__init__(target, delay_ms=delay_ms)
+
+
 # ---------------------------------------------------------------------------
 # Delta-log delivery faults
 # ---------------------------------------------------------------------------
@@ -273,7 +326,11 @@ class DeltaLogFaults:
       arrive as a gap and the replica must refuse to serve);
     * :attr:`duplicate` — delivered twice back to back;
     * :attr:`hold` — parked until :meth:`release`, which delivers the
-      held records late (delay / reorder).
+      held records late (delay / reorder);
+    * :attr:`delay` — delivered after sleeping that many **seconds** in
+      place (a slow replica; a delay past the group's
+      ``settle_timeout`` forces the replica to lag instead of stalling
+      ``apply_delta``).
 
     :attr:`delivered` records every delivery that actually reached
     :meth:`ReplicaGroup.receive`, in order, for assertions.
@@ -282,6 +339,7 @@ class DeltaLogFaults:
     drop: set[tuple[int, int]] = field(default_factory=set)
     duplicate: set[tuple[int, int]] = field(default_factory=set)
     hold: set[tuple[int, int]] = field(default_factory=set)
+    delay: dict[tuple[int, int], float] = field(default_factory=dict)
     delivered: list[tuple[int, int]] = field(default_factory=list)
     _held: list[tuple[ReplicaGroup, int, DeltaRecord]] = field(
         default_factory=list
@@ -296,6 +354,9 @@ class DeltaLogFaults:
         if key in self.hold:
             self._held.append((group, index, record))
             return
+        pause = self.delay.get(key)
+        if pause:
+            await asyncio.sleep(pause)
         await self._deliver(group, index, record)
         if key in self.duplicate:
             await self._deliver(group, index, record)

@@ -41,6 +41,7 @@ from repro.matching.remote import (
     CLOSED,
     MAGIC,
     PROTOCOL_VERSION,
+    DeadlineBudget,
     parse_address,
     recv_message,
     send_message,
@@ -155,6 +156,35 @@ class TestFraming:
             parse_address("9000")
         with pytest.raises(TransportError, match="non-numeric"):
             parse_address("host:http")
+
+    def test_parse_address_tuple_errors(self):
+        """Tuple-form addresses fail as loudly as string-form ones."""
+        with pytest.raises(TransportError, match="non-numeric"):
+            parse_address(("localhost", "http"))
+        with pytest.raises(TransportError, match="non-numeric"):
+            parse_address(("localhost", None))
+        with pytest.raises(TransportError, match=r"\(host, port\) pair"):
+            parse_address(("localhost", 1, 2))
+        with pytest.raises(TransportError, match=r"\(host, port\) pair"):
+            parse_address(("localhost",))
+
+    def test_valid_digest_garbage_payload_raises(self, pair):
+        """Payload bytes that hash correctly but do not decode.
+
+        The digest proves transit integrity, not well-formedness: a
+        peer that frames garbage correctly must still be refused at the
+        protocol layer, not crash the receiver with a decode error.
+        """
+        a, b = pair
+        payload = b"these bytes are not a pickled message"
+        a.sendall(
+            remote_module._HEADER.pack(
+                MAGIC, len(payload), remote_module._digest(payload)
+            )
+            + payload
+        )
+        with pytest.raises(TransportError, match="not a valid message"):
+            recv_message(b)
 
 
 def _frame(message: object) -> bytes:
@@ -570,3 +600,244 @@ class TestParallelUnits:
         assert worker.stats.units == len(queries) * 3 * 2
         assert worker.stats.installs == 1
         assert worker.stats.installs_reused >= 1
+
+
+# ---------------------------------------------------------------------------
+# Deadlines: hung peers are crashes, not hangs
+# ---------------------------------------------------------------------------
+
+def _dead_address() -> tuple[str, int]:
+    """An address nothing listens on (a just-released ephemeral port)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    address = sock.getsockname()[:2]
+    sock.close()
+    return address
+
+
+class TestDeadlines:
+    def test_budget_validation(self):
+        with pytest.raises(TransportError, match="must be positive"):
+            DeadlineBudget(run=0)
+        with pytest.raises(TransportError, match="must be positive"):
+            DeadlineBudget(hello=-1.0)
+
+    def test_op_timeout_validation(self):
+        with pytest.raises(TransportError, match="op_timeout"):
+            WorkerServer(op_timeout=0)
+
+    def test_stalled_worker_deadline_expires(self, small_workload, queries):
+        """A hung (not crashed) worker: silence, no EOF, no reset.
+
+        Without deadlines the coordinator coroutine would block forever
+        — the liveness hole this layer closes.  The hello deadline
+        converts the stall into a loud failure, the worker's breaker
+        opens, and the sweep fails like an ordinary all-workers-gone.
+        """
+        worker = WorkerServer().start()
+        with TamperProxy(worker.address, stall_after=0) as proxy:
+            executor = RemoteShardExecutor(
+                [proxy.address],
+                deadlines=DeadlineBudget(
+                    connect=5.0, hello=0.3, install=30.0, run=30.0
+                ),
+            )
+            with pytest.raises(
+                TransportError, match="remote workers are gone"
+            ):
+                _remote_answers(small_workload, queries, executor)
+        worker.stop()
+        assert executor.stats.deadline_expiries >= 1
+        assert executor.worker_health(proxy.address).state == "open"
+        assert worker.stats.units == 0
+
+    def test_deadline_unit_retried_on_healthy_peer(
+        self, small_workload, queries
+    ):
+        """A stalled worker's units complete elsewhere, byte-identical.
+
+        The re-enqueue contract: an expired deadline is handled exactly
+        like a crash, so the healthy peer absorbs the whole sweep.
+        """
+        hung = WorkerServer().start()
+        # slow first unit: the sweep outlives the hello deadline, so the
+        # stalled peer demonstrably *expires* rather than being
+        # cancelled as a straggler when the sweep drains without it
+        healthy = _SlowFirstUnitWorker().start()
+        with TamperProxy(hung.address, stall_after=0) as proxy:
+            executor = RemoteShardExecutor(
+                [proxy.address, healthy.address],
+                deadlines=DeadlineBudget(
+                    connect=5.0, hello=0.05, install=60.0, run=60.0
+                ),
+            )
+            remote = _remote_answers(small_workload, queries, executor)
+        hung.stop()
+        healthy.stop()
+        assert executor.stats.deadline_expiries >= 1
+        assert healthy.stats.units == len(queries) * 3
+        assert _canonical(remote) == _canonical(
+            _serial_answers(small_workload, queries)
+        )
+
+
+class TestHungPeerServer:
+    """op_timeout: the worker side of the liveness story."""
+
+    def test_hung_peer_cannot_block_stop(self):
+        """Half a frame, then silence: stop() must still return.
+
+        Without the mid-frame timeout the connection thread sits in
+        ``recv`` forever and ``stop()`` hangs on the join — the exact
+        regression this guards.
+        """
+        worker = WorkerServer(op_timeout=0.2).start()
+        sock = socket.create_connection(worker.address, timeout=5)
+        sock.sendall(MAGIC)  # a frame has started; the rest never comes
+        time.sleep(0.05)
+        started = time.monotonic()
+        worker.stop()
+        elapsed = time.monotonic() - started
+        sock.close()
+        assert elapsed < 3.0, f"stop() took {elapsed:.1f}s with a hung peer"
+
+    def test_op_timeout_drops_hung_peer(self):
+        """The worker itself drops a peer that stalls mid-frame."""
+        worker = WorkerServer(op_timeout=0.2).start()
+        try:
+            sock = socket.create_connection(worker.address, timeout=5)
+            sock.sendall(MAGIC + b"\x00")  # mid-frame, then silence
+            sock.settimeout(5)
+            try:
+                while sock.recv(4096):
+                    pass  # reaching EOF here proves the worker dropped us
+            except ConnectionError:
+                pass  # a reset is an equally loud drop
+            sock.close()
+        finally:
+            worker.stop()
+
+    def test_idle_peer_is_not_dropped(self):
+        """The timeout is mid-frame only: idle between frames is healthy."""
+        worker = WorkerServer(op_timeout=0.2).start()
+        try:
+            sock = socket.create_connection(worker.address, timeout=5)
+            time.sleep(0.4)  # idle well past op_timeout, no frame started
+            send_message(sock, {"op": "hello", "version": PROTOCOL_VERSION})
+            reply = recv_message(sock)
+            sock.close()
+        finally:
+            worker.stop()
+        assert reply["op"] == "ready"
+
+
+# ---------------------------------------------------------------------------
+# Worker health: circuit breakers on the coordinator
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_breaker_param_validation(self):
+        with pytest.raises(TransportError, match="breaker_backoff"):
+            RemoteShardExecutor(["h:1"], breaker_backoff=0)
+        with pytest.raises(TransportError, match="breaker_backoff_cap"):
+            RemoteShardExecutor(
+                ["h:1"], breaker_backoff=2.0, breaker_backoff_cap=1.0
+            )
+        with pytest.raises(TransportError, match="breaker_jitter"):
+            RemoteShardExecutor(["h:1"], breaker_jitter=-0.1)
+
+    def test_dead_address_not_redialed(self, small_workload, queries):
+        """The satellite regression: one dial, then the breaker skips.
+
+        Before the breaker, ``execute`` re-dialed a known-dead address
+        on every sweep; now the first failure opens the breaker and the
+        second sweep never touches the address (``dials`` stays 1).
+        """
+        dead = _dead_address()
+        worker = WorkerServer().start()
+        try:
+            executor = RemoteShardExecutor(
+                [dead, worker.address], breaker_backoff=60.0, breaker_backoff_cap=60.0
+            )
+            first = _remote_answers(small_workload, queries, executor)
+            second = _remote_answers(small_workload, queries, executor)
+        finally:
+            worker.stop()
+        serial = _canonical(_serial_answers(small_workload, queries))
+        assert _canonical(first) == serial
+        assert _canonical(second) == serial
+        health = executor.worker_health(dead)
+        assert health.state == "open"
+        assert health.dials == 1
+        assert executor.stats.breaker_skips >= 1
+        assert executor.worker_health(worker.address).state == "closed"
+
+    def test_all_breakers_open_refuses(self, small_workload, queries):
+        """Every address cooling down: the sweep refuses loudly."""
+        dead = _dead_address()
+        executor = RemoteShardExecutor(
+            [dead], breaker_backoff=60.0, breaker_backoff_cap=60.0
+        )
+        with pytest.raises(TransportError, match="remote workers are gone"):
+            _remote_answers(small_workload, queries, executor)
+        with pytest.raises(TransportError, match="breaker"):
+            _remote_answers(small_workload, queries, executor)
+        assert executor.stats.all_open_refusals == 1
+
+    def test_half_open_probe_readmits_and_closes(
+        self, small_workload, queries
+    ):
+        """A worker that comes back: cooldown, half-open probe, closed."""
+        worker = WorkerServer().start()
+        address = worker.address
+        executor = RemoteShardExecutor(
+            [address],
+            breaker_backoff=0.05,
+            breaker_backoff_cap=0.1,
+            breaker_jitter=0.0,
+        )
+        worker.stop()
+        with pytest.raises(TransportError, match="remote workers are gone"):
+            _remote_answers(small_workload, queries, executor)
+        assert executor.worker_health(address).state == "open"
+        revived = WorkerServer(address[0], address[1]).start()
+        try:
+            time.sleep(0.15)  # past the cooldown: the next sweep probes
+            remote = _remote_answers(small_workload, queries, executor)
+        finally:
+            revived.stop()
+        assert executor.stats.half_open_probes >= 1
+        assert executor.stats.breaker_closes >= 1
+        assert executor.worker_health(address).state == "closed"
+        assert _canonical(remote) == _canonical(
+            _serial_answers(small_workload, queries)
+        )
+
+    def test_probe_closes_breaker_without_cooldown(self):
+        """probe(): the operator's explicit health check."""
+        dead = _dead_address()
+        executor = RemoteShardExecutor(
+            [dead], breaker_backoff=3600.0, breaker_backoff_cap=3600.0
+        )
+        assert executor.probe(dead) is False
+        assert executor.worker_health(dead).state == "open"
+        revived = WorkerServer(dead[0], dead[1]).start()
+        try:
+            assert executor.probe(dead) is True
+        finally:
+            revived.stop()
+        # no cooldown wait: the successful probe closed the breaker
+        assert executor.worker_health(dead).state == "closed"
+        assert executor.stats.probes == 2
+        assert executor.stats.breaker_closes == 1
+
+    def test_status_line(self):
+        dead = _dead_address()
+        executor = RemoteShardExecutor(
+            [dead], breaker_backoff=3600.0, breaker_backoff_cap=3600.0
+        )
+        assert executor.probe(dead) is False
+        line = executor.status()
+        assert line.startswith("executor remote:")
+        assert f"{dead[0]}:{dead[1]}=open" in line
+        assert "breaker opens" in line

@@ -402,6 +402,184 @@ class TestMembership:
         _run(scenario())
 
 
+class _FailingDelivery:
+    """Raises on one scripted (replica, sequence); delivers the rest."""
+
+    def __init__(self, replica: int, sequence: int):
+        self.key = (replica, sequence)
+        self.failures = 0
+
+    async def __call__(self, group, index, record):
+        if (index, record.sequence) == self.key:
+            self.failures += 1
+            raise RuntimeError("injected delivery failure")
+        await group.receive(index, record)
+
+
+class TestBackpressure:
+    """Bounded delivery queues: a slow replica lags, the log never waits."""
+
+    def test_param_validation(self, small_workload):
+        with pytest.raises(ReplicationError, match="max_lag"):
+            _group(small_workload, max_lag=0)
+        with pytest.raises(ReplicationError, match="settle_timeout"):
+            _group(small_workload, settle_timeout=0)
+
+    def test_slow_replica_lags_instead_of_blocking(
+        self, small_workload, queries
+    ):
+        """A delivery outliving settle_timeout: apply_delta moves on.
+
+        The slow replica is marked lagging (front-end skips it, like
+        stale), the fast replica keeps serving, and catch_up() replays
+        the missed record and returns the laggard to serving —
+        byte-identical to the offline path throughout.
+        """
+        faults = DeltaLogFaults(delay={(1, 1): 1.0})
+
+        async def scenario():
+            group = _group(
+                small_workload, delivery=faults, settle_timeout=0.1
+            )
+            await group.start(small_workload.repository)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            elapsed = loop.time() - started
+            assert elapsed < 0.8, (
+                f"apply_delta blocked {elapsed:.2f}s on a slow replica"
+            )
+            assert group.current(0) and group.lagging(1)
+            assert group.current_replicas() == [0]
+            with pytest.raises(
+                ReplicationError, match="behind the delta log"
+            ):
+                await group.match_on(1, queries[0])
+            routed = [await group.match(query) for query in queries]
+            replayed = await group.catch_up(1)
+            assert group.current_replicas() == [0, 1]
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, routed, replayed, answers, repository
+
+        group, routed, replayed, answers, repository = _run(scenario())
+        assert group.stats.settle_timeouts == 1
+        assert group.stats.replicas_lagged >= 1
+        assert replayed == 1
+        offline = _canonical(_offline(small_workload, queries, repository))
+        assert _canonical(routed) == offline  # replica 0 carried the load
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_queue_overflow_marks_lagging(self, small_workload, queries):
+        """``max_lag`` is a hard bound on a replica's undelivered queue.
+
+        catch_up() clears the lagging flag while the poisoned delivery
+        is still in flight; the next apply_delta finds the queue at
+        max_lag and backpressures the replica out again instead of
+        growing the queue.
+        """
+        faults = DeltaLogFaults(delay={(1, 1): 5.0})
+
+        async def scenario():
+            group = _group(
+                small_workload,
+                delivery=faults,
+                max_lag=1,
+                settle_timeout=0.1,
+            )
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            assert group.lagging(1)
+            await group.catch_up(1)  # recovered, delivery still in flight
+            assert not group.lagging(1) and group.pending(1) == 1
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=1)
+            )
+            assert group.lagging(1)  # overflowed max_lag, lagged again
+            await group.catch_up(1)
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, answers, repository
+
+        group, answers, repository = _run(scenario())
+        assert group.stats.deliveries_skipped >= 1
+        assert group.stats.replicas_lagged >= 2
+        offline = _canonical(_offline(small_workload, queries, repository))
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_delivery_failure_lags_and_raises_once(
+        self, small_workload, queries
+    ):
+        """A delivery that raises: loud once, lagging, recoverable."""
+        faults = _FailingDelivery(replica=1, sequence=1)
+
+        async def scenario():
+            group = _group(
+                small_workload, delivery=faults, settle_timeout=5.0
+            )
+            await group.start(small_workload.repository)
+            with pytest.raises(RuntimeError, match="injected delivery"):
+                await group.apply_delta(
+                    churn_delta(group.repository, churn=0.25, seed=0)
+                )
+            assert group.lagging(1)
+            # raised exactly once: the next append must not re-raise it
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=1)
+            )
+            assert group.current(0) and not group.current(1)
+            await group.catch_up(1)
+            assert group.current_replicas() == [0, 1]
+            answers = [await group.match_all(query) for query in queries]
+            repository = group.repository
+            await group.stop()
+            return group, answers, repository
+
+        group, answers, repository = _run(scenario())
+        assert faults.failures == 1
+        assert group.stats.delivery_failures == 1
+        assert group.stats.deliveries_skipped >= 1  # skipped while lagging
+        offline = _canonical(_offline(small_workload, queries, repository))
+        for replica in range(2):
+            assert _canonical([a[replica] for a in answers]) == offline
+
+    def test_status_line_names_lagging_replicas(self, small_workload):
+        faults = DeltaLogFaults(delay={(1, 1): 1.0})
+
+        async def scenario():
+            group = _group(
+                small_workload, delivery=faults, settle_timeout=0.1
+            )
+            await group.start(small_workload.repository)
+            await group.apply_delta(
+                churn_delta(group.repository, churn=0.25, seed=0)
+            )
+            degraded = group.status()
+            await group.catch_up(1)
+            healed = group.status()
+            await group.stop()
+            return degraded, healed
+
+        degraded, healed = _run(scenario())
+        assert "2 replicas (1 serving)" in degraded
+        assert "r1=lagging" in degraded
+        assert "2 replicas (2 serving)" in healed
+        assert "r1=current" in healed
+
+    def test_group_stats_alias(self):
+        from repro.matching import GroupStats, ReplicaGroupStats
+
+        assert GroupStats is ReplicaGroupStats
+
+
 class TestWarmStart:
     def test_group_warm_starts_from_checkpoint(
         self, small_workload, queries, tmp_path

@@ -19,16 +19,27 @@ primitives:
   list mutates live);
 * **frame tampering** (:class:`helpers.faults.TamperProxy` with byte
   flips and stream cuts spliced in front of one worker for one query);
+* **latency and partitions** (:class:`helpers.faults.DelayProxy` slows
+  a worker's wire; a ``stall_after`` relay hangs it silently — no EOF —
+  so only the executor's :class:`~repro.matching.remote.DeadlineBudget`
+  deadlines can unblock the sweep);
+* **slow replica delivery** (scripted :attr:`DeltaLogFaults.delay`
+  past the group's ``settle_timeout`` backpressures the replica into
+  the *lagging* state instead of stalling ``apply_delta``);
 * **membership changes** (replicas ``join()`` via log replay and
   ``leave()`` without draining, mid-stream);
 * **catch-ups** at random moments.
 
 After every wave, a **barrier** heals the cluster (held deliveries
 released, a worker restarted if none is live, every replica caught up)
-and audits the invariant this suite exists for: *every live replica is
-byte-identical to the single-node replay, and every fault surfaced as*
-:class:`~repro.errors.TransportError`/:class:`~repro.errors
-.ReplicationError` — *never a wrong answer*.
+and audits both halves of the contract.  *Safety*: every live replica
+is byte-identical to the single-node replay, and every fault surfaced
+as :class:`~repro.errors.TransportError`/:class:`~repro.errors
+.ReplicationError` — never a wrong answer.  *Recovery*: once faults
+clear, every live worker passes a health probe and its circuit breaker
+closes, every lagging replica catches up to serving, and the whole
+wave — ops plus barrier — lands inside a wall-clock bound, which is
+what proves no remote op ever blocked past its deadline.
 
 Determinism and replay: wave *w* draws from ``random.Random(f"{seed}:
 {w}")``, and everything that feeds later draws (the delta log, the
@@ -43,13 +54,21 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from helpers.differential import canonical, make_workload
-from helpers.faults import DeltaLogFaults, TamperProxy, cut_after, flip_byte
+from helpers.faults import (
+    DelayProxy,
+    DeltaLogFaults,
+    TamperProxy,
+    cut_after,
+    flip_byte,
+)
 from repro.errors import ReplicationError, TransportError
 from repro.matching import (
+    DeadlineBudget,
     EvolutionSession,
     RemoteShardExecutor,
     WorkerServer,
@@ -76,16 +95,37 @@ MAX_REPLICAS = 4
 #: the threshold every schedule serves under
 DELTA_MAX = 0.3
 
-#: fresh queries held back for tamper ops (each guarantees remote traffic)
-PROBE_QUERIES = 4
+#: fresh queries held back for tamper/latency/stall ops (each
+#: guarantees remote traffic)
+PROBE_QUERIES = 6
 
 #: weighted operation palette (queries and deltas dominate, as in life)
 OPS = (
     "query", "query", "query",
     "delta", "delta_fault",
-    "tamper", "kill", "restart",
+    "tamper", "latency", "stall",
+    "kill", "restart",
     "join", "leave", "catch_up",
 )
+
+#: per-op deadlines every schedule's executor runs under — small enough
+#: that a stalled (hung, not crashed) worker costs seconds, not a hang
+DEADLINES = DeadlineBudget(connect=2.0, hello=1.0, install=5.0, run=5.0)
+
+#: records a replica's delivery queue may hold before it is lagged out
+MAX_LAG = 2
+
+#: how long ``apply_delta`` waits for deliveries before lagging a replica
+SETTLE_TIMEOUT = 1.0
+
+#: scripted delivery delays: the short one drains inside the settle,
+#: the long one exceeds SETTLE_TIMEOUT and must lag the replica
+DELIVERY_DELAYS = (0.05, 2.5)
+
+#: the per-wave wall-clock bound (ops + barrier).  Generous against the
+#: op deadlines above, impossible if anything blocks without one: a
+#: single un-deadlined stalled socket used to hang a sweep forever.
+WAVE_DEADLINE = 60.0
 
 
 class SoakFailure(AssertionError):
@@ -170,6 +210,7 @@ class _Schedule:
         self.faults.drop.clear()
         self.faults.hold.clear()
         self.faults.duplicate.clear()
+        self.faults.delay.clear()
 
     async def release_held(self, wave: int) -> None:
         try:
@@ -214,7 +255,15 @@ class _Schedule:
             WorkerServer(parallel_units=2).start() for _ in range(2)
         ]
         self.executor = RemoteShardExecutor(
-            [server.address for server in self.live]
+            [server.address for server in self.live],
+            deadlines=DEADLINES,
+            # fast breakers: a schedule's dead workers cool down in
+            # fractions of a second, and the jitter draw is seeded so
+            # every replay opens and re-admits at the same moments
+            breaker_backoff=0.05,
+            breaker_backoff_cap=0.5,
+            breaker_jitter=0.25,
+            rng=random.Random(self.seed),
         )
         self.faults = DeltaLogFaults()
         self.group = replica_group(
@@ -227,6 +276,8 @@ class _Schedule:
             shards=2,
             executor=self.executor,
             delivery=self.faults,
+            max_lag=MAX_LAG,
+            settle_timeout=SETTLE_TIMEOUT,
         )
         await self.group.start(self.workload.repository)
 
@@ -247,10 +298,23 @@ class _Schedule:
         try:
             for wave in range(self.waves):
                 rng = random.Random(f"{self.seed}:{wave}")
+                wave_started = time.monotonic()
                 for _ in range(rng.randint(2, 4)):
                     await self.step(rng, wave)
                     self.report.ops += 1
                 await self.barrier(wave)
+                elapsed = time.monotonic() - wave_started
+                if elapsed > WAVE_DEADLINE:
+                    # the liveness half of the contract: every remote op
+                    # is deadline-bounded and no replica can stall the
+                    # log, so a wave that blows this bound means
+                    # something blocked past its deadline
+                    self.fail(
+                        wave,
+                        f"wave took {elapsed:.1f}s, past the "
+                        f"{WAVE_DEADLINE:.0f}s wall-clock bound — "
+                        "some op blocked past its deadline",
+                    )
         except SoakFailure:
             raise
         except Exception as exc:
@@ -278,6 +342,10 @@ class _Schedule:
             await self.op_delta(rng, wave, faulty=True)
         elif op == "tamper":
             await self.op_tamper(rng, wave)
+        elif op == "latency":
+            await self.op_latency(rng, wave)
+        elif op == "stall":
+            await self.op_stall(rng, wave)
         elif op == "kill":
             self.op_kill(rng, wave)
         elif op == "restart":
@@ -321,9 +389,16 @@ class _Schedule:
         label = ""
         if faulty and len(self.group.services) > 1:
             victim = rng.randrange(len(self.group.services))
-            kind = rng.choice(("drop", "hold", "duplicate"))
-            getattr(self.faults, kind).add((victim, sequence))
-            label = f" [{kind} r{victim}]"
+            kind = rng.choice(("drop", "hold", "duplicate", "delay"))
+            if kind == "delay":
+                # the long draw exceeds SETTLE_TIMEOUT: the replica must
+                # lag (and later catch up), never stall apply_delta
+                pause = rng.choice(DELIVERY_DELAYS)
+                self.faults.delay[(victim, sequence)] = pause
+                label = f" [delay r{victim} {pause}s]"
+            else:
+                getattr(self.faults, kind).add((victim, sequence))
+                label = f" [{kind} r{victim}]"
         logged = len(self.group.log)
         try:
             await self.group.apply_delta(delta)
@@ -360,6 +435,60 @@ class _Schedule:
             f"on :{victim.address[1]}{' [solo]' if solo else ''}"
         )
         proxy = TamperProxy(victim.address, **{direction: fault})
+        await self.query_through(proxy, victim, solo, rng, wave)
+
+    async def op_latency(self, rng: random.Random, wave: int) -> None:
+        """A slow wire in front of one worker: late bytes, same bytes.
+
+        Latency never corrupts, so whichever worker serves, the answer
+        must stay byte-identical — the per-chunk delay is far inside
+        the op deadlines, exercising that deadlines do not misfire on a
+        merely slow (healthy) peer.
+        """
+        if not self.live:
+            self.note(f"w{wave} latency: no live workers")
+            return
+        victim = self.live[rng.randrange(len(self.live))]
+        delay_ms = rng.choice((20, 40, 60))
+        solo = rng.random() < 0.4
+        self.note(
+            f"w{wave} latency {delay_ms}ms on :{victim.address[1]}"
+            f"{' [solo]' if solo else ''}"
+        )
+        proxy = DelayProxy(victim.address, delay_ms=delay_ms)
+        await self.query_through(proxy, victim, solo, rng, wave)
+
+    async def op_stall(self, rng: random.Random, wave: int) -> None:
+        """A one-way partition: the connection hangs open, silently.
+
+        No EOF ever arrives, so only the executor's op deadlines can
+        unblock the sweep.  Solo, the deadline must fire and surface
+        loudly; with a healthy peer, the units land there and the
+        answer must stay byte-identical.  Either way the stalled op is
+        bounded — the wave's wall-clock bound is the proof.
+        """
+        if not self.live:
+            self.note(f"w{wave} stall: no live workers")
+            return
+        victim = self.live[rng.randrange(len(self.live))]
+        stall_after = rng.randrange(0, 300)
+        solo = rng.random() < 0.4
+        self.note(
+            f"w{wave} stall after {stall_after}B on :{victim.address[1]}"
+            f"{' [solo]' if solo else ''}"
+        )
+        proxy = TamperProxy(victim.address, stall_after=stall_after)
+        await self.query_through(proxy, victim, solo, rng, wave)
+
+    async def query_through(
+        self,
+        proxy: TamperProxy,
+        victim: WorkerServer,
+        solo: bool,
+        rng: random.Random,
+        wave: int,
+    ) -> None:
+        """Route one fresh query through ``proxy`` in front of ``victim``."""
         proxy.start()
         if solo:
             self.executor.addresses = [proxy.address]
@@ -370,8 +499,8 @@ class _Schedule:
             ]
         try:
             # Spend a probe query: new to every replica, so serving it
-            # is a fresh remote sweep across the tampered wire.  With a
-            # healthy peer the tampered worker is abandoned and the
+            # is a fresh remote sweep across the faulted wire.  With a
+            # healthy peer the faulted worker is abandoned and the
             # units retried there (the answer must still be
             # byte-identical to the replay); solo, a firing fault must
             # refuse loudly.  Probes exhausted → a plain query (which
@@ -482,13 +611,37 @@ class _Schedule:
     # -- the wave barrier ----------------------------------------------------
 
     async def barrier(self, wave: int) -> None:
-        """Heal the cluster, then audit byte-identity on every replica."""
+        """Heal the cluster, then audit recovery + byte-identity.
+
+        Recovery first: every live worker must pass an explicit health
+        probe (closing its breaker — a worker that is up but perma-open
+        would silently shrink the fleet), and every replica — stale or
+        lagging — must return to serving through catch_up().
+        """
         if not self.live:
             self.op_restart(wave)
+        for server in self.live:
+            if not self.executor.probe(server.address):
+                self.fail(
+                    wave,
+                    f"live worker :{server.address[1]} failed its health "
+                    "probe after the faults cleared",
+                )
+            health = self.executor.worker_health(server.address)
+            if health.state != "closed":
+                self.fail(
+                    wave,
+                    f"worker :{server.address[1]} answered its probe but "
+                    f"its breaker is {health.state}, not closed",
+                )
         await self.release_held(wave)
         self.settle_delivery_faults()
         for index in range(len(self.group.services)):
             await self.group.catch_up(index)
+            if self.group.lagging(index):
+                self.fail(
+                    wave, f"replica {index} still lagging after catch_up"
+                )
             if not self.group.current(index):
                 self.fail(
                     wave, f"replica {index} still stale after catch_up"
